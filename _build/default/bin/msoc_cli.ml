@@ -1,0 +1,254 @@
+(* msoc — command-line front end for the mixed-signal SOC test-synthesis
+   library.
+
+   Subcommands:
+     plan       synthesise and print the system-level test plan
+     coverage   FCL/YL threshold analysis for one propagated parameter
+     faultsim   spectral stuck-at fault simulation of the digital filter
+     spectrum   simulate the receiver path and report SNR/SFDR/IM3 *)
+
+module Path = Msoc_analog.Path
+module Context = Msoc_analog.Context
+module Units = Msoc_util.Units
+module Prng = Msoc_util.Prng
+module Texttable = Msoc_util.Texttable
+module Tone = Msoc_dsp.Tone
+module Spectrum = Msoc_dsp.Spectrum
+module Metrics = Msoc_dsp.Metrics
+open Msoc_synth
+
+let strategy_conv =
+  let parse = function
+    | "nominal" -> Ok Propagate.Nominal_gains
+    | "adaptive" -> Ok Propagate.Adaptive
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S (nominal|adaptive)" s))
+  in
+  let print ppf = function
+    | Propagate.Nominal_gains -> Format.pp_print_string ppf "nominal"
+    | Propagate.Adaptive -> Format.pp_print_string ppf "adaptive"
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let strategy_arg =
+  Cmdliner.Arg.(
+    value
+    & opt strategy_conv Propagate.Adaptive
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"De-embedding strategy: nominal or adaptive.")
+
+(* ---- plan ---- *)
+
+let run_plan strategy =
+  let path = Path.default_receiver () in
+  let plan = Plan.synthesize ~strategy path in
+  Format.printf "%a@." Plan.pp_summary plan
+
+let plan_cmd =
+  let open Cmdliner in
+  Cmd.v (Cmd.info "plan" ~doc:"Synthesise the system-level test plan")
+    Term.(const run_plan $ strategy_arg)
+
+(* ---- coverage ---- *)
+
+let param_conv =
+  let parse = function
+    | "iip3" | "p1db" | "fc" | "isolation" | "inl" as s -> Ok s
+    | s -> Error (`Msg (Printf.sprintf "unknown parameter %S (iip3|p1db|fc|isolation|inl)" s))
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_string)
+
+let measurement_of_name path strategy = function
+  | "iip3" -> Propagate.mixer_iip3 path ~strategy
+  | "p1db" -> Propagate.mixer_p1db path ~strategy
+  | "fc" -> Propagate.lpf_cutoff path ~strategy
+  | "isolation" -> Propagate.mixer_lo_isolation path ~strategy
+  | "inl" -> Propagate.adc_inl path
+  | s -> invalid_arg s
+
+let run_coverage strategy param =
+  let path = Path.default_receiver () in
+  let m = measurement_of_name path strategy param in
+  let err = Propagate.err m in
+  Format.printf "%a@.@." Propagate.pp m;
+  match Plan.population_of_spec path m.Propagate.spec with
+  | None -> Format.printf "parameter has no toleranced population model@."
+  | Some population ->
+    let t = Texttable.create ~headers:[ "Threshold"; "FCL"; "YL" ] in
+    List.iter
+      (fun (label, losses) ->
+        Texttable.add_row t
+          [ label;
+            Texttable.cell_pct losses.Coverage.fcl;
+            Texttable.cell_pct losses.Coverage.yl ])
+      (Coverage.threshold_rows ~population ~bound:m.Propagate.spec.Spec.bound ~err
+         ~error:(Coverage.Uniform_err err));
+    Texttable.print t
+
+let coverage_cmd =
+  let open Cmdliner in
+  let param =
+    Arg.(value & opt param_conv "iip3" & info [ "param" ] ~docv:"PARAM"
+           ~doc:"Parameter: iip3, p1db, fc, isolation or inl.")
+  in
+  Cmd.v (Cmd.info "coverage" ~doc:"FCL/YL threshold analysis for a propagated test")
+    Term.(const run_coverage $ strategy_arg $ param)
+
+(* ---- faultsim ---- *)
+
+let run_faultsim taps input_bits coeff_bits samples tones =
+  let config =
+    { Digital_test.default_config with Digital_test.taps; input_bits; coeff_bits }
+  in
+  let fir = Digital_test.build config in
+  let faults = Digital_test.collapsed_faults fir in
+  Format.printf "filter: %a@.faults: %d@." Msoc_netlist.Netlist.pp_stats
+    fir.Msoc_netlist.Fir_netlist.circuit (Array.length faults);
+  let fs = 1e6 in
+  let f1 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:90e3 in
+  let freqs =
+    if tones <= 1 then [ f1 ]
+    else [ f1; Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:110e3 ]
+  in
+  let amplitude_fs = 0.9 /. float_of_int (max 1 tones) in
+  let codes = Digital_test.ideal_codes config ~sample_rate:fs ~samples ~freqs ~amplitude_fs in
+  let det =
+    Digital_test.spectral_coverage config fir ~sample_rate:fs ~input_codes:codes
+      ~reference_codes:codes ~tone_freqs:freqs ~faults
+  in
+  Format.printf "coverage: %.2f%% (%d/%d), floor %.1f dB@."
+    (100.0 *. det.Digital_test.coverage)
+    det.Digital_test.detected det.Digital_test.total det.Digital_test.noise_floor_db
+
+let faultsim_cmd =
+  let open Cmdliner in
+  let taps = Arg.(value & opt int 9 & info [ "taps" ] ~doc:"FIR tap count.") in
+  let input_bits = Arg.(value & opt int 10 & info [ "input-bits" ] ~doc:"Input bus width.") in
+  let coeff_bits = Arg.(value & opt int 8 & info [ "coeff-bits" ] ~doc:"Coefficient width.") in
+  let samples = Arg.(value & opt int 1024 & info [ "samples" ] ~doc:"Test pattern count.") in
+  let tones = Arg.(value & opt int 2 & info [ "tones" ] ~doc:"Stimulus tone count (1 or 2).") in
+  Cmd.v (Cmd.info "faultsim" ~doc:"Spectral stuck-at fault simulation of the FIR filter")
+    Term.(const run_faultsim $ taps $ input_bits $ coeff_bits $ samples $ tones)
+
+(* ---- spectrum ---- *)
+
+let run_spectrum level_dbm seed =
+  let path = Path.default_receiver () in
+  let eng = Path.engine path (Path.nominal_part path) ~seed in
+  let fs = path.Path.ctx.Context.sim_rate_hz in
+  let adc_rate = Path.adc_rate_hz path in
+  let n_adc = 4096 in
+  let n_sim = n_adc * path.Path.adc_decimation in
+  let f1 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:90e3 in
+  let f2 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:110e3 in
+  let amplitude = Units.vpeak_of_dbm level_dbm in
+  let input =
+    Tone.synthesize ~sample_rate:fs ~samples:n_sim
+      [ Tone.component ~freq:(1e6 +. f1) ~amplitude ();
+        Tone.component ~freq:(1e6 +. f2) ~amplitude () ]
+  in
+  let volts = Path.run_volts eng input in
+  let sp = Spectrum.analyze ~sample_rate:adc_rate volts in
+  let db x = 10.0 *. Float.log10 x in
+  let p1 = Spectrum.tone_power sp ~freq:f1 in
+  let im3_lo, im3_hi = Metrics.intermod3_products ~f1 ~f2 in
+  let snr =
+    Metrics.snr_multi_db sp ~signals:[ f1; f2 ] ~exclude:[ im3_lo; im3_hi; 300e3; 200e3; 20e3 ] ()
+  in
+  Format.printf "two-tone at %.1f dBm/tone through the receiver (seed %d):@." level_dbm seed;
+  Format.printf "  IF tone power : %.2f dBm@." (Units.dbm_of_vpeak (sqrt (2.0 *. p1)));
+  Format.printf "  IM3 (low/high): %.1f / %.1f dBc@."
+    (db (Spectrum.tone_power sp ~freq:im3_lo) -. db p1)
+    (db (Spectrum.tone_power sp ~freq:im3_hi) -. db p1);
+  Format.printf "  SNR           : %.1f dB@." snr;
+  let stim =
+    Msoc_signal.Attr.two_tone ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx)
+      ~f1_hz:(1e6 +. f1) ~f2_hz:(1e6 +. f2) ~power_dbm:level_dbm ()
+  in
+  let predicted = Msoc_signal.Attr.snr_db (Path.at_filter_input path stim) in
+  Format.printf "  predicted SNR : %a dB (attribute domain)@." Msoc_util.Interval.pp predicted
+
+let spectrum_cmd =
+  let open Cmdliner in
+  let level =
+    Arg.(value & opt float (-27.0) & info [ "level" ] ~doc:"Per-tone input level, dBm.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Noise seed.") in
+  Cmd.v (Cmd.info "spectrum" ~doc:"Simulate the receiver and report its spectrum metrics")
+    Term.(const run_spectrum $ level $ seed)
+
+(* ---- measure ---- *)
+
+let run_measure strategy seed =
+  let path = Path.default_receiver () in
+  let part =
+    if seed = 0 then Path.nominal_part path
+    else Path.sample_part path (Prng.create seed)
+  in
+  Format.printf "part: %s (seed %d)@.@."
+    (if seed = 0 then "nominal" else "sampled within tolerances")
+    seed;
+  let t =
+    Texttable.create ~headers:[ "Parameter"; "True"; "Measured"; "Error"; "Budget" ]
+  in
+  List.iter
+    (fun v ->
+      Texttable.add_row t
+        [ v.Measure.parameter;
+          Printf.sprintf "%.5g" v.Measure.true_value;
+          Printf.sprintf "%.5g" v.Measure.measured;
+          Printf.sprintf "%+.3g" v.Measure.error;
+          Printf.sprintf "±%.3g" v.Measure.budget ])
+    (Measure.validate_part path part ~strategy);
+  Texttable.print t
+
+let measure_cmd =
+  let open Cmdliner in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Part seed; 0 means the nominal part.")
+  in
+  Cmd.v (Cmd.info "measure" ~doc:"Run the virtual tester against a manufactured part")
+    Term.(const run_measure $ strategy_arg $ seed)
+
+(* ---- netlist ---- *)
+
+let run_netlist taps input_bits coeff_bits direct out_file =
+  let design = Msoc_dsp.Fir.lowpass ~taps ~cutoff:0.12 () in
+  let codes, scale = Msoc_dsp.Fir.quantize design.Msoc_dsp.Fir.taps ~bits:coeff_bits in
+  let architecture =
+    if direct then Msoc_netlist.Fir_netlist.Direct else Msoc_netlist.Fir_netlist.Transposed
+  in
+  let fir =
+    Msoc_netlist.Fir_netlist.create ~coeffs:codes ~width_in:input_bits ~scale ~architecture ()
+  in
+  let circuit = fir.Msoc_netlist.Fir_netlist.circuit in
+  Format.printf "%a@." Msoc_netlist.Netlist.pp_stats circuit;
+  Format.printf "collapsed stuck-at faults: %d@."
+    (Array.length
+       (Msoc_netlist.Fault.collapse circuit (Msoc_netlist.Fault.universe circuit)));
+  match out_file with
+  | None -> ()
+  | Some file ->
+    Msoc_netlist.Netlist_io.save file circuit;
+    Format.printf "netlist written to %s@." file
+
+let netlist_cmd =
+  let open Cmdliner in
+  let taps = Arg.(value & opt int 13 & info [ "taps" ] ~doc:"FIR tap count.") in
+  let input_bits = Arg.(value & opt int 12 & info [ "input-bits" ] ~doc:"Input width.") in
+  let coeff_bits = Arg.(value & opt int 8 & info [ "coeff-bits" ] ~doc:"Coefficient width.") in
+  let direct =
+    Arg.(value & flag & info [ "direct" ] ~doc:"Direct-form architecture (default transposed).")
+  in
+  let out_file =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Dump the netlist in the text format.")
+  in
+  Cmd.v (Cmd.info "netlist" ~doc:"Synthesise a gate-level filter and optionally dump it")
+    Term.(const run_netlist $ taps $ input_bits $ coeff_bits $ direct $ out_file)
+
+let () =
+  let open Cmdliner in
+  let doc = "Test synthesis for mixed-signal SOC paths (DATE 2000 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "msoc" ~doc)
+          [ plan_cmd; coverage_cmd; faultsim_cmd; spectrum_cmd; measure_cmd; netlist_cmd ]))

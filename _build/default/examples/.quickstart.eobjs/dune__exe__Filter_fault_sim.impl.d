@@ -1,0 +1,1 @@
+examples/filter_fault_sim.ml: Array Digital_test Float Format List Msoc_dsp Msoc_netlist Msoc_stat Msoc_synth Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compose Format List Msoc_analog Msoc_synth Plan Propagate Spec String

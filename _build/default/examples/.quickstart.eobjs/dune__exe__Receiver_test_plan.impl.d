@@ -1,0 +1,1 @@
+examples/receiver_test_plan.ml: Accuracy Compose Format List Msoc_analog Msoc_synth Msoc_util Plan Printf Propagate Spec String

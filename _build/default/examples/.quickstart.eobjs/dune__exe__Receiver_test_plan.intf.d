@@ -1,0 +1,1 @@
+examples/receiver_test_plan.mli:

@@ -1,0 +1,1 @@
+examples/tolerance_tradeoff.ml: Array Coverage Format List Msoc_analog Msoc_stat Msoc_synth Msoc_util Printf Propagate Spec

@@ -1,0 +1,1 @@
+examples/virtual_tester.ml: Coverage Dft Float Format List Measure Msoc_analog Msoc_synth Msoc_util Printf Propagate Spec

@@ -1,0 +1,1 @@
+lib/analog/adc.ml: Array Context Float List Msoc_signal Msoc_util Param

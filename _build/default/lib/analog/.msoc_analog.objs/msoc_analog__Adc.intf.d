@@ -1,0 +1,1 @@
+lib/analog/adc.mli: Context Msoc_signal Msoc_util Param

@@ -1,0 +1,1 @@
+lib/analog/amplifier.ml: Context Float List Msoc_signal Msoc_util Nonlin Param

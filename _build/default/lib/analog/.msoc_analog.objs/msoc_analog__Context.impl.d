@@ -1,0 +1,1 @@
+lib/analog/context.ml: Msoc_util

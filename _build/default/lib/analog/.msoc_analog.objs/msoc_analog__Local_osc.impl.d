@@ -1,0 +1,1 @@
+lib/analog/local_osc.ml: Context Float Msoc_util Param

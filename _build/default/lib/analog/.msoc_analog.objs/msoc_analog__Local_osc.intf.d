@@ -1,0 +1,1 @@
+lib/analog/local_osc.mli: Context Msoc_util Param

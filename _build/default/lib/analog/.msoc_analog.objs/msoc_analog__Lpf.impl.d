@@ -1,0 +1,1 @@
+lib/analog/lpf.ml: Array Context Float List Msoc_dsp Msoc_signal Msoc_util Param

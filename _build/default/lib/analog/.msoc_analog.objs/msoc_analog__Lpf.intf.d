@@ -1,0 +1,1 @@
+lib/analog/lpf.mli: Context Msoc_signal Msoc_util Param

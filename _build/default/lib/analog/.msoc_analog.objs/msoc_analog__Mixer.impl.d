@@ -1,0 +1,1 @@
+lib/analog/mixer.ml: Context Float List Local_osc Msoc_signal Msoc_util Nonlin Param

@@ -1,0 +1,1 @@
+lib/analog/mixer.mli: Context Local_osc Msoc_signal Msoc_util Param

@@ -1,0 +1,1 @@
+lib/analog/nonlin.ml: Float List

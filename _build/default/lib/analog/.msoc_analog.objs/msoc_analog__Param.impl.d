@@ -1,0 +1,1 @@
+lib/analog/param.ml: Float Format Msoc_stat Msoc_util

@@ -1,0 +1,1 @@
+lib/analog/param.mli: Format Msoc_stat Msoc_util

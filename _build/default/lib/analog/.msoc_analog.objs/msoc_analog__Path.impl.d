@@ -1,0 +1,1 @@
+lib/analog/path.ml: Adc Amplifier Array Context List Local_osc Lpf Mixer Msoc_signal Msoc_util Param

@@ -1,0 +1,1 @@
+lib/analog/path.mli: Adc Amplifier Context Local_osc Lpf Mixer Msoc_signal Msoc_util

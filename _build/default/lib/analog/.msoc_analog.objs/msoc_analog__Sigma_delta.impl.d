@@ -1,0 +1,1 @@
+lib/analog/sigma_delta.ml: Array Context Float Msoc_dsp Msoc_util Param

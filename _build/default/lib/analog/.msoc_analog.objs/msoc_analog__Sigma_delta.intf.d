@@ -1,0 +1,1 @@
+lib/analog/sigma_delta.mli: Context Msoc_util Param

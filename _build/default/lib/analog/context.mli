@@ -1,0 +1,18 @@
+(** Shared simulation and analysis context for the analog path. *)
+
+type t = {
+  sim_rate_hz : float;      (** Time-domain simulation sample rate. *)
+  analysis_bw_hz : float;   (** Bandwidth over which noise powers are
+                                 integrated in the attribute domain. *)
+  temperature_k : float;
+}
+
+val default : t
+(** 8 MHz simulation rate, 250 kHz analysis bandwidth, 290 K. *)
+
+val make : ?temperature_k:float -> sim_rate_hz:float -> analysis_bw_hz:float -> unit -> t
+
+val thermal_noise_dbm : t -> float
+(** kTB in the analysis bandwidth, dBm. *)
+
+val boltzmann : float

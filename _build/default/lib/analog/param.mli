@@ -1,0 +1,31 @@
+(** Toleranced block parameters.
+
+    A defect-free analog parameter "can vary within a range specified by the
+    system designer" (§3).  A [Param.t] couples the nominal value with that
+    symmetric tolerance; manufacturing instances are drawn from the implied
+    normal distribution ([sigma = tol / 3]), and the attribute-domain
+    propagation consumes the interval view. *)
+
+type t = { nominal : float; tol : float }
+(** [tol] is an absolute, symmetric half-range (same unit as [nominal]). *)
+
+val exact : float -> t
+(** Zero-tolerance parameter. *)
+
+val make : nominal:float -> tol:float -> t
+(** Requires [tol >= 0]. *)
+
+val interval : t -> Msoc_util.Interval.t
+val distribution : t -> Msoc_stat.Distribution.t
+(** Normal, [sigma = tol / 3]; degenerate tolerances get a tiny sigma so the
+    distribution stays well-defined. *)
+
+val sample : t -> Msoc_util.Prng.t -> float
+(** Draw a manufacturing instance, truncated to the tolerance range (a
+    defect-free part by construction). *)
+
+val sample_defective : t -> Msoc_util.Prng.t -> severity:float -> float
+(** Draw a soft-faulty instance: a deviation of [severity] tolerances is
+    added on a random side — "slight deviations in parameter values" (§5). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+module I = Msoc_util.Interval
+module Prng = Msoc_util.Prng
+module Attr = Msoc_signal.Attr
+
+type t = {
+  ctx : Context.t;
+  amp : Amplifier.params;
+  lo : Local_osc.params;
+  mixer : Mixer.params;
+  lpf : Lpf.params;
+  adc : Adc.params;
+  adc_decimation : int;
+}
+
+type part = {
+  amp_v : Amplifier.values;
+  lo_v : Local_osc.values;
+  mixer_v : Mixer.values;
+  lpf_v : Lpf.values;
+  adc_v : Adc.values;
+}
+
+let default_receiver () =
+  let ctx = Context.default in
+  { ctx;
+    amp = Amplifier.default_params;
+    lo = Local_osc.default_params ~freq_hz:1e6;
+    mixer = Mixer.default_params;
+    lpf = Lpf.default_params ~clock_hz:3.3e6;
+    adc = Adc.default_params;
+    adc_decimation = 8 }
+
+let adc_rate_hz t = t.ctx.Context.sim_rate_hz /. float_of_int t.adc_decimation
+
+let nominal_part t =
+  { amp_v = Amplifier.nominal_values t.amp;
+    lo_v = Local_osc.nominal_values t.lo;
+    mixer_v = Mixer.nominal_values t.mixer;
+    lpf_v = Lpf.nominal_values t.lpf;
+    adc_v = Adc.nominal_values t.adc }
+
+let sample_part t g =
+  { amp_v = Amplifier.sample_values t.amp g;
+    lo_v = Local_osc.sample_values t.lo g;
+    mixer_v = Mixer.sample_values t.mixer g;
+    lpf_v = Lpf.sample_values t.lpf g;
+    adc_v = Adc.sample_values t.adc g }
+
+let nominal_path_gain_db t =
+  t.amp.Amplifier.gain_db.Param.nominal
+  +. t.mixer.Mixer.gain_db.Param.nominal
+  +. t.lpf.Lpf.gain_db.Param.nominal
+
+let path_gain_interval_db t =
+  I.add
+    (Param.interval t.amp.Amplifier.gain_db)
+    (I.add (Param.interval t.mixer.Mixer.gain_db) (Param.interval t.lpf.Lpf.gain_db))
+
+type engine = {
+  spec : t;
+  amp_i : Amplifier.instance;
+  lo_osc : Local_osc.osc;
+  mixer_i : Mixer.instance;
+  lpf_i : Lpf.instance;
+  adc_i : Adc.instance;
+  amp_rng : Prng.t;
+  mixer_rng : Prng.t;
+  lpf_rng : Prng.t;
+  adc_rng : Prng.t;
+}
+
+let engine t part ~seed =
+  let root = Prng.create seed in
+  let amp_rng = Prng.split root in
+  let lo_rng = Prng.split root in
+  let mixer_rng = Prng.split root in
+  let lpf_rng = Prng.split root in
+  let adc_build_rng = Prng.split root in
+  let adc_rng = Prng.split root in
+  { spec = t;
+    amp_i = Amplifier.instance t.ctx part.amp_v;
+    lo_osc = Local_osc.create t.ctx part.lo_v ~rng:lo_rng;
+    mixer_i = Mixer.instance t.ctx part.mixer_v ~lo_drive_dbm:t.lo.Local_osc.drive_dbm;
+    lpf_i = Lpf.instance t.ctx ~clock_hz:t.lpf.Lpf.clock_hz part.lpf_v;
+    adc_i = Adc.instance t.adc t.ctx part.adc_v ~rng:adc_build_rng;
+    amp_rng;
+    mixer_rng;
+    lpf_rng;
+    adc_rng }
+
+let run_analog e input =
+  Lpf.reset e.lpf_i;
+  Array.map
+    (fun x ->
+      let amplified = Amplifier.process e.amp_i ~rng:e.amp_rng x in
+      let lo = Local_osc.next e.lo_osc in
+      let mixed = Mixer.process e.mixer_i ~rng:e.mixer_rng ~lo amplified in
+      Lpf.process e.lpf_i ~rng:e.lpf_rng mixed)
+    input
+
+let run_codes e input =
+  let analog = run_analog e input in
+  Adc.capture e.adc_i ~decimation:e.spec.adc_decimation ~rng:e.adc_rng analog
+
+let run_volts e input =
+  Array.map (Adc.code_to_volts e.spec.adc) (run_codes e input)
+
+let stages t signal =
+  let after_amp = Amplifier.transform t.amp t.ctx signal in
+  let after_mixer = Mixer.transform t.mixer ~lo:t.lo t.ctx after_amp in
+  let after_lpf = Lpf.transform t.lpf t.ctx after_mixer in
+  let after_adc = Adc.transform t.adc ~adc_rate_hz:(adc_rate_hz t) t.ctx after_lpf in
+  [ ("amp", after_amp); ("mixer", after_mixer); ("lpf", after_lpf); ("adc", after_adc) ]
+
+let at_filter_input t signal =
+  match List.rev (stages t signal) with
+  | (_, last) :: _ -> last
+  | [] -> signal

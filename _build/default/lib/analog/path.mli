@@ -1,0 +1,66 @@
+(** The experimental signal path of the paper (Fig. 6):
+
+    {v Amp -> Mixer (LO) -> LPF -> ADC -> digital filter v}
+
+    This module owns the composed structure: parameter sets of each block, a
+    manufactured-part sampler, the streaming waveform engine (simulation
+    rate in, ADC codes out), and the attribute-domain propagation that the
+    test-synthesis core consumes. *)
+
+module Attr = Msoc_signal.Attr
+
+type t = {
+  ctx : Context.t;
+  amp : Amplifier.params;
+  lo : Local_osc.params;
+  mixer : Mixer.params;
+  lpf : Lpf.params;
+  adc : Adc.params;
+  adc_decimation : int;
+}
+
+type part = {
+  amp_v : Amplifier.values;
+  lo_v : Local_osc.values;
+  mixer_v : Mixer.values;
+  lpf_v : Lpf.values;
+  adc_v : Adc.values;
+}
+
+val default_receiver : unit -> t
+(** 8 MHz simulation rate; 1 MHz LO; 200 kHz channel LPF clocked at
+    3.3 MHz; 12-bit ±1 V ADC at 1 MHz (decimation 8). *)
+
+val adc_rate_hz : t -> float
+val nominal_part : t -> part
+val sample_part : t -> Msoc_util.Prng.t -> part
+(** Defect-free manufacturing instance of the whole path. *)
+
+val nominal_path_gain_db : t -> float
+(** Sum of nominal pass-band gains (Amp + Mixer + LPF). *)
+
+val path_gain_interval_db : t -> Msoc_util.Interval.t
+(** Pass-band path gain with all gain tolerances accumulated. *)
+
+type engine
+
+val engine : t -> part -> seed:int -> engine
+(** Instantiate every block; all stochastic behaviour (noise, phase noise,
+    DNL realisation) derives deterministically from [seed]. *)
+
+val run_codes : engine -> float array -> int array
+(** Input waveform at the simulation rate (volts at the primary input) to
+    ADC output codes at the decimated rate. *)
+
+val run_volts : engine -> float array -> float array
+(** Same, with codes converted back to volts. *)
+
+val run_analog : engine -> float array -> float array
+(** The LPF output before the ADC, at the simulation rate (for probing). *)
+
+val stages : t -> Attr.t -> (string * Attr.t) list
+(** Attribute propagation trace: [(block name, signal after block)] in path
+    order, ending at the digital-filter input. *)
+
+val at_filter_input : t -> Attr.t -> Attr.t
+(** Final element of {!stages}. *)

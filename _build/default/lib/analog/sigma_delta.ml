@@ -1,0 +1,94 @@
+module Prng = Msoc_util.Prng
+module Units = Msoc_util.Units
+module Cic = Msoc_dsp.Cic
+
+type params = {
+  full_scale_v : float;
+  leakage : Param.t;
+  gain_error : Param.t;
+  comparator_offset_v : Param.t;
+  nf_db : Param.t;
+}
+
+type values = {
+  leakage : float;
+  gain_error : float;
+  comparator_offset_v : float;
+  nf_db : float;
+}
+
+type instance = {
+  full_scale_v : float;
+  retain : float;        (* 1 - leakage *)
+  gain : float;          (* 1 + gain_error *)
+  offset_v : float;
+  noise_sigma_v : float;
+  rng : Prng.t;
+  mutable v1 : float;
+  mutable v2 : float;
+}
+
+let default_params ~full_scale_v : params =
+  { full_scale_v;
+    leakage = Param.make ~nominal:1e-4 ~tol:1e-4;
+    gain_error = Param.make ~nominal:0.0 ~tol:5e-3;
+    comparator_offset_v = Param.make ~nominal:0.0 ~tol:2e-3;
+    nf_db = Param.make ~nominal:20.0 ~tol:2.0 }
+
+let nominal_values (p : params) : values =
+  { leakage = p.leakage.Param.nominal;
+    gain_error = p.gain_error.Param.nominal;
+    comparator_offset_v = p.comparator_offset_v.Param.nominal;
+    nf_db = p.nf_db.Param.nominal }
+
+let sample_values (p : params) g : values =
+  { leakage = Float.max 0.0 (Param.sample p.leakage g);
+    gain_error = Param.sample p.gain_error g;
+    comparator_offset_v = Param.sample p.comparator_offset_v g;
+    nf_db = Param.sample p.nf_db g }
+
+let noise_sigma ctx ~nf_db =
+  let bandwidth = ctx.Context.sim_rate_hz /. 2.0 in
+  let factor = Float.max 0.0 (Units.power_ratio_of_db nf_db -. 1.0) in
+  sqrt (Context.boltzmann *. ctx.Context.temperature_k *. bandwidth *. factor
+        *. Units.reference_ohms)
+
+let instance (p : params) ctx (v : values) ~rng =
+  { full_scale_v = p.full_scale_v;
+    retain = 1.0 -. v.leakage;
+    gain = 1.0 +. v.gain_error;
+    offset_v = v.comparator_offset_v;
+    noise_sigma_v = noise_sigma ctx ~nf_db:v.nf_db;
+    rng;
+    v1 = 0.0;
+    v2 = 0.0 }
+
+let reset inst =
+  inst.v1 <- 0.0;
+  inst.v2 <- 0.0
+
+(* CIFB-2 with feedback coefficients (1, 2): stable for inputs below
+   ~0.85 full scale; state clipping models the integrator rails. *)
+let modulate inst input =
+  let fs = inst.full_scale_v in
+  let rail = 4.0 *. fs in
+  Array.map
+    (fun x ->
+      let x = x +. (inst.noise_sigma_v *. Prng.gaussian inst.rng) in
+      let x = x /. fs in
+      let y = if inst.v2 +. (inst.offset_v /. fs) >= 0.0 then 1.0 else -1.0 in
+      inst.v1 <- Msoc_util.Floatx.clamp ~lo:(-.rail) ~hi:rail
+          ((inst.retain *. inst.v1) +. (inst.gain *. (x -. y)));
+      inst.v2 <- Msoc_util.Floatx.clamp ~lo:(-.rail) ~hi:rail
+          ((inst.retain *. inst.v2) +. (inst.gain *. (inst.v1 -. (2.0 *. y))));
+      int_of_float y)
+    input
+
+let capture inst ~decimation input =
+  let bits = modulate inst input in
+  let cic = Cic.create ~order:3 ~decimation in
+  Cic.process cic bits
+
+let output_full_scale ~decimation = decimation * decimation * decimation
+
+let theoretical_sqnr_db ~osr = (15.0 *. Float.log2 osr) -. 12.9 +. 1.76

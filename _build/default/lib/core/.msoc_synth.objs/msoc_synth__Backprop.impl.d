@@ -1,0 +1,1 @@
+lib/core/backprop.ml: Array Compose Float List Msoc_analog Msoc_util Printf Spec

@@ -1,0 +1,1 @@
+lib/core/backprop.mli: Msoc_analog Spec

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Accuracy Array Float Msoc_analog Msoc_util Spec

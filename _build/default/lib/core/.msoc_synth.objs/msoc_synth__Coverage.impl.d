@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Float List Msoc_stat Msoc_util Spec

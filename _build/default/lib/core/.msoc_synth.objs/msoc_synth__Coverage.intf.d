@@ -1,0 +1,1 @@
+lib/core/coverage.mli: Msoc_stat Msoc_util Spec

@@ -1,0 +1,1 @@
+lib/core/dft.ml: Accuracy Coverage List Msoc_analog Plan Propagate Spec

@@ -1,0 +1,1 @@
+lib/core/dft.mli: Accuracy Coverage Msoc_analog Propagate

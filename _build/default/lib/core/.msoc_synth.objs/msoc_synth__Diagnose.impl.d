@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Float List Msoc_dsp Msoc_netlist Msoc_util

@@ -1,0 +1,1 @@
+lib/core/digital_test.ml: Array Float Hashtbl List Msoc_dsp Msoc_netlist

@@ -1,0 +1,1 @@
+lib/core/digital_test.mli: Msoc_dsp Msoc_netlist

@@ -1,0 +1,1 @@
+lib/core/linearity.ml: Array Float Msoc_util

@@ -1,0 +1,1 @@
+lib/core/measure.ml: Array Float List Msoc_analog Msoc_dsp Msoc_util Propagate

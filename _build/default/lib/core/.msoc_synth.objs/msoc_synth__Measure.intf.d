@@ -1,0 +1,1 @@
+lib/core/measure.mli: Msoc_analog Msoc_dsp Propagate

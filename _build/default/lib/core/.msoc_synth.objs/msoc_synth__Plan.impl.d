@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Compose Coverage Float Format List Msoc_analog Msoc_stat Propagate Spec String

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Compose Coverage Format Msoc_analog Msoc_stat Propagate Spec

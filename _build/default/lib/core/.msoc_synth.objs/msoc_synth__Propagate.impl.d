@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Accuracy Float Format List Msoc_analog Msoc_signal Msoc_util Spec String

@@ -1,0 +1,1 @@
+lib/core/propagate.mli: Accuracy Format Msoc_analog Msoc_signal Spec

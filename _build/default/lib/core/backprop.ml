@@ -1,0 +1,247 @@
+module Path = Msoc_analog.Path
+module Param = Msoc_analog.Param
+module Amplifier = Msoc_analog.Amplifier
+module Mixer = Msoc_analog.Mixer
+module Lpf = Msoc_analog.Lpf
+module Adc = Msoc_analog.Adc
+module Units = Msoc_util.Units
+
+type requirements = {
+  gain_db : float * float;
+  nf_max_db : float;
+  iip3_min_dbm : float;
+  channel_cutoff_hz : float * float;
+}
+
+let default_requirements =
+  { gain_db = (23.2, 28.8);
+    nf_max_db = 6.0;
+    iip3_min_dbm = -28.0;
+    channel_cutoff_hz = (188e3, 212e3) }
+
+type allocation = {
+  block : Spec.block;
+  kind : Spec.kind;
+  bound : Spec.bound;
+  rationale : string;
+}
+
+let cascade_iip3_dbm ~gains_db ~iip3_dbm =
+  assert (Array.length gains_db = Array.length iip3_dbm);
+  let reciprocal = ref 0.0 in
+  let cumulative_gain_db = ref 0.0 in
+  Array.iteri
+    (fun k iip3 ->
+      (* stage k's intercept referred to the system input *)
+      let input_referred = iip3 -. !cumulative_gain_db in
+      reciprocal := !reciprocal +. (1.0 /. Units.power_ratio_of_db input_referred);
+      cumulative_gain_db := !cumulative_gain_db +. gains_db.(k))
+    iip3_dbm;
+  Units.db_of_power_ratio (1.0 /. !reciprocal)
+
+let gain_blocks (path : Path.t) =
+  [ (Spec.Amp, Spec.Gain, path.Path.amp.Amplifier.gain_db);
+    (Spec.Mixer, Spec.Gain, path.Path.mixer.Mixer.gain_db);
+    (Spec.Lpf, Spec.Passband_gain, path.Path.lpf.Lpf.gain_db) ]
+
+(* Preceding gains at their low corners: the NF margin a stage receives
+   must survive the least gain any in-tolerance part puts in front of it. *)
+let nf_blocks (path : Path.t) =
+  let low (p : Param.t) = p.Param.nominal -. p.Param.tol in
+  let amp_low = low path.Path.amp.Amplifier.gain_db in
+  let mixer_low = low path.Path.mixer.Mixer.gain_db in
+  let lpf_low = low path.Path.lpf.Lpf.gain_db in
+  [ (Spec.Amp, path.Path.amp.Amplifier.nf_db, 0.0);
+    (Spec.Mixer, path.Path.mixer.Mixer.nf_db, amp_low);
+    (Spec.Lpf, path.Path.lpf.Lpf.nf_db, amp_low +. mixer_low);
+    (Spec.Adc, path.Path.adc.Adc.nf_db, amp_low +. mixer_low +. lpf_low) ]
+
+let allocate requirements (path : Path.t) =
+  let gain_lo, gain_hi = requirements.gain_db in
+  let center = 0.5 *. (gain_lo +. gain_hi) in
+  let half_range = 0.5 *. (gain_hi -. gain_lo) in
+  let gains = gain_blocks path in
+  let total_tol =
+    List.fold_left (fun acc (_, _, p) -> acc +. Float.max p.Param.tol 1e-6) 0.0 gains
+  in
+  let nominal_sum = List.fold_left (fun acc (_, _, p) -> acc +. p.Param.nominal) 0.0 gains in
+  let gain_allocs =
+    List.map
+      (fun (block, kind, (p : Param.t)) ->
+        (* split the system half-range in proportion to the designer's own
+           tolerance shares, re-centred so allocations sum to the target *)
+        let share = Float.max p.Param.tol 1e-6 /. total_tol in
+        let nominal = p.Param.nominal +. (share *. (center -. nominal_sum)) in
+        let slack = share *. half_range in
+        { block;
+          kind;
+          bound = Spec.Within { lo = nominal -. slack; hi = nominal +. slack };
+          rationale =
+            Printf.sprintf "gain partition: %.0f%% share of the ±%.1f dB system range"
+              (100.0 *. share) half_range })
+      gains
+  in
+  (* NF: distribute the linear noise-factor margin over the stages, each
+     weighted down by the gain preceding it (Friis sensitivity).  The
+     baseline cascade and the per-stage weights are evaluated at the LOW
+     corners of the gain allocation just computed, so the margin is a true
+     worst-case budget over every part the allocation accepts. *)
+  let alloc_gain_low block kind =
+    match List.find_opt (fun a -> a.block = block && a.kind = kind) gain_allocs with
+    | Some { bound = Spec.Within { lo; _ }; _ } -> lo
+    | Some _ | None -> invalid_arg "Backprop.allocate: gain allocation missing"
+  in
+  let amp_low = alloc_gain_low Spec.Amp Spec.Gain in
+  let mixer_low = alloc_gain_low Spec.Mixer Spec.Gain in
+  let lpf_low = alloc_gain_low Spec.Lpf Spec.Passband_gain in
+  let stages =
+    [ (Spec.Amp, path.Path.amp.Amplifier.nf_db, 0.0);
+      (Spec.Mixer, path.Path.mixer.Mixer.nf_db, amp_low);
+      (Spec.Lpf, path.Path.lpf.Lpf.nf_db, amp_low +. mixer_low);
+      (Spec.Adc, path.Path.adc.Adc.nf_db, amp_low +. mixer_low +. lpf_low) ]
+  in
+  let nf_nominal_worst_gains =
+    Compose.friis_nf_db
+      ~nf_db:(Array.of_list (List.map (fun (_, (p : Param.t), _) -> p.Param.nominal) stages))
+      ~gain_db:[| amp_low; mixer_low; lpf_low |]
+  in
+  let margin_linear =
+    Units.power_ratio_of_db requirements.nf_max_db
+    -. Units.power_ratio_of_db nf_nominal_worst_gains
+  in
+  let stage_count = float_of_int (List.length stages) in
+  let nf_allocs =
+    List.map
+      (fun (block, (p : Param.t), preceding_gain_db) ->
+        let delta_linear =
+          Float.max 0.0 margin_linear /. stage_count
+          *. Units.power_ratio_of_db preceding_gain_db
+        in
+        let ceiling =
+          Units.db_of_power_ratio (Units.power_ratio_of_db p.Param.nominal +. delta_linear)
+        in
+        { block;
+          kind = Spec.Noise_figure;
+          bound = Spec.At_most ceiling;
+          rationale =
+            Printf.sprintf
+              "Friis: stage margin diluted by %.0f dB of preceding gain" preceding_gain_db })
+      stages
+  in
+  (* IIP3: reciprocal intercept budget split equally over the two active
+     nonlinear stages. *)
+  let nonlinear =
+    (* each stage's floor assumes the worst-case gain in front of it, i.e.
+       the high corner of the gain allocation just computed, so the cascade
+       bound survives any part the allocation itself accepts *)
+    let amp_alloc_hi =
+      match
+        List.find_opt (fun a -> a.block = Spec.Amp && a.kind = Spec.Gain) gain_allocs
+      with
+      | Some { bound = Spec.Within { hi; _ }; _ } -> hi
+      | Some _ | None -> path.Path.amp.Amplifier.gain_db.Param.nominal
+    in
+    [ (Spec.Amp, 0.0); (Spec.Mixer, amp_alloc_hi) ]
+  in
+  let n = float_of_int (List.length nonlinear) in
+  let iip3_allocs =
+    List.map
+      (fun (block, preceding_gain_db) ->
+        let floor =
+          requirements.iip3_min_dbm +. (10.0 *. Float.log10 n) +. preceding_gain_db
+        in
+        { block;
+          kind = Spec.Iip3;
+          bound = Spec.At_least floor;
+          rationale =
+            Printf.sprintf
+              "cascade intercept: 1/%.0f of the reciprocal budget after %.0f dB of gain" n
+              preceding_gain_db })
+      nonlinear
+  in
+  let lo, hi = requirements.channel_cutoff_hz in
+  let cutoff_alloc =
+    { block = Spec.Lpf;
+      kind = Spec.Cutoff_freq;
+      bound = Spec.Within { lo; hi };
+      rationale = "direct projection of the channel-selectivity requirement" }
+  in
+  gain_allocs @ nf_allocs @ iip3_allocs @ [ cutoff_alloc ]
+
+type verification = {
+  requirement : string;
+  required : string;
+  achieved_worst_case : string;
+  satisfied : bool;
+}
+
+let find_bound allocations block kind =
+  match List.find_opt (fun a -> a.block = block && a.kind = kind) allocations with
+  | Some a -> a.bound
+  | None -> invalid_arg "Backprop.verify: missing allocation"
+
+let bound_corners = function
+  | Spec.Within { lo; hi } -> (lo, hi)
+  | Spec.At_least lo -> (lo, lo +. 60.0)
+  | Spec.At_most hi -> (hi -. 60.0, hi)
+
+let verify requirements (path : Path.t) allocations =
+  let gain_lo, gain_hi = requirements.gain_db in
+  let gain_corner pick =
+    List.fold_left
+      (fun acc (block, kind, _) -> acc +. pick (bound_corners (find_bound allocations block kind)))
+      0.0 (gain_blocks path)
+  in
+  let gain_min = gain_corner fst and gain_max = gain_corner snd in
+  let epsilon = 1e-6 in
+  let gain_check =
+    { requirement = "system gain window";
+      required = Printf.sprintf "[%.1f, %.1f] dB" gain_lo gain_hi;
+      achieved_worst_case = Printf.sprintf "[%.1f, %.1f] dB" gain_min gain_max;
+      satisfied = gain_min >= gain_lo -. epsilon && gain_max <= gain_hi +. epsilon }
+  in
+  (* NF at the worst allocated corner: every stage NF at its ceiling, every
+     gain at its allocated low corner. *)
+  let nf_ceilings =
+    List.map
+      (fun (block, _, _) -> snd (bound_corners (find_bound allocations block Spec.Noise_figure)))
+      (nf_blocks path)
+  in
+  let gain_lows =
+    List.map
+      (fun (block, kind, _) -> fst (bound_corners (find_bound allocations block kind)))
+      (gain_blocks path)
+  in
+  let nf_worst =
+    Compose.friis_nf_db ~nf_db:(Array.of_list nf_ceilings) ~gain_db:(Array.of_list gain_lows)
+  in
+  let nf_check =
+    { requirement = "system noise figure";
+      required = Printf.sprintf "<= %.2f dB" requirements.nf_max_db;
+      achieved_worst_case = Printf.sprintf "%.2f dB" nf_worst;
+      satisfied = nf_worst <= requirements.nf_max_db +. epsilon }
+  in
+  (* IIP3 with both stages at their allocated floors and the amp gain at its
+     allocated high corner (worst for the mixer's referred intercept). *)
+  let amp_iip3_floor = fst (bound_corners (find_bound allocations Spec.Amp Spec.Iip3)) in
+  let mixer_iip3_floor = fst (bound_corners (find_bound allocations Spec.Mixer Spec.Iip3)) in
+  let amp_gain_hi = snd (bound_corners (find_bound allocations Spec.Amp Spec.Gain)) in
+  let iip3_worst =
+    cascade_iip3_dbm ~gains_db:[| amp_gain_hi; 0.0 |]
+      ~iip3_dbm:[| amp_iip3_floor; mixer_iip3_floor |]
+  in
+  let iip3_check =
+    { requirement = "system IIP3";
+      required = Printf.sprintf ">= %.1f dBm" requirements.iip3_min_dbm;
+      achieved_worst_case = Printf.sprintf "%.1f dBm" iip3_worst;
+      satisfied = iip3_worst >= requirements.iip3_min_dbm -. 0.1 }
+  in
+  let lo, hi = requirements.channel_cutoff_hz in
+  let alloc_lo, alloc_hi = bound_corners (find_bound allocations Spec.Lpf Spec.Cutoff_freq) in
+  let cutoff_check =
+    { requirement = "channel corner";
+      required = Printf.sprintf "[%.0f, %.0f] Hz" lo hi;
+      achieved_worst_case = Printf.sprintf "[%.0f, %.0f] Hz" alloc_lo alloc_hi;
+      satisfied = alloc_lo >= lo -. epsilon && alloc_hi <= hi +. epsilon }
+  in
+  [ gain_check; nf_check; iip3_check; cutoff_check ]

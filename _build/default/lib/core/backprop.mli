@@ -1,0 +1,56 @@
+(** Specification back-propagation: system requirements to block bounds.
+
+    §4.2 classifies block parameters by origin; the {e partitioned} ones
+    ("the required gain is partitioned as gains of basic blocks in a
+    signal path") come from exactly this computation, and the related work
+    the paper builds on (Huang, Pan & Cheng's specification
+    back-propagation) derives block pass/fail conditions from system-level
+    conditions.  This module allocates a receiver's system-level
+    requirements down to the blocks and verifies that the allocation,
+    composed back through the cascade formulas, meets the requirement with
+    margin. *)
+
+module Path = Msoc_analog.Path
+
+type requirements = {
+  gain_db : float * float;        (** Acceptable system gain range. *)
+  nf_max_db : float;              (** System noise figure ceiling. *)
+  iip3_min_dbm : float;           (** System third-order intercept floor. *)
+  channel_cutoff_hz : float * float; (** Acceptable channel corner range. *)
+}
+
+val default_requirements : requirements
+(** Matches the default receiver: gain 26 ± 2.8 dB, NF <= 6 dB,
+    IIP3 >= -28 dBm, corner 200 kHz ± 12 kHz. *)
+
+type allocation = {
+  block : Spec.block;
+  kind : Spec.kind;
+  bound : Spec.bound;
+  rationale : string;
+}
+
+val allocate : requirements -> Path.t -> allocation list
+(** Partition each system requirement over the blocks of the path in
+    proportion to their nominal contributions: gain bounds are split by
+    tolerance share; the NF ceiling is turned into per-block NF bounds
+    through the Friis sensitivity of the cascade NF to each stage; the
+    IIP3 floor maps to per-block intercept floors through the cascade
+    intercept formula. *)
+
+val cascade_iip3_dbm : gains_db:float array -> iip3_dbm:float array -> float
+(** Input-referred cascade intercept:
+    [1/ip3 = sum_k (prod_{j<k} g_j) / ip3_k] in linear power terms.
+    [gains_db] has the same length as [iip3_dbm]; stage [k]'s intercept is
+    divided by the gain {e preceding} it. *)
+
+type verification = {
+  requirement : string;
+  required : string;
+  achieved_worst_case : string;
+  satisfied : bool;
+}
+
+val verify : requirements -> Path.t -> allocation list -> verification list
+(** Compose the allocated worst-case corners back through the cascade
+    formulas and check each system requirement. *)

@@ -1,0 +1,174 @@
+module Units = Msoc_util.Units
+module Param = Msoc_analog.Param
+module Path = Msoc_analog.Path
+module Amplifier = Msoc_analog.Amplifier
+module Mixer = Msoc_analog.Mixer
+module Lpf = Msoc_analog.Lpf
+module Adc = Msoc_analog.Adc
+module Nonlin = Msoc_analog.Nonlin
+module Context = Msoc_analog.Context
+
+type t = {
+  name : string;
+  covers : (Spec.block * Spec.kind) list;
+  nominal : float;
+  tolerance : float;
+  accuracy : Accuracy.t;
+  unit_label : string;
+}
+
+let path_gain (path : Path.t) =
+  let interval = Path.path_gain_interval_db path in
+  { name = "path gain";
+    covers = [ (Spec.Amp, Spec.Gain); (Spec.Mixer, Spec.Gain); (Spec.Lpf, Spec.Passband_gain) ];
+    nominal = Msoc_util.Interval.mid interval;
+    tolerance = Msoc_util.Interval.err interval;
+    accuracy = Accuracy.create [];
+    unit_label = "dB" }
+
+let friis_nf_db ~nf_db ~gain_db =
+  assert (Array.length nf_db = Array.length gain_db + 1);
+  let factor = ref (Units.power_ratio_of_db nf_db.(0)) in
+  let cumulative_gain = ref 1.0 in
+  for i = 1 to Array.length nf_db - 1 do
+    cumulative_gain := !cumulative_gain *. Units.power_ratio_of_db gain_db.(i - 1);
+    factor := !factor +. ((Units.power_ratio_of_db nf_db.(i) -. 1.0) /. !cumulative_gain)
+  done;
+  Units.db_of_power_ratio !factor
+
+let cascade_params (path : Path.t) =
+  let nf p = p.Param.nominal and tol p = p.Param.tol in
+  let amp = path.Path.amp and mixer = path.Path.mixer in
+  let lpf = path.Path.lpf and adc = path.Path.adc in
+  ( [| amp.Amplifier.nf_db; mixer.Mixer.nf_db; lpf.Lpf.nf_db; adc.Adc.nf_db |],
+    [| amp.Amplifier.gain_db; mixer.Mixer.gain_db; lpf.Lpf.gain_db |],
+    nf, tol )
+
+let noise_figure (path : Path.t) =
+  let nfs, gains, nominal_of, tol_of = cascade_params path in
+  let nominal =
+    friis_nf_db ~nf_db:(Array.map nominal_of nfs) ~gain_db:(Array.map nominal_of gains)
+  in
+  (* Friis NF is increasing in each stage NF and decreasing in each gain, so
+     the two extreme corners bound the composite. *)
+  let hi =
+    friis_nf_db
+      ~nf_db:(Array.map (fun p -> nominal_of p +. tol_of p) nfs)
+      ~gain_db:(Array.map (fun p -> nominal_of p -. tol_of p) gains)
+  in
+  let lo =
+    friis_nf_db
+      ~nf_db:(Array.map (fun p -> nominal_of p -. tol_of p) nfs)
+      ~gain_db:(Array.map (fun p -> nominal_of p +. tol_of p) gains)
+  in
+  { name = "cascade noise figure";
+    covers =
+      [ (Spec.Mixer, Spec.Noise_figure); (Spec.Adc, Spec.Noise_figure) ];
+    nominal;
+    tolerance = Float.max (hi -. nominal) (nominal -. lo);
+    accuracy = Accuracy.create ~instrument_err:0.5 [];
+    unit_label = "dB" }
+
+let noise_floor_input_dbm (path : Path.t) =
+  let nfs, gains, nominal_of, _ = cascade_params path in
+  let nf =
+    friis_nf_db ~nf_db:(Array.map nominal_of nfs) ~gain_db:(Array.map nominal_of gains)
+  in
+  Context.thermal_noise_dbm path.Path.ctx +. nf
+
+let dynamic_range (path : Path.t) =
+  (* Ceiling: the mixer compression referred to the primary input; floor:
+     the cascade noise floor referred to the primary input. *)
+  let amp_gain = path.Path.amp.Amplifier.gain_db in
+  let p1db = path.Path.mixer.Mixer.p1db_dbm in
+  let ceiling = p1db.Param.nominal -. amp_gain.Param.nominal in
+  let floor = noise_floor_input_dbm path in
+  let tolerance =
+    p1db.Param.tol +. amp_gain.Param.tol +. 1.0 (* NF corner contribution, conservative *)
+  in
+  { name = "dynamic range";
+    covers = [ (Spec.Lpf, Spec.Dynamic_range); (Spec.Adc, Spec.Dynamic_range) ];
+    nominal = ceiling -. floor;
+    tolerance;
+    accuracy = Accuracy.create ~instrument_err:0.5 [];
+    unit_label = "dB" }
+
+type check_kind = Saturation | Signal_loss | Mid_gain
+
+type boundary_check = {
+  kind : check_kind;
+  description : string;
+  stimulus_dbm : float;
+  min_snr_db : float;
+}
+
+(* Input-referred compression ceiling: the first block whose limit is hit as
+   the stimulus rises.  With the default receiver the ADC full scale binds,
+   which is why an out-of-tolerance amp gain masked in the composite shows
+   up as clipping at the high-amplitude check. *)
+let ceiling_input_dbm (path : Path.t) =
+  let path_gain = Path.nominal_path_gain_db path in
+  let amp_gain = path.Path.amp.Amplifier.gain_db.Param.nominal in
+  let adc_ceiling = Units.dbm_of_vpeak path.Path.adc.Adc.full_scale_v -. path_gain in
+  let mixer_ceiling = path.Path.mixer.Mixer.p1db_dbm.Param.nominal -. amp_gain in
+  (* a cubic's hard saturation sits ~3.6 dB above its 1 dB compression;
+     for the amp (no explicit P1dB) IIP3 - 9.6 locates compression *)
+  let amp_ceiling = path.Path.amp.Amplifier.iip3_dbm.Param.nominal -. 9.6 in
+  Float.min adc_ceiling (Float.min mixer_ceiling amp_ceiling)
+
+(* Input-referred system noise floor: cascade thermal noise or the ADC
+   quantization floor, whichever dominates. *)
+let floor_input_dbm (path : Path.t) =
+  let thermal = noise_floor_input_dbm path in
+  let quant =
+    Units.dbm_of_vpeak path.Path.adc.Adc.full_scale_v
+    -. Adc.ideal_snr_db path.Path.adc -. Path.nominal_path_gain_db path
+  in
+  Float.max thermal quant
+
+let boundary_checks (path : Path.t) ~test_level_dbm =
+  [ { kind = Saturation;
+      description = "max-amplitude saturation check (Fig. 3, high side)";
+      stimulus_dbm = ceiling_input_dbm path -. 3.0;
+      min_snr_db = 15.0 };
+    { kind = Signal_loss;
+      description = "min-amplitude signal-loss check (Fig. 3, low side)";
+      stimulus_dbm = floor_input_dbm path +. 12.0;
+      min_snr_db = 6.0 };
+    { kind = Mid_gain;
+      description = "mid-range composite gain measurement level";
+      stimulus_dbm = test_level_dbm;
+      min_snr_db = 40.0 } ]
+
+type saturation_report = {
+  block : string;
+  drive_dbm : float;
+  limit_dbm : float;
+  headroom_db : float;
+}
+
+let saturation_analysis (path : Path.t) ~input_dbm =
+  let ctx = path.Path.ctx in
+  let amp_values = Amplifier.nominal_values path.Path.amp in
+  let amp_inst = Amplifier.instance ctx amp_values in
+  let mixer_inst =
+    Mixer.instance ctx (Mixer.nominal_values path.Path.mixer)
+      ~lo_drive_dbm:path.Path.lo.Msoc_analog.Local_osc.drive_dbm
+  in
+  let amp_gain_hi =
+    path.Path.amp.Amplifier.gain_db.Param.nominal +. path.Path.amp.Amplifier.gain_db.Param.tol
+  in
+  let amp_sat_dbm = Units.dbm_of_vpeak (Amplifier.saturation_input_v amp_inst) in
+  let mixer_sat_dbm = Units.dbm_of_vpeak (Mixer.saturation_input_v mixer_inst) in
+  let adc_limit_dbm = Units.dbm_of_vpeak path.Path.adc.Adc.full_scale_v in
+  let path_gain_hi =
+    amp_gain_hi
+    +. path.Path.mixer.Mixer.gain_db.Param.nominal +. path.Path.mixer.Mixer.gain_db.Param.tol
+    +. path.Path.lpf.Lpf.gain_db.Param.nominal +. path.Path.lpf.Lpf.gain_db.Param.tol
+  in
+  let report block drive limit =
+    { block; drive_dbm = drive; limit_dbm = limit; headroom_db = limit -. drive }
+  in
+  [ report "amp" input_dbm amp_sat_dbm;
+    report "mixer" (input_dbm +. amp_gain_hi) mixer_sat_dbm;
+    report "adc" (input_dbm +. path_gain_hi) adc_limit_dbm ]

@@ -1,0 +1,66 @@
+(** Fault-coverage loss and yield loss under measurement error
+    (paper §3 Fig. 2, §4.2 Fig. 5, Table 2).
+
+    A parameter is {e good} when it satisfies its spec bound and {e faulty}
+    otherwise (soft faults: slight deviations).  The test accepts when the
+    {e measured} value — true value plus measurement error — satisfies the
+    (possibly shifted) threshold.  Then
+
+    - FCL (fault-coverage loss) = P(accept | faulty): bad parts that escape;
+    - YL (yield loss)           = P(reject | good): good parts discarded.
+
+    Tightening the threshold by the worst-case error drives FCL to zero at
+    the cost of YL, and vice versa — Table 2's three columns. *)
+
+module Distribution = Msoc_stat.Distribution
+
+type losses = { fcl : float; yl : float }
+
+type error_model =
+  | Uniform_err of float   (** Error uniform in [±err] — worst-case style. *)
+  | Normal_err of float    (** Error normal with [sigma = err / 3]. *)
+
+val analytic :
+  population:Distribution.t ->
+  bound:Spec.bound ->
+  error:error_model ->
+  threshold_shift:float ->
+  losses
+(** Numerical integration of the two conditional probabilities.
+    [threshold_shift] moves every threshold {e into} the pass region when
+    positive (tightening: FCL falls, YL rises) and outward when negative. *)
+
+val monte_carlo :
+  trials:int ->
+  rng:Msoc_util.Prng.t ->
+  sample_true:(Msoc_util.Prng.t -> float) ->
+  measure:(Msoc_util.Prng.t -> float -> float) ->
+  bound:Spec.bound ->
+  threshold_shift:float ->
+  losses * int * int
+(** Empirical losses plus the (faulty, good) population counts.  [measure]
+    maps the true value to the measured one — e.g. by sampling the
+    de-embedding gains of a propagated measurement. *)
+
+val threshold_rows :
+  population:Distribution.t ->
+  bound:Spec.bound ->
+  err:float ->
+  error:error_model ->
+  (string * losses) list
+(** The three Table 2 columns: [Thr = Tol], [Thr = Tol - Err] (loosened:
+    YL -> 0) and [Thr = Tol + Err] (tightened: FCL -> 0), matching the
+    paper's labelling for lower-bound specs. *)
+
+val fcl_yl_tradeoff :
+  population:Distribution.t ->
+  bound:Spec.bound ->
+  error:error_model ->
+  shifts:float array ->
+  (float * losses) array
+(** Sweep of threshold shifts (paper Fig. 5's trade-off curve). *)
+
+val defective_population : nominal:float -> tol:float -> Distribution.t
+(** Manufactured-population model used by the experiments: normal centred
+    at the nominal with [sigma = tol], so a meaningful share of parts falls
+    outside the spec (soft-faulty). *)

@@ -1,0 +1,96 @@
+type result = {
+  first_code : int;
+  dnl : float array;
+  inl : float array;
+  max_abs_dnl : float;
+  max_abs_inl : float;
+  samples_used : int;
+}
+
+let expected_bin_probability ~amplitude ~offset ~lo ~hi =
+  let phase v =
+    let x = Msoc_util.Floatx.clamp ~lo:(-1.0) ~hi:1.0 ((v -. offset) /. amplitude) in
+    asin x
+  in
+  (phase hi -. phase lo) /. Float.pi
+
+let sine_histogram ~codes ~bits =
+  let n = Array.length codes in
+  let code_count = 1 lsl bits in
+  if n < 4 * code_count then
+    invalid_arg "Linearity.sine_histogram: too few samples for the code count";
+  let minimum = Array.fold_left min max_int codes in
+  let maximum = Array.fold_left max min_int codes in
+  if maximum - minimum < code_count / 2 then
+    invalid_arg "Linearity.sine_histogram: capture covers under half the range";
+  let histogram = Array.make (maximum - minimum + 1) 0 in
+  Array.iter (fun c -> histogram.(c - minimum) <- histogram.(c - minimum) + 1) codes;
+  (* Estimate the sine's amplitude and offset from interior quantiles of
+     the cumulative histogram (immune to clipping at the rails): the
+     arcsine CDF gives CDF(v) = 1/2 + asin((v - off)/A)/pi, so the 25% and
+     75% points sit at off -/+ A sin(pi/4). *)
+  let quantile p =
+    let target = p *. float_of_int n in
+    let rec scan code acc =
+      if code > maximum then float_of_int maximum
+      else begin
+        let acc' = acc + histogram.(code - minimum) in
+        if float_of_int acc' >= target then begin
+          (* linear interpolation inside the bin *)
+          let inside = target -. float_of_int acc in
+          let frac = inside /. float_of_int (max 1 histogram.(code - minimum)) in
+          float_of_int code -. 0.5 +. frac
+        end
+        else scan (code + 1) acc'
+      end
+    in
+    scan minimum 0
+  in
+  let v25 = quantile 0.25 and v75 = quantile 0.75 in
+  let amplitude = (v75 -. v25) /. (2.0 *. sin (Float.pi /. 4.0)) in
+  let offset = 0.5 *. (v25 +. v75) in
+  if amplitude <= 0.0 then invalid_arg "Linearity.sine_histogram: degenerate capture";
+  (* Guard bands: the arcsine density diverges at the peaks and the
+     estimate of the extremes is noisy there. *)
+  let guard = max 2 ((maximum - minimum) / 20) in
+  let lo_code = minimum + guard and hi_code = maximum - guard in
+  let width = hi_code - lo_code + 1 in
+  if width < 8 then invalid_arg "Linearity.sine_histogram: covered range too narrow";
+  (* Normalise against the total probability of the analysed strip so
+     truncation does not bias every bin. *)
+  let total_hits = ref 0 and total_probability = ref 0.0 in
+  for code = lo_code to hi_code do
+    total_hits := !total_hits + histogram.(code - minimum);
+    total_probability :=
+      !total_probability
+      +. expected_bin_probability ~amplitude ~offset ~lo:(float_of_int code -. 0.5)
+           ~hi:(float_of_int code +. 0.5)
+  done;
+  let dnl =
+    Array.init width (fun i ->
+        let code = lo_code + i in
+        let expected =
+          expected_bin_probability ~amplitude ~offset ~lo:(float_of_int code -. 0.5)
+            ~hi:(float_of_int code +. 0.5)
+          /. !total_probability
+        in
+        let observed = float_of_int histogram.(code - minimum) /. float_of_int !total_hits in
+        (observed /. Float.max expected 1e-12) -. 1.0)
+  in
+  let inl = Array.make width 0.0 in
+  let running = ref 0.0 in
+  Array.iteri
+    (fun i d ->
+      running := !running +. d;
+      inl.(i) <- !running)
+    dnl;
+  (* Remove the best-fit line from the INL (end-point correction): gain and
+     offset errors are separate parameters, not linearity. *)
+  let last = inl.(width - 1) in
+  Array.iteri (fun i v -> inl.(i) <- v -. (last *. float_of_int (i + 1) /. float_of_int width)) inl;
+  { first_code = lo_code;
+    dnl;
+    inl;
+    max_abs_dnl = Msoc_util.Floatx.max_abs dnl;
+    max_abs_inl = Msoc_util.Floatx.max_abs inl;
+    samples_used = !total_hits }

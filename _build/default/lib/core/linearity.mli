@@ -1,0 +1,29 @@
+(** Code-density (sine histogram) linearity test for ADCs.
+
+    Table 1 lists INL and DNL among the ADC parameters to test.  The
+    standard production procedure is the histogram method: capture many
+    periods of a sine that overdrives the range slightly, compare each
+    code's hit count with the arcsine density the sine should produce, and
+    read DNL (per-code step error) and INL (its running sum) off the
+    ratio.  Works on codes from any capture source — the ADC directly or
+    the primary output of the path. *)
+
+type result = {
+  first_code : int;            (** Code of [dnl.(0)] / [inl.(0)]. *)
+  dnl : float array;           (** Per-code DNL, LSB. *)
+  inl : float array;           (** Per-code INL (cumulative DNL), LSB. *)
+  max_abs_dnl : float;
+  max_abs_inl : float;
+  samples_used : int;
+}
+
+val sine_histogram : codes:int array -> bits:int -> result
+(** Requires at least [4 * 2^bits] samples and a capture whose code range
+    spans at least half the converter's range; analyses the interior of
+    the covered range (5% guard bands at both ends, where the arcsine
+    density diverges).  Raises [Invalid_argument] otherwise. *)
+
+val expected_bin_probability :
+  amplitude:float -> offset:float -> lo:float -> hi:float -> float
+(** Probability that an ideal sine of the given amplitude and offset falls
+    in the code interval [\[lo, hi)] (arcsine law); exposed for tests. *)

@@ -1,0 +1,267 @@
+module Path = Msoc_analog.Path
+module Context = Msoc_analog.Context
+module Param = Msoc_analog.Param
+module Amplifier = Msoc_analog.Amplifier
+module Mixer = Msoc_analog.Mixer
+module Local_osc = Msoc_analog.Local_osc
+module Lpf = Msoc_analog.Lpf
+module Units = Msoc_util.Units
+module Tone = Msoc_dsp.Tone
+module Spectrum = Msoc_dsp.Spectrum
+module Fft = Msoc_dsp.Fft
+
+type t = {
+  path : Path.t;
+  part : Path.part;
+  seed : int;
+  capture_samples : int;
+}
+
+let create ?(seed = 1234) ?(capture_samples = 4096) path part =
+  if capture_samples < 256 || not (Fft.is_power_of_two capture_samples) then
+    invalid_arg "Measure.create: capture_samples must be a power of two >= 256";
+  { path; part; seed; capture_samples }
+
+let capture_samples t = t.capture_samples
+let adc_rate t = Path.adc_rate_hz t.path
+let lo_nominal t = t.path.Path.lo.Local_osc.freq_hz
+
+let snap_if t freq =
+  let n = t.capture_samples and fs = adc_rate t in
+  Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:freq
+
+let raw_capture t components =
+  let engine = Path.engine t.path t.part ~seed:t.seed in
+  let n_sim = t.capture_samples * t.path.Path.adc_decimation in
+  let input =
+    Tone.synthesize ~sample_rate:t.path.Path.ctx.Context.sim_rate_hz ~samples:n_sim
+      components
+  in
+  Path.run_volts engine input
+
+let capture t ~tones =
+  let components =
+    List.map
+      (fun (rf_freq, level_dbm) ->
+        let if_freq = snap_if t (Float.abs (rf_freq -. lo_nominal t)) in
+        Tone.component ~freq:(lo_nominal t +. if_freq)
+          ~amplitude:(Units.vpeak_of_dbm level_dbm) ())
+      tones
+  in
+  Spectrum.analyze ~sample_rate:(adc_rate t) (raw_capture t components)
+
+let tone_power_dbm spectrum ~freq_hz =
+  Units.dbm_of_vpeak (sqrt (2.0 *. Spectrum.tone_power spectrum ~freq:freq_hz))
+
+(* The raw reading at the test IF includes the LPF's (design-known)
+   roll-off there; correct it back to the pass-band value so the result is
+   comparable with the sum of block pass-band gains. *)
+let lpf_rolloff_correction_db t ~if_freq =
+  let values = Lpf.nominal_values t.path.Path.lpf in
+  values.Lpf.gain_db -. Lpf.magnitude_db values t.path.Path.ctx ~freq:if_freq
+
+let path_gain_db t ~level_dbm =
+  let if_freq = snap_if t 100e3 in
+  let sp = capture t ~tones:[ (lo_nominal t +. if_freq, level_dbm) ] in
+  tone_power_dbm sp ~freq_hz:if_freq -. level_dbm +. lpf_rolloff_correction_db t ~if_freq
+
+(* Parabolic interpolation of the spectral peak around the strongest bin
+   near the expected frequency; sub-bin frequency resolution. *)
+let interpolated_peak_hz spectrum ~near_hz =
+  let center = Spectrum.bin_of_frequency spectrum near_hz in
+  let nbins = Spectrum.bin_count spectrum in
+  (* climb to the local peak first *)
+  let rec climb k =
+    let better j = j >= 1 && j < nbins && spectrum.Spectrum.bins.(j) > spectrum.Spectrum.bins.(k) in
+    if better (k + 1) then climb (k + 1) else if better (k - 1) then climb (k - 1) else k
+  in
+  let k = climb (max 1 (min (nbins - 2) center)) in
+  if k <= 0 || k >= nbins - 1 then Spectrum.frequency_of_bin spectrum k
+  else begin
+    let db i = Spectrum.power_db spectrum i in
+    let a = db (k - 1) and b = db k and c = db (k + 1) in
+    let denominator = a -. (2.0 *. b) +. c in
+    let delta = if Float.abs denominator < 1e-12 then 0.0 else 0.5 *. (a -. c) /. denominator in
+    let delta = Msoc_util.Floatx.clamp ~lo:(-0.5) ~hi:0.5 delta in
+    Spectrum.frequency_of_bin spectrum k
+    +. (delta *. spectrum.Spectrum.sample_rate /. float_of_int spectrum.Spectrum.length)
+  end
+
+let if_frequency_hz t ~rf_freq_hz ~level_dbm =
+  (* deliberately NOT snapped: the point is to measure the actual IF *)
+  let components =
+    [ Tone.component ~freq:rf_freq_hz ~amplitude:(Units.vpeak_of_dbm level_dbm) () ]
+  in
+  let sp = Spectrum.analyze ~sample_rate:(adc_rate t) (raw_capture t components) in
+  interpolated_peak_hz sp ~near_hz:(Float.abs (rf_freq_hz -. lo_nominal t))
+
+let lo_frequency_hz t ~level_dbm =
+  let rf = lo_nominal t +. snap_if t 100e3 in
+  rf -. if_frequency_hz t ~rf_freq_hz:rf ~level_dbm
+
+let mixer_iip3_dbm t ~strategy =
+  let f1 = snap_if t 90e3 and f2 = snap_if t 110e3 in
+  (* Backed off 5 dB from the standard level: closer to compression the
+     5th-order term contaminates the IM3 products and the extrapolated
+     intercept reads low. *)
+  let level = Propagate.standard_test_level_dbm -. 5.0 in
+  let sp =
+    capture t ~tones:[ (lo_nominal t +. f1, level); (lo_nominal t +. f2, level) ]
+  in
+  (* every reading corrected to the pass band at its own frequency *)
+  let read freq = tone_power_dbm sp ~freq_hz:freq +. lpf_rolloff_correction_db t ~if_freq:freq in
+  let x = 0.5 *. (read f1 +. read f2) in
+  let im3_lo = (2.0 *. f1) -. f2 and im3_hi = (2.0 *. f2) -. f1 in
+  let y = 0.5 *. (read im3_lo +. read im3_hi) in
+  let observable = ((3.0 *. x) -. y) /. 2.0 in
+  let amp_gain = t.path.Path.amp.Amplifier.gain_db.Param.nominal in
+  match strategy with
+  | Propagate.Nominal_gains ->
+    observable
+    -. t.path.Path.mixer.Mixer.gain_db.Param.nominal
+    -. t.path.Path.lpf.Lpf.gain_db.Param.nominal
+  | Propagate.Adaptive ->
+    let g_path = path_gain_db t ~level_dbm:level in
+    observable -. g_path +. amp_gain
+
+let gain_at_level t ~if_freq ~level_dbm =
+  let sp = capture t ~tones:[ (lo_nominal t +. if_freq, level_dbm) ] in
+  tone_power_dbm sp ~freq_hz:if_freq -. level_dbm
+
+let mixer_p1db_dbm t ~strategy =
+  let if_freq = snap_if t 100e3 in
+  let amp_gain = t.path.Path.amp.Amplifier.gain_db.Param.nominal in
+  (* Compression is judged against the small-signal gain at the same test
+     frequency, so no roll-off correction may be applied to either side. *)
+  let reference =
+    match strategy with
+    | Propagate.Nominal_gains ->
+      Path.nominal_path_gain_db t.path -. lpf_rolloff_correction_db t ~if_freq
+    | Propagate.Adaptive ->
+      gain_at_level t ~if_freq ~level_dbm:Propagate.standard_test_level_dbm
+  in
+  (* coarse upward sweep in 1 dB steps, then linear interpolation on the
+     last straddling pair.  The sweep starts well below the expected point:
+     the nominal-gain variant conflates a gain deficit with compression
+     (its documented weakness), and a low start at least grades it. *)
+  let start =
+    t.path.Path.mixer.Mixer.p1db_dbm.Param.nominal -. amp_gain -. 12.0
+  in
+  let drop level = reference -. gain_at_level t ~if_freq ~level_dbm:level -. 1.0 in
+  let rec sweep level previous =
+    if level > start +. 20.0 then level
+    else begin
+      let d = drop level in
+      if d >= 0.0 then begin
+        match previous with
+        | Some (level0, d0) when d > d0 ->
+          (* linear interpolation of the zero crossing *)
+          level0 +. ((level -. level0) *. (-.d0) /. (d -. d0))
+        | Some _ | None -> level
+      end
+      else sweep (level +. 1.0) (Some (level, d))
+    end
+  in
+  sweep start None +. amp_gain
+
+let lpf_cutoff_hz t ~strategy =
+  let level = Propagate.standard_test_level_dbm in
+  (* pass-band reference at 100 kHz *)
+  let reference =
+    match strategy with
+    | Propagate.Nominal_gains -> Path.nominal_path_gain_db t.path
+    | Propagate.Adaptive -> path_gain_db t ~level_dbm:level
+  in
+  (* The LPF is two cascaded 2nd-order sections, so the per-section corner
+     (the spec'd parameter) is the cascade's -6.02 dB point. *)
+  let target = reference -. 6.02 in
+  let measured_gain if_target =
+    match strategy with
+    | Propagate.Nominal_gains ->
+      (* assume the IF is where the nominal LO puts it *)
+      gain_at_level t ~if_freq:(snap_if t if_target) ~level_dbm:level
+    | Propagate.Adaptive ->
+      (* measure the actual IF frequency along with the gain *)
+      let rf = lo_nominal t +. if_target in
+      let sp =
+        Spectrum.analyze ~sample_rate:(adc_rate t)
+          (raw_capture t [ Tone.component ~freq:rf ~amplitude:(Units.vpeak_of_dbm level) () ])
+      in
+      let actual = interpolated_peak_hz sp ~near_hz:if_target in
+      tone_power_dbm sp ~freq_hz:actual -. level
+  in
+  let rec coarse f =
+    if f > 320e3 then (f -. 15e3, f)
+    else if measured_gain f <= target then (f -. 15e3, f)
+    else coarse (f +. 15e3)
+  in
+  let rec bisect lo hi iterations =
+    if iterations = 0 then 0.5 *. (lo +. hi)
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      if measured_gain mid <= target then bisect lo mid (iterations - 1)
+      else bisect mid hi (iterations - 1)
+    end
+  in
+  let lo, hi = coarse 155e3 in
+  let crossing_if = bisect lo hi 7 in
+  (* the crossing is located in IF terms; translate by the LO estimate *)
+  match strategy with
+  | Propagate.Nominal_gains -> crossing_if
+  | Propagate.Adaptive ->
+    let lo_error = lo_frequency_hz t ~level_dbm:level -. lo_nominal t in
+    crossing_if +. lo_error
+
+let mixer_lo_isolation_db t =
+  (* With no stimulus the LO leakage folds near DC; remove the mean and
+     integrate the low bins.  Resolution-limited when the LO frequency
+     error is below a couple of bins. *)
+  let volts = raw_capture t [] in
+  let mean = Msoc_util.Floatx.mean volts in
+  let centred = Array.map (fun v -> v -. mean) volts in
+  let sp = Spectrum.analyze ~sample_rate:(adc_rate t) centred in
+  let power = ref 0.0 in
+  for k = 1 to 6 do
+    power := !power +. sp.Spectrum.bins.(k)
+  done;
+  let leak_dbm = Units.dbm_of_vpeak (sqrt (2.0 *. !power)) in
+  (* refer the output reading back through the LPF pass-band gain *)
+  let leak_at_mixer = leak_dbm -. t.path.Path.lpf.Lpf.gain_db.Param.nominal in
+  t.path.Path.lo.Local_osc.drive_dbm -. leak_at_mixer
+
+let dc_offset_composite_v t = Msoc_util.Floatx.mean (raw_capture t [])
+
+type validation = {
+  parameter : string;
+  true_value : float;
+  measured : float;
+  error : float;
+  budget : float;
+}
+
+let validate_part ?seed path part ~strategy =
+  let t = create ?seed path part in
+  let entry parameter ~true_value ~measured ~budget =
+    { parameter; true_value; measured; error = measured -. true_value; budget }
+  in
+  let true_path_gain =
+    part.Path.amp_v.Amplifier.gain_db
+    +. part.Path.mixer_v.Mixer.gain_db
+    +. part.Path.lpf_v.Lpf.gain_db
+  in
+  [ entry "path gain (dB)" ~true_value:true_path_gain
+      ~measured:(path_gain_db t ~level_dbm:Propagate.standard_test_level_dbm)
+      ~budget:0.5;
+    entry "mixer IIP3 (dBm)" ~true_value:part.Path.mixer_v.Mixer.iip3_dbm
+      ~measured:(mixer_iip3_dbm t ~strategy)
+      ~budget:(Propagate.err (Propagate.mixer_iip3 path ~strategy));
+    entry "mixer P1dB (dBm)" ~true_value:part.Path.mixer_v.Mixer.p1db_dbm
+      ~measured:(mixer_p1db_dbm t ~strategy)
+      ~budget:(Propagate.err (Propagate.mixer_p1db path ~strategy));
+    entry "LPF cutoff (Hz)" ~true_value:part.Path.lpf_v.Lpf.cutoff_hz
+      ~measured:(lpf_cutoff_hz t ~strategy)
+      ~budget:(Propagate.err (Propagate.lpf_cutoff path ~strategy));
+    entry "LO frequency error (Hz)" ~true_value:part.Path.lo_v.Local_osc.freq_error_hz
+      ~measured:(lo_frequency_hz t ~level_dbm:Propagate.standard_test_level_dbm
+                 -. path.Path.lo.Local_osc.freq_hz)
+      ~budget:(Propagate.err (Propagate.lo_freq_error path)) ]

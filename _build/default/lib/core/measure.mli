@@ -1,0 +1,74 @@
+(** Waveform-level execution of the synthesised measurements.
+
+    {!Propagate} builds the measurement {e procedures} and their error
+    budgets; this module is the virtual mixed-signal tester that runs them
+    against a manufactured part: it applies the stimuli at the primary
+    input of a {!Msoc_analog.Path.engine}, digitises at the primary output
+    ("mixed-signal testers digitize analog signals in order to make
+    measurements", §5), reads tone powers off the spectrum, and evaluates
+    the de-embedding formulas.  Comparing the results with the part's true
+    parameter values validates the budgets empirically. *)
+
+module Path = Msoc_analog.Path
+
+type t
+(** A tester session bound to one manufactured part. *)
+
+val create : ?seed:int -> ?capture_samples:int -> Path.t -> Path.part -> t
+(** Defaults: seed 1234, 4096 ADC samples per capture.  Requires
+    [capture_samples] to be a power of two >= 256. *)
+
+val capture_samples : t -> int
+
+val capture :
+  t -> tones:(float * float) list -> Msoc_dsp.Spectrum.t
+(** Apply tones given as [(rf_frequency_hz, level_dbm)] at the primary
+    input and return the spectrum of the digitised primary output (volts).
+    Frequencies are snapped to capture-coherent bins.  Each capture uses a
+    fresh engine with the session seed, so repeated measurements see
+    identical noise — the tester averages are deterministic. *)
+
+val tone_power_dbm : Msoc_dsp.Spectrum.t -> freq_hz:float -> float
+
+val path_gain_db : t -> level_dbm:float -> float
+(** Single-tone composite gain at a 100 kHz IF. *)
+
+val if_frequency_hz : t -> rf_freq_hz:float -> level_dbm:float -> float
+(** Measured output frequency of an applied RF tone, with parabolic
+    interpolation between bins (sub-bin resolution). *)
+
+val lo_frequency_hz : t -> level_dbm:float -> float
+(** Adaptive LO measurement: apply an RF tone at a known frequency and
+    subtract the measured IF — the prerequisite for {!lpf_cutoff_hz}. *)
+
+val mixer_iip3_dbm : t -> strategy:Propagate.strategy -> float
+(** Two-tone test: read the fundamental X and IM3 product Y at the output
+    and de-embed with the chosen strategy's formula. *)
+
+val mixer_p1db_dbm : t -> strategy:Propagate.strategy -> float
+(** Level sweep to the 1 dB compression point.  Nominal strategy detects
+    the drop against the nominal-gain line; adaptive against the part's
+    own measured small-signal gain. *)
+
+val lpf_cutoff_hz : t -> strategy:Propagate.strategy -> float
+(** Frequency sweep to the -3 dB corner (relative to the measured or
+    nominal pass-band level), LO subtracted per the strategy. *)
+
+val mixer_lo_isolation_db : t -> float
+(** Read the LO leakage spur with no stimulus applied. *)
+
+val dc_offset_composite_v : t -> float
+(** Mean output voltage with no stimulus. *)
+
+type validation = {
+  parameter : string;
+  true_value : float;
+  measured : float;
+  error : float;
+  budget : float;    (** Worst-case prediction from {!Propagate}. *)
+}
+
+val validate_part :
+  ?seed:int -> Path.t -> Path.part -> strategy:Propagate.strategy -> validation list
+(** Run the full propagated-measurement set against one part and compare
+    each result with the part's true parameter value. *)

@@ -1,0 +1,212 @@
+module Path = Msoc_analog.Path
+module Param = Msoc_analog.Param
+module Amplifier = Msoc_analog.Amplifier
+module Mixer = Msoc_analog.Mixer
+module Local_osc = Msoc_analog.Local_osc
+module Lpf = Msoc_analog.Lpf
+module Adc = Msoc_analog.Adc
+module Distribution = Msoc_stat.Distribution
+
+type entry =
+  | Composed of Compose.t
+  | Propagated of { measurement : Propagate.t; losses : Coverage.losses }
+  | Digital_filter_test of { description : string }
+
+type t = {
+  path : Path.t;
+  specs : Spec.t list;
+  entries : entry list;
+  boundary_checks : Compose.boundary_check list;
+}
+
+let param_of_spec (path : Path.t) (spec : Spec.t) =
+  match (spec.Spec.block, spec.Spec.kind) with
+  | Spec.Amp, Spec.Gain -> Some path.Path.amp.Amplifier.gain_db
+  | Spec.Amp, Spec.Iip3 -> Some path.Path.amp.Amplifier.iip3_dbm
+  | Spec.Amp, Spec.Dc_offset -> Some path.Path.amp.Amplifier.dc_offset_v
+  | Spec.Mixer, Spec.Gain -> Some path.Path.mixer.Mixer.gain_db
+  | Spec.Mixer, Spec.Iip3 -> Some path.Path.mixer.Mixer.iip3_dbm
+  | Spec.Mixer, Spec.Lo_isolation -> Some path.Path.mixer.Mixer.lo_isolation_db
+  | Spec.Mixer, Spec.Noise_figure -> Some path.Path.mixer.Mixer.nf_db
+  | Spec.Mixer, Spec.P1db -> Some path.Path.mixer.Mixer.p1db_dbm
+  | Spec.Lo, Spec.Freq_error -> Some path.Path.lo.Local_osc.freq_error_hz
+  | Spec.Lo, Spec.Phase_noise -> Some path.Path.lo.Local_osc.phase_noise_deg_rms
+  | Spec.Lpf, Spec.Passband_gain -> Some path.Path.lpf.Lpf.gain_db
+  | Spec.Lpf, Spec.Stopband_gain -> Some path.Path.lpf.Lpf.stopband_db
+  | Spec.Lpf, Spec.Cutoff_freq -> Some path.Path.lpf.Lpf.cutoff_hz
+  | Spec.Adc, Spec.Offset_error -> Some path.Path.adc.Adc.offset_error_v
+  | Spec.Adc, Spec.Inl -> Some path.Path.adc.Adc.inl_lsb
+  | Spec.Adc, Spec.Dnl -> Some path.Path.adc.Adc.dnl_lsb
+  | Spec.Adc, Spec.Noise_figure -> Some path.Path.adc.Adc.nf_db
+  | (Spec.Amp | Spec.Mixer | Spec.Lo | Spec.Lpf | Spec.Adc | Spec.Digital_filter), _ -> None
+
+let population_of_spec path spec =
+  match param_of_spec path spec with
+  | None -> None
+  | Some p ->
+    Some (Coverage.defective_population ~nominal:p.Param.nominal ~tol:(Float.max p.Param.tol 1e-12))
+
+let losses_for path (measurement : Propagate.t) =
+  let spec = measurement.Propagate.spec in
+  match population_of_spec path spec with
+  | None -> { Coverage.fcl = 0.0; yl = 0.0 }
+  | Some population ->
+    Coverage.analytic ~population ~bound:spec.Spec.bound
+      ~error:(Coverage.Uniform_err (Propagate.err measurement))
+      ~threshold_shift:0.0
+
+let synthesize ?(strategy = Propagate.Adaptive) path =
+  let specs = Spec.of_receiver path in
+  let composed =
+    [ Composed (Compose.path_gain path);
+      Composed (Compose.noise_figure path);
+      Composed (Compose.dynamic_range path) ]
+  in
+  let propagated =
+    List.map
+      (fun m -> Propagated { measurement = m; losses = losses_for path m })
+      (Propagate.all_for_receiver path ~strategy)
+  in
+  let digital =
+    [ Digital_filter_test
+        { description =
+            "Two-tone pass-band stimulus propagated through the analog path; \
+             spectral comparison against the golden response with a \
+             noise-floor-derived tolerance." } ]
+  in
+  { path;
+    specs;
+    entries = composed @ propagated @ digital;
+    boundary_checks =
+      Compose.boundary_checks path ~test_level_dbm:Propagate.standard_test_level_dbm }
+
+let dft_required t ~max_fcl ~max_yl =
+  List.filter_map
+    (function
+      | Propagated { measurement; losses } ->
+        if losses.Coverage.fcl > max_fcl && losses.Coverage.yl > max_yl then Some measurement
+        else None
+      | Composed _ | Digital_filter_test _ -> None)
+    t.entries
+
+let table1 (_ : t) =
+  List.map
+    (fun block -> (Spec.block_name block, List.map Spec.kind_name (Spec.table1 block)))
+    [ Spec.Amp; Spec.Mixer; Spec.Lo; Spec.Lpf; Spec.Adc; Spec.Digital_filter ]
+
+let entry_count t = List.length t.entries
+
+type step = {
+  position : int;
+  name : string;
+  prerequisites : string list;
+  captures : int;
+  seconds : float;
+}
+
+(* Capture-count heuristics per measurement kind: single-point reads take
+   one capture; sweeps take one per point. *)
+let captures_for_entry = function
+  | Composed c ->
+    (match c.Compose.name with
+    | "path gain" -> 1
+    | "cascade noise figure" -> 2 (* hot/cold style: signal and no-signal *)
+    | "dynamic range" -> 2
+    | _ -> 1)
+  | Propagated { measurement; _ } ->
+    (match measurement.Propagate.spec.Spec.kind with
+    | Spec.P1db -> 14 (* level sweep *)
+    | Spec.Cutoff_freq -> 14 (* frequency sweep with bisection *)
+    | Spec.Iip3 | Spec.Lo_isolation | Spec.Freq_error | Spec.Inl | Spec.Dnl | Spec.Offset_error
+    | Spec.Gain | Spec.Dc_offset | Spec.Harmonic3 | Spec.Noise_figure | Spec.Phase_noise
+    | Spec.Passband_gain | Spec.Stopband_gain | Spec.Dynamic_range
+    | Spec.Stuck_at_coverage -> 1)
+  | Digital_filter_test _ -> 3 (* two-tone capture, golden replay, margin check *)
+
+let entry_name = function
+  | Composed c -> c.Compose.name
+  | Propagated { measurement; _ } ->
+    (* lower-case to match the prerequisite strings used by Propagate *)
+    let spec = measurement.Propagate.spec in
+    String.lowercase_ascii (Spec.block_name spec.Spec.block)
+    ^ " "
+    ^ String.lowercase_ascii (Spec.kind_name spec.Spec.kind)
+  | Digital_filter_test _ -> "digital filter structural test"
+
+let entry_prerequisites = function
+  | Composed _ -> []
+  | Propagated { measurement; _ } ->
+    List.map String.lowercase_ascii measurement.Propagate.prerequisites
+  | Digital_filter_test _ -> [ "path gain" ]
+
+let schedule ?(capture_seconds = 6e-3) t =
+  let entries = Array.of_list t.entries in
+  let n = Array.length entries in
+  let names = Array.map entry_name entries in
+  let index_of name =
+    let rec scan i =
+      if i >= n then None
+      else if String.equal names.(i) name then Some i
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let prerequisites =
+    Array.map
+      (fun entry ->
+        List.filter_map index_of (entry_prerequisites entry))
+      entries
+  in
+  (* Kahn, with ties broken by the original plan order (composites come
+     first there already). *)
+  let indegree = Array.map List.length prerequisites in
+  let emitted = Array.make n false in
+  let order = ref [] in
+  let remaining = ref n in
+  let progress = ref true in
+  while !remaining > 0 && !progress do
+    progress := false;
+    for i = 0 to n - 1 do
+      if (not emitted.(i)) && indegree.(i) = 0 then begin
+        emitted.(i) <- true;
+        decr remaining;
+        progress := true;
+        order := i :: !order;
+        for j = 0 to n - 1 do
+          if (not emitted.(j)) && List.mem i prerequisites.(j) then
+            indegree.(j) <- indegree.(j) - 1
+        done
+      end
+    done
+  done;
+  if !remaining > 0 then invalid_arg "Plan.schedule: prerequisite cycle";
+  List.rev !order
+  |> List.mapi (fun position i ->
+         let captures = captures_for_entry entries.(i) in
+         { position = position + 1;
+           name = names.(i);
+           prerequisites = entry_prerequisites entries.(i);
+           captures;
+           seconds = float_of_int captures *. capture_seconds })
+
+let total_test_time steps = List.fold_left (fun acc s -> acc +. s.seconds) 0.0 steps
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>test plan: %d entries, %d boundary checks@," (entry_count t)
+    (List.length t.boundary_checks);
+  List.iter
+    (fun entry ->
+      match entry with
+      | Composed c ->
+        Format.fprintf ppf "  [compose]   %-24s nominal %8.2f %-4s tol ±%.2f@," c.Compose.name
+          c.Compose.nominal c.Compose.unit_label c.Compose.tolerance
+      | Propagated { measurement; losses } ->
+        Format.fprintf ppf "  [propagate] %-24s err ±%-6.3g FCL %5.2f%%  YL %5.2f%%@,"
+          (Spec.block_name measurement.Propagate.spec.Spec.block ^ " "
+          ^ Spec.kind_name measurement.Propagate.spec.Spec.kind)
+          (Propagate.err measurement) (100.0 *. losses.Coverage.fcl)
+          (100.0 *. losses.Coverage.yl)
+      | Digital_filter_test { description = _ } ->
+        Format.fprintf ppf "  [digital]   structural stuck-at test of the filter@,")
+    t.entries;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,66 @@
+(** End-to-end test-plan synthesis for a mixed-signal signal path.
+
+    Assembles the complete methodology: the Table-1 parameter inventory,
+    the composed tests (with their Fig.-3 boundary checks) first — they are
+    the adaptive prerequisites — then the propagated measurements with
+    their error budgets and predicted FCL/YL at [Thr = Tol], and finally
+    the digital-filter structural test.  Propagated tests whose predicted
+    losses exceed the caller's limits are flagged as needing DFT — the
+    paper's fallback ("a DFT technique needs to be utilized to decrease the
+    amount of error"). *)
+
+module Path = Msoc_analog.Path
+
+type entry =
+  | Composed of Compose.t
+  | Propagated of { measurement : Propagate.t; losses : Coverage.losses }
+  | Digital_filter_test of { description : string }
+
+type t = {
+  path : Path.t;
+  specs : Spec.t list;
+  entries : entry list;
+  boundary_checks : Compose.boundary_check list;
+}
+
+val synthesize : ?strategy:Propagate.strategy -> Path.t -> t
+(** Default strategy: [Adaptive]. *)
+
+val losses_for : Path.t -> Propagate.t -> Coverage.losses
+(** Predicted FCL/YL of one propagated measurement at [Thr = Tol], from
+    the defective-population model and the budget's worst-case error. *)
+
+val population_of_spec : Path.t -> Spec.t -> Msoc_stat.Distribution.t option
+(** Manufactured-population model for a spec'd parameter ([None] for
+    parameters without a toleranced source, e.g. stuck-at coverage). *)
+
+val dft_required : t -> max_fcl:float -> max_yl:float -> Propagate.t list
+(** Propagated tests whose predicted losses exceed both limits. *)
+
+val table1 : t -> (string * string list) list
+(** Block name to tested-parameter names — regenerates paper Table 1. *)
+
+val entry_count : t -> int
+val pp_summary : Format.formatter -> t -> unit
+
+(** {2 Test-program scheduling}
+
+    The adaptive strategy imposes an order: composites (path gain, LO
+    frequency) must be measured before the measurements that substitute
+    them.  {!schedule} topologically sorts the plan by its prerequisite
+    names and attaches a tester-time estimate per step. *)
+
+type step = {
+  position : int;                 (** 1-based program order. *)
+  name : string;
+  prerequisites : string list;
+  captures : int;                 (** Estimated spectrum captures needed. *)
+  seconds : float;                (** Estimated tester time. *)
+}
+
+val schedule : ?capture_seconds:float -> t -> step list
+(** Raises [Invalid_argument] on a prerequisite cycle.  Default capture
+    cost 6 ms (4096 samples at 1 MHz plus retrigger overhead). *)
+
+val total_test_time : step list -> float
+

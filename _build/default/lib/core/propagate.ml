@@ -1,0 +1,254 @@
+module Units = Msoc_util.Units
+module Param = Msoc_analog.Param
+module Path = Msoc_analog.Path
+module Amplifier = Msoc_analog.Amplifier
+module Mixer = Msoc_analog.Mixer
+module Local_osc = Msoc_analog.Local_osc
+module Lpf = Msoc_analog.Lpf
+module Adc = Msoc_analog.Adc
+module Context = Msoc_analog.Context
+module Attr = Msoc_signal.Attr
+
+type strategy = Nominal_gains | Adaptive
+
+type t = {
+  spec : Spec.t;
+  strategy : strategy;
+  stimulus : Attr.t;
+  procedure : string;
+  formula : string;
+  budget : Accuracy.t;
+  prerequisites : string list;
+}
+
+let err t = Accuracy.worst_case t.budget
+
+let standard_test_level_dbm = -35.0
+
+let spec_for path block kind =
+  match List.find_opt (fun s -> s.Spec.block = block && s.Spec.kind = kind)
+          (Spec.of_receiver path)
+  with
+  | Some s -> s
+  | None -> invalid_arg "Propagate: no such spec for this receiver"
+
+let rf_two_tone (path : Path.t) =
+  let f_lo = path.Path.lo.Local_osc.freq_hz in
+  Attr.two_tone
+    ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx)
+    ~f1_hz:(f_lo +. 90e3) ~f2_hz:(f_lo +. 110e3) ~power_dbm:standard_test_level_dbm ()
+
+let rf_single_tone (path : Path.t) ~offset_hz ~power_dbm =
+  Attr.single_tone
+    ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx)
+    ~freq_hz:(path.Path.lo.Local_osc.freq_hz +. offset_hz) ~power_dbm ()
+
+let contribution source (p : Param.t) = { Accuracy.source; err = p.Param.tol }
+
+let mixer_iip3 (path : Path.t) ~strategy =
+  let amp_gain = path.Path.amp.Amplifier.gain_db in
+  let mixer_gain = path.Path.mixer.Mixer.gain_db in
+  let lpf_gain = path.Path.lpf.Lpf.gain_db in
+  let budget, formula, prerequisites =
+    match strategy with
+    | Nominal_gains ->
+      ( Accuracy.create
+          [ contribution "G_mixer (nominal assumed)" mixer_gain;
+            contribution "G_lpf (nominal assumed)" lpf_gain ],
+        "IIP3 = (3X - Y)/2 - G_mixer - G_lpf",
+        [] )
+    | Adaptive ->
+      ( Accuracy.create [ contribution "G_amp (nominal assumed)" amp_gain ],
+        "IIP3 = (3X - Y)/2 - G_path + G_amp",
+        [ "path gain" ] )
+  in
+  { spec = spec_for path Spec.Mixer Spec.Iip3;
+    strategy;
+    stimulus = rf_two_tone path;
+    procedure =
+      "Apply the standard two-tone stimulus at the primary input; read the \
+       fundamental power X and the IM3 product power Y at the digital filter \
+       output; de-embed to the mixer input.";
+    formula;
+    budget;
+    prerequisites }
+
+let amp_iip3 (path : Path.t) ~strategy =
+  let mixer_gain = path.Path.mixer.Mixer.gain_db in
+  let lpf_gain = path.Path.lpf.Lpf.gain_db in
+  let budget, formula, prerequisites =
+    match strategy with
+    | Nominal_gains ->
+      ( Accuracy.create
+          [ contribution "G_amp (nominal assumed)" path.Path.amp.Amplifier.gain_db;
+            contribution "G_mixer (nominal assumed)" mixer_gain;
+            contribution "G_lpf (nominal assumed)" lpf_gain;
+            { Accuracy.source = "mixer IM3 masking"; err = 1.0 } ],
+        "IIP3_amp = (3X - Y)/2 - G_path(nominal)",
+        [] )
+    | Adaptive ->
+      ( Accuracy.create
+          [ { Accuracy.source = "mixer IM3 masking"; err = 1.0 } ],
+        "IIP3_amp = (3X - Y)/2 - G_path(measured)",
+        [ "path gain"; "mixer IIP3" ] )
+  in
+  { spec = spec_for path Spec.Amp Spec.Iip3;
+    strategy;
+    stimulus = rf_two_tone path;
+    procedure =
+      "Two-tone stimulus raised until the amp (not the mixer) dominates the \
+       IM3 products; read X and Y at the output and refer to the primary \
+       input.";
+    formula;
+    budget;
+    prerequisites }
+
+let mixer_p1db (path : Path.t) ~strategy =
+  let amp_gain = path.Path.amp.Amplifier.gain_db in
+  let budget, formula, prerequisites =
+    match strategy with
+    | Nominal_gains ->
+      ( Accuracy.create
+          [ contribution "G_amp (nominal assumed)" amp_gain;
+            contribution "G_mixer (compression ref, nominal)" path.Path.mixer.Mixer.gain_db;
+            contribution "G_lpf (compression ref, nominal)" path.Path.lpf.Lpf.gain_db ],
+        "P1dB = P_in(output 1 dB below nominal-gain line) + G_amp(nominal)",
+        [] )
+    | Adaptive ->
+      ( Accuracy.create [ contribution "G_amp (nominal assumed)" amp_gain ],
+        "P1dB = P_in(gain drop of 1 dB vs measured small-signal path gain) + G_amp",
+        [ "path gain" ] )
+  in
+  { spec = spec_for path Spec.Mixer Spec.P1db;
+    strategy;
+    stimulus =
+      rf_single_tone path ~offset_hz:100e3
+        ~power_dbm:(path.Path.mixer.Mixer.p1db_dbm.Param.nominal
+                    -. path.Path.amp.Amplifier.gain_db.Param.nominal);
+    procedure =
+      "Sweep the single-tone input level upward; find the input power at \
+       which the output fundamental sits 1 dB below the extrapolated linear \
+       line; refer to the mixer input.";
+    formula;
+    budget;
+    prerequisites }
+
+let lpf_cutoff_slope_db_per_hz (path : Path.t) =
+  let values = Lpf.nominal_values path.Path.lpf in
+  let fc = values.Lpf.cutoff_hz in
+  let delta = fc *. 1e-3 in
+  let g_hi = Lpf.magnitude_db values path.Path.ctx ~freq:(fc +. delta) in
+  let g_lo = Lpf.magnitude_db values path.Path.ctx ~freq:(fc -. delta) in
+  (g_hi -. g_lo) /. (2.0 *. delta)
+
+let lo_freq_error (path : Path.t) =
+  { spec = spec_for path Spec.Lo Spec.Freq_error;
+    strategy = Adaptive;
+    stimulus = rf_single_tone path ~offset_hz:100e3 ~power_dbm:standard_test_level_dbm;
+    procedure =
+      "Locate the LO leakage spur in the output spectrum (it aliases to a \
+       known bin); its frequency offset from nominal is the LO frequency \
+       error.";
+    formula = "f_err = f(LO leakage spur) - f_LO(nominal)";
+    budget =
+      Accuracy.create ~instrument_err:30.0 (* ~ an FFT bin at the bench capture length *) [];
+    prerequisites = [] }
+
+let lpf_cutoff (path : Path.t) ~strategy =
+  let slope = Float.abs (lpf_cutoff_slope_db_per_hz path) in
+  let gain_tol = path.Path.lpf.Lpf.gain_db.Param.tol in
+  let lo_tol = path.Path.lo.Local_osc.freq_error_hz.Param.tol in
+  let budget, formula, prerequisites =
+    match strategy with
+    | Nominal_gains ->
+      ( Accuracy.create ~instrument_err:2000.0
+          [ { Accuracy.source = "G_passband tol via roll-off slope"; err = gain_tol /. slope };
+            { Accuracy.source = "LO frequency error (nominal assumed)"; err = lo_tol } ],
+        "f_c = f_RF(output at nominal gain - 3 dB) - f_LO(nominal)",
+        [] )
+    | Adaptive ->
+      ( Accuracy.create ~instrument_err:2000.0 [],
+        "f_c = f_RF(gain 3 dB below this part's own pass band) - f_LO(measured)",
+        [ "path gain"; "LO frequency error" ] )
+  in
+  { spec = spec_for path Spec.Lpf Spec.Cutoff_freq;
+    strategy;
+    stimulus = rf_single_tone path ~offset_hz:path.Path.lpf.Lpf.cutoff_hz.Param.nominal
+      ~power_dbm:standard_test_level_dbm;
+    procedure =
+      "Sweep the RF stimulus so the IF crosses the corner; find the -3 dB \
+       frequency relative to the pass-band reference and subtract the LO \
+       frequency.";
+    formula;
+    budget;
+    prerequisites }
+
+let mixer_lo_isolation (path : Path.t) ~strategy =
+  let lpf_gain = path.Path.lpf.Lpf.gain_db in
+  let budget, formula, prerequisites =
+    match strategy with
+    | Nominal_gains ->
+      ( Accuracy.create
+          [ contribution "G_lpf at the folded LO bin (nominal assumed)" lpf_gain;
+            { Accuracy.source = "LO drive level assumed"; err = 0.5 } ],
+        "isolation = P_LO(drive) - (P(LO spur at output) - G_lpf)",
+        [] )
+    | Adaptive ->
+      ( Accuracy.create [ { Accuracy.source = "LO drive level assumed"; err = 0.5 } ],
+        "isolation = P_LO(drive) - (P(LO spur) - G_lpf(from measured path gain))",
+        [ "path gain" ] )
+  in
+  { spec = spec_for path Spec.Mixer Spec.Lo_isolation;
+    strategy;
+    stimulus = Attr.silence ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx) ();
+    procedure =
+      "With no stimulus, read the LO leakage power at its aliased output \
+       bin and refer it back through the LPF to the mixer output.";
+    formula;
+    budget;
+    prerequisites }
+
+let adc_inl (path : Path.t) =
+  { spec = spec_for path Spec.Adc Spec.Inl;
+    strategy = Adaptive;
+    stimulus = rf_single_tone path ~offset_hz:100e3 ~power_dbm:(standard_test_level_dbm +. 3.0);
+    procedure =
+      "Drive a near-full-scale tone; the INL bow appears as HD2/HD3 power \
+       relative to the carrier; invert the spur law to bound INL.";
+    formula = "INL <= 2^bits * 10^((HD_dBc - 6) / 20)";
+    budget =
+      Accuracy.create ~instrument_err:0.2
+        [ { Accuracy.source = "analog HD3 masking (amp/mixer)"; err = 0.4 } ];
+    prerequisites = [ "path gain" ] }
+
+let dc_offset_composite (path : Path.t) =
+  let amp_offset = path.Path.amp.Amplifier.dc_offset_v in
+  { spec = spec_for path Spec.Adc Spec.Offset_error;
+    strategy = Nominal_gains;
+    stimulus = Attr.silence ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx) ();
+    procedure =
+      "With no stimulus, read the DC bin at the filter output: it observes \
+       amp offset (mixed to DC by LO leakage) plus ADC offset as one \
+       composite value.";
+    formula = "offset_composite = DC(out); individual offsets not separable";
+    budget =
+      Accuracy.create ~instrument_err:1e-3
+        [ { Accuracy.source = "amp offset leakage into DC"; err = amp_offset.Param.tol } ];
+    prerequisites = [] }
+
+let all_for_receiver path ~strategy =
+  [ mixer_iip3 path ~strategy;
+    amp_iip3 path ~strategy;
+    mixer_p1db path ~strategy;
+    lpf_cutoff path ~strategy;
+    mixer_lo_isolation path ~strategy;
+    lo_freq_error path;
+    adc_inl path;
+    dc_offset_composite path ]
+
+let strategy_name = function Nominal_gains -> "nominal-gains" | Adaptive -> "adaptive"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a [%s]@,  formula: %s@,  %a@,  prerequisites: %s@]" Spec.pp t.spec
+    (strategy_name t.strategy) t.formula Accuracy.pp t.budget
+    (match t.prerequisites with [] -> "(none)" | l -> String.concat ", " l)

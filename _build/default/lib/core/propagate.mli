@@ -1,0 +1,59 @@
+(** Translation by propagation (§4.2, Fig. 4).
+
+    Block-specific parameters with no system-level counterpart (mixer IIP3,
+    mixer P1dB, filter cut-off, ...) are measured at the primary output:
+    the stimulus is propagated forward through the preceding blocks, the
+    response is de-embedded through the following ones.  Each nominal gain
+    assumed during de-embedding contributes its tolerance to the
+    measurement error; the {e adaptive} strategy replaces groups of nominal
+    gains with previously measured composites (path gain, LO frequency) and
+    thereby shrinks the budget — Fig. 4's
+    [IIP3 = (3X - Y)/2 - G_path + G_A] formulation. *)
+
+module Path = Msoc_analog.Path
+module Attr = Msoc_signal.Attr
+
+type strategy = Nominal_gains | Adaptive
+
+type t = {
+  spec : Spec.t;
+  strategy : strategy;
+  stimulus : Attr.t;              (** Representative stimulus at the
+                                      primary input. *)
+  procedure : string;             (** Human-readable measurement recipe. *)
+  formula : string;               (** De-embedding formula. *)
+  budget : Accuracy.t;            (** Error budget of the computed value. *)
+  prerequisites : string list;    (** Composites that must be measured
+                                      first (adaptive only). *)
+}
+
+val err : t -> float
+(** Worst-case measurement error (the "Err" of Table 2's threshold
+    columns). *)
+
+val standard_test_level_dbm : float
+(** Per-tone stimulus level used by the default measurements (-35 dBm). *)
+
+val mixer_iip3 : Path.t -> strategy:strategy -> t
+val mixer_p1db : Path.t -> strategy:strategy -> t
+val lpf_cutoff : Path.t -> strategy:strategy -> t
+val amp_iip3 : Path.t -> strategy:strategy -> t
+val lo_freq_error : Path.t -> t
+(** Read the LO leakage spur at the output — itself a high-accuracy
+    measurement and the adaptive prerequisite for {!lpf_cutoff}. *)
+
+val mixer_lo_isolation : Path.t -> strategy:strategy -> t
+val adc_inl : Path.t -> t
+(** INL bounded through the carrier-relative harmonic spur power. *)
+
+val dc_offset_composite : Path.t -> t
+(** The DC level at the output observes the amp offset (times the path
+    gain) plus the ADC offset as one composite — the paper's point that
+    some module parameters are only testable jointly. *)
+
+val lpf_cutoff_slope_db_per_hz : Path.t -> float
+(** Roll-off slope of the LPF response at the nominal cut-off, used to
+    convert gain uncertainty into cut-off frequency uncertainty. *)
+
+val all_for_receiver : Path.t -> strategy:strategy -> t list
+val pp : Format.formatter -> t -> unit

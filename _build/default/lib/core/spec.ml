@@ -1,0 +1,140 @@
+module Param = Msoc_analog.Param
+module Path = Msoc_analog.Path
+module Amplifier = Msoc_analog.Amplifier
+module Mixer_blk = Msoc_analog.Mixer
+module Local_osc = Msoc_analog.Local_osc
+module Lpf_blk = Msoc_analog.Lpf
+module Adc_blk = Msoc_analog.Adc
+
+type block = Amp | Mixer | Lo | Lpf | Adc | Digital_filter
+
+type kind =
+  | Gain
+  | Iip3
+  | Dc_offset
+  | Harmonic3
+  | Lo_isolation
+  | Noise_figure
+  | P1db
+  | Freq_error
+  | Phase_noise
+  | Passband_gain
+  | Stopband_gain
+  | Cutoff_freq
+  | Dynamic_range
+  | Offset_error
+  | Inl
+  | Dnl
+  | Stuck_at_coverage
+
+type origin = System_projection | Partitioned | Non_ideality
+
+type bound =
+  | At_least of float
+  | At_most of float
+  | Within of { lo : float; hi : float }
+
+type t = {
+  block : block;
+  kind : kind;
+  origin : origin;
+  bound : bound;
+  unit_label : string;
+}
+
+let block_name = function
+  | Amp -> "Amp"
+  | Mixer -> "Mixer"
+  | Lo -> "LO"
+  | Lpf -> "LPF"
+  | Adc -> "ADC"
+  | Digital_filter -> "Digital Filter"
+
+let kind_name = function
+  | Gain -> "Gain"
+  | Iip3 -> "IIP3"
+  | Dc_offset -> "DC Offset"
+  | Harmonic3 -> "3rd Order Harmonic"
+  | Lo_isolation -> "LO Isolation"
+  | Noise_figure -> "NF"
+  | P1db -> "P1dB"
+  | Freq_error -> "Frequency Error"
+  | Phase_noise -> "Phase Noise"
+  | Passband_gain -> "G_passband"
+  | Stopband_gain -> "G_stopband"
+  | Cutoff_freq -> "f_c"
+  | Dynamic_range -> "DR"
+  | Offset_error -> "Offset Error"
+  | Inl -> "INL"
+  | Dnl -> "DNL"
+  | Stuck_at_coverage -> "Stuck-at Coverage"
+
+let origin_name = function
+  | System_projection -> "system projection"
+  | Partitioned -> "partitioned"
+  | Non_ideality -> "non-ideality"
+
+(* Paper Table 1. *)
+let table1 = function
+  | Amp -> [ Gain; Iip3; Dc_offset; Harmonic3 ]
+  | Mixer -> [ Gain; Iip3; Lo_isolation; Noise_figure; P1db ]
+  | Lo -> [ Freq_error; Phase_noise ]
+  | Lpf -> [ Passband_gain; Stopband_gain; Cutoff_freq; Dynamic_range ]
+  | Adc -> [ Offset_error; Inl; Dnl; Noise_figure; Dynamic_range ]
+  | Digital_filter -> [ Stuck_at_coverage ]
+
+let composable = function
+  | Gain | Passband_gain | Noise_figure | Dynamic_range -> true
+  | Iip3 | Dc_offset | Harmonic3 | Lo_isolation | P1db | Freq_error | Phase_noise
+  | Stopband_gain | Cutoff_freq | Offset_error | Inl | Dnl | Stuck_at_coverage -> false
+
+let passes bound value =
+  match bound with
+  | At_least threshold -> value >= threshold
+  | At_most threshold -> value <= threshold
+  | Within { lo; hi } -> value >= lo && value <= hi
+
+let pp_bound ppf = function
+  | At_least v -> Format.fprintf ppf ">= %g" v
+  | At_most v -> Format.fprintf ppf "<= %g" v
+  | Within { lo; hi } -> Format.fprintf ppf "in [%g, %g]" lo hi
+
+let pp ppf t =
+  Format.fprintf ppf "%s.%s (%s) %a %s" (block_name t.block) (kind_name t.kind)
+    (origin_name t.origin) pp_bound t.bound t.unit_label
+
+let within_param (p : Param.t) =
+  Within { lo = p.Param.nominal -. p.Param.tol; hi = p.Param.nominal +. p.Param.tol }
+
+let at_least_param (p : Param.t) = At_least (p.Param.nominal -. p.Param.tol)
+let at_most_param (p : Param.t) = At_most (p.Param.nominal +. p.Param.tol)
+
+let of_receiver (path : Path.t) =
+  let amp = path.Path.amp and mixer = path.Path.mixer in
+  let lo = path.Path.lo and lpf = path.Path.lpf and adc = path.Path.adc in
+  let spec block kind origin bound unit_label = { block; kind; origin; bound; unit_label } in
+  [ spec Amp Gain Partitioned (within_param amp.Amplifier.gain_db) "dB";
+    spec Amp Iip3 Non_ideality (at_least_param amp.Amplifier.iip3_dbm) "dBm";
+    spec Amp Dc_offset Non_ideality (within_param amp.Amplifier.dc_offset_v) "V";
+    spec Amp Harmonic3 Non_ideality
+      (At_most
+         (* HD3 bound implied by the IIP3 bound at the standard test level. *)
+         (-2.0 *. (amp.Amplifier.iip3_dbm.Param.nominal -. amp.Amplifier.iip3_dbm.Param.tol)))
+      "dBc";
+    spec Mixer Gain Partitioned (within_param mixer.Mixer_blk.gain_db) "dB";
+    spec Mixer Iip3 Non_ideality (at_least_param mixer.Mixer_blk.iip3_dbm) "dBm";
+    spec Mixer Lo_isolation Non_ideality (at_least_param mixer.Mixer_blk.lo_isolation_db) "dB";
+    spec Mixer Noise_figure Partitioned (at_most_param mixer.Mixer_blk.nf_db) "dB";
+    spec Mixer P1db Non_ideality (at_least_param mixer.Mixer_blk.p1db_dbm) "dBm";
+    spec Lo Freq_error System_projection (within_param lo.Local_osc.freq_error_hz) "Hz";
+    spec Lo Phase_noise Non_ideality (at_most_param lo.Local_osc.phase_noise_deg_rms) "deg rms";
+    spec Lpf Passband_gain Partitioned (within_param lpf.Lpf_blk.gain_db) "dB";
+    spec Lpf Stopband_gain System_projection (at_most_param lpf.Lpf_blk.stopband_db) "dB";
+    spec Lpf Cutoff_freq System_projection (within_param lpf.Lpf_blk.cutoff_hz) "Hz";
+    spec Lpf Dynamic_range Partitioned (At_least 60.0) "dB";
+    spec Adc Offset_error Non_ideality (within_param adc.Adc_blk.offset_error_v) "V";
+    spec Adc Inl Non_ideality (at_most_param adc.Adc_blk.inl_lsb) "LSB";
+    spec Adc Dnl Non_ideality (at_most_param adc.Adc_blk.dnl_lsb) "LSB";
+    spec Adc Noise_figure Partitioned (at_most_param adc.Adc_blk.nf_db) "dB";
+    spec Adc Dynamic_range Partitioned (At_least 60.0) "dB";
+    spec Digital_filter Stuck_at_coverage System_projection (At_least 0.8) "fraction" ]

@@ -1,0 +1,1 @@
+lib/dsp/biquad.ml: Array Complex Float List Msoc_util

@@ -1,0 +1,1 @@
+lib/dsp/fir.ml: Array Complex Float Msoc_util Window

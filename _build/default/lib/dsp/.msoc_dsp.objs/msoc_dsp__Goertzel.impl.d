@@ -1,0 +1,1 @@
+lib/dsp/goertzel.ml: Array Complex Float Msoc_util

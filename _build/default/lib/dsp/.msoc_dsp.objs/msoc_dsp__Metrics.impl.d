@@ -1,0 +1,1 @@
+lib/dsp/metrics.ml: Array Float Hashtbl List Spectrum Window

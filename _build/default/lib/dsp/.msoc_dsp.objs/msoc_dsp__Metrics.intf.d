@@ -1,0 +1,1 @@
+lib/dsp/metrics.mli: Spectrum

@@ -1,0 +1,1 @@
+lib/dsp/spectrum.ml: Array Complex Fft Float Window

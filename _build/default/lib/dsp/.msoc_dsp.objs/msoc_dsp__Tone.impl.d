@@ -1,0 +1,1 @@
+lib/dsp/tone.ml: Array Float List Msoc_util

@@ -1,0 +1,58 @@
+type coeffs = { b0 : float; b1 : float; b2 : float; a1 : float; a2 : float }
+
+type state = {
+  coeffs : coeffs;
+  mutable x1 : float;
+  mutable x2 : float;
+  mutable y1 : float;
+  mutable y2 : float;
+}
+
+let butterworth_lowpass ~sample_rate ~cutoff =
+  assert (cutoff > 0.0 && cutoff < sample_rate /. 2.0);
+  (* Bilinear transform with pre-warping: K = tan(pi fc / fs). *)
+  let k = tan (Float.pi *. cutoff /. sample_rate) in
+  let q = 1.0 /. sqrt 2.0 in
+  let k2 = k *. k in
+  let norm = 1.0 /. (1.0 +. (k /. q) +. k2) in
+  { b0 = k2 *. norm;
+    b1 = 2.0 *. k2 *. norm;
+    b2 = k2 *. norm;
+    a1 = 2.0 *. (k2 -. 1.0) *. norm;
+    a2 = (1.0 -. (k /. q) +. k2) *. norm }
+
+let create coeffs = { coeffs; x1 = 0.0; x2 = 0.0; y1 = 0.0; y2 = 0.0 }
+
+let reset s =
+  s.x1 <- 0.0;
+  s.x2 <- 0.0;
+  s.y1 <- 0.0;
+  s.y2 <- 0.0
+
+let process_sample s x =
+  let { b0; b1; b2; a1; a2 } = s.coeffs in
+  let y = (b0 *. x) +. (b1 *. s.x1) +. (b2 *. s.x2) -. (a1 *. s.y1) -. (a2 *. s.y2) in
+  s.x2 <- s.x1;
+  s.x1 <- x;
+  s.y2 <- s.y1;
+  s.y1 <- y;
+  y
+
+let process s xs = Array.map (process_sample s) xs
+
+let magnitude_db c ~sample_rate ~freq =
+  let w = Msoc_util.Units.two_pi *. freq /. sample_rate in
+  let z1 = { Complex.re = cos w; im = -.sin w } in
+  let z2 = Complex.mul z1 z1 in
+  let scale k = { Complex.re = k; im = 0.0 } in
+  let num =
+    Complex.add (scale c.b0) (Complex.add (Complex.mul (scale c.b1) z1) (Complex.mul (scale c.b2) z2))
+  in
+  let den =
+    Complex.add (scale 1.0) (Complex.add (Complex.mul (scale c.a1) z1) (Complex.mul (scale c.a2) z2))
+  in
+  let mag = Complex.norm num /. Complex.norm den in
+  if mag <= 1e-20 then -400.0 else 20.0 *. Float.log10 mag
+
+let cascade_magnitude_db coeffs_list ~sample_rate ~freq =
+  List.fold_left (fun acc c -> acc +. magnitude_db c ~sample_rate ~freq) 0.0 coeffs_list

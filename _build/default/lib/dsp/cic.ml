@@ -1,0 +1,69 @@
+type t = {
+  order : int;
+  decimation : int;
+  integrators : int array;
+  combs : int array;
+  mutable phase : int;
+}
+
+let create ~order ~decimation =
+  if order < 1 then invalid_arg "Cic.create: order";
+  if decimation < 2 then invalid_arg "Cic.create: decimation";
+  let log2r = int_of_float (ceil (Float.log2 (float_of_int decimation))) in
+  if order * log2r > 40 then invalid_arg "Cic.create: gain overflows the native word";
+  { order;
+    decimation;
+    integrators = Array.make order 0;
+    combs = Array.make order 0;
+    phase = 0 }
+
+let order t = t.order
+let decimation t = t.decimation
+
+let gain t =
+  let rec power acc n = if n = 0 then acc else power (acc * t.decimation) (n - 1) in
+  power 1 t.order
+
+let reset t =
+  Array.fill t.integrators 0 t.order 0;
+  Array.fill t.combs 0 t.order 0;
+  t.phase <- 0
+
+let process t input =
+  let out = ref [] in
+  Array.iter
+    (fun x ->
+      (* integrator cascade at the input rate; native ints wrap which is
+         exactly the Hogenauer arithmetic *)
+      let acc = ref x in
+      for i = 0 to t.order - 1 do
+        t.integrators.(i) <- t.integrators.(i) + !acc;
+        acc := t.integrators.(i)
+      done;
+      t.phase <- t.phase + 1;
+      if t.phase >= t.decimation then begin
+        t.phase <- 0;
+        (* comb cascade at the output rate *)
+        let v = ref t.integrators.(t.order - 1) in
+        for i = 0 to t.order - 1 do
+          let delayed = t.combs.(i) in
+          t.combs.(i) <- !v;
+          v := !v - delayed
+        done;
+        out := !v :: !out
+      end)
+    input;
+  Array.of_list (List.rev !out)
+
+let magnitude_db t ~input_rate ~freq =
+  let r = float_of_int t.decimation in
+  let x = Float.pi *. freq /. input_rate in
+  let mag =
+    if Float.abs x < 1e-12 then 1.0
+    else begin
+      let numerator = sin (x *. r) and denominator = r *. sin x in
+      if Float.abs denominator < 1e-30 then 0.0 else Float.abs (numerator /. denominator)
+    end
+  in
+  if mag <= 1e-20 then -400.0
+  else 20.0 *. float_of_int t.order *. Float.log10 mag /. 1.0

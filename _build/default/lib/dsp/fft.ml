@@ -1,0 +1,130 @@
+let two_pi = Msoc_util.Units.two_pi
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let next_power_of_two n =
+  assert (n > 0);
+  let rec grow p = if p >= n then p else grow (p * 2) in
+  grow 1
+
+(* Iterative radix-2 decimation-in-time: bit-reversal permutation followed by
+   log2(N) butterfly stages with recurrence-updated twiddles. *)
+let fft_in_place ~re ~im ~inverse =
+  let n = Array.length re in
+  assert (Array.length im = n && is_power_of_two n);
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in re.(i) <- re.(!j); re.(!j) <- tr;
+      let ti = im.(i) in im.(i) <- im.(!j); im.(!j) <- ti
+    end;
+    let rec carry m =
+      if m >= 1 && !j land m <> 0 then begin
+        j := !j lxor m;
+        carry (m lsr 1)
+      end
+      else j := !j lor m
+    in
+    carry (n lsr 1)
+  done;
+  let sign = if inverse then 1.0 else -1.0 in
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let angle = sign *. two_pi /. float_of_int !len in
+    let wr_step = cos angle and wi_step = sin angle in
+    let block = ref 0 in
+    while !block < n do
+      let wr = ref 1.0 and wi = ref 0.0 in
+      for k = 0 to half - 1 do
+        let a = !block + k and b = !block + k + half in
+        let tr = (!wr *. re.(b)) -. (!wi *. im.(b)) in
+        let ti = (!wr *. im.(b)) +. (!wi *. re.(b)) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti;
+        let wr' = (!wr *. wr_step) -. (!wi *. wi_step) in
+        wi := (!wr *. wi_step) +. (!wi *. wr_step);
+        wr := wr'
+      done;
+      block := !block + !len
+    done;
+    len := !len * 2
+  done;
+  if inverse then begin
+    let scale = 1.0 /. float_of_int n in
+    for i = 0 to n - 1 do
+      re.(i) <- re.(i) *. scale;
+      im.(i) <- im.(i) *. scale
+    done
+  end
+
+let split x =
+  (Array.map (fun (c : Complex.t) -> c.re) x, Array.map (fun (c : Complex.t) -> c.im) x)
+
+let join re im = Array.init (Array.length re) (fun i -> { Complex.re = re.(i); im = im.(i) })
+
+let pow2_transform ~inverse x =
+  let re, im = split x in
+  fft_in_place ~re ~im ~inverse;
+  join re im
+
+(* Bluestein chirp-z: x_n * w_n convolved with conj(w) chirp, where
+   w_n = exp(-i pi n^2 / N).  The linear convolution is carried out with a
+   power-of-two circular FFT of length >= 2N - 1. *)
+let bluestein ~inverse x =
+  let n = Array.length x in
+  let sign = if inverse then 1.0 else -1.0 in
+  let chirp =
+    Array.init n (fun k ->
+        (* k^2 mod 2n keeps the angle argument small for large k. *)
+        let k2 = k * k mod (2 * n) in
+        let angle = sign *. Float.pi *. float_of_int k2 /. float_of_int n in
+        { Complex.re = cos angle; im = sin angle })
+  in
+  let m = next_power_of_two ((2 * n) - 1) in
+  let a = Array.make m Complex.zero in
+  let b = Array.make m Complex.zero in
+  for k = 0 to n - 1 do
+    a.(k) <- Complex.mul x.(k) chirp.(k);
+    let c = Complex.conj chirp.(k) in
+    b.(k) <- c;
+    if k > 0 then b.(m - k) <- c
+  done;
+  let fa = pow2_transform ~inverse:false a in
+  let fb = pow2_transform ~inverse:false b in
+  let product = Array.init m (fun i -> Complex.mul fa.(i) fb.(i)) in
+  let conv = pow2_transform ~inverse:true product in
+  let y = Array.init n (fun k -> Complex.mul conv.(k) chirp.(k)) in
+  if inverse then Array.map (fun c -> Complex.div c { Complex.re = float_of_int n; im = 0.0 }) y
+  else y
+
+let transform ~inverse x =
+  let n = Array.length x in
+  assert (n >= 1);
+  if n = 1 then Array.copy x
+  else if is_power_of_two n then pow2_transform ~inverse x
+  else bluestein ~inverse x
+
+let fft x = transform ~inverse:false x
+let ifft x = transform ~inverse:true x
+
+let dft x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref Complex.zero in
+      for j = 0 to n - 1 do
+        let angle = -.two_pi *. float_of_int (k * j mod n) /. float_of_int n in
+        let w = { Complex.re = cos angle; im = sin angle } in
+        acc := Complex.add !acc (Complex.mul x.(j) w)
+      done;
+      !acc)
+
+let rfft signal =
+  let n = Array.length signal in
+  assert (n >= 2);
+  let x = Array.map (fun v -> { Complex.re = v; im = 0.0 }) signal in
+  let full = fft x in
+  Array.sub full 0 ((n / 2) + 1)

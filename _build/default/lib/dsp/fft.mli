@@ -1,0 +1,31 @@
+(** Fast Fourier transforms, written from scratch.
+
+    Power-of-two sizes use an iterative radix-2 decimation-in-time transform
+    on split real/imaginary arrays; other sizes go through Bluestein's
+    chirp-z algorithm (which reduces to a power-of-two convolution).  A naive
+    DFT is exported for cross-validation in the test suite.
+
+    Conventions: forward transform is [X_k = sum_n x_n exp(-2πi kn / N)]; the
+    inverse includes the [1/N] factor, so [ifft (fft x) = x]. *)
+
+val is_power_of_two : int -> bool
+
+val next_power_of_two : int -> int
+(** Smallest power of two >= the argument.  Requires a positive argument. *)
+
+val fft_in_place : re:float array -> im:float array -> inverse:bool -> unit
+(** In-place radix-2 transform.  Requires both arrays of the same
+    power-of-two length.  The inverse applies the [1/N] scaling. *)
+
+val fft : Complex.t array -> Complex.t array
+(** Forward transform of any length >= 1. *)
+
+val ifft : Complex.t array -> Complex.t array
+(** Inverse transform of any length >= 1. *)
+
+val dft : Complex.t array -> Complex.t array
+(** O(N^2) reference implementation. *)
+
+val rfft : float array -> Complex.t array
+(** Forward transform of a real signal; returns the [N/2 + 1] non-redundant
+    bins (DC .. Nyquist).  Any length >= 2. *)

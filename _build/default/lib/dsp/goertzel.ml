@@ -1,0 +1,31 @@
+let two_pi = Msoc_util.Units.two_pi
+
+let bin signal ~k =
+  let n = Array.length signal in
+  assert (k >= 0 && k < n);
+  let w = two_pi *. float_of_int k /. float_of_int n in
+  let coeff = 2.0 *. cos w in
+  let s1 = ref 0.0 and s2 = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let s0 = x +. (coeff *. !s1) -. !s2 in
+      s2 := !s1;
+      s1 := s0)
+    signal;
+  (* X_k = s1 e^{jw} - s2 (forward-DFT convention) *)
+  { Complex.re = (!s1 *. cos w) -. !s2; im = !s1 *. sin w }
+
+let power signal ~sample_rate ~freq =
+  let n = Array.length signal in
+  assert (n >= 2 && freq >= 0.0 && freq <= sample_rate /. 2.0);
+  let k =
+    min (n / 2) (int_of_float (Float.round (freq *. float_of_int n /. sample_rate)))
+  in
+  let c = bin signal ~k in
+  let mag2 = (c.Complex.re *. c.Complex.re) +. (c.Complex.im *. c.Complex.im) in
+  let scale = if k = 0 || (n mod 2 = 0 && k = n / 2) then 1.0 else 2.0 in
+  scale *. mag2 /. (float_of_int n *. float_of_int n)
+
+let power_db signal ~sample_rate ~freq =
+  let p = power signal ~sample_rate ~freq in
+  if p <= 1e-40 then -400.0 else 10.0 *. Float.log10 p

@@ -1,0 +1,18 @@
+(** Goertzel single-bin DFT.
+
+    Mixed-signal testers read a handful of known tone bins rather than a
+    full spectrum; the Goertzel recurrence computes one bin in O(N) with
+    two state variables.  Exact for bin-centred frequencies and matching
+    {!Fft} bin values there. *)
+
+val bin : float array -> k:int -> Complex.t
+(** DFT bin [k] of the signal (same convention as {!Fft.fft}).
+    Requires [0 <= k < length]. *)
+
+val power : float array -> sample_rate:float -> freq:float -> float
+(** One-sided mean-square power of the tone at the bin nearest [freq]
+    (rectangular window): a sine of amplitude [a] at a coherent frequency
+    reads [a^2 / 2]. *)
+
+val power_db : float array -> sample_rate:float -> freq:float -> float
+(** [10 log10] of {!power}, floored at -400 dB. *)

@@ -1,0 +1,95 @@
+type t = {
+  bins : float array;
+  sample_rate : float;
+  window : Window.kind;
+  length : int;
+}
+
+let analyze ?(window = Window.Hann) ~sample_rate signal =
+  let n = Array.length signal in
+  assert (n >= 8);
+  let windowed = Window.apply window signal in
+  let spectrum = Fft.rfft windowed in
+  let gain = Window.coherent_gain window *. float_of_int n in
+  (* One-sided mean-square power, normalised by the window's equivalent
+     noise bandwidth so that (a) summing a tone's main lobe yields its true
+     mean-square power a^2/2 and (b) summing noise bins yields the true
+     noise variance.  Both identities are exact for cosine-sum windows. *)
+  let enbw = Window.noise_bandwidth_bins window in
+  let bins =
+    Array.mapi
+      (fun k (c : Complex.t) ->
+        let mag2 = (c.re *. c.re) +. (c.im *. c.im) in
+        let scale = if k = 0 || (n mod 2 = 0 && k = n / 2) then 1.0 else 2.0 in
+        scale *. mag2 /. (gain *. gain *. enbw))
+      spectrum
+  in
+  { bins; sample_rate; window; length = n }
+
+let bin_count t = Array.length t.bins
+let frequency_of_bin t k = float_of_int k *. t.sample_rate /. float_of_int t.length
+
+let bin_of_frequency t freq =
+  assert (freq >= 0.0 && freq <= t.sample_rate /. 2.0);
+  let k = int_of_float (Float.round (freq *. float_of_int t.length /. t.sample_rate)) in
+  min k (bin_count t - 1)
+
+let power_db t k =
+  let p = t.bins.(k) in
+  if p <= 1e-40 then -400.0 else 10.0 *. Float.log10 p
+
+(* Main-lobe half width in bins for leakage integration. *)
+let lobe_half_width window =
+  match window with
+  | Window.Rectangular -> 1
+  | Window.Hann | Window.Hamming -> 2
+  | Window.Blackman -> 3
+  | Window.Blackman_harris -> 4
+
+let tone_power t ~freq =
+  let center = bin_of_frequency t freq in
+  (* Walk to the local peak first: the nominal frequency may sit between
+     bins or be slightly shifted by analog frequency error. *)
+  let nbins = bin_count t in
+  let rec climb k =
+    let better j = j >= 0 && j < nbins && t.bins.(j) > t.bins.(k) in
+    if better (k + 1) then climb (k + 1) else if better (k - 1) then climb (k - 1) else k
+  in
+  let peak = climb center in
+  let hw = lobe_half_width t.window in
+  let lo = max 0 (peak - hw) and hi = min (nbins - 1) (peak + hw) in
+  let acc = ref 0.0 in
+  for k = lo to hi do
+    acc := !acc +. t.bins.(k)
+  done;
+  !acc
+
+let total_power t ~exclude_dc =
+  let start = if exclude_dc then 1 else 0 in
+  let acc = ref 0.0 in
+  for k = start to bin_count t - 1 do
+    acc := !acc +. t.bins.(k)
+  done;
+  !acc
+
+let peak_bin t ?(from_bin = 1) () =
+  let best = ref from_bin in
+  for k = from_bin to bin_count t - 1 do
+    if t.bins.(k) > t.bins.(!best) then best := k
+  done;
+  !best
+
+let noise_floor_db t ~exclude =
+  let kept = ref [] in
+  for k = 1 to bin_count t - 1 do
+    if not (exclude k) then kept := t.bins.(k) :: !kept
+  done;
+  let values = Array.of_list !kept in
+  if Array.length values = 0 then -400.0
+  else begin
+    Array.sort compare values;
+    let median = values.(Array.length values / 2) in
+    if median <= 1e-40 then -400.0 else 10.0 *. Float.log10 median
+  end
+
+let to_series_db t = Array.init (bin_count t) (fun k -> (frequency_of_bin t k, power_db t k))

@@ -1,0 +1,44 @@
+(** Power spectra of real signals, with calibrated tone readback.
+
+    This is the "mixed-signal tester" observation path of the paper: the
+    response at the digital filter output (or the digitised analog output) is
+    windowed, transformed, and summarised into per-bin powers from which tone
+    amplitudes, harmonics, and the noise floor are extracted. *)
+
+type t = {
+  bins : float array;   (** Per-bin signal power (V^2, mean-square). *)
+  sample_rate : float;
+  window : Window.kind;
+  length : int;          (** Number of time samples analysed. *)
+}
+
+val analyze : ?window:Window.kind -> sample_rate:float -> float array -> t
+(** Power spectrum of a real capture (default window: {!Window.Hann}).
+    Bin [k] holds the one-sided power near [k * sample_rate / length],
+    normalised by the window's coherent gain and equivalent noise bandwidth
+    so that {!tone_power} of a sine of amplitude [a] reads [a^2 / 2] and the
+    sum over noise bins reads the true noise variance.  Requires at least 8
+    samples. *)
+
+val bin_count : t -> int
+val frequency_of_bin : t -> int -> float
+val bin_of_frequency : t -> float -> int
+(** Nearest bin.  Requires a frequency in [\[0, sample_rate / 2\]]. *)
+
+val power_db : t -> int -> float
+(** Bin power in dB relative to 1 V^2 (i.e. 10 log10 of the bin power), with
+    a -400 dB floor for empty bins. *)
+
+val tone_power : t -> freq:float -> float
+(** Power of a tone near [freq]: sums bins within the window's main lobe
+    around the nearest local peak. *)
+
+val total_power : t -> exclude_dc:bool -> float
+val peak_bin : t -> ?from_bin:int -> unit -> int
+(** Highest-power bin (excluding DC when [from_bin >= 1], the default). *)
+
+val noise_floor_db : t -> exclude:(int -> bool) -> float
+(** Median per-bin power in dB over bins not excluded — robust to tones. *)
+
+val to_series_db : t -> (float * float) array
+(** [(frequency, power_db)] for every bin; plotting/report form. *)

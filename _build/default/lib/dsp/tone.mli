@@ -1,0 +1,35 @@
+(** Multi-tone sine stimulus construction.
+
+    The paper's test stimuli for digital filters are 1- and 2-tone sine waves
+    whose frequencies lie in the filter pass band and whose composite
+    amplitude exercises a wide dynamic range (§3).  For leakage-free spectral
+    comparison the tones should be {e coherent} with the capture: an integer,
+    preferably odd and mutually prime, number of cycles per record. *)
+
+type component = { freq : float; amplitude : float; phase : float }
+
+val component : ?phase:float -> freq:float -> amplitude:float -> unit -> component
+
+val coherent_frequency : sample_rate:float -> samples:int -> target:float -> float
+(** Nearest frequency to [target] with an odd integral number of cycles in
+    [samples] points — odd so that even-symmetric faults do not alias onto
+    the tone itself.  Requires [0 < target < sample_rate / 2]. *)
+
+val synthesize : sample_rate:float -> samples:int -> component list -> float array
+(** Sum of sines sampled at [sample_rate]. *)
+
+val sample : sample_rate:float -> t:int -> component list -> float
+(** Single point of the same waveform (streaming form). *)
+
+val two_tone :
+  sample_rate:float -> samples:int -> f1:float -> f2:float -> amplitude:float -> float array
+(** Equal-amplitude two-tone stimulus; [amplitude] is the per-tone amplitude
+    (composite peak is at most [2 * amplitude]). *)
+
+val crest_factor : float array -> float
+(** Peak over RMS; requires a non-empty, non-all-zero signal. *)
+
+val fit : float array -> sample_rate:float -> freq:float -> component
+(** Least-squares fit of a single sine at a known frequency: correlate the
+    capture with the quadrature pair at [freq] and return the recovered
+    component (exact for coherent tones, noise-averaging otherwise). *)

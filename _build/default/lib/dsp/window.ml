@@ -1,0 +1,44 @@
+let two_pi = Msoc_util.Units.two_pi
+
+type kind = Rectangular | Hann | Hamming | Blackman | Blackman_harris
+
+let all = [ Rectangular; Hann; Hamming; Blackman; Blackman_harris ]
+
+let name = function
+  | Rectangular -> "rectangular"
+  | Hann -> "hann"
+  | Hamming -> "hamming"
+  | Blackman -> "blackman"
+  | Blackman_harris -> "blackman-harris"
+
+(* Cosine-sum coefficients (periodic form, suitable for spectral analysis). *)
+let cosine_terms = function
+  | Rectangular -> [| 1.0 |]
+  | Hann -> [| 0.5; -0.5 |]
+  | Hamming -> [| 0.54; -0.46 |]
+  | Blackman -> [| 0.42; -0.5; 0.08 |]
+  | Blackman_harris -> [| 0.35875; -0.48829; 0.14128; -0.01168 |]
+
+let coefficients kind n =
+  assert (n >= 1);
+  let terms = cosine_terms kind in
+  Array.init n (fun i ->
+      let phase = two_pi *. float_of_int i /. float_of_int n in
+      let acc = ref 0.0 in
+      Array.iteri (fun k a -> acc := !acc +. (a *. cos (float_of_int k *. phase))) terms;
+      !acc)
+
+let coherent_gain kind = (cosine_terms kind).(0)
+
+let noise_bandwidth_bins kind =
+  (* ENBW = N * sum w^2 / (sum w)^2; for cosine-sum windows this converges to
+     sum a_k^2/2 (a_0^2 counted fully) over a_0^2. *)
+  let terms = cosine_terms kind in
+  let sum_sq =
+    Array.fold_left (fun acc a -> acc +. (a *. a /. 2.0)) (terms.(0) *. terms.(0) /. 2.0) terms
+  in
+  sum_sq /. (terms.(0) *. terms.(0))
+
+let apply kind signal =
+  let w = coefficients kind (Array.length signal) in
+  Array.mapi (fun i x -> x *. w.(i)) signal

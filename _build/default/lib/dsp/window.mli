@@ -1,0 +1,26 @@
+(** Window functions for spectral analysis.
+
+    When the paper's test tones are not exactly coherent with the capture
+    length (as happens after the LO's frequency error shifts them), a window
+    bounds the spectral leakage so that fault-induced harmonics remain
+    distinguishable.  Each window carries its coherent gain and equivalent
+    noise bandwidth so that tone power and noise density can be read back
+    calibrated. *)
+
+type kind = Rectangular | Hann | Hamming | Blackman | Blackman_harris
+
+val all : kind list
+val name : kind -> string
+
+val coefficients : kind -> int -> float array
+(** [coefficients kind n] is the length-[n] window (periodic form).
+    Requires [n >= 1]. *)
+
+val coherent_gain : kind -> float
+(** Mean of the window coefficients (amplitude scaling of a coherent tone). *)
+
+val noise_bandwidth_bins : kind -> float
+(** Equivalent noise bandwidth in FFT bins (1.0 for rectangular). *)
+
+val apply : kind -> float array -> float array
+(** Pointwise product with the window of matching length. *)

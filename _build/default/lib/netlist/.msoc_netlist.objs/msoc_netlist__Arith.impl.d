@@ -1,0 +1,1 @@
+lib/netlist/arith.ml: Array List Netlist

@@ -1,0 +1,1 @@
+lib/netlist/arith.mli: Netlist

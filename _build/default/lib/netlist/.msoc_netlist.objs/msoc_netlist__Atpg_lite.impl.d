@@ -1,0 +1,1 @@
+lib/netlist/atpg_lite.ml: Array Fault_sim List Logic_sim Msoc_util Netlist

@@ -1,0 +1,1 @@
+lib/netlist/atpg_lite.mli: Fault Netlist

@@ -1,0 +1,1 @@
+lib/netlist/fault.ml: Array Bool Format Hashtbl Int List Netlist

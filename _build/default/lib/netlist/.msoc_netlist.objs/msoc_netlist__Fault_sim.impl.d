@@ -1,0 +1,1 @@
+lib/netlist/fault_sim.ml: Array Fault List Logic_sim Netlist

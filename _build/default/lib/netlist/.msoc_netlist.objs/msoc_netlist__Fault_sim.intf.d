@@ -1,0 +1,1 @@
+lib/netlist/fault_sim.mli: Fault Logic_sim Netlist

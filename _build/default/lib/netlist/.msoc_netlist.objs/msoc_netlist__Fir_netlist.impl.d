@@ -1,0 +1,1 @@
+lib/netlist/fir_netlist.ml: Arith Array Fault Float List Logic_sim Netlist Printf

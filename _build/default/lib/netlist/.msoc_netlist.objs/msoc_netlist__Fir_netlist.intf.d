@@ -1,0 +1,1 @@
+lib/netlist/fir_netlist.mli: Fault Logic_sim Netlist

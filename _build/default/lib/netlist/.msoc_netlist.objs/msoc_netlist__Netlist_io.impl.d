@@ -1,0 +1,1 @@
+lib/netlist/netlist_io.ml: Array Buffer Hashtbl In_channel List Netlist Out_channel Printf String

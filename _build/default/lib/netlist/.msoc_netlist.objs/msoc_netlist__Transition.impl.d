@@ -1,0 +1,1 @@
+lib/netlist/transition.ml: Array Fault Fault_sim Logic_sim Netlist

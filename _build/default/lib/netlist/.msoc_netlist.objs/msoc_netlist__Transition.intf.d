@@ -1,0 +1,1 @@
+lib/netlist/transition.mli: Logic_sim Netlist

@@ -1,0 +1,71 @@
+module Prng = Msoc_util.Prng
+
+type config = {
+  patterns : int;
+  seed : int;
+  weights : float array option;
+}
+
+let default_config = { patterns = 1024; seed = 7; weights = None }
+
+type result = {
+  total : int;
+  detected : int;
+  coverage : float;
+  detected_flags : bool array;
+  patterns_used : int;
+}
+
+(* Pre-generate the random stimulus as per-input bit arrays so every batch
+   of the fault simulation replays the identical sequence. *)
+let stimulus_table circuit config =
+  let inputs = Netlist.inputs circuit in
+  let g = Prng.create config.seed in
+  (match config.weights with
+  | Some w ->
+    if Array.length w <> Array.length inputs then
+      invalid_arg "Atpg_lite: weights length must match the input count"
+  | None -> ());
+  Array.init config.patterns (fun _ ->
+      Array.mapi
+        (fun i (_, node) ->
+          let p = match config.weights with Some w -> w.(i) | None -> 0.5 in
+          (node, Prng.float g < p))
+        inputs)
+
+let grade circuit ~output ~faults config =
+  assert (config.patterns > 0);
+  let table = stimulus_table circuit config in
+  let drive sim cycle =
+    Array.iter
+      (fun (node, bit) -> Logic_sim.drive_node sim node (if bit then -1 else 0))
+      table.(cycle)
+  in
+  let flags =
+    Fault_sim.detect_exact circuit ~output ~drive ~samples:config.patterns ~faults
+  in
+  let detected = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 flags in
+  { total = Array.length faults;
+    detected;
+    coverage = float_of_int detected /. float_of_int (max 1 (Array.length faults));
+    detected_flags = flags;
+    patterns_used = config.patterns }
+
+let grade_until circuit ~output ~faults config ~target_coverage ~max_patterns =
+  let rec attempt patterns =
+    let result = grade circuit ~output ~faults { config with patterns } in
+    if result.coverage >= target_coverage || patterns >= max_patterns then result
+    else attempt (min max_patterns (patterns * 2))
+  in
+  attempt config.patterns
+
+let union_coverage gradings =
+  match gradings with
+  | [] -> 0
+  | first :: _ ->
+    let n = Array.length first in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      if List.exists (fun flags -> flags.(i)) gradings then incr count
+    done;
+    !count

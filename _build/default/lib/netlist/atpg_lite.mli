@@ -1,0 +1,48 @@
+(** Random-pattern fault grading.
+
+    Not a full deterministic ATPG, but the standard baseline it is judged
+    against: drive the sequential circuit with (optionally weighted) random
+    input vectors, fault-simulate with early dropping, and report which
+    stuck-at faults toggled the outputs.  Two uses in this project:
+
+    - bound the {e activatable} fault set of a filter, separating genuine
+      structural redundancy from stimulus weakness;
+    - compare the paper's functional sine stimuli against the classic
+      random-pattern DFT approach the paper argues they can replace. *)
+
+type config = {
+  patterns : int;              (** Cycles of random stimulus. *)
+  seed : int;
+  weights : float array option;
+  (** Per-input probability of driving 1 (default 0.5 everywhere);
+      length must equal the circuit's input count when given. *)
+}
+
+val default_config : config
+(** 1024 patterns, seed 7, unweighted. *)
+
+type result = {
+  total : int;
+  detected : int;
+  coverage : float;
+  detected_flags : bool array;   (** Indexed like the fault array given. *)
+  patterns_used : int;
+}
+
+val grade : Netlist.t -> output:string -> faults:Fault.t array -> config -> result
+(** Random-pattern fault grading against a named output bus; a fault is
+    detected when any output cycle differs from the fault-free machine. *)
+
+val grade_until :
+  Netlist.t ->
+  output:string ->
+  faults:Fault.t array ->
+  config ->
+  target_coverage:float ->
+  max_patterns:int ->
+  result
+(** Keep doubling the pattern count until the target coverage is reached
+    or the budget runs out — reports the final grading. *)
+
+val union_coverage : bool array list -> int
+(** Number of faults detected by at least one of several gradings. *)

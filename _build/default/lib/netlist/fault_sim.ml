@@ -1,0 +1,86 @@
+type run = {
+  faults : Fault.t array;
+  good_stream : int array;
+  fault_streams : int array array;
+}
+
+let faults_per_batch = Logic_sim.lanes - 1
+
+let batches faults =
+  let total = Array.length faults in
+  let count = (total + faults_per_batch - 1) / faults_per_batch in
+  List.init count (fun b ->
+      let lo = b * faults_per_batch in
+      Array.sub faults lo (min faults_per_batch (total - lo)))
+
+let prepare sim batch =
+  Logic_sim.clear_faults sim;
+  Logic_sim.reset sim;
+  Array.iteri
+    (fun lane (f : Fault.t) ->
+      Logic_sim.inject sim ~node:f.Fault.node ~lane:(lane + 1) ~stuck:f.Fault.stuck)
+    batch
+
+let run_fold circuit ~output ~drive ~samples ~faults ~on_fault =
+  let bus = Netlist.find_output circuit output in
+  let sim = Logic_sim.create circuit in
+  let good_stream = Array.make samples 0 in
+  let batch_streams =
+    Array.init faults_per_batch (fun _ -> Array.make samples 0)
+  in
+  let lane_values = Array.make Logic_sim.lanes 0 in
+  let batch_start = ref 0 in
+  List.iter
+    (fun batch ->
+      prepare sim batch;
+      for cycle = 0 to samples - 1 do
+        drive sim cycle;
+        Logic_sim.eval sim;
+        Logic_sim.read_bus_lanes sim bus lane_values;
+        good_stream.(cycle) <- lane_values.(0);
+        for lane = 0 to Array.length batch - 1 do
+          batch_streams.(lane).(cycle) <- lane_values.(lane + 1)
+        done;
+        Logic_sim.tick sim
+      done;
+      Array.iteri
+        (fun lane fault -> on_fault (!batch_start + lane) fault batch_streams.(lane))
+        batch;
+      batch_start := !batch_start + Array.length batch)
+    (batches faults);
+  good_stream
+
+let run circuit ~output ~drive ~samples ~faults =
+  let fault_streams = Array.init (Array.length faults) (fun _ -> [||]) in
+  let on_fault index _fault stream = fault_streams.(index) <- Array.copy stream in
+  let good_stream = run_fold circuit ~output ~drive ~samples ~faults ~on_fault in
+  { faults; good_stream; fault_streams }
+
+let detect_exact circuit ~output ~drive ~samples ~faults =
+  let bus = Netlist.find_output circuit output in
+  let sim = Logic_sim.create circuit in
+  let detected = Array.make (Array.length faults) false in
+  let lane_values = Array.make Logic_sim.lanes 0 in
+  let batch_start = ref 0 in
+  List.iter
+    (fun batch ->
+      prepare sim batch;
+      let live = ref (Array.length batch) in
+      let cycle = ref 0 in
+      while !cycle < samples && !live > 0 do
+        drive sim !cycle;
+        Logic_sim.eval sim;
+        Logic_sim.read_bus_lanes sim bus lane_values;
+        let good = lane_values.(0) in
+        for lane = 0 to Array.length batch - 1 do
+          if (not detected.(!batch_start + lane)) && lane_values.(lane + 1) <> good then begin
+            detected.(!batch_start + lane) <- true;
+            decr live
+          end
+        done;
+        Logic_sim.tick sim;
+        incr cycle
+      done;
+      batch_start := !batch_start + Array.length batch)
+    (batches faults);
+  detected

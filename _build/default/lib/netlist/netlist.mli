@@ -1,0 +1,75 @@
+(** Gate-level netlist intermediate representation.
+
+    The digital filter under test is synthesised into this IR (full adders,
+    shift-add constant multipliers, DFF tap registers) so that the classic
+    single-stuck-at fault model of the paper can be applied to a real
+    structural implementation rather than a behavioural one.
+
+    A netlist is built imperatively through {!Builder} and then frozen into
+    an immutable, levelized {!t} whose flat arrays the simulator consumes.
+    Sequential elements ({!Dff}) break combinational cycles; a cycle not
+    broken by a DFF is rejected at freeze time. *)
+
+type kind =
+  | Input
+  | Const0
+  | Const1
+  | And2
+  | Or2
+  | Nand2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | Not
+  | Buf
+  | Dff  (** Fanin 0 is D; output is Q (state, updated at end of cycle). *)
+
+type node = int
+(** Dense node identifier; also the identifier of the node's output net. *)
+
+module Builder : sig
+  type t
+
+  val create : unit -> t
+  val input : t -> string -> node
+  val const : t -> bool -> node
+  val gate2 : t -> kind -> node -> node -> node
+  (** Requires a two-input [kind] (And2 .. Xnor2). *)
+
+  val not_ : t -> node -> node
+  val buf : t -> node -> node
+  val dff : t -> node -> node
+  (** [dff b d] is a flip-flop capturing [d]; initial state 0. *)
+
+  val output : t -> string -> node array -> unit
+  (** Declare a named output bus (LSB first). *)
+
+  val node_count : t -> int
+end
+
+type t
+
+val freeze : Builder.t -> t
+(** Validate, levelize, and seal the netlist.  Raises [Invalid_argument] on a
+    combinational cycle or a dangling node reference. *)
+
+val node_count : t -> int
+val kind : t -> node -> kind
+val fanin : t -> node -> node array
+val fanout_count : t -> node -> int
+val inputs : t -> (string * node) array
+val outputs : t -> (string * node array) array
+val find_output : t -> string -> node array
+(** Raises [Not_found]. *)
+
+val eval_order : t -> node array
+(** Combinational nodes in dependency order (inputs, constants and DFF
+    outputs are sources and do not appear). *)
+
+val dffs : t -> node array
+(** All flip-flop nodes. *)
+
+val gate_counts : t -> (kind * int) list
+(** Census by gate kind, for reporting. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type polarity = Slow_to_rise | Slow_to_fall
+
+type t = { node : Netlist.node; polarity : polarity }
+
+let universe circuit =
+  let acc = ref [] in
+  for node = Netlist.node_count circuit - 1 downto 0 do
+    match Netlist.kind circuit node with
+    | Netlist.Const0 | Netlist.Const1 -> ()
+    | Netlist.Input | Netlist.And2 | Netlist.Or2 | Netlist.Nand2 | Netlist.Nor2
+    | Netlist.Xor2 | Netlist.Xnor2 | Netlist.Not | Netlist.Buf | Netlist.Dff ->
+      acc := { node; polarity = Slow_to_rise } :: { node; polarity = Slow_to_fall } :: !acc
+  done;
+  Array.of_list !acc
+
+type result = {
+  total : int;
+  covered : int;
+  coverage : float;
+  untoggled : int;
+  unobserved : int;
+}
+
+(* Record, per node, whether a rising and a falling transition occur in the
+   fault-free run. *)
+let toggle_activity circuit ~drive ~samples =
+  let n = Netlist.node_count circuit in
+  let rises = Array.make n false and falls = Array.make n false in
+  let previous = Array.make n 0 in
+  let sim = Logic_sim.create circuit in
+  for cycle = 0 to samples - 1 do
+    drive sim cycle;
+    Logic_sim.eval sim;
+    for node = 0 to n - 1 do
+      let v = Logic_sim.value sim node land 1 in
+      if cycle > 0 then begin
+        if v = 1 && previous.(node) = 0 then rises.(node) <- true;
+        if v = 0 && previous.(node) = 1 then falls.(node) <- true
+      end;
+      previous.(node) <- v
+    done;
+    Logic_sim.tick sim
+  done;
+  (rises, falls)
+
+let coverage circuit ~output ~drive ~samples ~faults =
+  let rises, falls = toggle_activity circuit ~drive ~samples in
+  (* stuck-at detection map for the corresponding capture faults:
+     slow-to-rise captures the old 0 => stuck-at-0 *)
+  let stuck_faults =
+    Array.map
+      (fun f ->
+        { Fault.node = f.node;
+          stuck = (match f.polarity with Slow_to_rise -> false | Slow_to_fall -> true) })
+      faults
+  in
+  let detected = Fault_sim.detect_exact circuit ~output ~drive ~samples ~faults:stuck_faults in
+  let covered = ref 0 and untoggled = ref 0 and unobserved = ref 0 in
+  Array.iteri
+    (fun i f ->
+      let launched =
+        match f.polarity with Slow_to_rise -> rises.(f.node) | Slow_to_fall -> falls.(f.node)
+      in
+      if not launched then incr untoggled
+      else if not detected.(i) then incr unobserved
+      else incr covered)
+    faults;
+  { total = Array.length faults;
+    covered = !covered;
+    coverage = float_of_int !covered /. float_of_int (max 1 (Array.length faults));
+    untoggled = !untoggled;
+    unobserved = !unobserved }

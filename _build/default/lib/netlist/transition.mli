@@ -1,0 +1,39 @@
+(** Transition (gross-delay) fault coverage.
+
+    The paper's fault list is "structural faults, stuck-at or delay".  A
+    gross transition-delay fault on a net — slow-to-rise or slow-to-fall —
+    is detected when the net is driven through the failing transition and
+    the wrong (late) value propagates to an output.  Under the standard
+    launch-off-capture abstraction this reduces to: slow-to-rise at [n] is
+    covered iff the stuck-at-0 fault at [n] is detected in some cycle whose
+    predecessor held [n] at 0 (the transition is launched) — which a long
+    functional stimulus satisfies whenever the net toggles and the
+    stuck-at fault is observable.  This module implements that
+    toggle-qualified bound. *)
+
+type polarity = Slow_to_rise | Slow_to_fall
+
+type t = { node : Netlist.node; polarity : polarity }
+
+val universe : Netlist.t -> t array
+(** Both polarities on every non-constant node. *)
+
+type result = {
+  total : int;
+  covered : int;
+  coverage : float;
+  untoggled : int;   (** Faults whose launch transition never occurred. *)
+  unobserved : int;  (** Toggled, but the stuck value is not observable. *)
+}
+
+val coverage :
+  Netlist.t ->
+  output:string ->
+  drive:(Logic_sim.t -> int -> unit) ->
+  samples:int ->
+  faults:t array ->
+  result
+(** Simulate the fault-free machine once to record per-node toggle
+    activity, fault-simulate the corresponding stuck-at faults, and combine:
+    a transition fault is covered iff its launch transition occurs and its
+    captured stuck-at fault is detected. *)

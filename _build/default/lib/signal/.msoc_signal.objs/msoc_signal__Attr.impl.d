@@ -1,0 +1,1 @@
+lib/signal/attr.ml: Array Float Format List Msoc_util

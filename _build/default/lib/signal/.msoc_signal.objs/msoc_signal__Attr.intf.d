@@ -1,0 +1,1 @@
+lib/signal/attr.mli: Format Msoc_util

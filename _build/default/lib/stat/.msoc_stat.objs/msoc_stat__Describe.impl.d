@@ -1,0 +1,1 @@
+lib/stat/describe.ml: Array Float Msoc_util

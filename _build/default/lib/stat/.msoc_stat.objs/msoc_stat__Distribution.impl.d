@@ -1,0 +1,1 @@
+lib/stat/distribution.ml: Float Format Msoc_util Special

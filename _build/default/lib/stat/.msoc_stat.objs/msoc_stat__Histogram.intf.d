@@ -1,0 +1,1 @@
+lib/stat/histogram.mli:

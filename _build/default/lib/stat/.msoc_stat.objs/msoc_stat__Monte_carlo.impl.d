@@ -1,0 +1,1 @@
+lib/stat/monte_carlo.ml: Array Describe

@@ -1,0 +1,1 @@
+lib/stat/monte_carlo.mli: Msoc_util

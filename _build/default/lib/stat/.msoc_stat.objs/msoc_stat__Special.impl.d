@@ -1,0 +1,1 @@
+lib/stat/special.ml: Array Float Msoc_util

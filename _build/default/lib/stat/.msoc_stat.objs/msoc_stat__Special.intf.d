@@ -1,0 +1,1 @@
+lib/stat/special.mli:

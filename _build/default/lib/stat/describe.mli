@@ -1,0 +1,21 @@
+(** Descriptive statistics over float samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  variance : float;  (** Unbiased (n-1) sample variance; 0 when count < 2. *)
+  stddev : float;
+  minimum : float;
+  maximum : float;
+}
+
+val summarize : float array -> summary
+(** Requires a non-empty array.  Uses Welford's online algorithm. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 1\]], linear interpolation between
+    order statistics.  Requires a non-empty array; sorts a copy. *)
+
+val median : float array -> float
+val rms : float array -> float
+(** Root mean square; 0 for an empty array. *)

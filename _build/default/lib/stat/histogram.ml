@@ -1,0 +1,38 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int;
+  counts : int array;
+  mutable total : int;
+  mutable underflow : int;
+  mutable overflow : int;
+}
+
+let create ~lo ~hi ~bins =
+  assert (lo < hi && bins > 0);
+  { lo; hi; bins; counts = Array.make bins 0; total = 0; underflow = 0; overflow = 0 }
+
+let add t x =
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let span = t.hi -. t.lo in
+    let index = int_of_float (float_of_int t.bins *. (x -. t.lo) /. span) in
+    let index = min index (t.bins - 1) in
+    t.counts.(index) <- t.counts.(index) + 1;
+    t.total <- t.total + 1
+  end
+
+let add_all t xs = Array.iter (add t) xs
+let counts t = Array.copy t.counts
+let total t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+let bin_width t = (t.hi -. t.lo) /. float_of_int t.bins
+let bin_center t i = t.lo +. ((float_of_int i +. 0.5) *. bin_width t)
+
+let density t i =
+  if t.total = 0 then 0.0
+  else float_of_int t.counts.(i) /. (float_of_int t.total *. bin_width t)
+
+let to_series t = Array.init t.bins (fun i -> (bin_center t i, density t i))

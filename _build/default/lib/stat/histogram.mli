@@ -1,0 +1,27 @@
+(** Fixed-bin histograms, used to visualise parameter distributions (paper
+    Fig. 2) and to validate Monte-Carlo sampling against analytic pdfs. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Requires [lo < hi] and [bins > 0]. *)
+
+val add : t -> float -> unit
+(** Values outside [\[lo, hi)] are counted in the under/overflow slots. *)
+
+val add_all : t -> float array -> unit
+val counts : t -> int array
+val total : t -> int
+(** Number of in-range values added. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_center : t -> int -> float
+val bin_width : t -> float
+
+val density : t -> int -> float
+(** Normalised so that the histogram integrates to 1 over in-range mass. *)
+
+val to_series : t -> (float * float) array
+(** [(bin_center, density)] pairs, ready for plotting or table output. *)

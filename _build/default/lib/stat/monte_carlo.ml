@@ -1,0 +1,37 @@
+type probability_estimate = {
+  trials : int;
+  successes : int;
+  p : float;
+  half_width_95 : float;
+}
+
+let z_95 = 1.959963984540054
+
+let estimate_probability ~trials ~rng ~f =
+  assert (trials > 0);
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if f rng then incr successes
+  done;
+  let n = float_of_int trials in
+  let p = float_of_int !successes /. n in
+  let half_width_95 = z_95 *. sqrt (p *. (1.0 -. p) /. n) in
+  { trials; successes = !successes; p; half_width_95 }
+
+type mean_estimate = {
+  trials : int;
+  mean : float;
+  stddev : float;
+  half_width_95 : float;
+}
+
+let estimate_mean ~trials ~rng ~f =
+  assert (trials > 1);
+  let samples = Array.init trials (fun _ -> f rng) in
+  let s = Describe.summarize samples in
+  { trials;
+    mean = s.Describe.mean;
+    stddev = s.Describe.stddev;
+    half_width_95 = z_95 *. s.Describe.stddev /. sqrt (float_of_int trials) }
+
+let sample_array ~trials ~rng ~f = Array.init trials (fun _ -> f rng)

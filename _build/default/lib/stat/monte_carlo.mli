@@ -1,0 +1,33 @@
+(** Monte-Carlo estimation engine.
+
+    The paper obtains parameter distributions "through Monte-Carlo simulations
+    during the design process"; this module provides the generic trial loop
+    and the probability/mean estimators with binomial / CLT confidence
+    intervals that the coverage analyses build on. *)
+
+type probability_estimate = {
+  trials : int;
+  successes : int;
+  p : float;            (** Point estimate. *)
+  half_width_95 : float; (** 95% normal-approximation half width. *)
+}
+
+val estimate_probability :
+  trials:int -> rng:Msoc_util.Prng.t -> f:(Msoc_util.Prng.t -> bool) -> probability_estimate
+(** Requires [trials > 0].  [f] is called once per trial with the shared
+    generator. *)
+
+type mean_estimate = {
+  trials : int;
+  mean : float;
+  stddev : float;
+  half_width_95 : float;
+}
+
+val estimate_mean :
+  trials:int -> rng:Msoc_util.Prng.t -> f:(Msoc_util.Prng.t -> float) -> mean_estimate
+(** Requires [trials > 1]. *)
+
+val sample_array :
+  trials:int -> rng:Msoc_util.Prng.t -> f:(Msoc_util.Prng.t -> float) -> float array
+(** Collect raw trial outputs for downstream histogramming. *)

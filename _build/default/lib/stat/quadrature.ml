@@ -1,0 +1,68 @@
+let simpson ~f ~lo ~hi ~n =
+  assert (lo <= hi);
+  if lo = hi then 0.0
+  else begin
+    let n = if n mod 2 = 0 then n else n + 1 in
+    let h = (hi -. lo) /. float_of_int n in
+    let acc = ref (f lo +. f hi) in
+    for i = 1 to n - 1 do
+      let x = lo +. (float_of_int i *. h) in
+      let w = if i mod 2 = 1 then 4.0 else 2.0 in
+      acc := !acc +. (w *. f x)
+    done;
+    !acc *. h /. 3.0
+  end
+
+let adaptive_simpson ?(tol = 1e-10) ?(max_depth = 40) ~f ~lo ~hi () =
+  let simpson3 a b =
+    let m = 0.5 *. (a +. b) in
+    ((b -. a) /. 6.0 *. (f a +. (4.0 *. f m) +. f b), m)
+  in
+  let rec refine a b whole tol depth =
+    let m = 0.5 *. (a +. b) in
+    let left, _ = simpson3 a m and right, _ = simpson3 m b in
+    let delta = left +. right -. whole in
+    if depth <= 0 || Float.abs delta <= 15.0 *. tol then left +. right +. (delta /. 15.0)
+    else
+      refine a m left (tol /. 2.0) (depth - 1) +. refine m b right (tol /. 2.0) (depth - 1)
+  in
+  if lo = hi then 0.0
+  else begin
+    let whole, _ = simpson3 lo hi in
+    refine lo hi whole tol max_depth
+  end
+
+(* Legendre polynomial value and derivative by the three-term recurrence. *)
+let legendre_pair n x =
+  let rec loop k pkm1 pk =
+    if k >= n then (pk, pkm1)
+    else begin
+      let kf = float_of_int k in
+      let pkp1 = (((2.0 *. kf) +. 1.0) *. x *. pk -. (kf *. pkm1)) /. (kf +. 1.0) in
+      loop (k + 1) pk pkp1
+    end
+  in
+  let pn, pnm1 = loop 1 1.0 x in
+  let dpn = float_of_int n *. ((x *. pn) -. pnm1) /. ((x *. x) -. 1.0) in
+  (pn, dpn)
+
+let gauss_legendre_nodes n =
+  assert (n >= 1);
+  Array.init n (fun i ->
+      (* Chebyshev-like initial guess, then Newton. *)
+      let x0 = cos (Float.pi *. (float_of_int i +. 0.75) /. (float_of_int n +. 0.5)) in
+      let rec newton x iter =
+        let pn, dpn = legendre_pair n x in
+        let x' = x -. (pn /. dpn) in
+        if Float.abs (x' -. x) < 1e-15 || iter > 100 then x' else newton x' (iter + 1)
+      in
+      let x = newton x0 0 in
+      let _, dpn = legendre_pair n x in
+      (x, 2.0 /. ((1.0 -. (x *. x)) *. dpn *. dpn)))
+
+let gauss_legendre ~f ~lo ~hi ~n =
+  let nodes = gauss_legendre_nodes n in
+  let half = 0.5 *. (hi -. lo) and midpoint = 0.5 *. (hi +. lo) in
+  let acc = ref 0.0 in
+  Array.iter (fun (x, w) -> acc := !acc +. (w *. f (midpoint +. (half *. x)))) nodes;
+  !acc *. half

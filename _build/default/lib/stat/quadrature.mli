@@ -1,0 +1,16 @@
+(** Numerical integration used by the analytic fault-coverage/yield-loss
+    computations (paper Figs. 2 & 5, Table 2). *)
+
+val simpson : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** Composite Simpson rule with [n] panels ([n] is rounded up to even).
+    Requires [lo <= hi]. *)
+
+val adaptive_simpson : ?tol:float -> ?max_depth:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Adaptive Simpson with absolute tolerance [tol] (default 1e-10). *)
+
+val gauss_legendre_nodes : int -> (float * float) array
+(** [gauss_legendre_nodes n] are the nodes and weights on [\[-1, 1\]] for an
+    [n]-point rule, computed by Newton iteration on Legendre polynomials. *)
+
+val gauss_legendre : f:(float -> float) -> lo:float -> hi:float -> n:int -> float
+(** [n]-point Gauss–Legendre quadrature on [\[lo, hi\]]. *)

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic component of the stack (noise injection, Monte-Carlo
+    parameter sampling, fault sampling) draws from an explicit generator so
+    that experiments are reproducible bit-for-bit.  The generator is
+    xoshiro256** seeded through splitmix64. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** Independent copy with identical state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    decorrelated from the remainder of [g]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)].  Requires [n > 0]. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller, no caching). *)
+
+val gaussian_scaled : t -> mean:float -> sigma:float -> float
+(** Normal deviate with the given mean and standard deviation. *)

@@ -1,0 +1,46 @@
+type line = Row of string list | Separator
+
+type t = { headers : string list; mutable lines : line list }
+
+let create ~headers = { headers; lines = [] }
+let add_row t cells = t.lines <- Row cells :: t.lines
+let add_separator t = t.lines <- Separator :: t.lines
+
+let pad_to n cells =
+  let len = List.length cells in
+  if len >= n then cells else cells @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let ncols = List.length t.headers in
+  let lines = List.rev t.lines in
+  let rows =
+    List.filter_map (function Row cells -> Some (pad_to ncols cells) | Separator -> None) lines
+  in
+  let widths =
+    List.mapi
+      (fun i header ->
+        let cell_width row = String.length (List.nth row i) in
+        List.fold_left (fun acc row -> max acc (cell_width row)) (String.length header) rows)
+      t.headers
+  in
+  let buffer = Buffer.create 256 in
+  let emit_cells cells =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        if i > 0 then Buffer.add_string buffer "  ";
+        Buffer.add_string buffer cell;
+        if i < ncols - 1 then Buffer.add_string buffer (String.make (w - String.length cell) ' '))
+      (pad_to ncols cells);
+    Buffer.add_char buffer '\n'
+  in
+  let total_width = List.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let rule () = Buffer.add_string buffer (String.make total_width '-' ^ "\n") in
+  emit_cells t.headers;
+  rule ();
+  List.iter (function Row cells -> emit_cells cells | Separator -> rule ()) lines;
+  Buffer.contents buffer
+
+let print t = print_string (render t); print_newline ()
+let cell_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_pct ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (100.0 *. x)

@@ -1,0 +1,25 @@
+(** Plain-text tables for experiment reports.
+
+    The benchmark harness prints every reproduced paper table through this
+    module so that all outputs share one layout. *)
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+(** Multi-line rendering with aligned columns. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Format a float cell with a fixed number of decimals (default 2). *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** Format a fraction (0..1) as a percentage cell, e.g. [0.123 -> "12.3%"]. *)

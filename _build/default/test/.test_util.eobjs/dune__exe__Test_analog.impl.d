@@ -1,0 +1,1 @@
+test/test_analog.ml: Adc Alcotest Amplifier Array Context Float List Local_osc Lpf Mixer Msoc_analog Msoc_dsp Msoc_signal Msoc_util Nonlin Param Path Printf Sigma_delta

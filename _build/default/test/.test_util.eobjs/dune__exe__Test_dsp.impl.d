@@ -1,0 +1,1 @@
+test/test_dsp.ml: Alcotest Array Biquad Cic Complex Fft Fir Float Goertzel List Metrics Msoc_dsp Msoc_util QCheck QCheck_alcotest Spectrum Tone Window

@@ -1,0 +1,1 @@
+test/test_signal.ml: Alcotest Array Attr Format List Msoc_dsp Msoc_signal Msoc_util String

@@ -1,0 +1,1 @@
+test/test_stat.ml: Alcotest Array Describe Distribution Float Gen Histogram List Monte_carlo Msoc_stat Msoc_util Printf QCheck QCheck_alcotest Quadrature Special

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Floatx Format Interval List Msoc_util Prng QCheck QCheck_alcotest String Texttable Units

@@ -1,0 +1,548 @@
+(* Unit tests for msoc_analog: block behavioural models, their attribute
+   transforms, and the composed receiver path. *)
+
+open Msoc_analog
+module I = Msoc_util.Interval
+module Prng = Msoc_util.Prng
+module Units = Msoc_util.Units
+module Attr = Msoc_signal.Attr
+module Tone = Msoc_dsp.Tone
+module Spectrum = Msoc_dsp.Spectrum
+module Metrics = Msoc_dsp.Metrics
+
+let approx eps = Alcotest.float eps
+let ctx = Context.default
+
+(* ---- Param ---- *)
+
+let test_param_interval () =
+  let p = Param.make ~nominal:10.0 ~tol:2.0 in
+  let i = Param.interval p in
+  Alcotest.check (approx 1e-9) "lo" 8.0 i.I.lo;
+  Alcotest.check (approx 1e-9) "hi" 12.0 i.I.hi
+
+let test_param_sampling_in_tolerance () =
+  let p = Param.make ~nominal:5.0 ~tol:1.0 in
+  let g = Prng.create 1 in
+  for _ = 1 to 2000 do
+    let v = Param.sample p g in
+    if Float.abs (v -. 5.0) > 1.0 +. 1e-9 then Alcotest.fail "sample escaped tolerance"
+  done
+
+let test_param_exact () =
+  let p = Param.exact 3.0 in
+  let g = Prng.create 2 in
+  Alcotest.check (approx 0.0) "exact is deterministic" 3.0 (Param.sample p g)
+
+let test_param_defective_deviates () =
+  let p = Param.make ~nominal:0.0 ~tol:1.0 in
+  let g = Prng.create 3 in
+  let big = ref 0 in
+  for _ = 1 to 200 do
+    if Float.abs (Param.sample_defective p g ~severity:2.0) > 1.0 then incr big
+  done;
+  Alcotest.(check bool) "most defective parts outside tolerance" true (!big > 150)
+
+(* ---- Nonlin ---- *)
+
+let test_nonlin_small_signal_gain () =
+  let n = Nonlin.fit ~gain_lin:10.0 ~iip3_vpeak:1.0 () in
+  Alcotest.check (approx 1e-6) "small-signal gain" 10.0 (Nonlin.apply n 1e-6 /. 1e-6)
+
+let test_nonlin_im3_matches_iip3 () =
+  (* Drive a two-tone through the cubic and check the IM3 level against
+     P_IM3 = 3 P_in - 2 IIP3 (all input-referred, gain removed). *)
+  let iip3_dbm = 10.0 in
+  let n =
+    Nonlin.fit ~gain_lin:1.0 ~iip3_vpeak:(Units.vpeak_of_dbm iip3_dbm) ()
+  in
+  let fs = 1e6 and samples = 8192 in
+  let f1 = Tone.coherent_frequency ~sample_rate:fs ~samples ~target:90e3 in
+  let f2 = Tone.coherent_frequency ~sample_rate:fs ~samples ~target:110e3 in
+  let p_in = -20.0 in
+  let amplitude = Units.vpeak_of_dbm p_in in
+  let input = Tone.two_tone ~sample_rate:fs ~samples ~f1 ~f2 ~amplitude in
+  let output = Array.map (Nonlin.apply n) input in
+  let sp = Spectrum.analyze ~sample_rate:fs output in
+  let im3_lo, _ = Metrics.intermod3_products ~f1 ~f2 in
+  let im3_dbm = Units.dbm_of_vpeak (sqrt (2.0 *. Spectrum.tone_power sp ~freq:im3_lo)) in
+  let expected = (3.0 *. p_in) -. (2.0 *. iip3_dbm) in
+  Alcotest.check (approx 0.7) "IM3 level" expected im3_dbm
+
+let test_nonlin_p1db_placement () =
+  let gain_lin = 4.0 in
+  let iip3 = Units.vpeak_of_dbm 20.0 in
+  let p1db_dbm = 6.0 in
+  let n = Nonlin.fit ~gain_lin ~iip3_vpeak:iip3 ~p1db_vpeak:(Units.vpeak_of_dbm p1db_dbm) () in
+  let a = Units.vpeak_of_dbm p1db_dbm in
+  let gain_db_drop =
+    20.0 *. Float.log10 (Nonlin.gain_at_amplitude n a /. gain_lin)
+  in
+  Alcotest.check (approx 1e-6) "1 dB compression at P1dB" (-1.0) gain_db_drop
+
+let test_nonlin_saturation_clamps () =
+  let n = Nonlin.fit ~gain_lin:10.0 ~iip3_vpeak:0.5 () in
+  let sat = Nonlin.saturation_input n in
+  Alcotest.(check bool) "finite saturation" true (Float.is_finite sat);
+  let y1 = Nonlin.apply n (sat *. 1.5) and y2 = Nonlin.apply n (sat *. 3.0) in
+  Alcotest.check (approx 1e-9) "hard clamp" y1 y2;
+  Alcotest.check (approx 1e-9) "odd symmetry" (-.y1) (Nonlin.apply n (-.(sat *. 1.5)))
+
+let test_nonlin_linear_never_saturates () =
+  let n = Nonlin.linear ~gain_lin:2.0 in
+  Alcotest.(check bool) "infinite limit" true (Nonlin.saturation_input n = infinity);
+  Alcotest.check (approx 1e-9) "pure gain" 200.0 (Nonlin.apply n 100.0)
+
+(* ---- Amplifier ---- *)
+
+let test_amp_gain_time_domain () =
+  let values = Amplifier.nominal_values Amplifier.default_params in
+  let inst = Amplifier.instance ctx values in
+  let rng = Prng.create 7 in
+  (* small signal, average over many samples to suppress noise *)
+  let x = 1e-3 in
+  let n = 2000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Amplifier.process inst ~rng x
+  done;
+  let gain = !acc /. float_of_int n /. x in
+  Alcotest.check (approx 0.3) "voltage gain 20 dB = 10x" 10.0 gain
+
+let test_amp_transform_applies_gain () =
+  let s = Attr.single_tone ~freq_hz:1.1e6 ~power_dbm:(-27.0) () in
+  let out = Amplifier.transform Amplifier.default_params ctx s in
+  match out.Attr.tones with
+  | [ tn ] ->
+    Alcotest.check (approx 1e-9) "gain applied" (-7.0) (I.mid tn.Attr.power_dbm);
+    Alcotest.check (approx 1e-9) "gain tolerance becomes accuracy" 1.0
+      (Attr.power_accuracy_db tn);
+    Alcotest.(check bool) "hd3 spur added" true
+      (List.exists
+         (fun sp -> match sp.Attr.origin with Attr.Harmonic 3 -> true | _ -> false)
+         out.Attr.spurs)
+  | _ -> Alcotest.fail "tone count"
+
+let test_amp_transform_im3_pair () =
+  let s = Attr.two_tone ~f1_hz:1.09e6 ~f2_hz:1.11e6 ~power_dbm:(-27.0) () in
+  let out = Amplifier.transform Amplifier.default_params ctx s in
+  let im3 =
+    List.filter (fun sp -> sp.Attr.origin = Attr.Intermod3) out.Attr.spurs
+  in
+  Alcotest.(check int) "two IM3 products" 2 (List.length im3);
+  (* P_IM3 = 3*(-27) - 2*8 + 20 = -77 dBm *)
+  List.iter
+    (fun sp -> Alcotest.check (approx 1e-6) "IM3 power" (-77.0) (I.mid sp.Attr.tone.Attr.power_dbm))
+    im3
+
+let test_amp_noise_floor_raises () =
+  let s = Attr.single_tone ~noise_dbm:(-120.0) ~freq_hz:1.1e6 ~power_dbm:(-27.0) () in
+  let out = Amplifier.transform Amplifier.default_params ctx s in
+  (* noise must rise by at least the gain (20 dB) plus some NF contribution *)
+  Alcotest.(check bool) "noise grew" true (out.Attr.noise_dbm > -100.5);
+  Alcotest.(check bool) "but not absurdly" true (out.Attr.noise_dbm < -90.0)
+
+(* ---- Local oscillator ---- *)
+
+let test_lo_frequency () =
+  let params = Local_osc.default_params ~freq_hz:1e6 in
+  let values = { (Local_osc.nominal_values params) with Local_osc.freq_error_hz = 150.0 } in
+  Alcotest.check (approx 1e-9) "actual freq" 1.00015e6 (Local_osc.actual_freq_hz values)
+
+let test_lo_waveform_spectrum () =
+  let params = Local_osc.default_params ~freq_hz:1e6 in
+  let values = Local_osc.nominal_values params in
+  let rng = Prng.create 10 in
+  let osc = Local_osc.create ctx values ~rng in
+  let n = 8192 in
+  let wave = Array.init n (fun _ -> Local_osc.next osc) in
+  let sp = Spectrum.analyze ~sample_rate:ctx.Context.sim_rate_hz wave in
+  let peak = Spectrum.peak_bin sp () in
+  Alcotest.check (Alcotest.float 2e3) "carrier at 1 MHz" 1e6 (Spectrum.frequency_of_bin sp peak);
+  Alcotest.check (approx 0.05) "unit amplitude power" 0.5 (Spectrum.tone_power sp ~freq:1e6)
+
+let test_lo_interval () =
+  let params = Local_osc.default_params ~freq_hz:1e6 in
+  let i = Local_osc.freq_interval_hz params in
+  Alcotest.check (approx 1e-9) "err" 200.0 (I.err i);
+  Alcotest.check (approx 1e-9) "mid" 1e6 (I.mid i)
+
+(* ---- Mixer ---- *)
+
+let test_mixer_downconversion () =
+  let values = Mixer.nominal_values Mixer.default_params in
+  let inst = Mixer.instance ctx values ~lo_drive_dbm:7.0 in
+  let lo_params = Local_osc.default_params ~freq_hz:1e6 in
+  let lo_values = Local_osc.nominal_values lo_params in
+  let rng = Prng.create 21 in
+  let osc = Local_osc.create ctx lo_values ~rng:(Prng.create 22) in
+  let n = 16384 in
+  let fs = ctx.Context.sim_rate_hz in
+  let f_rf = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:1.1e6 in
+  let input =
+    Tone.synthesize ~sample_rate:fs ~samples:n
+      [ Tone.component ~freq:f_rf ~amplitude:(Units.vpeak_of_dbm (-10.0)) () ]
+  in
+  let output =
+    Array.map (fun x -> Mixer.process inst ~rng ~lo:(Local_osc.next osc) x) input
+  in
+  let sp = Spectrum.analyze ~sample_rate:fs output in
+  (* IF tone at ~100 kHz should carry conversion gain ~8 dB *)
+  let p_if = Units.dbm_of_vpeak (sqrt (2.0 *. Spectrum.tone_power sp ~freq:(f_rf -. 1e6))) in
+  Alcotest.check (Alcotest.float 0.8) "conversion gain" (-2.0) p_if;
+  (* LO leakage at 1 MHz: drive 7 dBm - isolation 40 dB = -33 dBm *)
+  let p_leak = Units.dbm_of_vpeak (sqrt (2.0 *. Spectrum.tone_power sp ~freq:1e6)) in
+  Alcotest.check (Alcotest.float 1.0) "lo leakage" (-33.0) p_leak
+
+let test_mixer_transform_translates () =
+  let lo = Local_osc.default_params ~freq_hz:1e6 in
+  let s = Attr.single_tone ~freq_hz:1.1e6 ~power_dbm:(-27.0) () in
+  let out = Mixer.transform Mixer.default_params ~lo ctx s in
+  (match out.Attr.tones with
+  | [ tn ] ->
+    Alcotest.check (approx 1.0) "translated to IF" 100e3 (I.mid tn.Attr.freq_hz);
+    Alcotest.(check bool) "freq accuracy includes LO error" true
+      (Attr.freq_accuracy_hz tn >= 200.0);
+    Alcotest.check (approx 1e-9) "conversion gain" (-19.0) (I.mid tn.Attr.power_dbm)
+  | _ -> Alcotest.fail "tone count");
+  Alcotest.(check bool) "LO leak spur present" true
+    (List.exists (fun sp -> sp.Attr.origin = Attr.Lo_leakage) out.Attr.spurs)
+
+(* ---- LPF ---- *)
+
+let test_lpf_passband_and_rolloff () =
+  let params = Lpf.default_params ~clock_hz:3.3e6 in
+  let values = Lpf.nominal_values params in
+  Alcotest.check (approx 0.2) "passband gain" (-2.0) (Lpf.magnitude_db values ctx ~freq:20e3);
+  Alcotest.check (approx 0.3) "-6 dB at fc (two 2nd-order sections)" (-8.02)
+    (Lpf.magnitude_db values ctx ~freq:200e3);
+  Alcotest.(check bool) "stopband floor respected" true
+    (Lpf.magnitude_db values ctx ~freq:3e6 >= values.Lpf.gain_db +. values.Lpf.stopband_db -. 1e-9)
+
+let test_lpf_time_domain_attenuation () =
+  let params = Lpf.default_params ~clock_hz:3.3e6 in
+  let values = Lpf.nominal_values params in
+  let inst = Lpf.instance ctx ~clock_hz:3.3e6 values in
+  let rng = Prng.create 31 in
+  let n = 16384 in
+  let fs = ctx.Context.sim_rate_hz in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:800e3 in
+  let input =
+    Tone.synthesize ~sample_rate:fs ~samples:n [ Tone.component ~freq:f ~amplitude:0.1 () ]
+  in
+  let output = Array.map (Lpf.process inst ~rng) input in
+  let tail = Array.sub output (n / 2) (n / 2) in
+  let sp = Spectrum.analyze ~sample_rate:fs tail in
+  let attenuation =
+    10.0 *. Float.log10 (Spectrum.tone_power sp ~freq:f /. (0.1 *. 0.1 /. 2.0))
+  in
+  Alcotest.check (Alcotest.float 1.5) "4x fc attenuation matches model"
+    (Lpf.magnitude_db values ctx ~freq:f) attenuation
+
+let test_lpf_clock_spur_emitted () =
+  let params = Lpf.default_params ~clock_hz:1.9e6 in
+  let values = Lpf.nominal_values params in
+  let inst = Lpf.instance ctx ~clock_hz:1.9e6 values in
+  let rng = Prng.create 32 in
+  let n = 16384 in
+  let fs = ctx.Context.sim_rate_hz in
+  let output = Array.map (fun _ -> Lpf.process inst ~rng 0.0) (Array.make n 0) in
+  let sp = Spectrum.analyze ~sample_rate:fs output in
+  let spur_dbm = Units.dbm_of_vpeak (sqrt (2.0 *. Spectrum.tone_power sp ~freq:1.9e6)) in
+  Alcotest.check (Alcotest.float 1.0) "clock spur level" values.Lpf.clock_spur_dbc spur_dbm
+
+let test_lpf_transform_shapes_tones () =
+  let params = Lpf.default_params ~clock_hz:3.3e6 in
+  let s = Attr.two_tone ~f1_hz:100e3 ~f2_hz:800e3 ~power_dbm:(-20.0) () in
+  let out = Lpf.transform params ctx s in
+  match out.Attr.tones with
+  | [ t1; t2 ] ->
+    Alcotest.(check bool) "passband tone kept" true (I.mid t1.Attr.power_dbm > -23.0);
+    Alcotest.(check bool) "out-of-band tone attenuated" true (I.mid t2.Attr.power_dbm < -40.0);
+    Alcotest.(check bool) "clock spur tracked" true
+      (List.exists (fun sp -> sp.Attr.origin = Attr.Clock_spur) out.Attr.spurs)
+  | _ -> Alcotest.fail "tone count"
+
+(* ---- ADC ---- *)
+
+let test_adc_codes_linear_ramp () =
+  let params = { Adc.default_params with Adc.inl_lsb = Param.exact 0.0;
+                 dnl_lsb = Param.exact 0.0; offset_error_v = Param.exact 0.0;
+                 nf_db = Param.exact 0.0 } in
+  let inst = Adc.instance params ctx (Adc.nominal_values params) ~rng:(Prng.create 41) in
+  let rng = Prng.create 42 in
+  let lsb = Adc.lsb_volts params in
+  List.iter
+    (fun v ->
+      let code = Adc.convert inst ~rng v in
+      let back = Adc.code_to_volts params code in
+      if Float.abs (back -. v) > lsb then Alcotest.failf "code error at %g V" v)
+    [ -0.9; -0.5; -0.1; 0.0; 0.2; 0.7; 0.99 ]
+
+let test_adc_saturates () =
+  let params = Adc.default_params in
+  let inst = Adc.instance params ctx (Adc.nominal_values params) ~rng:(Prng.create 43) in
+  let rng = Prng.create 44 in
+  Alcotest.(check int) "positive rail" (Adc.code_max params) (Adc.convert inst ~rng 5.0);
+  Alcotest.(check int) "negative rail" (Adc.code_min params) (Adc.convert inst ~rng (-5.0))
+
+let test_adc_capture_decimates () =
+  let params = Adc.default_params in
+  let inst = Adc.instance params ctx (Adc.nominal_values params) ~rng:(Prng.create 45) in
+  let rng = Prng.create 46 in
+  let samples = Array.init 64 (fun i -> float_of_int i /. 64.0) in
+  let codes = Adc.capture inst ~decimation:8 ~rng samples in
+  Alcotest.(check int) "decimated length" 8 (Array.length codes)
+
+let test_adc_enob_close_to_ideal () =
+  let params = { Adc.default_params with Adc.inl_lsb = Param.exact 0.0;
+                 dnl_lsb = Param.exact 0.0; nf_db = Param.exact 0.0 } in
+  let inst = Adc.instance params ctx (Adc.nominal_values params) ~rng:(Prng.create 47) in
+  let rng = Prng.create 48 in
+  let n = 8192 in
+  let fs = 1e6 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:100e3 in
+  let wave =
+    Tone.synthesize ~sample_rate:fs ~samples:n [ Tone.component ~freq:f ~amplitude:0.95 () ]
+  in
+  let codes = Array.map (fun v -> Adc.convert inst ~rng v) wave in
+  let volts = Array.map (Adc.code_to_volts params) codes in
+  let sp = Spectrum.analyze ~sample_rate:fs volts in
+  let r = Metrics.analyze sp in
+  Alcotest.(check bool) "ENOB within 1 bit of ideal" true
+    (r.Metrics.enob_bits > float_of_int params.Adc.bits -. 1.0)
+
+let test_adc_inl_creates_harmonics () =
+  let clean = { Adc.default_params with Adc.inl_lsb = Param.exact 0.0;
+                dnl_lsb = Param.exact 0.0; nf_db = Param.exact 0.0 } in
+  let bowed = { clean with Adc.inl_lsb = Param.exact 8.0 } in
+  let run params seed =
+    let inst = Adc.instance params ctx (Adc.nominal_values params) ~rng:(Prng.create seed) in
+    let rng = Prng.create (seed + 1) in
+    let n = 8192 and fs = 1e6 in
+    let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:100e3 in
+    let wave =
+      Tone.synthesize ~sample_rate:fs ~samples:n [ Tone.component ~freq:f ~amplitude:0.9 () ]
+    in
+    let codes = Array.map (fun v -> Adc.convert inst ~rng v) wave in
+    let volts = Array.map (Adc.code_to_volts params) codes in
+    let sp = Spectrum.analyze ~sample_rate:fs volts in
+    (Metrics.analyze sp).Metrics.thd_db
+  in
+  Alcotest.(check bool) "INL bow worsens THD" true (run bowed 50 > run clean 52 +. 6.0)
+
+let test_adc_transform_folds_and_adds_noise () =
+  let s = Attr.single_tone ~noise_dbm:(-100.0) ~freq_hz:700e3 ~power_dbm:0.0 () in
+  let out = Adc.transform Adc.default_params ~adc_rate_hz:1e6 ctx s in
+  (match out.Attr.tones with
+  | [ tn ] -> Alcotest.check (approx 1.0) "folded to 300 kHz" 300e3 (I.mid tn.Attr.freq_hz)
+  | _ -> Alcotest.fail "tone count");
+  Alcotest.(check bool) "quantization noise dominates" true (out.Attr.noise_dbm > -82.0)
+
+(* ---- Sigma-delta ---- *)
+
+let sd_ctx = Context.make ~sim_rate_hz:8e6 ~analysis_bw_hz:100e3 ()
+
+let sd_instance ?(values = Sigma_delta.nominal_values (Sigma_delta.default_params ~full_scale_v:1.0)) seed =
+  Sigma_delta.instance (Sigma_delta.default_params ~full_scale_v:1.0) sd_ctx values
+    ~rng:(Prng.create seed)
+
+let sd_inband_snr inst ~amplitude =
+  let decim = 16 and n_out = 2048 in
+  let fs = 8e6 in
+  let out_rate = fs /. float_of_int decim in
+  let f = Tone.coherent_frequency ~sample_rate:out_rate ~samples:n_out ~target:15e3 in
+  let wave =
+    Tone.synthesize ~sample_rate:fs ~samples:(n_out * decim)
+      [ Tone.component ~freq:f ~amplitude () ]
+  in
+  let codes = Sigma_delta.capture inst ~decimation:decim wave in
+  let volts = Array.map float_of_int codes in
+  let sp = Spectrum.analyze ~sample_rate:out_rate volts in
+  let signal = Spectrum.tone_power sp ~freq:f in
+  let noise = ref 0.0 in
+  for k = 1 to Spectrum.bin_count sp - 1 do
+    let fr = Spectrum.frequency_of_bin sp k in
+    if fr < 25e3 && Float.abs (fr -. f) > 2e3 then noise := !noise +. sp.Spectrum.bins.(k)
+  done;
+  10.0 *. Float.log10 (signal /. !noise)
+
+let test_sd_bitstream_is_binary () =
+  let inst = sd_instance 1 in
+  let bits = Sigma_delta.modulate inst (Array.make 1000 0.3) in
+  Array.iter (fun b -> if b <> 1 && b <> -1 then Alcotest.fail "non-binary output") bits
+
+let test_sd_dc_tracking () =
+  let inst = sd_instance 2 in
+  List.iter
+    (fun dc ->
+      Sigma_delta.reset inst;
+      let bits = Sigma_delta.modulate inst (Array.make 20000 dc) in
+      let mean =
+        float_of_int (Array.fold_left ( + ) 0 bits) /. float_of_int (Array.length bits)
+      in
+      Alcotest.check (approx 0.01) (Printf.sprintf "dc %.2f" dc) dc mean)
+    [ -0.5; -0.2; 0.0; 0.3; 0.6 ]
+
+let test_sd_capture_tone_fidelity () =
+  let inst = sd_instance 3 in
+  let decim = 16 in
+  let n_out = 4096 in
+  let fs = 8e6 in
+  let out_rate = fs /. float_of_int decim in
+  let f = Tone.coherent_frequency ~sample_rate:out_rate ~samples:n_out ~target:20e3 in
+  let wave =
+    Tone.synthesize ~sample_rate:fs ~samples:(n_out * decim)
+      [ Tone.component ~freq:f ~amplitude:0.6 () ]
+  in
+  let codes = Sigma_delta.capture inst ~decimation:decim wave in
+  let scale = float_of_int (Sigma_delta.output_full_scale ~decimation:decim) in
+  let volts = Array.map (fun c -> float_of_int c /. scale) codes in
+  let sp = Spectrum.analyze ~sample_rate:out_rate volts in
+  Alcotest.check (approx 0.02) "tone power through modulator+CIC" 0.18
+    (Spectrum.tone_power sp ~freq:f)
+
+let test_sd_inband_snr_high () =
+  Alcotest.(check bool) "in-band SNR > 60 dB at OSR 160" true
+    (sd_inband_snr (sd_instance 4) ~amplitude:0.6 > 60.0)
+
+let test_sd_overload () =
+  Alcotest.(check bool) "overload degrades SNDR" true
+    (sd_inband_snr (sd_instance 11) ~amplitude:0.99
+     < sd_inband_snr (sd_instance 12) ~amplitude:0.6 -. 10.0)
+
+let test_sd_leakage_hurts () =
+  let leaky_values =
+    { (Sigma_delta.nominal_values (Sigma_delta.default_params ~full_scale_v:1.0)) with
+      Sigma_delta.leakage = 0.02 }
+  in
+  Alcotest.(check bool) "integrator leakage raises the in-band floor" true
+    (sd_inband_snr (sd_instance ~values:leaky_values 22) ~amplitude:0.6
+     < sd_inband_snr (sd_instance 21) ~amplitude:0.6)
+
+(* ---- Path ---- *)
+
+let test_path_gain_interval () =
+  let path = Path.default_receiver () in
+  Alcotest.check (approx 1e-9) "nominal path gain" 26.0 (Path.nominal_path_gain_db path);
+  Alcotest.check (approx 1e-9) "tolerance accumulates" 2.8
+    (I.err (Path.path_gain_interval_db path))
+
+let test_path_stages_order () =
+  let path = Path.default_receiver () in
+  let stim = Attr.single_tone ~freq_hz:1.1e6 ~power_dbm:(-27.0) () in
+  let stages = Path.stages path stim in
+  Alcotest.(check (list string)) "stage names" [ "amp"; "mixer"; "lpf"; "adc" ]
+    (List.map fst stages)
+
+let test_path_waveform_end_to_end () =
+  let path = Path.default_receiver () in
+  let eng = Path.engine path (Path.nominal_part path) ~seed:77 in
+  let fs = path.Path.ctx.Context.sim_rate_hz in
+  let adc_rate = Path.adc_rate_hz path in
+  let n_adc = 2048 in
+  let n_sim = n_adc * path.Path.adc_decimation in
+  let f_if = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:100e3 in
+  let f_rf = 1e6 +. f_if in
+  let input =
+    Tone.synthesize ~sample_rate:fs ~samples:n_sim
+      [ Tone.component ~freq:f_rf ~amplitude:(Units.vpeak_of_dbm (-27.0)) () ]
+  in
+  let volts = Path.run_volts eng input in
+  Alcotest.(check int) "decimated length" n_adc (Array.length volts);
+  let sp = Spectrum.analyze ~sample_rate:adc_rate volts in
+  let p_if = Units.dbm_of_vpeak (sqrt (2.0 *. Spectrum.tone_power sp ~freq:f_if)) in
+  (* -27 dBm + 28 dB path gain ~ +1 dBm at the ADC *)
+  Alcotest.check (Alcotest.float 1.5) "path gain realised" (-1.0) p_if
+
+let test_path_attribute_vs_waveform_consistency () =
+  (* The attribute-domain SNR prediction must bracket the measured one. *)
+  let path = Path.default_receiver () in
+  let eng = Path.engine path (Path.nominal_part path) ~seed:5 in
+  let fs = path.Path.ctx.Context.sim_rate_hz in
+  let adc_rate = Path.adc_rate_hz path in
+  let n_adc = 4096 in
+  let n_sim = n_adc * path.Path.adc_decimation in
+  let f_if = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:100e3 in
+  let f_rf = 1e6 +. f_if in
+  let input =
+    Tone.synthesize ~sample_rate:fs ~samples:n_sim
+      [ Tone.component ~freq:f_rf ~amplitude:(Units.vpeak_of_dbm (-27.0)) () ]
+  in
+  let volts = Path.run_volts eng input in
+  let sp = Spectrum.analyze ~sample_rate:adc_rate volts in
+  let measured_snr = Metrics.snr_db sp ~fundamental:f_if in
+  let stim =
+    Attr.single_tone ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx) ~freq_hz:f_rf
+      ~power_dbm:(-27.0) ()
+  in
+  let predicted = Attr.snr_db (Path.at_filter_input path stim) in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.1f within predicted [%.1f, %.1f] +/- 3 dB" measured_snr
+       predicted.I.lo predicted.I.hi)
+    true
+    (measured_snr > predicted.I.lo -. 3.0 && measured_snr < predicted.I.hi +. 3.0)
+
+let test_sampled_parts_differ_but_within_tolerance () =
+  let path = Path.default_receiver () in
+  let g = Prng.create 123 in
+  let p1 = Path.sample_part path g and p2 = Path.sample_part path g in
+  Alcotest.(check bool) "parts differ" true
+    (p1.Path.amp_v.Amplifier.gain_db <> p2.Path.amp_v.Amplifier.gain_db);
+  List.iter
+    (fun (p : Path.part) ->
+      if Float.abs (p.Path.amp_v.Amplifier.gain_db -. 20.0) > 1.0 then
+        Alcotest.fail "sampled gain escaped tolerance")
+    [ p1; p2 ]
+
+let () =
+  Alcotest.run "msoc_analog"
+    [ ( "param",
+        [ Alcotest.test_case "interval" `Quick test_param_interval;
+          Alcotest.test_case "sampling in tolerance" `Quick test_param_sampling_in_tolerance;
+          Alcotest.test_case "exact" `Quick test_param_exact;
+          Alcotest.test_case "defective deviates" `Quick test_param_defective_deviates ] );
+      ( "nonlin",
+        [ Alcotest.test_case "small-signal gain" `Quick test_nonlin_small_signal_gain;
+          Alcotest.test_case "IM3 matches IIP3" `Quick test_nonlin_im3_matches_iip3;
+          Alcotest.test_case "P1dB placement" `Quick test_nonlin_p1db_placement;
+          Alcotest.test_case "saturation clamps" `Quick test_nonlin_saturation_clamps;
+          Alcotest.test_case "linear never saturates" `Quick test_nonlin_linear_never_saturates ] );
+      ( "amplifier",
+        [ Alcotest.test_case "time-domain gain" `Quick test_amp_gain_time_domain;
+          Alcotest.test_case "transform gain+accuracy" `Quick test_amp_transform_applies_gain;
+          Alcotest.test_case "transform IM3 pair" `Quick test_amp_transform_im3_pair;
+          Alcotest.test_case "noise floor" `Quick test_amp_noise_floor_raises ] );
+      ( "local-osc",
+        [ Alcotest.test_case "frequency" `Quick test_lo_frequency;
+          Alcotest.test_case "waveform spectrum" `Quick test_lo_waveform_spectrum;
+          Alcotest.test_case "interval" `Quick test_lo_interval ] );
+      ( "mixer",
+        [ Alcotest.test_case "downconversion" `Quick test_mixer_downconversion;
+          Alcotest.test_case "transform translates" `Quick test_mixer_transform_translates ] );
+      ( "lpf",
+        [ Alcotest.test_case "response" `Quick test_lpf_passband_and_rolloff;
+          Alcotest.test_case "time-domain attenuation" `Quick test_lpf_time_domain_attenuation;
+          Alcotest.test_case "clock spur" `Quick test_lpf_clock_spur_emitted;
+          Alcotest.test_case "transform shaping" `Quick test_lpf_transform_shapes_tones ] );
+      ( "adc",
+        [ Alcotest.test_case "linear ramp" `Quick test_adc_codes_linear_ramp;
+          Alcotest.test_case "saturation" `Quick test_adc_saturates;
+          Alcotest.test_case "capture decimates" `Quick test_adc_capture_decimates;
+          Alcotest.test_case "ENOB near ideal" `Quick test_adc_enob_close_to_ideal;
+          Alcotest.test_case "INL harmonics" `Quick test_adc_inl_creates_harmonics;
+          Alcotest.test_case "transform fold+noise" `Quick test_adc_transform_folds_and_adds_noise ] );
+      ( "sigma-delta",
+        [ Alcotest.test_case "binary bitstream" `Quick test_sd_bitstream_is_binary;
+          Alcotest.test_case "dc tracking" `Quick test_sd_dc_tracking;
+          Alcotest.test_case "tone fidelity" `Quick test_sd_capture_tone_fidelity;
+          Alcotest.test_case "in-band SNR" `Quick test_sd_inband_snr_high;
+          Alcotest.test_case "overload" `Quick test_sd_overload;
+          Alcotest.test_case "leakage floor" `Quick test_sd_leakage_hurts ] );
+      ( "path",
+        [ Alcotest.test_case "gain interval" `Quick test_path_gain_interval;
+          Alcotest.test_case "stage order" `Quick test_path_stages_order;
+          Alcotest.test_case "waveform end-to-end" `Quick test_path_waveform_end_to_end;
+          Alcotest.test_case "attribute vs waveform" `Quick
+            test_path_attribute_vs_waveform_consistency;
+          Alcotest.test_case "sampled parts" `Quick test_sampled_parts_differ_but_within_tolerance ] ) ]

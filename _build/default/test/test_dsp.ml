@@ -1,0 +1,482 @@
+(* Unit and property tests for msoc_dsp. *)
+
+open Msoc_dsp
+module Prng = Msoc_util.Prng
+
+let approx eps = Alcotest.float eps
+
+let max_complex_err a b =
+  let err = ref 0.0 in
+  Array.iteri (fun i c -> err := Float.max !err (Complex.norm (Complex.sub c b.(i)))) a;
+  !err
+
+let random_complex g n =
+  Array.init n (fun _ ->
+      { Complex.re = Prng.float g -. 0.5; im = Prng.float g -. 0.5 })
+
+(* ---- FFT ---- *)
+
+let test_power_of_two_helpers () =
+  Alcotest.(check bool) "1 is pow2" true (Fft.is_power_of_two 1);
+  Alcotest.(check bool) "1024 is pow2" true (Fft.is_power_of_two 1024);
+  Alcotest.(check bool) "48 is not" false (Fft.is_power_of_two 48);
+  Alcotest.(check int) "next of 48" 64 (Fft.next_power_of_two 48);
+  Alcotest.(check int) "next of 64" 64 (Fft.next_power_of_two 64)
+
+let test_fft_matches_dft_pow2 () =
+  let g = Prng.create 1 in
+  let x = random_complex g 64 in
+  Alcotest.(check bool) "fft = dft (64)" true (max_complex_err (Fft.fft x) (Fft.dft x) < 1e-11)
+
+let test_fft_matches_dft_bluestein () =
+  let g = Prng.create 2 in
+  List.iter
+    (fun n ->
+      let x = random_complex g n in
+      if max_complex_err (Fft.fft x) (Fft.dft x) >= 1e-10 then
+        Alcotest.failf "bluestein mismatch at n=%d" n)
+    [ 3; 5; 12; 17; 48; 100; 63 ]
+
+let test_fft_impulse () =
+  (* delta function transforms to all ones *)
+  let x = Array.make 16 Complex.zero in
+  x.(0) <- Complex.one;
+  let spectrum = Fft.fft x in
+  Array.iter
+    (fun (c : Complex.t) ->
+      Alcotest.check (approx 1e-12) "re" 1.0 c.Complex.re;
+      Alcotest.check (approx 1e-12) "im" 0.0 c.Complex.im)
+    spectrum
+
+let test_fft_linearity () =
+  let g = Prng.create 3 in
+  let x = random_complex g 32 and y = random_complex g 32 in
+  let sum = Array.init 32 (fun i -> Complex.add x.(i) y.(i)) in
+  let fx = Fft.fft x and fy = Fft.fft y and fsum = Fft.fft sum in
+  let expected = Array.init 32 (fun i -> Complex.add fx.(i) fy.(i)) in
+  Alcotest.(check bool) "linear" true (max_complex_err fsum expected < 1e-11)
+
+let test_parseval () =
+  let g = Prng.create 4 in
+  let x = random_complex g 128 in
+  let time_energy = Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 x in
+  let freq_energy =
+    Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 (Fft.fft x) /. 128.0
+  in
+  Alcotest.check (approx 1e-9) "parseval" time_energy freq_energy
+
+let prop_fft_roundtrip =
+  QCheck.Test.make ~name:"ifft (fft x) = x for arbitrary sizes" ~count:60
+    (QCheck.int_range 2 200) (fun n ->
+      let g = Prng.create n in
+      let x = random_complex g n in
+      max_complex_err (Fft.ifft (Fft.fft x)) x < 1e-9)
+
+let test_rfft_hermitian_consistency () =
+  let g = Prng.create 5 in
+  let x = Array.init 64 (fun _ -> Prng.float g -. 0.5) in
+  let half = Fft.rfft x in
+  Alcotest.(check int) "length n/2+1" 33 (Array.length half);
+  let full = Fft.fft (Array.map (fun v -> { Complex.re = v; im = 0.0 }) x) in
+  Alcotest.(check bool) "prefix matches" true
+    (max_complex_err half (Array.sub full 0 33) < 1e-11)
+
+(* ---- Window ---- *)
+
+let test_window_dc_gain () =
+  List.iter
+    (fun kind ->
+      let w = Window.coefficients kind 256 in
+      let mean = Array.fold_left ( +. ) 0.0 w /. 256.0 in
+      Alcotest.check (approx 1e-3)
+        (Window.name kind ^ " coherent gain")
+        (Window.coherent_gain kind) mean)
+    Window.all
+
+let test_window_enbw_empirical () =
+  List.iter
+    (fun kind ->
+      let n = 4096 in
+      let w = Window.coefficients kind n in
+      let sum = Array.fold_left ( +. ) 0.0 w in
+      let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 w in
+      let enbw = float_of_int n *. sum_sq /. (sum *. sum) in
+      Alcotest.check (approx 1e-2)
+        (Window.name kind ^ " ENBW")
+        (Window.noise_bandwidth_bins kind) enbw)
+    Window.all
+
+let test_window_known_enbw () =
+  Alcotest.check (approx 1e-9) "rect" 1.0 (Window.noise_bandwidth_bins Window.Rectangular);
+  Alcotest.check (approx 1e-9) "hann" 1.5 (Window.noise_bandwidth_bins Window.Hann)
+
+let test_window_apply () =
+  let signal = Array.make 100 1.0 in
+  let out = Window.apply Window.Hann signal in
+  Alcotest.(check int) "same length" 100 (Array.length out);
+  Alcotest.check (approx 1e-9) "starts at zero" 0.0 out.(0)
+
+(* ---- Spectrum & Metrics ---- *)
+
+let coherent_sine ?(amplitude = 1.0) ~n ~fs ~target () =
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target in
+  (f, Tone.synthesize ~sample_rate:fs ~samples:n [ Tone.component ~freq:f ~amplitude () ])
+
+let test_tone_power_reads_true () =
+  List.iter
+    (fun window ->
+      let f, signal = coherent_sine ~amplitude:0.7 ~n:1024 ~fs:1000.0 ~target:100.0 () in
+      let sp = Spectrum.analyze ~window ~sample_rate:1000.0 signal in
+      Alcotest.check (approx 1e-3)
+        (Window.name window ^ " tone power")
+        (0.7 *. 0.7 /. 2.0) (Spectrum.tone_power sp ~freq:f))
+    [ Window.Rectangular; Window.Hann; Window.Blackman ]
+
+let test_spectrum_noise_total () =
+  let g = Prng.create 6 in
+  let sigma = 0.1 in
+  let noise = Array.init 4096 (fun _ -> sigma *. Prng.gaussian g) in
+  let sp = Spectrum.analyze ~window:Window.Hann ~sample_rate:1.0 noise in
+  let total = Spectrum.total_power sp ~exclude_dc:false in
+  Alcotest.check (approx 1e-3) "noise variance recovered" (sigma *. sigma) total
+
+let test_bin_frequency_mapping () =
+  let _, signal = coherent_sine ~n:512 ~fs:2048.0 ~target:300.0 () in
+  let sp = Spectrum.analyze ~sample_rate:2048.0 signal in
+  Alcotest.(check int) "bin of f" 64 (Spectrum.bin_of_frequency sp 256.0);
+  Alcotest.check (approx 1e-9) "freq of bin" 256.0 (Spectrum.frequency_of_bin sp 64)
+
+let test_metrics_clean_sine () =
+  let f, signal = coherent_sine ~n:2048 ~fs:10000.0 ~target:1000.0 () in
+  let sp = Spectrum.analyze ~sample_rate:10000.0 signal in
+  let r = Metrics.analyze sp in
+  Alcotest.check (approx 10.0) "fundamental found" f r.Metrics.fundamental_freq;
+  Alcotest.(check bool) "snr very high" true (r.Metrics.snr_db > 100.0);
+  Alcotest.(check bool) "sfdr very high" true (r.Metrics.sfdr_db > 100.0)
+
+let test_metrics_known_snr () =
+  let g = Prng.create 7 in
+  let fs = 10000.0 and n = 8192 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:1000.0 in
+  let sigma = 0.01 in
+  (* amplitude-1 sine: signal power 0.5; noise sigma^2 = 1e-4 -> SNR = 37 dB *)
+  let signal =
+    Array.map
+      (fun x -> x +. (sigma *. Prng.gaussian g))
+      (Tone.synthesize ~sample_rate:fs ~samples:n [ Tone.component ~freq:f ~amplitude:1.0 () ])
+  in
+  let sp = Spectrum.analyze ~sample_rate:fs signal in
+  let expected = 10.0 *. Float.log10 (0.5 /. (sigma *. sigma)) in
+  Alcotest.check (approx 1.0) "snr" expected (Metrics.snr_db sp ~fundamental:f)
+
+let test_metrics_harmonic_distortion () =
+  let fs = 10000.0 and n = 4096 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:900.0 in
+  let signal =
+    Tone.synthesize ~sample_rate:fs ~samples:n
+      [ Tone.component ~freq:f ~amplitude:1.0 ();
+        Tone.component ~freq:(3.0 *. f) ~amplitude:0.01 () ]
+  in
+  let sp = Spectrum.analyze ~sample_rate:fs signal in
+  let hd3 = Metrics.harmonic_power_db sp ~fundamental:f ~harmonic:3 in
+  let fund = Metrics.harmonic_power_db sp ~fundamental:f ~harmonic:1 in
+  Alcotest.check (approx 0.3) "hd3 at -40 dBc" (-40.0) (hd3 -. fund);
+  let r = Metrics.analyze sp in
+  Alcotest.check (approx 0.5) "thd ~ -40" (-40.0) r.Metrics.thd_db;
+  Alcotest.check (approx 0.5) "sfdr ~ 40" 40.0 r.Metrics.sfdr_db
+
+let test_aliased_harmonic () =
+  (* 3rd harmonic of ~2400 Hz at fs 10 kHz lands at ~7200 -> folds to ~2800. *)
+  let fs = 10000.0 and n = 4096 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:2400.0 in
+  let folded = fs -. (3.0 *. f) in
+  let amplitude = 0.003 in
+  let signal =
+    Tone.synthesize ~sample_rate:fs ~samples:n
+      [ Tone.component ~freq:f ~amplitude:1.0 ();
+        Tone.component ~freq:folded ~amplitude () ]
+  in
+  let sp = Spectrum.analyze ~sample_rate:fs signal in
+  let hd3 = Metrics.harmonic_power_db sp ~fundamental:f ~harmonic:3 in
+  Alcotest.check (approx 0.5) "folded hd3 found"
+    (10.0 *. Float.log10 (amplitude *. amplitude /. 2.0))
+    hd3
+
+let test_intermod_products () =
+  let f1, f2 = (90.0, 110.0) in
+  let lo, hi = Metrics.intermod3_products ~f1 ~f2 in
+  Alcotest.check (approx 1e-9) "2f1-f2" 70.0 lo;
+  Alcotest.check (approx 1e-9) "2f2-f1" 130.0 hi
+
+let test_snr_multi_excludes_tones () =
+  let g = Prng.create 8 in
+  let fs = 1000.0 and n = 4096 in
+  let f1 = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:90.0 in
+  let f2 = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:110.0 in
+  let sigma = 0.01 in
+  let signal =
+    Array.map
+      (fun x -> x +. (sigma *. Prng.gaussian g))
+      (Tone.two_tone ~sample_rate:fs ~samples:n ~f1 ~f2 ~amplitude:1.0)
+  in
+  let sp = Spectrum.analyze ~sample_rate:fs signal in
+  let expected = 10.0 *. Float.log10 (1.0 /. (sigma *. sigma)) in
+  Alcotest.check (approx 1.0) "multi-tone snr" expected
+    (Metrics.snr_multi_db sp ~signals:[ f1; f2 ] ())
+
+(* ---- Tone ---- *)
+
+let test_coherent_frequency_odd_cycles () =
+  let fs = 1000.0 and n = 1024 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:100.0 in
+  let cycles = f *. float_of_int n /. fs in
+  Alcotest.(check bool) "integral cycles" true
+    (Float.abs (cycles -. Float.round cycles) < 1e-9);
+  Alcotest.(check bool) "odd" true (int_of_float (Float.round cycles) mod 2 = 1)
+
+let test_crest_factor_sine () =
+  let _, signal = coherent_sine ~n:4096 ~fs:1000.0 ~target:100.0 () in
+  Alcotest.check (approx 0.01) "sine crest" (sqrt 2.0) (Tone.crest_factor signal)
+
+let test_streaming_matches_batch () =
+  let fs = 1000.0 in
+  let comps = [ Tone.component ~freq:123.0 ~amplitude:0.5 ~phase:0.3 () ] in
+  let batch = Tone.synthesize ~sample_rate:fs ~samples:64 comps in
+  Array.iteri
+    (fun t expected ->
+      Alcotest.check (approx 1e-12) "sample" expected (Tone.sample ~sample_rate:fs ~t comps))
+    batch
+
+let test_tone_fit_recovers_components () =
+  let fs = 1e6 and n = 2048 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:123e3 in
+  let signal =
+    Tone.synthesize ~sample_rate:fs ~samples:n
+      [ Tone.component ~freq:f ~amplitude:0.42 ~phase:0.7 () ]
+  in
+  let fit = Tone.fit signal ~sample_rate:fs ~freq:f in
+  Alcotest.check (approx 1e-9) "amplitude" 0.42 fit.Tone.amplitude;
+  Alcotest.check (approx 1e-9) "phase" 0.7 fit.Tone.phase
+
+let test_tone_fit_under_noise () =
+  let g = Prng.create 9 in
+  let fs = 1e6 and n = 8192 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:90e3 in
+  let signal =
+    Array.map
+      (fun x -> x +. (0.05 *. Prng.gaussian g))
+      (Tone.synthesize ~sample_rate:fs ~samples:n [ Tone.component ~freq:f ~amplitude:1.0 () ])
+  in
+  let fit = Tone.fit signal ~sample_rate:fs ~freq:f in
+  Alcotest.check (approx 0.01) "amplitude under noise" 1.0 fit.Tone.amplitude
+
+(* ---- Goertzel ---- *)
+
+let test_goertzel_matches_fft () =
+  let g = Prng.create 13 in
+  let signal = Array.init 256 (fun _ -> Prng.float g -. 0.5) in
+  let full = Fft.rfft signal in
+  List.iter
+    (fun k ->
+      let c = Goertzel.bin signal ~k in
+      if Complex.norm (Complex.sub c full.(k)) > 1e-9 then
+        Alcotest.failf "goertzel bin %d differs from fft" k)
+    [ 0; 1; 17; 64; 128 ]
+
+let test_goertzel_tone_power () =
+  let fs = 1000.0 and n = 1024 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:100.0 in
+  let signal =
+    Tone.synthesize ~sample_rate:fs ~samples:n [ Tone.component ~freq:f ~amplitude:0.8 () ]
+  in
+  Alcotest.check (approx 1e-6) "a^2/2" (0.8 *. 0.8 /. 2.0)
+    (Goertzel.power signal ~sample_rate:fs ~freq:f);
+  Alcotest.(check bool) "empty bin quiet" true
+    (Goertzel.power_db signal ~sample_rate:fs ~freq:(f *. 2.0) < -200.0)
+
+(* ---- CIC ---- *)
+
+let test_cic_dc_gain () =
+  let cic = Cic.create ~order:3 ~decimation:8 in
+  Alcotest.(check int) "gain r^n" 512 (Cic.gain cic);
+  let out = Cic.process cic (Array.make 256 1) in
+  Alcotest.(check int) "output length" 32 (Array.length out);
+  (* after settling, a DC input of 1 reads the full gain *)
+  Alcotest.(check int) "steady-state dc" 512 out.(31)
+
+let test_cic_against_moving_average () =
+  (* order-1 CIC = boxcar sum of [decimation] samples *)
+  let g = Prng.create 4 in
+  let input = Array.init 128 (fun _ -> Prng.int g 100 - 50) in
+  let cic = Cic.create ~order:1 ~decimation:4 in
+  let out = Cic.process cic input in
+  Array.iteri
+    (fun i y ->
+      let expected = ref 0 in
+      for j = 0 to 3 do
+        expected := !expected + input.((i * 4) + j)
+      done;
+      if y <> !expected then Alcotest.failf "boxcar mismatch at %d" i)
+    out
+
+let test_cic_magnitude_nulls () =
+  let cic = Cic.create ~order:3 ~decimation:8 in
+  (* nulls at multiples of fs/R *)
+  Alcotest.(check bool) "null at fs/R" true
+    (Cic.magnitude_db cic ~input_rate:8e6 ~freq:1e6 < -100.0);
+  Alcotest.check (approx 1e-6) "unity at dc" 0.0
+    (Cic.magnitude_db cic ~input_rate:8e6 ~freq:1e-3)
+
+let test_cic_state_persists () =
+  let input = Array.init 64 (fun i -> i mod 7) in
+  let one_shot = Cic.process (Cic.create ~order:2 ~decimation:4) input in
+  let cic = Cic.create ~order:2 ~decimation:4 in
+  let first = Cic.process cic (Array.sub input 0 20) in
+  let second = Cic.process cic (Array.sub input 20 44) in
+  Alcotest.(check (array int)) "chunked = one shot" one_shot (Array.append first second)
+
+(* ---- FIR ---- *)
+
+let test_lowpass_response () =
+  let d = Fir.lowpass ~taps:31 ~cutoff:0.15 () in
+  Alcotest.check (approx 1e-6) "dc gain" 0.0 (Fir.magnitude_db d.Fir.taps ~freq:1e-6);
+  Alcotest.(check bool) "passband flat" true (Fir.magnitude_db d.Fir.taps ~freq:0.05 > -1.0);
+  Alcotest.(check bool) "stopband down" true (Fir.magnitude_db d.Fir.taps ~freq:0.35 < -40.0)
+
+let test_fir_symmetric () =
+  let d = Fir.lowpass ~taps:13 ~cutoff:0.12 () in
+  let t = d.Fir.taps in
+  for i = 0 to 6 do
+    Alcotest.check (approx 1e-12) "linear phase symmetry" t.(i) t.(12 - i)
+  done;
+  Alcotest.check (approx 1e-9) "group delay" 6.0 (Fir.group_delay_samples t)
+
+let test_quantize_roundtrip () =
+  let d = Fir.lowpass ~taps:13 ~cutoff:0.12 () in
+  let codes, scale = Fir.quantize d.Fir.taps ~bits:10 in
+  let back = Fir.dequantize codes ~scale in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) "quantization error within half LSB" true
+        (Float.abs (c -. d.Fir.taps.(i)) <= (scale /. 2.0) +. 1e-12))
+    back;
+  let max_code = Array.fold_left (fun m c -> max m (abs c)) 0 codes in
+  Alcotest.(check bool) "uses available range" true (max_code >= 256 && max_code <= 511)
+
+let test_filter_convolution () =
+  let taps = [| 0.5; 0.25; 0.25 |] in
+  let x = [| 1.0; 0.0; 0.0; 2.0 |] in
+  let y = Fir.filter taps x in
+  Alcotest.check (approx 1e-12) "y0" 0.5 y.(0);
+  Alcotest.check (approx 1e-12) "y1" 0.25 y.(1);
+  Alcotest.check (approx 1e-12) "y2" 0.25 y.(2);
+  Alcotest.check (approx 1e-12) "y3" 1.0 y.(3)
+
+let prop_fir_dc_gain_unity =
+  QCheck.Test.make ~name:"designed FIR has unity dc gain" ~count:40
+    (QCheck.pair (QCheck.int_range 3 41) (QCheck.float_range 0.05 0.4))
+    (fun (taps, cutoff) ->
+      let d = Fir.lowpass ~taps ~cutoff () in
+      Float.abs (Array.fold_left ( +. ) 0.0 d.Fir.taps -. 1.0) < 1e-9)
+
+(* ---- Biquad ---- *)
+
+let test_butterworth_minus3db () =
+  let c = Biquad.butterworth_lowpass ~sample_rate:48000.0 ~cutoff:1000.0 in
+  Alcotest.check (approx 0.05) "-3 dB at cutoff" (-3.0103)
+    (Biquad.magnitude_db c ~sample_rate:48000.0 ~freq:1000.0);
+  Alcotest.check (approx 0.1) "dc gain 0 dB" 0.0
+    (Biquad.magnitude_db c ~sample_rate:48000.0 ~freq:1.0)
+
+let test_butterworth_rolloff () =
+  let c = Biquad.butterworth_lowpass ~sample_rate:48000.0 ~cutoff:1000.0 in
+  let g10 = Biquad.magnitude_db c ~sample_rate:48000.0 ~freq:10000.0 in
+  (* 2nd order: -40 dB/decade (bilinear warping pushes it a little lower) *)
+  Alcotest.(check bool) "about -40 dB a decade up" true (g10 < -38.0 && g10 > -48.0)
+
+let test_biquad_time_domain_matches_response () =
+  let fs = 48000.0 and n = 8192 in
+  let c = Biquad.butterworth_lowpass ~sample_rate:fs ~cutoff:2000.0 in
+  let f = Tone.coherent_frequency ~sample_rate:fs ~samples:n ~target:1500.0 in
+  let input =
+    Tone.synthesize ~sample_rate:fs ~samples:n [ Tone.component ~freq:f ~amplitude:1.0 () ]
+  in
+  let st = Biquad.create c in
+  let output = Biquad.process st input in
+  let tail = Array.sub output (n / 2) (n / 2) in
+  let sp = Spectrum.analyze ~sample_rate:fs tail in
+  let measured = 10.0 *. Float.log10 (Spectrum.tone_power sp ~freq:f /. 0.5) in
+  Alcotest.check (approx 0.1) "time-domain gain matches H(f)"
+    (Biquad.magnitude_db c ~sample_rate:fs ~freq:f)
+    measured
+
+let test_biquad_reset () =
+  let c = Biquad.butterworth_lowpass ~sample_rate:1000.0 ~cutoff:100.0 in
+  let st = Biquad.create c in
+  let first = Biquad.process_sample st 1.0 in
+  Biquad.reset st;
+  Alcotest.check (approx 1e-12) "reset reproduces first sample" first
+    (Biquad.process_sample st 1.0)
+
+let test_cascade_magnitude () =
+  let c = Biquad.butterworth_lowpass ~sample_rate:48000.0 ~cutoff:1000.0 in
+  Alcotest.check (approx 1e-9) "cascade doubles dB"
+    (2.0 *. Biquad.magnitude_db c ~sample_rate:48000.0 ~freq:3000.0)
+    (Biquad.cascade_magnitude_db [ c; c ] ~sample_rate:48000.0 ~freq:3000.0)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "msoc_dsp"
+    [ ( "fft",
+        Alcotest.test_case "pow2 helpers" `Quick test_power_of_two_helpers
+        :: Alcotest.test_case "fft=dft pow2" `Quick test_fft_matches_dft_pow2
+        :: Alcotest.test_case "fft=dft bluestein" `Quick test_fft_matches_dft_bluestein
+        :: Alcotest.test_case "impulse" `Quick test_fft_impulse
+        :: Alcotest.test_case "linearity" `Quick test_fft_linearity
+        :: Alcotest.test_case "parseval" `Quick test_parseval
+        :: Alcotest.test_case "rfft" `Quick test_rfft_hermitian_consistency
+        :: qcheck [ prop_fft_roundtrip ] );
+      ( "window",
+        [ Alcotest.test_case "coherent gain" `Quick test_window_dc_gain;
+          Alcotest.test_case "ENBW empirical" `Quick test_window_enbw_empirical;
+          Alcotest.test_case "known ENBW" `Quick test_window_known_enbw;
+          Alcotest.test_case "apply" `Quick test_window_apply ] );
+      ( "spectrum",
+        [ Alcotest.test_case "tone power calibrated" `Quick test_tone_power_reads_true;
+          Alcotest.test_case "noise total" `Quick test_spectrum_noise_total;
+          Alcotest.test_case "bin mapping" `Quick test_bin_frequency_mapping ] );
+      ( "metrics",
+        [ Alcotest.test_case "clean sine" `Quick test_metrics_clean_sine;
+          Alcotest.test_case "known snr" `Quick test_metrics_known_snr;
+          Alcotest.test_case "harmonic distortion" `Quick test_metrics_harmonic_distortion;
+          Alcotest.test_case "aliased harmonic" `Quick test_aliased_harmonic;
+          Alcotest.test_case "intermod products" `Quick test_intermod_products;
+          Alcotest.test_case "multi-tone snr" `Quick test_snr_multi_excludes_tones ] );
+      ( "tone",
+        [ Alcotest.test_case "coherent odd cycles" `Quick test_coherent_frequency_odd_cycles;
+          Alcotest.test_case "crest factor" `Quick test_crest_factor_sine;
+          Alcotest.test_case "streaming = batch" `Quick test_streaming_matches_batch;
+          Alcotest.test_case "fit recovers amplitude/phase" `Quick
+            test_tone_fit_recovers_components;
+          Alcotest.test_case "fit under noise" `Quick test_tone_fit_under_noise ] );
+      ( "goertzel",
+        [ Alcotest.test_case "matches fft bins" `Quick test_goertzel_matches_fft;
+          Alcotest.test_case "tone power" `Quick test_goertzel_tone_power ] );
+      ( "cic",
+        [ Alcotest.test_case "dc gain" `Quick test_cic_dc_gain;
+          Alcotest.test_case "order-1 = boxcar" `Quick test_cic_against_moving_average;
+          Alcotest.test_case "magnitude nulls" `Quick test_cic_magnitude_nulls;
+          Alcotest.test_case "state persists" `Quick test_cic_state_persists ] );
+      ( "fir",
+        Alcotest.test_case "lowpass response" `Quick test_lowpass_response
+        :: Alcotest.test_case "symmetry" `Quick test_fir_symmetric
+        :: Alcotest.test_case "quantize" `Quick test_quantize_roundtrip
+        :: Alcotest.test_case "convolution" `Quick test_filter_convolution
+        :: qcheck [ prop_fir_dc_gain_unity ] );
+      ( "biquad",
+        [ Alcotest.test_case "-3dB point" `Quick test_butterworth_minus3db;
+          Alcotest.test_case "rolloff" `Quick test_butterworth_rolloff;
+          Alcotest.test_case "time domain matches H" `Quick
+            test_biquad_time_domain_matches_response;
+          Alcotest.test_case "reset" `Quick test_biquad_reset;
+          Alcotest.test_case "cascade" `Quick test_cascade_magnitude ] ) ]

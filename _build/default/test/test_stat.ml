@@ -1,0 +1,253 @@
+(* Unit and property tests for msoc_stat. *)
+
+open Msoc_stat
+module Prng = Msoc_util.Prng
+
+let approx eps = Alcotest.float eps
+
+(* ---- Special functions (reference values from standard tables) ---- *)
+
+let test_erf_values () =
+  let cases =
+    [ (0.0, 0.0);
+      (0.1, 0.112462916018285);
+      (0.5, 0.520499877813047);
+      (1.0, 0.842700792949715);
+      (2.0, 0.995322265018953);
+      (3.0, 0.999977909503001) ]
+  in
+  List.iter
+    (fun (x, expected) -> Alcotest.check (approx 1e-12) (Printf.sprintf "erf(%g)" x) expected (Special.erf x))
+    cases
+
+let test_erf_odd () =
+  List.iter
+    (fun x -> Alcotest.check (approx 1e-14) "erf is odd" (-.Special.erf x) (Special.erf (-.x)))
+    [ 0.3; 1.2; 2.7; 4.5 ]
+
+let test_erfc_tail () =
+  Alcotest.check (approx 1e-19) "erfc(5)" 1.537459794428035e-12 (Special.erfc 5.0);
+  Alcotest.check (approx 1e-30) "erfc(8)" 1.122429717298146e-29 (Special.erfc 8.0);
+  Alcotest.check (approx 1e-12) "erfc(-2) = 2 - erfc(2)" (2.0 -. Special.erfc 2.0)
+    (Special.erfc (-2.0))
+
+let test_erf_erfc_complement () =
+  List.iter
+    (fun x ->
+      Alcotest.check (approx 1e-13) "erf + erfc = 1" 1.0 (Special.erf x +. Special.erfc x))
+    [ 0.1; 0.7; 1.5; 3.0; 6.0 ]
+
+let test_probit () =
+  Alcotest.check (approx 1e-10) "probit(0.5)" 0.0 (Special.probit 0.5);
+  Alcotest.check (approx 1e-9) "probit(0.975)" 1.959963984540054 (Special.probit 0.975);
+  Alcotest.check (approx 1e-9) "probit(0.025)" (-1.959963984540054) (Special.probit 0.025);
+  Alcotest.check (approx 1e-8) "probit(1e-6)" (-4.753424308822899) (Special.probit 1e-6)
+
+let prop_probit_cdf_roundtrip =
+  QCheck.Test.make ~name:"probit inverts normal cdf" ~count:300
+    (QCheck.float_range 0.001 0.999) (fun p ->
+      let d = Distribution.normal ~mean:0.0 ~sigma:1.0 in
+      Float.abs (Distribution.cdf d (Special.probit p) -. p) < 1e-9)
+
+(* ---- Distributions ---- *)
+
+let test_normal_cdf_symmetry () =
+  let d = Distribution.normal ~mean:3.0 ~sigma:2.0 in
+  Alcotest.check (approx 1e-12) "cdf at mean" 0.5 (Distribution.cdf d 3.0);
+  Alcotest.check (approx 1e-12) "symmetry" 1.0 (Distribution.cdf d 1.0 +. Distribution.cdf d 5.0)
+
+let test_normal_pdf_integrates () =
+  let d = Distribution.normal ~mean:(-1.0) ~sigma:0.5 in
+  let integral =
+    Quadrature.adaptive_simpson ~f:(Distribution.pdf d) ~lo:(-6.0) ~hi:4.0 ()
+  in
+  Alcotest.check (approx 1e-8) "pdf integrates to 1" 1.0 integral
+
+let test_normal_quantile () =
+  let d = Distribution.normal ~mean:10.0 ~sigma:3.0 in
+  Alcotest.check (approx 1e-8) "median" 10.0 (Distribution.quantile d 0.5);
+  Alcotest.check (approx 1e-6) "roundtrip" 0.9
+    (Distribution.cdf d (Distribution.quantile d 0.9))
+
+let test_uniform () =
+  let d = Distribution.uniform ~lo:2.0 ~hi:6.0 in
+  Alcotest.check (approx 1e-12) "pdf inside" 0.25 (Distribution.pdf d 3.0);
+  Alcotest.check (approx 1e-12) "pdf outside" 0.0 (Distribution.pdf d 7.0);
+  Alcotest.check (approx 1e-12) "cdf mid" 0.5 (Distribution.cdf d 4.0);
+  Alcotest.check (approx 1e-12) "quantile" 5.0 (Distribution.quantile d 0.75);
+  Alcotest.check (approx 1e-12) "mean" 4.0 (Distribution.mean d);
+  Alcotest.check (approx 1e-9) "stddev" (4.0 /. sqrt 12.0) (Distribution.stddev d)
+
+let test_normal_of_tolerance () =
+  let d = Distribution.normal_of_tolerance ~nominal:5.0 ~tol:1.5 in
+  Alcotest.check (approx 1e-12) "sigma = tol/3" 0.5 (Distribution.stddev d);
+  (* 99.73% of parts inside the tolerance *)
+  Alcotest.check (approx 1e-4) "3-sigma mass" 0.9973
+    (Distribution.prob_between d ~lo:3.5 ~hi:6.5)
+
+let test_sampling_matches_cdf () =
+  let d = Distribution.normal ~mean:2.0 ~sigma:1.0 in
+  let g = Prng.create 77 in
+  let n = 20000 in
+  let below = ref 0 in
+  for _ = 1 to n do
+    if Distribution.sample d g <= 2.5 then incr below
+  done;
+  Alcotest.check (approx 0.02) "empirical cdf" (Distribution.cdf d 2.5)
+    (float_of_int !below /. float_of_int n)
+
+(* ---- Quadrature ---- *)
+
+let test_simpson_polynomial () =
+  (* Simpson is exact for cubics. *)
+  let f x = (2.0 *. x *. x *. x) -. (x *. x) +. 3.0 in
+  let exact = (0.5 *. 16.0) -. (8.0 /. 3.0) +. 6.0 in
+  Alcotest.check (approx 1e-9) "cubic exact" exact (Quadrature.simpson ~f ~lo:0.0 ~hi:2.0 ~n:8)
+
+let test_adaptive_simpson () =
+  let integral = Quadrature.adaptive_simpson ~f:sin ~lo:0.0 ~hi:Float.pi () in
+  Alcotest.check (approx 1e-9) "sin over half period" 2.0 integral
+
+let test_gauss_legendre_exactness () =
+  (* n-point GL is exact for degree 2n-1. *)
+  let f x = Float.pow x 9.0 in
+  Alcotest.check (approx 1e-10) "x^9 odd" 0.0 (Quadrature.gauss_legendre ~f ~lo:(-1.0) ~hi:1.0 ~n:5);
+  let g x = Float.pow x 8.0 in
+  Alcotest.check (approx 1e-10) "x^8" (2.0 /. 9.0)
+    (Quadrature.gauss_legendre ~f:g ~lo:(-1.0) ~hi:1.0 ~n:5)
+
+let test_gauss_legendre_weights () =
+  let nodes = Quadrature.gauss_legendre_nodes 16 in
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 nodes in
+  Alcotest.check (approx 1e-12) "weights sum to 2" 2.0 total
+
+let prop_simpson_linear_exact =
+  QCheck.Test.make ~name:"simpson exact on affine functions" ~count:200
+    (QCheck.pair (QCheck.float_range (-10.0) 10.0) (QCheck.float_range (-10.0) 10.0))
+    (fun (a, b) ->
+      let f x = (a *. x) +. b in
+      let exact = (a *. 4.5 *. 4.5 /. 2.0) +. (b *. 4.5) in
+      Float.abs (Quadrature.simpson ~f ~lo:0.0 ~hi:4.5 ~n:16 -. exact) < 1e-9)
+
+(* ---- Describe ---- *)
+
+let test_summarize () =
+  let s = Describe.summarize [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check int) "count" 8 s.Describe.count;
+  Alcotest.check (approx 1e-12) "mean" 5.0 s.Describe.mean;
+  Alcotest.check (approx 1e-9) "variance (unbiased)" (32.0 /. 7.0) s.Describe.variance;
+  Alcotest.check (approx 1e-12) "min" 2.0 s.Describe.minimum;
+  Alcotest.check (approx 1e-12) "max" 9.0 s.Describe.maximum
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.check (approx 1e-12) "median" 3.0 (Describe.median xs);
+  Alcotest.check (approx 1e-12) "p0" 1.0 (Describe.percentile xs 0.0);
+  Alcotest.check (approx 1e-12) "p100" 5.0 (Describe.percentile xs 1.0);
+  Alcotest.check (approx 1e-12) "p25 interpolated" 2.0 (Describe.percentile xs 0.25)
+
+let test_rms () =
+  Alcotest.check (approx 1e-12) "rms of constant" 3.0 (Describe.rms [| 3.0; -3.0; 3.0 |]);
+  Alcotest.check (approx 1e-12) "rms empty" 0.0 (Describe.rms [||])
+
+let prop_welford_matches_naive =
+  QCheck.Test.make ~name:"welford variance matches two-pass" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let mean = Array.fold_left ( +. ) 0.0 arr /. float_of_int n in
+      let naive =
+        Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 arr
+        /. float_of_int (n - 1)
+      in
+      let s = Describe.summarize arr in
+      Float.abs (s.Describe.variance -. naive) <= 1e-6 *. Float.max 1.0 naive)
+
+(* ---- Histogram ---- *)
+
+let test_histogram_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add_all h [| 0.5; 1.5; 1.7; 9.99; -1.0; 10.0 |];
+  Alcotest.(check int) "total in range" 4 (Histogram.total h);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Histogram.overflow h);
+  let counts = Histogram.counts h in
+  Alcotest.(check int) "bin 0" 1 counts.(0);
+  Alcotest.(check int) "bin 1" 2 counts.(1);
+  Alcotest.(check int) "bin 9" 1 counts.(9)
+
+let test_histogram_density_normalised () =
+  let h = Histogram.create ~lo:(-3.0) ~hi:3.0 ~bins:30 in
+  let g = Prng.create 5 in
+  for _ = 1 to 50000 do
+    Histogram.add h (Prng.gaussian g)
+  done;
+  let integral =
+    Array.fold_left (fun acc (_, d) -> acc +. (d *. Histogram.bin_width h)) 0.0
+      (Histogram.to_series h)
+  in
+  Alcotest.check (approx 1e-9) "density integrates to 1" 1.0 integral;
+  (* Compare the central bin with the normal pdf. *)
+  let _, d = (Histogram.to_series h).(15) in
+  Alcotest.check (approx 0.03) "central density ~ pdf(0)" 0.3989 d
+
+(* ---- Monte Carlo ---- *)
+
+let test_probability_estimate () =
+  let g = Prng.create 99 in
+  let e =
+    Monte_carlo.estimate_probability ~trials:20000 ~rng:g ~f:(fun g -> Prng.float g < 0.3)
+  in
+  Alcotest.check (approx 0.02) "probability" 0.3 e.Monte_carlo.p;
+  Alcotest.(check bool) "CI sane" true
+    (e.Monte_carlo.half_width_95 > 0.0 && e.Monte_carlo.half_width_95 < 0.02)
+
+let test_mean_estimate () =
+  let g = Prng.create 123 in
+  let e =
+    Monte_carlo.estimate_mean ~trials:20000 ~rng:g ~f:(fun g -> Prng.uniform g ~lo:0.0 ~hi:2.0)
+  in
+  Alcotest.check (approx 0.02) "mean" 1.0 e.Monte_carlo.mean;
+  Alcotest.check (approx 0.02) "stddev" (2.0 /. sqrt 12.0) e.Monte_carlo.stddev
+
+let test_sample_array () =
+  let g = Prng.create 7 in
+  let xs = Monte_carlo.sample_array ~trials:100 ~rng:g ~f:(fun g -> Prng.float g) in
+  Alcotest.(check int) "length" 100 (Array.length xs)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "msoc_stat"
+    [ ( "special",
+        Alcotest.test_case "erf table values" `Quick test_erf_values
+        :: Alcotest.test_case "erf odd" `Quick test_erf_odd
+        :: Alcotest.test_case "erfc tails" `Quick test_erfc_tail
+        :: Alcotest.test_case "erf+erfc" `Quick test_erf_erfc_complement
+        :: Alcotest.test_case "probit" `Quick test_probit
+        :: qcheck [ prop_probit_cdf_roundtrip ] );
+      ( "distribution",
+        [ Alcotest.test_case "normal cdf symmetry" `Quick test_normal_cdf_symmetry;
+          Alcotest.test_case "normal pdf integral" `Quick test_normal_pdf_integrates;
+          Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "normal of tolerance" `Quick test_normal_of_tolerance;
+          Alcotest.test_case "sampling matches cdf" `Quick test_sampling_matches_cdf ] );
+      ( "quadrature",
+        Alcotest.test_case "simpson cubic" `Quick test_simpson_polynomial
+        :: Alcotest.test_case "adaptive simpson" `Quick test_adaptive_simpson
+        :: Alcotest.test_case "gauss-legendre exactness" `Quick test_gauss_legendre_exactness
+        :: Alcotest.test_case "gauss-legendre weights" `Quick test_gauss_legendre_weights
+        :: qcheck [ prop_simpson_linear_exact ] );
+      ( "describe",
+        Alcotest.test_case "summarize" `Quick test_summarize
+        :: Alcotest.test_case "percentile" `Quick test_percentile
+        :: Alcotest.test_case "rms" `Quick test_rms
+        :: qcheck [ prop_welford_matches_naive ] );
+      ( "histogram",
+        [ Alcotest.test_case "binning" `Quick test_histogram_binning;
+          Alcotest.test_case "density normalised" `Quick test_histogram_density_normalised ] );
+      ( "monte-carlo",
+        [ Alcotest.test_case "probability estimate" `Quick test_probability_estimate;
+          Alcotest.test_case "mean estimate" `Quick test_mean_estimate;
+          Alcotest.test_case "sample array" `Quick test_sample_array ] ) ]

@@ -1,0 +1,843 @@
+(* Unit and property tests for msoc_synth — the paper's methodology. *)
+
+open Msoc_synth
+module Path = Msoc_analog.Path
+module Param = Msoc_analog.Param
+module Prng = Msoc_util.Prng
+module Distribution = Msoc_stat.Distribution
+
+let approx eps = Alcotest.float eps
+let path = Path.default_receiver ()
+
+(* ---- Spec ---- *)
+
+let test_table1_parameter_sets () =
+  (* The paper's Table 1 assignments. *)
+  Alcotest.(check (list string)) "Amp"
+    [ "Gain"; "IIP3"; "DC Offset"; "3rd Order Harmonic" ]
+    (List.map Spec.kind_name (Spec.table1 Spec.Amp));
+  Alcotest.(check (list string)) "Mixer"
+    [ "Gain"; "IIP3"; "LO Isolation"; "NF"; "P1dB" ]
+    (List.map Spec.kind_name (Spec.table1 Spec.Mixer));
+  Alcotest.(check (list string)) "LO" [ "Frequency Error"; "Phase Noise" ]
+    (List.map Spec.kind_name (Spec.table1 Spec.Lo));
+  Alcotest.(check (list string)) "LPF" [ "G_passband"; "G_stopband"; "f_c"; "DR" ]
+    (List.map Spec.kind_name (Spec.table1 Spec.Lpf));
+  Alcotest.(check (list string)) "ADC" [ "Offset Error"; "INL"; "DNL"; "NF"; "DR" ]
+    (List.map Spec.kind_name (Spec.table1 Spec.Adc))
+
+let test_composable_partition () =
+  Alcotest.(check bool) "gain composes" true (Spec.composable Spec.Gain);
+  Alcotest.(check bool) "NF composes" true (Spec.composable Spec.Noise_figure);
+  Alcotest.(check bool) "IIP3 does not" false (Spec.composable Spec.Iip3);
+  Alcotest.(check bool) "fc does not" false (Spec.composable Spec.Cutoff_freq)
+
+let test_bounds () =
+  Alcotest.(check bool) "at_least pass" true (Spec.passes (Spec.At_least 2.0) 2.0);
+  Alcotest.(check bool) "at_least fail" false (Spec.passes (Spec.At_least 2.0) 1.99);
+  Alcotest.(check bool) "at_most" true (Spec.passes (Spec.At_most 2.0) 1.0);
+  Alcotest.(check bool) "within" true (Spec.passes (Spec.Within { lo = 1.0; hi = 2.0 }) 1.5);
+  Alcotest.(check bool) "within fail" false (Spec.passes (Spec.Within { lo = 1.0; hi = 2.0 }) 2.5)
+
+let test_receiver_specs_complete () =
+  let specs = Spec.of_receiver path in
+  Alcotest.(check int) "spec count" 21 (List.length specs);
+  (* every Table-1 parameter appears *)
+  List.iter
+    (fun block ->
+      List.iter
+        (fun kind ->
+          if
+            not
+              (List.exists (fun s -> s.Spec.block = block && s.Spec.kind = kind) specs)
+          then
+            Alcotest.failf "missing spec %s.%s" (Spec.block_name block) (Spec.kind_name kind))
+        (Spec.table1 block))
+    [ Spec.Amp; Spec.Mixer; Spec.Lo; Spec.Lpf; Spec.Adc; Spec.Digital_filter ]
+
+(* ---- Accuracy ---- *)
+
+let test_budget_totals () =
+  let b =
+    Accuracy.create ~instrument_err:0.1
+      [ { Accuracy.source = "a"; err = 0.3 }; { Accuracy.source = "b"; err = -0.4 } ]
+  in
+  Alcotest.check (approx 1e-12) "worst case adds magnitudes" 0.8 (Accuracy.worst_case b);
+  Alcotest.check (approx 1e-9) "rss" (sqrt ((0.1 *. 0.1) +. (0.3 *. 0.3) +. (0.4 *. 0.4)))
+    (Accuracy.rss b)
+
+let test_budget_remove_add () =
+  let b = Accuracy.create [ { Accuracy.source = "a"; err = 0.5 } ] in
+  let b = Accuracy.remove b ~source:"a" in
+  Alcotest.check (approx 1e-12) "only instrument remains" 0.1 (Accuracy.worst_case b);
+  let b = Accuracy.add b { Accuracy.source = "c"; err = 0.2 } in
+  Alcotest.check (approx 1e-12) "add" 0.3 (Accuracy.worst_case b)
+
+(* ---- Compose ---- *)
+
+let test_path_gain_composition () =
+  let c = Compose.path_gain path in
+  Alcotest.check (approx 1e-9) "nominal 26 dB" 26.0 c.Compose.nominal;
+  Alcotest.check (approx 1e-9) "tolerance 2.8 dB" 2.8 c.Compose.tolerance;
+  (* measured directly: accuracy far better than the accumulated tolerance *)
+  Alcotest.(check bool) "composite accuracy small" true
+    (Accuracy.worst_case c.Compose.accuracy < 0.5);
+  Alcotest.(check int) "covers three gains" 3 (List.length c.Compose.covers)
+
+let test_friis_formula () =
+  (* Classic two-stage example: NF1=3 dB G1=20 dB, NF2=10 dB:
+     F = 2 + (10 - 1)/100 = 2.09 -> 3.2 dB *)
+  let nf = Compose.friis_nf_db ~nf_db:[| 3.0103; 10.0 |] ~gain_db:[| 20.0 |] in
+  Alcotest.check (approx 0.01) "friis" 3.2 nf
+
+let test_friis_first_stage_dominates () =
+  let low_first = Compose.friis_nf_db ~nf_db:[| 2.0; 15.0 |] ~gain_db:[| 30.0 |] in
+  let high_first = Compose.friis_nf_db ~nf_db:[| 15.0; 2.0 |] ~gain_db:[| 30.0 |] in
+  Alcotest.(check bool) "LNA first wins" true (low_first < high_first)
+
+let test_cascade_nf () =
+  let c = Compose.noise_figure path in
+  Alcotest.(check bool) "NF slightly above amp NF" true
+    (c.Compose.nominal > 3.0 && c.Compose.nominal < 6.0);
+  Alcotest.(check bool) "tolerance positive" true (c.Compose.tolerance > 0.0)
+
+let test_dynamic_range () =
+  let c = Compose.dynamic_range path in
+  Alcotest.(check bool) "DR large and positive" true (c.Compose.nominal > 60.0)
+
+let test_boundary_checks_cover_extremes () =
+  let checks = Compose.boundary_checks path ~test_level_dbm:Propagate.standard_test_level_dbm in
+  Alcotest.(check int) "three checks" 3 (List.length checks);
+  let levels = List.map (fun c -> c.Compose.stimulus_dbm) checks in
+  let max_level = List.fold_left Float.max neg_infinity levels in
+  let min_level = List.fold_left Float.min infinity levels in
+  Alcotest.(check bool) "high-side check above test level" true (max_level > -27.0);
+  Alcotest.(check bool) "low-side check near the noise floor" true (min_level <= -75.0)
+
+let test_saturation_analysis () =
+  let reports = Compose.saturation_analysis path ~input_dbm:(-27.0) in
+  Alcotest.(check int) "three stages" 3 (List.length reports);
+  List.iter
+    (fun r ->
+      if r.Compose.headroom_db < 0.0 then
+        Alcotest.failf "block %s saturates at the standard level" r.Compose.block)
+    reports;
+  (* at a much hotter input the mixer loses its headroom first *)
+  let hot = Compose.saturation_analysis path ~input_dbm:(-2.0) in
+  let mixer = List.find (fun r -> r.Compose.block = "mixer") hot in
+  Alcotest.(check bool) "mixer headroom gone" true (mixer.Compose.headroom_db < 0.0)
+
+(* ---- Propagate ---- *)
+
+let test_adaptive_beats_nominal_iip3 () =
+  let nominal = Propagate.mixer_iip3 path ~strategy:Propagate.Nominal_gains in
+  let adaptive = Propagate.mixer_iip3 path ~strategy:Propagate.Adaptive in
+  Alcotest.(check bool) "Fig. 4: adaptive error smaller" true
+    (Propagate.err adaptive < Propagate.err nominal);
+  (* the adaptive method depends only on Block A's (the amp's) tolerance *)
+  Alcotest.check (approx 1e-9) "adaptive err = amp tol + instrument"
+    (path.Path.amp.Msoc_analog.Amplifier.gain_db.Param.tol +. 0.1)
+    (Propagate.err adaptive);
+  Alcotest.(check bool) "adaptive needs the path-gain prerequisite" true
+    (List.mem "path gain" adaptive.Propagate.prerequisites)
+
+let test_adaptive_beats_nominal_everywhere () =
+  List.iter
+    (fun (make : Path.t -> strategy:Propagate.strategy -> Propagate.t) ->
+      let n = make path ~strategy:Propagate.Nominal_gains in
+      let a = make path ~strategy:Propagate.Adaptive in
+      if Propagate.err a >= Propagate.err n then
+        Alcotest.failf "adaptive not better for %s"
+          (Spec.kind_name n.Propagate.spec.Spec.kind))
+    [ Propagate.mixer_iip3; Propagate.mixer_p1db; Propagate.lpf_cutoff;
+      Propagate.amp_iip3; Propagate.mixer_lo_isolation ]
+
+let test_cutoff_error_sources () =
+  let nominal = Propagate.lpf_cutoff path ~strategy:Propagate.Nominal_gains in
+  (* gain tolerance divided by the roll-off slope dominates *)
+  let slope = Float.abs (Propagate.lpf_cutoff_slope_db_per_hz path) in
+  Alcotest.(check bool) "slope is physical" true (slope > 1e-6 && slope < 1e-3);
+  Alcotest.(check bool) "error includes the slope-amplified gain term" true
+    (Propagate.err nominal > path.Path.lpf.Msoc_analog.Lpf.gain_db.Param.tol /. slope)
+
+let test_all_for_receiver_unique_specs () =
+  let ms = Propagate.all_for_receiver path ~strategy:Propagate.Adaptive in
+  Alcotest.(check int) "eight measurements" 8 (List.length ms);
+  let keys =
+    List.map (fun m -> (m.Propagate.spec.Spec.block, m.Propagate.spec.Spec.kind)) ms
+  in
+  Alcotest.(check int) "unique targets" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+(* ---- Coverage ---- *)
+
+let pop = Coverage.defective_population ~nominal:10.0 ~tol:1.5
+
+let test_zero_error_zero_losses () =
+  let l =
+    Coverage.analytic ~population:pop ~bound:(Spec.At_least 8.5)
+      ~error:(Coverage.Uniform_err 0.0) ~threshold_shift:0.0
+  in
+  Alcotest.check (approx 1e-6) "fcl" 0.0 l.Coverage.fcl;
+  Alcotest.check (approx 1e-6) "yl" 0.0 l.Coverage.yl
+
+let test_threshold_rows_structure () =
+  (* The paper's Table-2 pattern: tightening kills FCL, loosening kills YL. *)
+  let rows =
+    Coverage.threshold_rows ~population:pop ~bound:(Spec.At_least 8.5) ~err:1.1
+      ~error:(Coverage.Uniform_err 1.1)
+  in
+  match rows with
+  | [ (_, at_tol); (_, tightened); (_, loosened) ] ->
+    Alcotest.check (approx 1e-6) "tightened FCL -> 0" 0.0 tightened.Coverage.fcl;
+    Alcotest.check (approx 1e-6) "loosened YL -> 0" 0.0 loosened.Coverage.yl;
+    Alcotest.(check bool) "tightened YL grows" true
+      (tightened.Coverage.yl > at_tol.Coverage.yl);
+    Alcotest.(check bool) "loosened FCL grows" true
+      (loosened.Coverage.fcl > at_tol.Coverage.fcl);
+    Alcotest.(check bool) "at-tol both positive" true
+      (at_tol.Coverage.fcl > 0.0 && at_tol.Coverage.yl > 0.0)
+  | _ -> Alcotest.fail "row count"
+
+let test_monte_carlo_matches_analytic () =
+  let bound = Spec.At_least 8.5 in
+  let err = 1.1 in
+  let analytic =
+    Coverage.analytic ~population:pop ~bound ~error:(Coverage.Uniform_err err)
+      ~threshold_shift:0.0
+  in
+  let rng = Prng.create 2024 in
+  let mc, faulty, good =
+    Coverage.monte_carlo ~trials:200000 ~rng
+      ~sample_true:(fun g -> Distribution.sample pop g)
+      ~measure:(fun g x -> x +. Prng.uniform g ~lo:(-.err) ~hi:err)
+      ~bound ~threshold_shift:0.0
+  in
+  Alcotest.(check bool) "populations nonempty" true (faulty > 1000 && good > 1000);
+  Alcotest.check (approx 0.01) "fcl agreement" analytic.Coverage.fcl mc.Coverage.fcl;
+  Alcotest.check (approx 0.01) "yl agreement" analytic.Coverage.yl mc.Coverage.yl
+
+let test_two_sided_bound () =
+  let bound = Spec.Within { lo = 8.5; hi = 11.5 } in
+  let l =
+    Coverage.analytic ~population:pop ~bound ~error:(Coverage.Uniform_err 0.5)
+      ~threshold_shift:0.0
+  in
+  Alcotest.(check bool) "two-sided losses positive" true
+    (l.Coverage.fcl > 0.0 && l.Coverage.yl > 0.0)
+
+let test_tradeoff_monotone () =
+  let shifts = Msoc_util.Floatx.linspace (-1.0) 1.0 9 in
+  let curve =
+    Coverage.fcl_yl_tradeoff ~population:pop ~bound:(Spec.At_least 8.5)
+      ~error:(Coverage.Uniform_err 0.8) ~shifts
+  in
+  (* FCL decreases and YL increases along increasing shift. *)
+  Array.iteri
+    (fun i (_, l) ->
+      if i > 0 then begin
+        let _, prev = curve.(i - 1) in
+        if l.Coverage.fcl > prev.Coverage.fcl +. 1e-9 then Alcotest.fail "FCL not monotone";
+        if l.Coverage.yl < prev.Coverage.yl -. 1e-9 then Alcotest.fail "YL not monotone"
+      end)
+    curve
+
+let prop_losses_are_probabilities =
+  QCheck.Test.make ~name:"losses always in [0,1]" ~count:100
+    (QCheck.triple (QCheck.float_range 0.1 3.0) (QCheck.float_range 0.0 2.0)
+       (QCheck.float_range (-1.5) 1.5))
+    (fun (tol, err, shift) ->
+      let population = Coverage.defective_population ~nominal:0.0 ~tol in
+      let l =
+        Coverage.analytic ~population ~bound:(Spec.At_least (-.tol))
+          ~error:(Coverage.Uniform_err err) ~threshold_shift:shift
+      in
+      l.Coverage.fcl >= 0.0 && l.Coverage.fcl <= 1.0 && l.Coverage.yl >= 0.0
+      && l.Coverage.yl <= 1.0)
+
+(* ---- Plan ---- *)
+
+let test_plan_structure () =
+  let plan = Plan.synthesize path in
+  Alcotest.(check bool) "plan has a dozen entries" true (Plan.entry_count plan >= 10);
+  let composed_first =
+    match plan.Plan.entries with
+    | Plan.Composed _ :: _ -> true
+    | (Plan.Propagated _ | Plan.Digital_filter_test _) :: _ | [] -> false
+  in
+  Alcotest.(check bool) "composites (adaptive prerequisites) first" true composed_first;
+  let has_digital =
+    List.exists
+      (function Plan.Digital_filter_test _ -> true | Plan.Composed _ | Plan.Propagated _ -> false)
+      plan.Plan.entries
+  in
+  Alcotest.(check bool) "digital filter test present" true has_digital
+
+let test_plan_table1 () =
+  let plan = Plan.synthesize path in
+  let t1 = Plan.table1 plan in
+  Alcotest.(check int) "six blocks" 6 (List.length t1);
+  Alcotest.(check (list string)) "mixer row"
+    [ "Gain"; "IIP3"; "LO Isolation"; "NF"; "P1dB" ]
+    (List.assoc "Mixer" t1)
+
+let test_plan_dft_flags () =
+  let plan = Plan.synthesize path in
+  (* With strict limits everything needs DFT; with lax limits nothing does. *)
+  let strict = Plan.dft_required plan ~max_fcl:0.0 ~max_yl:0.0 in
+  let lax = Plan.dft_required plan ~max_fcl:1.0 ~max_yl:1.0 in
+  Alcotest.(check bool) "strict flags some" true (List.length strict > 0);
+  Alcotest.(check int) "lax flags none" 0 (List.length lax)
+
+let test_plan_nominal_strategy_worse () =
+  let adaptive = Plan.synthesize ~strategy:Propagate.Adaptive path in
+  let nominal = Plan.synthesize ~strategy:Propagate.Nominal_gains path in
+  let total_fcl plan =
+    List.fold_left
+      (fun acc entry ->
+        match entry with
+        | Plan.Propagated { losses; _ } -> acc +. losses.Coverage.fcl
+        | Plan.Composed _ | Plan.Digital_filter_test _ -> acc)
+      0.0 plan.Plan.entries
+  in
+  Alcotest.(check bool) "adaptive plan loses less coverage" true
+    (total_fcl adaptive < total_fcl nominal)
+
+(* ---- Diagnose ---- *)
+
+let diagnose_fixture () =
+  let config =
+    { Digital_test.default_config with Digital_test.taps = 5; input_bits = 8; coeff_bits = 6 }
+  in
+  let fir = Digital_test.build config in
+  let faults = Digital_test.collapsed_faults fir in
+  let fs = 1e6 and samples = 512 in
+  let f1 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:90e3 in
+  let f2 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:110e3 in
+  let codes =
+    Digital_test.ideal_codes config ~sample_rate:fs ~samples ~freqs:[ f1; f2 ]
+      ~amplitude_fs:0.45
+  in
+  (fir, codes, Diagnose.build fir ~sample_rate:fs ~input_codes:codes ~faults)
+
+let simulate_single_fault fir codes (fault : Msoc_netlist.Fault.t) =
+  let sim = Msoc_netlist.Logic_sim.create fir.Msoc_netlist.Fir_netlist.circuit in
+  Msoc_netlist.Logic_sim.inject sim ~node:fault.Msoc_netlist.Fault.node ~lane:0
+    ~stuck:fault.Msoc_netlist.Fault.stuck;
+  let ybus = Msoc_netlist.Fir_netlist.output_bus fir in
+  Array.map
+    (fun x ->
+      Msoc_netlist.Fir_netlist.drive fir sim x;
+      Msoc_netlist.Logic_sim.eval sim;
+      let y = Msoc_netlist.Logic_sim.read_bus_lane sim ybus ~lane:0 in
+      Msoc_netlist.Logic_sim.tick sim;
+      y)
+    codes
+
+let test_diagnose_planted_fault () =
+  let fir, codes, dict = diagnose_fixture () in
+  let planted =
+    Msoc_netlist.Fir_netlist.fault_site fir ~tap:2 ~role:Msoc_netlist.Fir_netlist.Multiplier
+  in
+  let stream = simulate_single_fault fir codes planted in
+  let ranked = Diagnose.diagnose dict (Diagnose.signature_of_stream dict stream) in
+  (* faults inside one CSD multiplier can be signature-identical, so the
+     assertable claims are: the planted fault is in the top ranks and the
+     best match localises to the same structural site *)
+  let top3 = List.filteri (fun i _ -> i < 3) ranked in
+  Alcotest.(check bool) "planted fault within top 3" true
+    (List.exists (fun e -> Msoc_netlist.Fault.equal e.Diagnose.fault planted) top3);
+  match ranked with
+  | best :: _ ->
+    Alcotest.(check bool) "rank 1 shares the site" true
+      (best.Diagnose.site = Some (2, Msoc_netlist.Fir_netlist.Multiplier))
+  | [] -> Alcotest.fail "no candidates"
+
+let test_diagnose_good_stream_is_zero () =
+  let fir, codes, dict = diagnose_fixture () in
+  let good = Msoc_netlist.Fir_netlist.response fir codes in
+  let sg = Diagnose.signature_of_stream dict good in
+  Alcotest.(check bool) "fault-free signature is null" true
+    (Array.for_all (fun v -> v = 0.0) sg)
+
+let test_diagnose_clustering_beats_chance () =
+  let _, _, dict = diagnose_fixture () in
+  let acc = Diagnose.clustering_accuracy dict ~sample:150 ~seed:5 in
+  Alcotest.(check bool) "diagnosable majority" true
+    (acc.Diagnose.diagnosable > Array.length (Diagnose.entries dict) / 2);
+  (* chance level for tap+role on a 5-tap filter is ~10%; structure should
+     push the nearest-neighbour site match far above it *)
+  Alcotest.(check bool)
+    (Printf.sprintf "site clustering %.2f > 0.3" acc.Diagnose.site_match_rate)
+    true (acc.Diagnose.site_match_rate > 0.3);
+  Alcotest.(check bool) "tap >= site" true
+    (acc.Diagnose.tap_match_rate >= acc.Diagnose.site_match_rate)
+
+(* ---- Plan scheduling ---- *)
+
+let test_schedule_complete_and_ordered () =
+  let plan = Plan.synthesize path in
+  let steps = Plan.schedule plan in
+  Alcotest.(check int) "every entry scheduled" (Plan.entry_count plan) (List.length steps);
+  (* every prerequisite must appear at an earlier position *)
+  let position name =
+    match List.find_opt (fun s -> String.equal s.Plan.name name) steps with
+    | Some s -> s.Plan.position
+    | None -> Alcotest.failf "prerequisite %S not scheduled" name
+  in
+  List.iter
+    (fun step ->
+      List.iter
+        (fun prereq ->
+          if position prereq >= step.Plan.position then
+            Alcotest.failf "%s scheduled before its prerequisite %s" step.Plan.name prereq)
+        step.Plan.prerequisites)
+    steps
+
+let test_schedule_composites_first () =
+  let steps = Plan.schedule (Plan.synthesize path) in
+  match steps with
+  | first :: _ -> Alcotest.(check string) "path gain first" "path gain" first.Plan.name
+  | [] -> Alcotest.fail "empty schedule"
+
+let test_schedule_time_estimate () =
+  let steps = Plan.schedule ~capture_seconds:10e-3 (Plan.synthesize path) in
+  let total = Plan.total_test_time steps in
+  Alcotest.(check bool) "positive and sane" true (total > 0.1 && total < 10.0);
+  (* sweeps dominate *)
+  let p1db = List.find (fun s -> s.Plan.name = "mixer p1db") steps in
+  Alcotest.(check bool) "sweep costs more than a read" true (p1db.Plan.captures > 5)
+
+(* ---- Linearity (code-density test) ---- *)
+
+let adc_sine_codes ~bits ~inl_lsb ~dnl_lsb ~samples ~seed =
+  let module Adc = Msoc_analog.Adc in
+  let module P = Msoc_analog.Param in
+  let params =
+    { Adc.default_params with
+      Adc.bits;
+      inl_lsb = P.exact inl_lsb;
+      inl_shape = Adc.Bow;
+      dnl_lsb = P.exact dnl_lsb;
+      offset_error_v = P.exact 0.0;
+      nf_db = P.exact 0.0 }
+  in
+  let ctx = Msoc_analog.Context.default in
+  let inst = Adc.instance params ctx (Adc.nominal_values params) ~rng:(Prng.create seed) in
+  let rng = Prng.create (seed + 1) in
+  let fs = 1e6 in
+  let f = Msoc_dsp.Tone.coherent_frequency ~sample_rate:fs ~samples ~target:13e3 in
+  let wave =
+    Msoc_dsp.Tone.synthesize ~sample_rate:fs ~samples
+      [ Msoc_dsp.Tone.component ~freq:f ~amplitude:1.02 () ]
+  in
+  Array.map (fun v -> Adc.convert inst ~rng v) wave
+
+let test_linearity_probability_normalises () =
+  (* the arcsine bin probabilities over the full range sum to 1 *)
+  let amplitude = 100.0 and offset = 3.0 in
+  let total = ref 0.0 in
+  for k = -97 to 102 do
+    total :=
+      !total
+      +. Linearity.expected_bin_probability ~amplitude ~offset ~lo:(float_of_int k)
+           ~hi:(float_of_int (k + 1))
+  done;
+  Alcotest.check (approx 1e-6) "sums to 1" 1.0 !total
+
+let test_linearity_clean_adc () =
+  let codes = adc_sine_codes ~bits:9 ~inl_lsb:0.0 ~dnl_lsb:0.0 ~samples:120000 ~seed:11 in
+  let r = Linearity.sine_histogram ~codes ~bits:9 in
+  Alcotest.(check bool) "clean DNL small" true (r.Linearity.max_abs_dnl < 0.1);
+  Alcotest.(check bool) "clean INL small" true (r.Linearity.max_abs_inl < 0.15)
+
+let test_linearity_recovers_bow () =
+  let codes = adc_sine_codes ~bits:9 ~inl_lsb:4.0 ~dnl_lsb:0.0 ~samples:120000 ~seed:13 in
+  let r = Linearity.sine_histogram ~codes ~bits:9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bow recovered (%.2f for model 4.0)" r.Linearity.max_abs_inl)
+    true
+    (r.Linearity.max_abs_inl > 2.5 && r.Linearity.max_abs_inl < 4.5)
+
+let test_linearity_recovers_dnl () =
+  let codes = adc_sine_codes ~bits:9 ~inl_lsb:0.0 ~dnl_lsb:0.5 ~samples:200000 ~seed:17 in
+  let r = Linearity.sine_histogram ~codes ~bits:9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "dnl recovered (%.2f for model 0.5)" r.Linearity.max_abs_dnl)
+    true
+    (r.Linearity.max_abs_dnl > 0.2 && r.Linearity.max_abs_dnl < 1.2)
+
+let test_linearity_rejects_bad_captures () =
+  Alcotest.(check bool) "too few samples" true
+    (try ignore (Linearity.sine_histogram ~codes:(Array.make 100 0) ~bits:10); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "narrow range" true
+    (try
+       ignore
+         (Linearity.sine_histogram ~codes:(Array.init 10000 (fun i -> i mod 7)) ~bits:10);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- Backprop ---- *)
+
+let test_cascade_iip3_single_stage () =
+  Alcotest.check (approx 1e-9) "one stage is itself" 10.0
+    (Backprop.cascade_iip3_dbm ~gains_db:[| 20.0 |] ~iip3_dbm:[| 10.0 |])
+
+let test_cascade_iip3_second_stage_dominates () =
+  (* 20 dB in front of a +10 dBm stage drags the cascade to ~-10 dBm *)
+  let cascade =
+    Backprop.cascade_iip3_dbm ~gains_db:[| 20.0; 0.0 |] ~iip3_dbm:[| 30.0; 10.0 |]
+  in
+  Alcotest.(check bool) "dominated by the referred later stage" true
+    (cascade > -11.0 && cascade < -9.0)
+
+let test_backprop_default_allocation_verifies () =
+  let req = Backprop.default_requirements in
+  let allocs = Backprop.allocate req path in
+  List.iter
+    (fun v ->
+      if not v.Backprop.satisfied then
+        Alcotest.failf "%s violated: required %s achieved %s" v.Backprop.requirement
+          v.Backprop.required v.Backprop.achieved_worst_case)
+    (Backprop.verify req path allocs)
+
+let test_backprop_covers_partitioned_kinds () =
+  let allocs = Backprop.allocate Backprop.default_requirements path in
+  List.iter
+    (fun (block, kind) ->
+      if not (List.exists (fun a -> a.Backprop.block = block && a.Backprop.kind = kind) allocs)
+      then Alcotest.failf "missing allocation for %s.%s" (Spec.block_name block)
+             (Spec.kind_name kind))
+    [ (Spec.Amp, Spec.Gain); (Spec.Mixer, Spec.Gain); (Spec.Lpf, Spec.Passband_gain);
+      (Spec.Amp, Spec.Noise_figure); (Spec.Adc, Spec.Noise_figure);
+      (Spec.Amp, Spec.Iip3); (Spec.Mixer, Spec.Iip3); (Spec.Lpf, Spec.Cutoff_freq) ]
+
+let prop_backprop_verifies_for_feasible_requirements =
+  QCheck.Test.make ~name:"any feasible requirement window verifies" ~count:40
+    (QCheck.triple (QCheck.float_range 2.0 3.2) (QCheck.float_range 6.5 9.0)
+       (QCheck.float_range (-35.0) (-28.0)))
+    (fun (half_range, nf_max, iip3_min) ->
+      let req =
+        { Backprop.gain_db = (26.0 -. half_range, 26.0 +. half_range);
+          nf_max_db = nf_max;
+          iip3_min_dbm = iip3_min;
+          channel_cutoff_hz = (190e3, 210e3) }
+      in
+      let allocs = Backprop.allocate req path in
+      List.for_all (fun v -> v.Backprop.satisfied) (Backprop.verify req path allocs))
+
+let test_backprop_tighter_nf_shrinks_ceilings () =
+  let loose = { Backprop.default_requirements with Backprop.nf_max_db = 8.0 } in
+  let tight = { Backprop.default_requirements with Backprop.nf_max_db = 5.5 } in
+  let ceiling req =
+    let allocs = Backprop.allocate req path in
+    match
+      List.find_opt
+        (fun a -> a.Backprop.block = Spec.Mixer && a.Backprop.kind = Spec.Noise_figure)
+        allocs
+    with
+    | Some { Backprop.bound = Spec.At_most v; _ } -> v
+    | Some _ | None -> Alcotest.fail "mixer NF allocation missing"
+  in
+  Alcotest.(check bool) "tighter system NF, tighter block NF" true
+    (ceiling tight < ceiling loose)
+
+(* ---- Dft advisor ---- *)
+
+let test_dft_access_removes_contributions () =
+  let m = Propagate.mixer_iip3 path ~strategy:Propagate.Nominal_gains in
+  let r = Dft.evaluate path m in
+  Alcotest.(check bool) "budget shrinks to instrument" true
+    (Accuracy.worst_case r.Dft.budget_with < Propagate.err m);
+  Alcotest.(check bool) "fcl improves" true (r.Dft.fcl_reduction > 0.0);
+  Alcotest.(check bool) "yl improves" true (r.Dft.yl_reduction > 0.0)
+
+let test_dft_recommendations_sorted () =
+  let recs = Dft.recommend path ~max_fcl:0.05 ~max_yl:0.01 in
+  Alcotest.(check bool) "some recommendations under strict limits" true
+    (List.length recs > 0);
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Dft.fcl_reduction >= b.Dft.fcl_reduction && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted by fcl reduction" true (sorted recs)
+
+let test_dft_lax_limits_empty () =
+  Alcotest.(check int) "no recommendations when everything passes" 0
+    (List.length (Dft.recommend path ~max_fcl:1.0 ~max_yl:1.0))
+
+(* ---- Measure (virtual tester) ---- *)
+
+let test_measure_path_gain () =
+  let part = Path.nominal_part path in
+  let t = Measure.create ~capture_samples:2048 path part in
+  Alcotest.check (approx 0.3) "nominal path gain measured" 26.0
+    (Measure.path_gain_db t ~level_dbm:Propagate.standard_test_level_dbm)
+
+let test_measure_lo_frequency () =
+  let part = Path.nominal_part path in
+  let shifted = { part with Path.lo_v = { part.Path.lo_v with Msoc_analog.Local_osc.freq_error_hz = 137.0 } } in
+  let t = Measure.create ~capture_samples:4096 path shifted in
+  let measured = Measure.lo_frequency_hz t ~level_dbm:Propagate.standard_test_level_dbm in
+  Alcotest.check (Alcotest.float 30.0) "LO error recovered" 137.0
+    (measured -. path.Path.lo.Msoc_analog.Local_osc.freq_hz)
+
+let test_measure_validations_within_budget () =
+  let part = Path.nominal_part path in
+  List.iter
+    (fun v ->
+      if Float.abs v.Measure.error > v.Measure.budget then
+        Alcotest.failf "%s: error %g exceeds budget %g" v.Measure.parameter v.Measure.error
+          v.Measure.budget)
+    (Measure.validate_part path part ~strategy:Propagate.Adaptive)
+
+let test_measure_adaptive_beats_nominal_p1db () =
+  (* a part whose amp gain sits at the tolerance corner: the nominal-line
+     method confuses the gain deficit with compression *)
+  let part = Path.nominal_part path in
+  let low_gain =
+    { part with
+      Path.amp_v = { part.Path.amp_v with Msoc_analog.Amplifier.gain_db = 19.0 } }
+  in
+  let t = Measure.create ~capture_samples:2048 path low_gain in
+  let truth = low_gain.Path.mixer_v.Msoc_analog.Mixer.p1db_dbm in
+  let nominal = Measure.mixer_p1db_dbm t ~strategy:Propagate.Nominal_gains in
+  let adaptive = Measure.mixer_p1db_dbm t ~strategy:Propagate.Adaptive in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive |%.2f| < nominal |%.2f| error" (adaptive -. truth)
+       (nominal -. truth))
+    true
+    (Float.abs (adaptive -. truth) < Float.abs (nominal -. truth))
+
+(* ---- Digital test ---- *)
+
+let small_config =
+  { Digital_test.default_config with
+    Digital_test.taps = 5;
+    input_bits = 8;
+    coeff_bits = 6 }
+
+let test_digital_build () =
+  let fir = Digital_test.build small_config in
+  Alcotest.(check int) "taps" 5 (Array.length fir.Msoc_netlist.Fir_netlist.coeffs);
+  Alcotest.(check int) "input width" 8 fir.Msoc_netlist.Fir_netlist.width_in;
+  Alcotest.(check bool) "has faults" true
+    (Array.length (Digital_test.collapsed_faults fir) > 100)
+
+let test_ideal_codes_range () =
+  let codes =
+    Digital_test.ideal_codes small_config ~sample_rate:1e6 ~samples:256 ~freqs:[ 90e3 ]
+      ~amplitude_fs:0.9
+  in
+  Alcotest.(check int) "length" 256 (Array.length codes);
+  let peak = Array.fold_left (fun m c -> max m (abs c)) 0 codes in
+  Alcotest.(check bool) "uses most of the range" true (peak > 100 && peak <= 127)
+
+let run_small_coverage ~tones ~samples =
+  let fir = Digital_test.build small_config in
+  let faults = Digital_test.collapsed_faults fir in
+  let fs = 1e6 in
+  let f1 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:90e3 in
+  let freqs =
+    if tones = 1 then [ f1 ]
+    else [ f1; Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:110e3 ]
+  in
+  let amplitude_fs = if tones = 1 then 0.9 else 0.45 in
+  let codes =
+    Digital_test.ideal_codes small_config ~sample_rate:fs ~samples ~freqs ~amplitude_fs
+  in
+  ( Digital_test.spectral_coverage small_config fir ~sample_rate:fs ~input_codes:codes
+      ~reference_codes:codes ~tone_freqs:freqs ~faults,
+    fir,
+    codes,
+    freqs )
+
+let test_two_tone_beats_one_tone () =
+  (* On the small filter the two stimuli are statistically close; only a
+     gross inversion would indicate a bug.  The strict paper ordering is
+     asserted on the full 13-tap configuration below (slow test). *)
+  let one, _, _, _ = run_small_coverage ~tones:1 ~samples:512 in
+  let two, _, _, _ = run_small_coverage ~tones:2 ~samples:512 in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-tone %.3f ~>= one-tone %.3f" two.Digital_test.coverage
+       one.Digital_test.coverage)
+    true
+    (two.Digital_test.coverage >= one.Digital_test.coverage -. 0.01);
+  Alcotest.(check bool) "meaningful coverage" true (two.Digital_test.coverage > 0.7)
+
+let test_full_config_two_tone_strictly_better () =
+  (* Paper §3: 89.6% (1-tone) vs 95.5% (2-tone) on the real filter. *)
+  let cfg = Digital_test.default_config in
+  let fir = Digital_test.build cfg in
+  let faults = Digital_test.collapsed_faults fir in
+  let fs = 1e6 and samples = 2048 in
+  let f1 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:90e3 in
+  let f2 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:110e3 in
+  let run freqs amplitude_fs =
+    let codes = Digital_test.ideal_codes cfg ~sample_rate:fs ~samples ~freqs ~amplitude_fs in
+    Digital_test.spectral_coverage cfg fir ~sample_rate:fs ~input_codes:codes
+      ~reference_codes:codes ~tone_freqs:freqs ~faults
+  in
+  let one = run [ f1 ] 0.9 in
+  let two = run [ f1; f2 ] 0.45 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2-tone %.3f > 1-tone %.3f" two.Digital_test.coverage
+       one.Digital_test.coverage)
+    true
+    (two.Digital_test.coverage > one.Digital_test.coverage);
+  Alcotest.(check bool) "high coverage" true (two.Digital_test.coverage > 0.8)
+
+let test_detection_consistency () =
+  let det, _, _, _ = run_small_coverage ~tones:2 ~samples:512 in
+  Alcotest.(check int) "detected + undetected = total"
+    det.Digital_test.total
+    (det.Digital_test.detected + Array.length det.Digital_test.undetected);
+  Alcotest.(check int) "deviation entries match undetected"
+    (Array.length det.Digital_test.undetected)
+    (Array.length det.Digital_test.undetected_max_dev_lsb)
+
+let test_undetected_have_small_effect () =
+  (* The paper verifies escapes perturb the output by < 1%; ours must be
+     small relative to the strongest detected effects. *)
+  let det, fir, _, _ = run_small_coverage ~tones:2 ~samples:512 in
+  let full_scale =
+    fir.Msoc_netlist.Fir_netlist.scale
+    *. float_of_int ((1 lsl (small_config.Digital_test.input_bits - 1)) - 1)
+    *. 2.0
+  in
+  let median =
+    if Array.length det.Digital_test.undetected_max_dev_lsb = 0 then 0.0
+    else Msoc_stat.Describe.median det.Digital_test.undetected_max_dev_lsb
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "median escape deviation %.4g below 10%% of full scale %.4g" median
+       full_scale)
+    true
+    (median < 0.1 *. full_scale)
+
+let test_second_pass_increases_coverage () =
+  let det, fir, _, freqs = run_small_coverage ~tones:2 ~samples:256 in
+  let fs = 1e6 in
+  let samples = 1024 in
+  let codes =
+    Digital_test.ideal_codes small_config ~sample_rate:fs ~samples ~freqs ~amplitude_fs:0.45
+  in
+  let merged =
+    Digital_test.second_pass small_config fir ~sample_rate:fs ~input_codes:codes
+      ~reference_codes:codes ~tone_freqs:freqs ~previous:det
+  in
+  Alcotest.(check int) "total preserved" det.Digital_test.total merged.Digital_test.total;
+  Alcotest.(check bool) "coverage monotone" true
+    (merged.Digital_test.coverage >= det.Digital_test.coverage)
+
+let test_noisy_input_lowers_coverage () =
+  (* Perturb the stimulus with noise; the noise-derived tolerance must rise
+     and coverage must drop relative to the ideal run. *)
+  let ideal, fir, codes, freqs = run_small_coverage ~tones:2 ~samples:512 in
+  let g = Prng.create 9 in
+  let noisy =
+    Array.map
+      (fun c ->
+        let v = c + (Prng.int g 13) - 6 in
+        max (-128) (min 127 v))
+      codes
+  in
+  let faults = Digital_test.collapsed_faults fir in
+  let det =
+    Digital_test.spectral_coverage small_config fir ~sample_rate:1e6 ~input_codes:noisy
+      ~reference_codes:codes ~tone_freqs:freqs ~faults
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "noisy %.3f < ideal %.3f" det.Digital_test.coverage
+       ideal.Digital_test.coverage)
+    true
+    (det.Digital_test.coverage < ideal.Digital_test.coverage);
+  Alcotest.(check bool) "tolerance floor rose" true
+    (det.Digital_test.noise_floor_db > ideal.Digital_test.noise_floor_db)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "msoc_synth"
+    [ ( "spec",
+        [ Alcotest.test_case "table 1 sets" `Quick test_table1_parameter_sets;
+          Alcotest.test_case "composability" `Quick test_composable_partition;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "receiver specs" `Quick test_receiver_specs_complete ] );
+      ( "accuracy",
+        [ Alcotest.test_case "totals" `Quick test_budget_totals;
+          Alcotest.test_case "remove/add" `Quick test_budget_remove_add ] );
+      ( "compose",
+        [ Alcotest.test_case "path gain" `Quick test_path_gain_composition;
+          Alcotest.test_case "friis" `Quick test_friis_formula;
+          Alcotest.test_case "friis ordering" `Quick test_friis_first_stage_dominates;
+          Alcotest.test_case "cascade NF" `Quick test_cascade_nf;
+          Alcotest.test_case "dynamic range" `Quick test_dynamic_range;
+          Alcotest.test_case "boundary checks" `Quick test_boundary_checks_cover_extremes;
+          Alcotest.test_case "saturation analysis" `Quick test_saturation_analysis ] );
+      ( "propagate",
+        [ Alcotest.test_case "Fig4: adaptive IIP3" `Quick test_adaptive_beats_nominal_iip3;
+          Alcotest.test_case "adaptive always better" `Quick
+            test_adaptive_beats_nominal_everywhere;
+          Alcotest.test_case "cutoff error sources" `Quick test_cutoff_error_sources;
+          Alcotest.test_case "receiver measurement set" `Quick
+            test_all_for_receiver_unique_specs ] );
+      ( "coverage",
+        Alcotest.test_case "zero error" `Quick test_zero_error_zero_losses
+        :: Alcotest.test_case "Table2 threshold rows" `Quick test_threshold_rows_structure
+        :: Alcotest.test_case "MC matches analytic" `Quick test_monte_carlo_matches_analytic
+        :: Alcotest.test_case "two-sided" `Quick test_two_sided_bound
+        :: Alcotest.test_case "Fig5 tradeoff monotone" `Quick test_tradeoff_monotone
+        :: qcheck [ prop_losses_are_probabilities ] );
+      ( "plan",
+        [ Alcotest.test_case "structure" `Quick test_plan_structure;
+          Alcotest.test_case "table1" `Quick test_plan_table1;
+          Alcotest.test_case "dft flags" `Quick test_plan_dft_flags;
+          Alcotest.test_case "nominal strategy worse" `Quick test_plan_nominal_strategy_worse ] );
+      ( "diagnose",
+        [ Alcotest.test_case "planted fault rank 1" `Quick test_diagnose_planted_fault;
+          Alcotest.test_case "good stream null" `Quick test_diagnose_good_stream_is_zero;
+          Alcotest.test_case "clustering beats chance" `Quick
+            test_diagnose_clustering_beats_chance ] );
+      ( "schedule",
+        [ Alcotest.test_case "complete and ordered" `Quick test_schedule_complete_and_ordered;
+          Alcotest.test_case "composites first" `Quick test_schedule_composites_first;
+          Alcotest.test_case "time estimate" `Quick test_schedule_time_estimate ] );
+      ( "linearity",
+        [ Alcotest.test_case "probability normalises" `Quick test_linearity_probability_normalises;
+          Alcotest.test_case "clean adc" `Quick test_linearity_clean_adc;
+          Alcotest.test_case "recovers bow" `Quick test_linearity_recovers_bow;
+          Alcotest.test_case "recovers dnl" `Quick test_linearity_recovers_dnl;
+          Alcotest.test_case "rejects bad captures" `Quick test_linearity_rejects_bad_captures ] );
+      ( "backprop",
+        Alcotest.test_case "cascade iip3 single" `Quick test_cascade_iip3_single_stage
+        :: Alcotest.test_case "cascade iip3 dominance" `Quick
+             test_cascade_iip3_second_stage_dominates
+        :: Alcotest.test_case "default allocation verifies" `Quick
+             test_backprop_default_allocation_verifies
+        :: Alcotest.test_case "covers partitioned kinds" `Quick
+             test_backprop_covers_partitioned_kinds
+        :: Alcotest.test_case "tighter NF shrinks ceilings" `Quick
+             test_backprop_tighter_nf_shrinks_ceilings
+        :: qcheck [ prop_backprop_verifies_for_feasible_requirements ] );
+      ( "dft",
+        [ Alcotest.test_case "access shrinks budget" `Quick test_dft_access_removes_contributions;
+          Alcotest.test_case "sorted recommendations" `Quick test_dft_recommendations_sorted;
+          Alcotest.test_case "lax limits: none" `Quick test_dft_lax_limits_empty ] );
+      ( "measure",
+        [ Alcotest.test_case "path gain" `Quick test_measure_path_gain;
+          Alcotest.test_case "LO frequency" `Quick test_measure_lo_frequency;
+          Alcotest.test_case "validations within budget" `Slow
+            test_measure_validations_within_budget;
+          Alcotest.test_case "adaptive beats nominal P1dB" `Slow
+            test_measure_adaptive_beats_nominal_p1db ] );
+      ( "digital",
+        [ Alcotest.test_case "build" `Quick test_digital_build;
+          Alcotest.test_case "ideal codes" `Quick test_ideal_codes_range;
+          Alcotest.test_case "two-tone >= one-tone" `Quick test_two_tone_beats_one_tone;
+          Alcotest.test_case "full config: 2-tone strictly better" `Slow
+            test_full_config_two_tone_strictly_better;
+          Alcotest.test_case "detection consistency" `Quick test_detection_consistency;
+          Alcotest.test_case "escapes are small" `Quick test_undetected_have_small_effect;
+          Alcotest.test_case "second pass monotone" `Quick test_second_pass_increases_coverage;
+          Alcotest.test_case "noise lowers coverage" `Quick test_noisy_input_lowers_coverage ] ) ]

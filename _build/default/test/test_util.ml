@@ -1,0 +1,266 @@
+(* Unit and property tests for msoc_util. *)
+
+open Msoc_util
+
+let approx = Alcotest.(float 1e-9)
+let approx_loose = Alcotest.(float 1e-6)
+
+(* ---- Units ---- *)
+
+let test_db_roundtrip () =
+  Alcotest.check approx "power ratio" 123.456
+    (Units.power_ratio_of_db (Units.db_of_power_ratio 123.456));
+  Alcotest.check approx "voltage ratio" 0.001
+    (Units.voltage_ratio_of_db (Units.db_of_voltage_ratio 0.001))
+
+let test_db_identities () =
+  Alcotest.check approx "10x power = 10 dB" 10.0 (Units.db_of_power_ratio 10.0);
+  Alcotest.check approx "10x voltage = 20 dB" 20.0 (Units.db_of_voltage_ratio 10.0);
+  Alcotest.check approx "unity = 0 dB" 0.0 (Units.db_of_power_ratio 1.0)
+
+let test_dbm () =
+  Alcotest.check approx "1 mW = 0 dBm" 0.0 (Units.dbm_of_watts 1e-3);
+  Alcotest.check approx "1 W = 30 dBm" 30.0 (Units.dbm_of_watts 1.0);
+  Alcotest.check approx_loose "watts roundtrip" 2.5e-3 (Units.watts_of_dbm (Units.dbm_of_watts 2.5e-3))
+
+let test_dbm_volts () =
+  (* 0.2236 Vrms across 50 ohm = 1 mW = 0 dBm *)
+  Alcotest.check approx_loose "vrms at 0 dBm" (sqrt (1e-3 *. 50.0)) (Units.vrms_of_dbm 0.0);
+  Alcotest.check approx_loose "vpeak/vrms = sqrt 2" (sqrt 2.0)
+    (Units.vpeak_of_dbm (-7.0) /. Units.vrms_of_dbm (-7.0));
+  Alcotest.check approx_loose "dbm_of_vpeak inverse" (-13.7)
+    (Units.dbm_of_vpeak (Units.vpeak_of_dbm (-13.7)))
+
+let test_degrees () =
+  Alcotest.check approx "180 deg = pi" Float.pi (Units.radians_of_degrees 180.0);
+  Alcotest.check approx "roundtrip" 37.5 (Units.degrees_of_radians (Units.radians_of_degrees 37.5))
+
+(* ---- Floatx ---- *)
+
+let test_approx_equal () =
+  Alcotest.(check bool) "close floats" true (Floatx.approx_equal 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "distant floats" false (Floatx.approx_equal 1.0 1.1);
+  Alcotest.(check bool) "absolute tolerance near zero" true
+    (Floatx.approx_equal ~abs:1e-9 0.0 1e-10)
+
+let test_clamp () =
+  Alcotest.check approx "below" 0.0 (Floatx.clamp ~lo:0.0 ~hi:1.0 (-5.0));
+  Alcotest.check approx "above" 1.0 (Floatx.clamp ~lo:0.0 ~hi:1.0 5.0);
+  Alcotest.check approx "inside" 0.5 (Floatx.clamp ~lo:0.0 ~hi:1.0 0.5)
+
+let test_linspace () =
+  let xs = Floatx.linspace 0.0 1.0 5 in
+  Alcotest.(check int) "length" 5 (Array.length xs);
+  Alcotest.check approx "first" 0.0 xs.(0);
+  Alcotest.check approx "last" 1.0 xs.(4);
+  Alcotest.check approx "step" 0.25 xs.(1)
+
+let test_logspace () =
+  let xs = Floatx.logspace 0.0 3.0 4 in
+  Alcotest.check approx "first" 1.0 xs.(0);
+  Alcotest.check approx_loose "last" 1000.0 xs.(3)
+
+let test_kahan_sum () =
+  (* A sum that loses the small terms under naive accumulation. *)
+  let xs = Array.make 10001 1e-12 in
+  xs.(0) <- 1e12;
+  let total = Floatx.sum xs in
+  Alcotest.check (Alcotest.float 1e-4) "kahan keeps small terms" (1e12 +. 1e-8) total
+
+let test_mean_maxabs () =
+  Alcotest.check approx "mean" 2.0 (Floatx.mean [| 1.0; 2.0; 3.0 |]);
+  Alcotest.check approx "max_abs" 3.0 (Floatx.max_abs [| 1.0; -3.0; 2.0 |]);
+  Alcotest.check approx "max_abs empty" 0.0 (Floatx.max_abs [||])
+
+let test_fold_range () =
+  Alcotest.(check int) "sum 0..9" 45 (Floatx.fold_range 10 ~init:0 ~f:( + ));
+  Alcotest.(check int) "empty" 7 (Floatx.fold_range 0 ~init:7 ~f:( + ))
+
+(* ---- Prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_copy () =
+  let a = Prng.create 5 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_split () =
+  let a = Prng.create 9 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split stream differs" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_float_range () =
+  let g = Prng.create 3 in
+  for _ = 1 to 10000 do
+    let x = Prng.float g in
+    if x < 0.0 || x >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_prng_uniform_mean () =
+  let g = Prng.create 17 in
+  let n = 20000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Prng.uniform g ~lo:2.0 ~hi:4.0
+  done;
+  Alcotest.check (Alcotest.float 0.02) "uniform mean" 3.0 (!total /. float_of_int n)
+
+let test_prng_gaussian_moments () =
+  let g = Prng.create 23 in
+  let n = 50000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Prng.gaussian g in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.check (Alcotest.float 0.03) "gaussian mean" 0.0 mean;
+  Alcotest.check (Alcotest.float 0.05) "gaussian variance" 1.0 var
+
+let test_prng_int_bounds () =
+  let g = Prng.create 31 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 7000 do
+    let k = Prng.int g 7 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c < 700 then Alcotest.failf "bucket %d underpopulated (%d)" i c)
+    counts
+
+(* ---- Interval ---- *)
+
+let interval_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b -> Interval.make ~lo:(Float.min a b) ~hi:(Float.max a b))
+      (float_range (-100.0) 100.0) (float_range (-100.0) 100.0))
+
+let arb_interval =
+  QCheck.make ~print:(fun i -> Format.asprintf "%a" Interval.pp i) interval_gen
+
+let prop_add_contains =
+  QCheck.Test.make ~name:"interval add contains midpoint sum" ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
+      Interval.contains (Interval.add a b) (Interval.mid a +. Interval.mid b))
+
+let prop_mul_contains =
+  QCheck.Test.make ~name:"interval mul contains endpoint products" ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
+      let p = Interval.mul a b in
+      Interval.contains p (a.Interval.lo *. b.Interval.lo)
+      && Interval.contains p (a.Interval.hi *. b.Interval.hi)
+      && Interval.contains p (a.Interval.lo *. b.Interval.hi)
+      && Interval.contains p (a.Interval.hi *. b.Interval.lo))
+
+let prop_sub_anti =
+  QCheck.Test.make ~name:"interval sub = add of neg" ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
+      Interval.equal (Interval.sub a b) (Interval.add a (Interval.neg b)))
+
+let prop_hull_superset =
+  QCheck.Test.make ~name:"hull contains both operands" ~count:500
+    (QCheck.pair arb_interval arb_interval) (fun (a, b) ->
+      let h = Interval.hull a b in
+      Interval.subset a h && Interval.subset b h)
+
+let test_interval_basics () =
+  let i = Interval.of_err 10.0 ~err:2.0 in
+  Alcotest.check approx "mid" 10.0 (Interval.mid i);
+  Alcotest.check approx "err" 2.0 (Interval.err i);
+  Alcotest.check approx "width" 4.0 (Interval.width i);
+  Alcotest.(check bool) "contains" true (Interval.contains i 11.9);
+  Alcotest.(check bool) "not contains" false (Interval.contains i 12.1)
+
+let test_interval_div () =
+  let a = Interval.make ~lo:4.0 ~hi:8.0 and b = Interval.make ~lo:2.0 ~hi:4.0 in
+  let q = Interval.div a b in
+  Alcotest.check approx "div lo" 1.0 q.Interval.lo;
+  Alcotest.check approx "div hi" 4.0 q.Interval.hi
+
+let test_interval_intersect () =
+  let a = Interval.make ~lo:0.0 ~hi:2.0 and b = Interval.make ~lo:1.0 ~hi:3.0 in
+  (match Interval.intersect a b with
+  | Some i ->
+    Alcotest.check approx "lo" 1.0 i.Interval.lo;
+    Alcotest.check approx "hi" 2.0 i.Interval.hi
+  | None -> Alcotest.fail "expected overlap");
+  let c = Interval.make ~lo:5.0 ~hi:6.0 in
+  Alcotest.(check bool) "disjoint" true (Interval.intersect a c = None)
+
+let test_interval_tolerance_pct () =
+  let i = Interval.of_tolerance_pct 200.0 ~pct:5.0 in
+  Alcotest.check approx "lo" 190.0 i.Interval.lo;
+  Alcotest.check approx "hi" 210.0 i.Interval.hi
+
+let test_interval_monotone () =
+  let i = Interval.make ~lo:1.0 ~hi:4.0 in
+  let s = Interval.map_monotone sqrt i in
+  Alcotest.check approx "sqrt lo" 1.0 s.Interval.lo;
+  Alcotest.check approx "sqrt hi" 2.0 s.Interval.hi
+
+(* ---- Texttable ---- *)
+
+let test_texttable_render () =
+  let t = Texttable.create ~headers:[ "a"; "bb" ] in
+  Texttable.add_row t [ "1"; "2" ];
+  Texttable.add_separator t;
+  Texttable.add_row t [ "333" ];
+  let rendered = Texttable.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length rendered > 0 && String.sub rendered 0 1 = "a");
+  Alcotest.(check bool) "pads short rows" true
+    (List.length (String.split_on_char '\n' rendered) >= 4)
+
+let test_texttable_cells () =
+  Alcotest.(check string) "float cell" "3.14" (Texttable.cell_f ~decimals:2 3.14159);
+  Alcotest.(check string) "pct cell" "12.3%" (Texttable.cell_pct 0.1234)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "msoc_util"
+    [ ( "units",
+        [ Alcotest.test_case "db roundtrip" `Quick test_db_roundtrip;
+          Alcotest.test_case "db identities" `Quick test_db_identities;
+          Alcotest.test_case "dbm watts" `Quick test_dbm;
+          Alcotest.test_case "dbm volts" `Quick test_dbm_volts;
+          Alcotest.test_case "degrees" `Quick test_degrees ] );
+      ( "floatx",
+        [ Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "linspace" `Quick test_linspace;
+          Alcotest.test_case "logspace" `Quick test_logspace;
+          Alcotest.test_case "kahan sum" `Quick test_kahan_sum;
+          Alcotest.test_case "mean/max_abs" `Quick test_mean_maxabs;
+          Alcotest.test_case "fold_range" `Quick test_fold_range ] );
+      ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split" `Quick test_prng_split;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "uniform mean" `Quick test_prng_uniform_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds ] );
+      ( "interval",
+        Alcotest.test_case "basics" `Quick test_interval_basics
+        :: Alcotest.test_case "division" `Quick test_interval_div
+        :: Alcotest.test_case "intersect" `Quick test_interval_intersect
+        :: Alcotest.test_case "tolerance pct" `Quick test_interval_tolerance_pct
+        :: Alcotest.test_case "map monotone" `Quick test_interval_monotone
+        :: qcheck [ prop_add_contains; prop_mul_contains; prop_sub_anti; prop_hull_superset ] );
+      ( "texttable",
+        [ Alcotest.test_case "render" `Quick test_texttable_render;
+          Alcotest.test_case "cells" `Quick test_texttable_cells ] ) ]

@@ -161,7 +161,8 @@ let max_deviation good faulty =
     good;
   !dev
 
-let spectral_coverage config fir ~sample_rate ~input_codes ~reference_codes ~tone_freqs ~faults =
+let spectral_coverage ?pool config fir ~sample_rate ~input_codes ~reference_codes ~tone_freqs
+    ~faults =
   let samples = Array.length input_codes in
   assert (samples >= 64);
   (* Golden spectrum: ideal stimulus through the exact behavioural model. *)
@@ -176,21 +177,51 @@ let spectral_coverage config fir ~sample_rate ~input_codes ~reference_codes ~ton
   in
   let detected_flags = Array.make (Array.length faults) false in
   let undetected = ref [] and undetected_dev = ref [] in
-  let on_fault index fault stream =
+  let judge stream =
     let spectrum = output_spectrum config fir ~sample_rate stream in
-    if spectra_differ config ~floor_db ~excluded golden spectrum then
-      detected_flags.(index) <- true
+    if spectra_differ config ~floor_db ~excluded golden spectrum then (true, 0.0)
     else begin
-      undetected := fault :: !undetected;
       let dev = max_deviation good_actual_stream stream in
-      undetected_dev := (float_of_int dev *. fir.Fir_netlist.scale) :: !undetected_dev
+      (false, float_of_int dev *. fir.Fir_netlist.scale)
     end
   in
   let drive sim cycle = Fir_netlist.drive fir sim input_codes.(cycle) in
-  let (_ : int array) =
-    Fault_sim.run_fold fir.Fir_netlist.circuit ~output:Fir_netlist.output_bus_name ~drive
-      ~samples ~faults ~on_fault
-  in
+  (match pool with
+  | Some pool when Msoc_util.Pool.size pool > 1 && Array.length faults > 0 ->
+    (* Pooled path: fault-simulate the batches across domains, then judge
+       each captured stream (windowed FFT + bin-wise comparison) across
+       domains as well.  Verdicts land in fault order, so the detection
+       record is identical to the streaming serial path. *)
+    let result =
+      Fault_sim.run ~pool fir.Fir_netlist.circuit ~output:Fir_netlist.output_bus_name ~drive
+        ~samples ~faults
+    in
+    let verdicts =
+      Msoc_util.Pool.parallel_init pool (Array.length faults) (fun i ->
+          judge result.Fault_sim.fault_streams.(i))
+    in
+    Array.iteri
+      (fun i (hit, dev) ->
+        if hit then detected_flags.(i) <- true
+        else begin
+          undetected := faults.(i) :: !undetected;
+          undetected_dev := dev :: !undetected_dev
+        end)
+      verdicts
+  | Some _ | None ->
+    let on_fault index fault stream =
+      let hit, dev = judge stream in
+      if hit then detected_flags.(index) <- true
+      else begin
+        undetected := fault :: !undetected;
+        undetected_dev := dev :: !undetected_dev
+      end
+    in
+    let (_ : int array) =
+      Fault_sim.run_fold fir.Fir_netlist.circuit ~output:Fir_netlist.output_bus_name ~drive
+        ~samples ~faults ~on_fault
+    in
+    ());
   let detected = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 detected_flags in
   let reported_floor =
     let worst = ref neg_infinity in
@@ -218,9 +249,9 @@ let false_alarm config fir ~sample_rate ~input_codes ~reference_codes ~tone_freq
   let candidate = output_spectrum config fir ~sample_rate candidate_stream in
   spectra_differ config ~floor_db ~excluded golden candidate
 
-let second_pass config fir ~sample_rate ~input_codes ~reference_codes ~tone_freqs ~previous =
+let second_pass ?pool config fir ~sample_rate ~input_codes ~reference_codes ~tone_freqs ~previous =
   let rerun =
-    spectral_coverage config fir ~sample_rate ~input_codes ~reference_codes ~tone_freqs
+    spectral_coverage ?pool config fir ~sample_rate ~input_codes ~reference_codes ~tone_freqs
       ~faults:previous.undetected
   in
   let detected = previous.detected + rerun.detected in

@@ -70,6 +70,7 @@ type detection = {
 }
 
 val spectral_coverage :
+  ?pool:Msoc_util.Pool.t ->
   config ->
   Fir_netlist.t ->
   sample_rate:float ->
@@ -81,7 +82,12 @@ val spectral_coverage :
 (** Fault-simulate every fault under [input_codes]; the golden spectrum
     comes from [reference_codes] through the behavioural model (the paper
     uses an ideal stimulus for the good-circuit simulation and the
-    realistic analog model for the faulty ones). *)
+    realistic analog model for the faulty ones).  With [pool], both the
+    fault simulation (batches) and the per-fault spectrum analysis run
+    across domains; the detection record is identical to the serial path
+    for every pool size.  The pooled path holds every fault stream in
+    memory at once (faults x samples ints) where the serial path streams
+    batch by batch. *)
 
 val false_alarm :
   config ->
@@ -99,6 +105,7 @@ val false_alarm :
     keep this [false] while staying tight enough to catch real faults. *)
 
 val second_pass :
+  ?pool:Msoc_util.Pool.t ->
   config ->
   Fir_netlist.t ->
   sample_rate:float ->

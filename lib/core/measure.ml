@@ -239,7 +239,7 @@ type validation = {
   budget : float;
 }
 
-let validate_part ?seed path part ~strategy =
+let validate_part ?pool ?seed path part ~strategy =
   let t = create ?seed path part in
   let entry parameter ~true_value ~measured ~budget =
     { parameter; true_value; measured; error = measured -. true_value; budget }
@@ -249,19 +249,49 @@ let validate_part ?seed path part ~strategy =
     +. part.Path.mixer_v.Mixer.gain_db
     +. part.Path.lpf_v.Lpf.gain_db
   in
-  [ entry "path gain (dB)" ~true_value:true_path_gain
-      ~measured:(path_gain_db t ~level_dbm:Propagate.standard_test_level_dbm)
-      ~budget:0.5;
-    entry "mixer IIP3 (dBm)" ~true_value:part.Path.mixer_v.Mixer.iip3_dbm
-      ~measured:(mixer_iip3_dbm t ~strategy)
-      ~budget:(Propagate.err (Propagate.mixer_iip3 path ~strategy));
-    entry "mixer P1dB (dBm)" ~true_value:part.Path.mixer_v.Mixer.p1db_dbm
-      ~measured:(mixer_p1db_dbm t ~strategy)
-      ~budget:(Propagate.err (Propagate.mixer_p1db path ~strategy));
-    entry "LPF cutoff (Hz)" ~true_value:part.Path.lpf_v.Lpf.cutoff_hz
-      ~measured:(lpf_cutoff_hz t ~strategy)
-      ~budget:(Propagate.err (Propagate.lpf_cutoff path ~strategy));
-    entry "LO frequency error (Hz)" ~true_value:part.Path.lo_v.Local_osc.freq_error_hz
-      ~measured:(lo_frequency_hz t ~level_dbm:Propagate.standard_test_level_dbm
-                 -. path.Path.lo.Local_osc.freq_hz)
-      ~budget:(Propagate.err (Propagate.lo_freq_error path)) ]
+  (* Each measurement is an independent tester session (every capture
+     builds a fresh engine from the session seed), so the five procedures
+     can run on separate domains; results come back in procedure order
+     regardless of pool size. *)
+  let procedures =
+    [| (fun () ->
+         entry "path gain (dB)" ~true_value:true_path_gain
+           ~measured:(path_gain_db t ~level_dbm:Propagate.standard_test_level_dbm)
+           ~budget:0.5);
+       (fun () ->
+         entry "mixer IIP3 (dBm)" ~true_value:part.Path.mixer_v.Mixer.iip3_dbm
+           ~measured:(mixer_iip3_dbm t ~strategy)
+           ~budget:(Propagate.err (Propagate.mixer_iip3 path ~strategy)));
+       (fun () ->
+         entry "mixer P1dB (dBm)" ~true_value:part.Path.mixer_v.Mixer.p1db_dbm
+           ~measured:(mixer_p1db_dbm t ~strategy)
+           ~budget:(Propagate.err (Propagate.mixer_p1db path ~strategy)));
+       (fun () ->
+         entry "LPF cutoff (Hz)" ~true_value:part.Path.lpf_v.Lpf.cutoff_hz
+           ~measured:(lpf_cutoff_hz t ~strategy)
+           ~budget:(Propagate.err (Propagate.lpf_cutoff path ~strategy)));
+       (fun () ->
+         entry "LO frequency error (Hz)" ~true_value:part.Path.lo_v.Local_osc.freq_error_hz
+           ~measured:(lo_frequency_hz t ~level_dbm:Propagate.standard_test_level_dbm
+                      -. path.Path.lo.Local_osc.freq_hz)
+           ~budget:(Propagate.err (Propagate.lo_freq_error path))) |]
+  in
+  let results =
+    match pool with
+    | Some pool when Msoc_util.Pool.size pool > 1 ->
+      Msoc_util.Pool.parallel_map pool (fun procedure -> procedure ()) procedures
+    | Some _ | None -> Array.map (fun procedure -> procedure ()) procedures
+  in
+  Array.to_list results
+
+let validate_population ?pool ?(seed = 1000) path ~parts ~strategy ~rng =
+  assert (parts > 0);
+  (* Sample every part serially from [rng] first (so the population depends
+     only on the generator state), then fan the per-part tester runs out
+     across domains; part [i] always uses session seed [seed + i]. *)
+  let sampled = Array.init parts (fun _ -> Path.sample_part path rng) in
+  let validate i = (sampled.(i), validate_part ~seed:(seed + i) path sampled.(i) ~strategy) in
+  match pool with
+  | Some pool when Msoc_util.Pool.size pool > 1 ->
+    Msoc_util.Pool.parallel_init pool parts validate
+  | Some _ | None -> Array.init parts validate

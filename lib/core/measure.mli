@@ -69,6 +69,30 @@ type validation = {
 }
 
 val validate_part :
-  ?seed:int -> Path.t -> Path.part -> strategy:Propagate.strategy -> validation list
+  ?pool:Msoc_util.Pool.t ->
+  ?seed:int ->
+  Path.t ->
+  Path.part ->
+  strategy:Propagate.strategy ->
+  validation list
 (** Run the full propagated-measurement set against one part and compare
-    each result with the part's true parameter value. *)
+    each result with the part's true parameter value.  With [pool], the
+    five measurement procedures run on separate domains (each capture
+    builds its own engine, so they are independent); the result list is in
+    procedure order and identical to the serial path for every pool
+    size. *)
+
+val validate_population :
+  ?pool:Msoc_util.Pool.t ->
+  ?seed:int ->
+  Path.t ->
+  parts:int ->
+  strategy:Propagate.strategy ->
+  rng:Msoc_util.Prng.t ->
+  (Path.part * validation list) array
+(** Monte-Carlo sweep of the virtual tester: sample [parts] manufactured
+    parts from [rng] (serially, so the population is independent of the
+    pool size) and validate each, part [i] with session seed [seed + i]
+    (default [seed] 1000).  With [pool], parts are distributed across
+    domains; results are in sampling order and bit-identical to the serial
+    path. *)

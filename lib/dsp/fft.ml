@@ -7,58 +7,148 @@ let next_power_of_two n =
   let rec grow p = if p >= n then p else grow (p * 2) in
   grow 1
 
-(* Iterative radix-2 decimation-in-time: bit-reversal permutation followed by
-   log2(N) butterfly stages with recurrence-updated twiddles. *)
-let fft_in_place ~re ~im ~inverse =
-  let n = Array.length re in
-  assert (Array.length im = n && is_power_of_two n);
-  (* Bit-reversal permutation. *)
-  let j = ref 0 in
-  for i = 0 to n - 2 do
-    if i < !j then begin
-      let tr = re.(i) in re.(i) <- re.(!j); re.(!j) <- tr;
-      let ti = im.(i) in im.(i) <- im.(!j); im.(!j) <- ti
-    end;
-    let rec carry m =
-      if m >= 1 && !j land m <> 0 then begin
-        j := !j lxor m;
-        carry (m lsr 1)
-      end
-      else j := !j lor m
-    in
-    carry (n lsr 1)
+(* ------------------------------------------------------------------ *)
+(* Plan cache.  Every transform of length N reuses the same bit-       *)
+(* reversal permutation and twiddle tables, and every Bluestein        *)
+(* transform of length N reuses its chirp and the spectrum of its      *)
+(* (fixed) convolution kernel.  Plans are immutable once built and the *)
+(* table is mutex-protected, so cached transforms are safe to run from *)
+(* multiple domains concurrently.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type pow2_plan = {
+  perm : int array;
+  (* Twiddles for all stages, forward sign, concatenated: stage [len]
+     (len = 2, 4, ..., n) owns the len/2 entries starting at len/2 - 1,
+     entry k holding exp(-2i pi k / len).  Total n - 1 entries. *)
+  tw_re : float array;
+  tw_im : float array;
+}
+
+type bluestein_plan = {
+  n : int;
+  m : int;                      (* power-of-two convolution length *)
+  chirp_re : float array;       (* exp(sign * i pi k^2 / n), length n *)
+  chirp_im : float array;
+  fb_re : float array;          (* forward FFT of the chirp kernel, length m *)
+  fb_im : float array;
+}
+
+let plan_mutex = Mutex.create ()
+let pow2_plans : (int, pow2_plan) Hashtbl.t = Hashtbl.create 8
+(* keyed by (n, inverse): the chirp sign differs between directions *)
+let bluestein_plans : (int * bool, bluestein_plan) Hashtbl.t = Hashtbl.create 8
+
+let clear_plan_cache () =
+  Mutex.lock plan_mutex;
+  Hashtbl.reset pow2_plans;
+  Hashtbl.reset bluestein_plans;
+  Mutex.unlock plan_mutex
+
+let plan_cache_sizes () =
+  Mutex.lock plan_mutex;
+  let sizes = (Hashtbl.length pow2_plans, Hashtbl.length bluestein_plans) in
+  Mutex.unlock plan_mutex;
+  sizes
+
+let build_pow2_plan n =
+  let perm = Array.make n 0 in
+  let bits =
+    let rec count b m = if m >= n then b else count (b + 1) (m * 2) in
+    count 0 1
+  in
+  for i = 0 to n - 1 do
+    let j = ref 0 in
+    for b = 0 to bits - 1 do
+      if i land (1 lsl b) <> 0 then j := !j lor (1 lsl (bits - 1 - b))
+    done;
+    perm.(i) <- !j
   done;
-  let sign = if inverse then 1.0 else -1.0 in
+  let tw_re = Array.make (max 1 (n - 1)) 1.0 in
+  let tw_im = Array.make (max 1 (n - 1)) 0.0 in
   let len = ref 2 in
   while !len <= n do
     let half = !len / 2 in
-    let angle = sign *. two_pi /. float_of_int !len in
-    let wr_step = cos angle and wi_step = sin angle in
-    let block = ref 0 in
-    while !block < n do
-      let wr = ref 1.0 and wi = ref 0.0 in
-      for k = 0 to half - 1 do
-        let a = !block + k and b = !block + k + half in
-        let tr = (!wr *. re.(b)) -. (!wi *. im.(b)) in
-        let ti = (!wr *. im.(b)) +. (!wi *. re.(b)) in
-        re.(b) <- re.(a) -. tr;
-        im.(b) <- im.(a) -. ti;
-        re.(a) <- re.(a) +. tr;
-        im.(a) <- im.(a) +. ti;
-        let wr' = (!wr *. wr_step) -. (!wi *. wi_step) in
-        wi := (!wr *. wi_step) +. (!wi *. wr_step);
-        wr := wr'
-      done;
-      block := !block + !len
+    let base = half - 1 in
+    for k = 0 to half - 1 do
+      let angle = -.two_pi *. float_of_int k /. float_of_int !len in
+      tw_re.(base + k) <- cos angle;
+      tw_im.(base + k) <- sin angle
     done;
     len := !len * 2
   done;
-  if inverse then begin
-    let scale = 1.0 /. float_of_int n in
+  { perm; tw_re; tw_im }
+
+(* The build runs OUTSIDE the critical section: building a Bluestein plan
+   transforms its kernel, which re-enters the pow2 lookup — holding one
+   non-reentrant mutex across the build would self-deadlock.  If two
+   domains race on a cold key both build; the first to publish wins and
+   the plans are identical anyway (pure functions of the key). *)
+let memo_plan table key build =
+  Mutex.lock plan_mutex;
+  let existing = Hashtbl.find_opt table key in
+  Mutex.unlock plan_mutex;
+  match existing with
+  | Some plan -> plan
+  | None ->
+    let plan = build () in
+    Mutex.lock plan_mutex;
+    let plan =
+      match Hashtbl.find_opt table key with
+      | Some winner -> winner
+      | None ->
+        Hashtbl.add table key plan;
+        plan
+    in
+    Mutex.unlock plan_mutex;
+    plan
+
+let pow2_plan n = memo_plan pow2_plans n (fun () -> build_pow2_plan n)
+
+(* Iterative radix-2 decimation-in-time with table-driven twiddles: the
+   bit-reversal permutation followed by log2(N) butterfly stages.  The
+   inverse direction conjugates the (forward-sign) table entries. *)
+let fft_in_place ~re ~im ~inverse =
+  let n = Array.length re in
+  assert (Array.length im = n && is_power_of_two n);
+  if n > 1 then begin
+    let plan = pow2_plan n in
+    let perm = plan.perm and tw_re = plan.tw_re and tw_im = plan.tw_im in
     for i = 0 to n - 1 do
-      re.(i) <- re.(i) *. scale;
-      im.(i) <- im.(i) *. scale
-    done
+      let j = perm.(i) in
+      if i < j then begin
+        let tr = re.(i) in re.(i) <- re.(j); re.(j) <- tr;
+        let ti = im.(i) in im.(i) <- im.(j); im.(j) <- ti
+      end
+    done;
+    let sign = if inverse then -1.0 else 1.0 in
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let base = half - 1 in
+      let block = ref 0 in
+      while !block < n do
+        for k = 0 to half - 1 do
+          let wr = tw_re.(base + k) and wi = sign *. tw_im.(base + k) in
+          let a = !block + k and b = !block + k + half in
+          let tr = (wr *. re.(b)) -. (wi *. im.(b)) in
+          let ti = (wr *. im.(b)) +. (wi *. re.(b)) in
+          re.(b) <- re.(a) -. tr;
+          im.(b) <- im.(a) -. ti;
+          re.(a) <- re.(a) +. tr;
+          im.(a) <- im.(a) +. ti
+        done;
+        block := !block + !len
+      done;
+      len := !len * 2
+    done;
+    if inverse then begin
+      let scale = 1.0 /. float_of_int n in
+      for i = 0 to n - 1 do
+        re.(i) <- re.(i) *. scale;
+        im.(i) <- im.(i) *. scale
+      done
+    end
   end
 
 let split x =
@@ -71,35 +161,60 @@ let pow2_transform ~inverse x =
   fft_in_place ~re ~im ~inverse;
   join re im
 
-(* Bluestein chirp-z: x_n * w_n convolved with conj(w) chirp, where
+let build_bluestein_plan ~inverse n =
+  let sign = if inverse then 1.0 else -1.0 in
+  let chirp_re = Array.make n 0.0 and chirp_im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* k^2 mod 2n keeps the angle argument small for large k. *)
+    let k2 = k * k mod (2 * n) in
+    let angle = sign *. Float.pi *. float_of_int k2 /. float_of_int n in
+    chirp_re.(k) <- cos angle;
+    chirp_im.(k) <- sin angle
+  done;
+  let m = next_power_of_two ((2 * n) - 1) in
+  let fb_re = Array.make m 0.0 and fb_im = Array.make m 0.0 in
+  for k = 0 to n - 1 do
+    (* conj(chirp), circularly mirrored: kernel of the linear convolution *)
+    fb_re.(k) <- chirp_re.(k);
+    fb_im.(k) <- -.chirp_im.(k);
+    if k > 0 then begin
+      fb_re.(m - k) <- chirp_re.(k);
+      fb_im.(m - k) <- -.chirp_im.(k)
+    end
+  done;
+  fft_in_place ~re:fb_re ~im:fb_im ~inverse:false;
+  { n; m; chirp_re; chirp_im; fb_re; fb_im }
+
+let bluestein_plan ~inverse n =
+  memo_plan bluestein_plans (n, inverse) (fun () -> build_bluestein_plan ~inverse n)
+
+(* Bluestein chirp-z: x_n * w_n convolved with the conj(w) chirp, where
    w_n = exp(-i pi n^2 / N).  The linear convolution is carried out with a
-   power-of-two circular FFT of length >= 2N - 1. *)
+   power-of-two circular FFT of length >= 2N - 1; the chirp and the
+   kernel's spectrum come from the plan. *)
 let bluestein ~inverse x =
   let n = Array.length x in
-  let sign = if inverse then 1.0 else -1.0 in
-  let chirp =
-    Array.init n (fun k ->
-        (* k^2 mod 2n keeps the angle argument small for large k. *)
-        let k2 = k * k mod (2 * n) in
-        let angle = sign *. Float.pi *. float_of_int k2 /. float_of_int n in
-        { Complex.re = cos angle; im = sin angle })
-  in
-  let m = next_power_of_two ((2 * n) - 1) in
-  let a = Array.make m Complex.zero in
-  let b = Array.make m Complex.zero in
+  let plan = bluestein_plan ~inverse n in
+  let m = plan.m in
+  let a_re = Array.make m 0.0 and a_im = Array.make m 0.0 in
   for k = 0 to n - 1 do
-    a.(k) <- Complex.mul x.(k) chirp.(k);
-    let c = Complex.conj chirp.(k) in
-    b.(k) <- c;
-    if k > 0 then b.(m - k) <- c
+    let { Complex.re; im } = x.(k) in
+    a_re.(k) <- (re *. plan.chirp_re.(k)) -. (im *. plan.chirp_im.(k));
+    a_im.(k) <- (re *. plan.chirp_im.(k)) +. (im *. plan.chirp_re.(k))
   done;
-  let fa = pow2_transform ~inverse:false a in
-  let fb = pow2_transform ~inverse:false b in
-  let product = Array.init m (fun i -> Complex.mul fa.(i) fb.(i)) in
-  let conv = pow2_transform ~inverse:true product in
-  let y = Array.init n (fun k -> Complex.mul conv.(k) chirp.(k)) in
-  if inverse then Array.map (fun c -> Complex.div c { Complex.re = float_of_int n; im = 0.0 }) y
-  else y
+  fft_in_place ~re:a_re ~im:a_im ~inverse:false;
+  for k = 0 to m - 1 do
+    let tr = (a_re.(k) *. plan.fb_re.(k)) -. (a_im.(k) *. plan.fb_im.(k)) in
+    let ti = (a_re.(k) *. plan.fb_im.(k)) +. (a_im.(k) *. plan.fb_re.(k)) in
+    a_re.(k) <- tr;
+    a_im.(k) <- ti
+  done;
+  fft_in_place ~re:a_re ~im:a_im ~inverse:true;
+  let scale = if inverse then 1.0 /. float_of_int n else 1.0 in
+  Array.init n (fun k ->
+      let re = (a_re.(k) *. plan.chirp_re.(k)) -. (a_im.(k) *. plan.chirp_im.(k)) in
+      let im = (a_re.(k) *. plan.chirp_im.(k)) +. (a_im.(k) *. plan.chirp_re.(k)) in
+      { Complex.re = re *. scale; im = im *. scale })
 
 let transform ~inverse x =
   let n = Array.length x in
@@ -125,6 +240,15 @@ let dft x =
 let rfft signal =
   let n = Array.length signal in
   assert (n >= 2);
-  let x = Array.map (fun v -> { Complex.re = v; im = 0.0 }) signal in
-  let full = fft x in
-  Array.sub full 0 ((n / 2) + 1)
+  if is_power_of_two n then begin
+    (* avoid the Complex boxing round-trip on the hot power-of-two path *)
+    let re = Array.copy signal in
+    let im = Array.make n 0.0 in
+    fft_in_place ~re ~im ~inverse:false;
+    Array.init ((n / 2) + 1) (fun k -> { Complex.re = re.(k); im = im.(k) })
+  end
+  else begin
+    let x = Array.map (fun v -> { Complex.re = v; im = 0.0 }) signal in
+    let full = fft x in
+    Array.sub full 0 ((n / 2) + 1)
+  end

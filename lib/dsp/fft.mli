@@ -5,6 +5,14 @@
     chirp-z algorithm (which reduces to a power-of-two convolution).  A naive
     DFT is exported for cross-validation in the test suite.
 
+    Transforms are {e planned}: the bit-reversal permutation and twiddle
+    tables of each power-of-two length, and the chirp plus convolution-kernel
+    spectrum of each Bluestein length, are computed once and memoised, so
+    repeated same-length transforms (the virtual tester performs thousands of
+    same-size captures) skip all [cos]/[sin] evaluation.  The plan table is
+    mutex-protected and plans are immutable once published, so transforms may
+    run concurrently from multiple domains.
+
     Conventions: forward transform is [X_k = sum_n x_n exp(-2πi kn / N)]; the
     inverse includes the [1/N] factor, so [ifft (fft x) = x]. *)
 
@@ -29,3 +37,11 @@ val dft : Complex.t array -> Complex.t array
 val rfft : float array -> Complex.t array
 (** Forward transform of a real signal; returns the [N/2 + 1] non-redundant
     bins (DC .. Nyquist).  Any length >= 2. *)
+
+val clear_plan_cache : unit -> unit
+(** Drop every memoised plan.  Only useful to benchmarks and tests that want
+    to measure or exercise cold-plan behaviour; results are unaffected
+    because plans are rebuilt deterministically. *)
+
+val plan_cache_sizes : unit -> int * int
+(** [(power-of-two plans, Bluestein plans)] currently cached. *)

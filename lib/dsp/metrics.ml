@@ -95,18 +95,26 @@ let analyze ?(harmonics = 5) t =
     harm_total := !harm_total +. p
   done;
   (* Worst spur anywhere outside the fundamental's (widened) lobe; its
-     power is lobe-integrated so SFDR compares tone against tone. *)
+     power is lobe-integrated so SFDR compares tone against tone.  The
+     re-integration excludes the fundamental's bins from both the local
+     peak climb and the sum: when the worst bin sits on the fundamental's
+     leakage skirt, an unbounded climb would walk back into the main lobe
+     and report the fundamental itself as the "spur" (near-0 dB SFDR for a
+     clean tone). *)
   let hw = lobe_half_width t.Spectrum.window in
   let fundamental_bins = bins_around t peak (2 * hw) in
+  let in_fundamental k = List.mem k fundamental_bins || k = 0 in
   let worst_bin = ref (-1) in
   for k = 1 to Spectrum.bin_count t - 1 do
-    if (not (List.mem k fundamental_bins)) && t.Spectrum.bins.(k) > !worst_spur then begin
+    if (not (in_fundamental k)) && t.Spectrum.bins.(k) > !worst_spur then begin
       worst_spur := t.Spectrum.bins.(k);
       worst_bin := k
     end
   done;
   if !worst_bin >= 0 then
-    worst_spur := Spectrum.tone_power t ~freq:(Spectrum.frequency_of_bin t !worst_bin);
+    worst_spur :=
+      Spectrum.tone_power t ~avoid:in_fundamental
+        ~freq:(Spectrum.frequency_of_bin t !worst_bin);
   let snr = snr_with_exclusions t ~fundamental:fundamental_freq ~harmonics in
   let noise_plus_dist = Spectrum.total_power t ~exclude_dc:true -. signal in
   let sinad = if noise_plus_dist <= 1e-40 then 400.0 else db signal -. db noise_plus_dist in

@@ -26,6 +26,17 @@ let analyze ?(window = Window.Hann) ~sample_rate signal =
   in
   { bins; sample_rate; window; length = n }
 
+(* Multi-capture runs (one spectrum per fault stream, per Monte-Carlo part,
+   per repeated measurement) analyse each capture independently: distribute
+   them across domains.  The FFT plan cache is mutex-protected, so the
+   first concurrent accesses of a new length serialise on the plan build
+   and every later capture shares the published plan read-only. *)
+let analyze_many ?pool ?(window = Window.Hann) ~sample_rate signals =
+  match pool with
+  | Some pool when Msoc_util.Pool.size pool > 1 && Array.length signals > 1 ->
+    Msoc_util.Pool.parallel_map pool (fun signal -> analyze ~window ~sample_rate signal) signals
+  | Some _ | None -> Array.map (fun signal -> analyze ~window ~sample_rate signal) signals
+
 let bin_count t = Array.length t.bins
 let frequency_of_bin t k = float_of_int k *. t.sample_rate /. float_of_int t.length
 
@@ -46,13 +57,16 @@ let lobe_half_width window =
   | Window.Blackman -> 3
   | Window.Blackman_harris -> 4
 
-let tone_power t ~freq =
+let tone_power ?(avoid = fun _ -> false) t ~freq =
   let center = bin_of_frequency t freq in
   (* Walk to the local peak first: the nominal frequency may sit between
-     bins or be slightly shifted by analog frequency error. *)
+     bins or be slightly shifted by analog frequency error.  [avoid] bounds
+     the walk: the climb never steps onto an avoided bin, so integrating a
+     spur that sits on a stronger tone's leakage skirt cannot slide into
+     that tone's main lobe. *)
   let nbins = bin_count t in
   let rec climb k =
-    let better j = j >= 0 && j < nbins && t.bins.(j) > t.bins.(k) in
+    let better j = j >= 0 && j < nbins && (not (avoid j)) && t.bins.(j) > t.bins.(k) in
     if better (k + 1) then climb (k + 1) else if better (k - 1) then climb (k - 1) else k
   in
   let peak = climb center in
@@ -60,7 +74,7 @@ let tone_power t ~freq =
   let lo = max 0 (peak - hw) and hi = min (nbins - 1) (peak + hw) in
   let acc = ref 0.0 in
   for k = lo to hi do
-    acc := !acc +. t.bins.(k)
+    if not (avoid k) then acc := !acc +. t.bins.(k)
   done;
   !acc
 

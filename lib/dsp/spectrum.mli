@@ -20,6 +20,16 @@ val analyze : ?window:Window.kind -> sample_rate:float -> float array -> t
     sum over noise bins reads the true noise variance.  Requires at least 8
     samples. *)
 
+val analyze_many :
+  ?pool:Msoc_util.Pool.t ->
+  ?window:Window.kind ->
+  sample_rate:float ->
+  float array array ->
+  t array
+(** {!analyze} applied to every capture, optionally distributed across the
+    domains of [pool] (result order matches input order and is identical to
+    the serial path for every pool size). *)
+
 val bin_count : t -> int
 val frequency_of_bin : t -> int -> float
 val bin_of_frequency : t -> float -> int
@@ -29,9 +39,13 @@ val power_db : t -> int -> float
 (** Bin power in dB relative to 1 V^2 (i.e. 10 log10 of the bin power), with
     a -400 dB floor for empty bins. *)
 
-val tone_power : t -> freq:float -> float
+val tone_power : ?avoid:(int -> bool) -> t -> freq:float -> float
 (** Power of a tone near [freq]: sums bins within the window's main lobe
-    around the nearest local peak. *)
+    around the nearest local peak.  The peak search climbs from the nearest
+    bin, and [avoid] (default: nothing) bounds it — bins for which [avoid]
+    holds are neither climbed onto nor integrated, which keeps a spur
+    reading from walking up a neighbouring tone's leakage skirt into that
+    tone's main lobe. *)
 
 val total_power : t -> exclude_dc:bool -> float
 val peak_bin : t -> ?from_bin:int -> unit -> int

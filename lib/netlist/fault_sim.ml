@@ -1,3 +1,5 @@
+module Pool = Msoc_util.Pool
+
 type run = {
   faults : Fault.t array;
   good_stream : int array;
@@ -21,6 +23,24 @@ let prepare sim batch =
       Logic_sim.inject sim ~node:f.Fault.node ~lane:(lane + 1) ~stuck:f.Fault.stuck)
     batch
 
+(* Simulate one batch on [sim], writing lane 0 into [good_stream] and lane
+   [l + 1] into [batch_streams.(l)].  Batches are independent: [prepare]
+   clears all fault masks and state, so the result of a batch does not
+   depend on which sim instance runs it or in which order — the property
+   the pooled paths below rely on. *)
+let simulate_batch sim ~bus ~drive ~samples ~lane_values ~good_stream ~batch_streams batch =
+  prepare sim batch;
+  for cycle = 0 to samples - 1 do
+    drive sim cycle;
+    Logic_sim.eval sim;
+    Logic_sim.read_bus_lanes sim bus lane_values;
+    good_stream.(cycle) <- lane_values.(0);
+    for lane = 0 to Array.length batch - 1 do
+      batch_streams.(lane).(cycle) <- lane_values.(lane + 1)
+    done;
+    Logic_sim.tick sim
+  done
+
 let run_fold circuit ~output ~drive ~samples ~faults ~on_fault =
   let bus = Netlist.find_output circuit output in
   let sim = Logic_sim.create circuit in
@@ -32,17 +52,7 @@ let run_fold circuit ~output ~drive ~samples ~faults ~on_fault =
   let batch_start = ref 0 in
   List.iter
     (fun batch ->
-      prepare sim batch;
-      for cycle = 0 to samples - 1 do
-        drive sim cycle;
-        Logic_sim.eval sim;
-        Logic_sim.read_bus_lanes sim bus lane_values;
-        good_stream.(cycle) <- lane_values.(0);
-        for lane = 0 to Array.length batch - 1 do
-          batch_streams.(lane).(cycle) <- lane_values.(lane + 1)
-        done;
-        Logic_sim.tick sim
-      done;
+      simulate_batch sim ~bus ~drive ~samples ~lane_values ~good_stream ~batch_streams batch;
       Array.iteri
         (fun lane fault -> on_fault (!batch_start + lane) fault batch_streams.(lane))
         batch;
@@ -50,37 +60,95 @@ let run_fold circuit ~output ~drive ~samples ~faults ~on_fault =
     (batches faults);
   good_stream
 
-let run circuit ~output ~drive ~samples ~faults =
-  let fault_streams = Array.init (Array.length faults) (fun _ -> [||]) in
-  let on_fault index _fault stream = fault_streams.(index) <- Array.copy stream in
-  let good_stream = run_fold circuit ~output ~drive ~samples ~faults ~on_fault in
-  { faults; good_stream; fault_streams }
+let batch_offsets batch_array =
+  let offsets = Array.make (Array.length batch_array) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun b batch ->
+      offsets.(b) <- !acc;
+      acc := !acc + Array.length batch)
+    batch_array;
+  offsets
 
-let detect_exact circuit ~output ~drive ~samples ~faults =
-  let bus = Netlist.find_output circuit output in
-  let sim = Logic_sim.create circuit in
+let run ?pool circuit ~output ~drive ~samples ~faults =
+  match pool with
+  | Some pool when Pool.size pool > 1 && Array.length faults > faults_per_batch ->
+    (* One Logic_sim instance per worker; each worker owns a contiguous
+       range of batches and fresh per-batch stream arrays, so no simulation
+       state and no output array is shared between domains.  [drive] runs
+       concurrently against distinct sims and must only mutate the sim it
+       is handed. *)
+    let batch_array = Array.of_list (batches faults) in
+    let offsets = batch_offsets batch_array in
+    let good_stream = Array.make samples 0 in
+    let fault_streams = Array.init (Array.length faults) (fun _ -> [||]) in
+    Pool.parallel_iter_chunks pool ~n:(Array.length batch_array) ~f:(fun ~lo ~hi ->
+        let bus = Netlist.find_output circuit output in
+        let sim = Logic_sim.create circuit in
+        let lane_values = Array.make Logic_sim.lanes 0 in
+        let scratch_good = if lo = 0 then good_stream else Array.make samples 0 in
+        for b = lo to hi - 1 do
+          let batch = batch_array.(b) in
+          let batch_streams =
+            Array.init (Array.length batch) (fun _ -> Array.make samples 0)
+          in
+          simulate_batch sim ~bus ~drive ~samples ~lane_values ~good_stream:scratch_good
+            ~batch_streams batch;
+          Array.iteri
+            (fun lane _ -> fault_streams.(offsets.(b) + lane) <- batch_streams.(lane))
+            batch
+        done);
+    { faults; good_stream; fault_streams }
+  | Some _ | None ->
+    let fault_streams = Array.init (Array.length faults) (fun _ -> [||]) in
+    (* copy at the API boundary: [run_fold] recycles its stream buffers *)
+    let on_fault index _fault stream = fault_streams.(index) <- Array.copy stream in
+    let good_stream = run_fold circuit ~output ~drive ~samples ~faults ~on_fault in
+    { faults; good_stream; fault_streams }
+
+let detect_batch sim ~bus ~drive ~samples ~lane_values ~detected ~batch_start batch =
+  prepare sim batch;
+  let live = ref (Array.length batch) in
+  let cycle = ref 0 in
+  while !cycle < samples && !live > 0 do
+    drive sim !cycle;
+    Logic_sim.eval sim;
+    Logic_sim.read_bus_lanes sim bus lane_values;
+    let good = lane_values.(0) in
+    for lane = 0 to Array.length batch - 1 do
+      if (not detected.(batch_start + lane)) && lane_values.(lane + 1) <> good then begin
+        detected.(batch_start + lane) <- true;
+        decr live
+      end
+    done;
+    Logic_sim.tick sim;
+    incr cycle
+  done
+
+let detect_exact ?pool circuit ~output ~drive ~samples ~faults =
   let detected = Array.make (Array.length faults) false in
-  let lane_values = Array.make Logic_sim.lanes 0 in
-  let batch_start = ref 0 in
-  List.iter
-    (fun batch ->
-      prepare sim batch;
-      let live = ref (Array.length batch) in
-      let cycle = ref 0 in
-      while !cycle < samples && !live > 0 do
-        drive sim !cycle;
-        Logic_sim.eval sim;
-        Logic_sim.read_bus_lanes sim bus lane_values;
-        let good = lane_values.(0) in
-        for lane = 0 to Array.length batch - 1 do
-          if (not detected.(!batch_start + lane)) && lane_values.(lane + 1) <> good then begin
-            detected.(!batch_start + lane) <- true;
-            decr live
-          end
-        done;
-        Logic_sim.tick sim;
-        incr cycle
-      done;
-      batch_start := !batch_start + Array.length batch)
-    (batches faults);
+  (match pool with
+  | Some pool when Pool.size pool > 1 && Array.length faults > faults_per_batch ->
+    let batch_array = Array.of_list (batches faults) in
+    let offsets = batch_offsets batch_array in
+    Pool.parallel_iter_chunks pool ~n:(Array.length batch_array) ~f:(fun ~lo ~hi ->
+        let bus = Netlist.find_output circuit output in
+        let sim = Logic_sim.create circuit in
+        let lane_values = Array.make Logic_sim.lanes 0 in
+        for b = lo to hi - 1 do
+          (* disjoint index ranges of [detected]: no write contention *)
+          detect_batch sim ~bus ~drive ~samples ~lane_values ~detected
+            ~batch_start:offsets.(b) batch_array.(b)
+        done)
+  | Some _ | None ->
+    let bus = Netlist.find_output circuit output in
+    let sim = Logic_sim.create circuit in
+    let lane_values = Array.make Logic_sim.lanes 0 in
+    let batch_start = ref 0 in
+    List.iter
+      (fun batch ->
+        detect_batch sim ~bus ~drive ~samples ~lane_values ~detected ~batch_start:!batch_start
+          batch;
+        batch_start := !batch_start + Array.length batch)
+      (batches faults));
   detected

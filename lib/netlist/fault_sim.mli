@@ -4,15 +4,38 @@
     into lanes 1..62 of each simulation pass, replays the stimulus once per
     batch, and returns the full output stream of every machine — the form
     the spectral detection of the paper needs (the detector compares output
-    {e spectra}, not samples). *)
+    {e spectra}, not samples).
+
+    {2 Domain-level parallelism}
+
+    {!run} and {!detect_exact} optionally distribute fault batches across
+    the domains of a {!Msoc_util.Pool.t}: each worker owns a private
+    {!Logic_sim.t} instance and a contiguous range of batches.  Batches are
+    mutually independent (each starts from a fully reset machine), so the
+    pooled result is bit-identical to the serial one for every pool size;
+    passing no pool, or a pool of size 1, runs the unchanged serial path.
+    [drive] is called concurrently against distinct sims and therefore must
+    only mutate the sim it is handed (reading shared immutable data such as
+    a stimulus array is fine).
+
+    {2 Stream aliasing contract}
+
+    {!run_fold} reuses one set of per-lane stream buffers across batches:
+    the [stream] array handed to [on_fault] is {e only valid for the
+    duration of the callback} and is overwritten by the next batch — copy it
+    ([Array.copy]) to retain it.  {!run} performs that copy at the API
+    boundary (or, on the pooled path, allocates fresh per-batch arrays), so
+    [fault_streams] never alias each other or any internal buffer. *)
 
 type run = {
   faults : Fault.t array;
   good_stream : int array;          (** Fault-free output, one value/cycle. *)
-  fault_streams : int array array;  (** [fault_streams.(i)] matches [faults.(i)]. *)
+  fault_streams : int array array;  (** [fault_streams.(i)] matches [faults.(i)];
+                                        freshly allocated, never aliased. *)
 }
 
 val run :
+  ?pool:Msoc_util.Pool.t ->
   Netlist.t ->
   output:string ->
   drive:(Logic_sim.t -> int -> unit) ->
@@ -21,7 +44,9 @@ val run :
   run
 (** Simulate [samples] cycles.  [drive sim cycle] must set all inputs for
     the given cycle (typically via {!Logic_sim.drive_bus}); [output] names
-    the observed bus.  Raises [Not_found] for an unknown output name. *)
+    the observed bus.  Raises [Not_found] for an unknown output name.
+    With [pool], batches run across domains (see above); the result is
+    bit-identical to the serial path. *)
 
 val run_fold :
   Netlist.t ->
@@ -32,11 +57,14 @@ val run_fold :
   on_fault:(int -> Fault.t -> int array -> unit) ->
   int array
 (** Streaming variant of {!run}: [on_fault index fault stream] is invoked
-    once per fault as soon as its batch completes ([stream] is only valid
-    during the callback — copy it to retain it); returns the fault-free
-    stream.  Memory stays bounded by one batch regardless of fault count. *)
+    once per fault, in fault order, as soon as its batch completes; returns
+    the fault-free stream.  [stream] is a reused buffer, valid only during
+    the callback (see the aliasing contract above).  Memory stays bounded
+    by one batch regardless of fault count.  Always serial: the callback
+    ordering is part of the contract. *)
 
 val detect_exact :
+  ?pool:Msoc_util.Pool.t ->
   Netlist.t ->
   output:string ->
   drive:(Logic_sim.t -> int -> unit) ->
@@ -45,4 +73,5 @@ val detect_exact :
   bool array
 (** Cheap time-domain detection: a fault is detected as soon as its output
     differs from the fault-free output in any cycle.  Batches stop early
-    once all their lanes have been detected. *)
+    once all their lanes have been detected.  With [pool], batches run
+    across domains; bit-identical to the serial path. *)

@@ -35,3 +35,41 @@ let estimate_mean ~trials ~rng ~f =
     half_width_95 = z_95 *. s.Describe.stddev /. sqrt (float_of_int trials) }
 
 let sample_array ~trials ~rng ~f = Array.init trials (fun _ -> f rng)
+
+(* Pooled trial loops.  Each trial draws from its own generator stream,
+   split serially from [rng] up front (Pool.split_streams), so the sample
+   set depends only on [rng]'s state and the trial index — never on the
+   pool size or on scheduling.  These are therefore deterministic across
+   pool sizes (including the no-pool serial path) but draw DIFFERENT
+   numbers than the shared-generator loops above. *)
+
+let sample_array_pooled ?pool ~trials ~rng ~f () =
+  assert (trials > 0);
+  match pool with
+  | Some pool ->
+    Msoc_util.Pool.parallel_floats_rng pool ~rng trials (fun stream i -> f stream i)
+  | None ->
+    let streams = Msoc_util.Pool.split_streams rng trials in
+    Array.init trials (fun i -> f streams.(i) i)
+
+let estimate_mean_pooled ?pool ~trials ~rng ~f () =
+  assert (trials > 1);
+  let samples = sample_array_pooled ?pool ~trials ~rng ~f () in
+  let s = Describe.summarize samples in
+  { trials;
+    mean = s.Describe.mean;
+    stddev = s.Describe.stddev;
+    half_width_95 = z_95 *. s.Describe.stddev /. sqrt (float_of_int trials) }
+
+let estimate_probability_pooled ?pool ~trials ~rng ~f () =
+  assert (trials > 0);
+  let hits =
+    sample_array_pooled ?pool ~trials ~rng ~f:(fun g i -> if f g i then 1.0 else 0.0) ()
+  in
+  let successes =
+    Array.fold_left (fun acc h -> if h > 0.5 then acc + 1 else acc) 0 hits
+  in
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let half_width_95 = z_95 *. sqrt (p *. (1.0 -. p) /. n) in
+  { trials; successes; p; half_width_95 }

@@ -31,3 +31,39 @@ val estimate_mean :
 val sample_array :
   trials:int -> rng:Msoc_util.Prng.t -> f:(Msoc_util.Prng.t -> float) -> float array
 (** Collect raw trial outputs for downstream histogramming. *)
+
+(** {2 Pooled trial loops}
+
+    Each trial draws from its own generator stream, split serially from
+    [rng] before any parallel execution ({!Msoc_util.Pool.split_streams}),
+    so results are bit-identical for every pool size — including no pool —
+    but differ from the shared-generator loops above, which thread one
+    stream through the trials sequentially. *)
+
+val sample_array_pooled :
+  ?pool:Msoc_util.Pool.t ->
+  trials:int ->
+  rng:Msoc_util.Prng.t ->
+  f:(Msoc_util.Prng.t -> int -> float) ->
+  unit ->
+  float array
+(** [f stream i] computes trial [i] from its private stream.  Requires
+    [trials > 0]. *)
+
+val estimate_mean_pooled :
+  ?pool:Msoc_util.Pool.t ->
+  trials:int ->
+  rng:Msoc_util.Prng.t ->
+  f:(Msoc_util.Prng.t -> int -> float) ->
+  unit ->
+  mean_estimate
+(** Requires [trials > 1]. *)
+
+val estimate_probability_pooled :
+  ?pool:Msoc_util.Pool.t ->
+  trials:int ->
+  rng:Msoc_util.Prng.t ->
+  f:(Msoc_util.Prng.t -> int -> bool) ->
+  unit ->
+  probability_estimate
+(** Requires [trials > 0]. *)

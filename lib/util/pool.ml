@@ -1,0 +1,192 @@
+(* A deliberately simple parallel execution layer: a fixed set of worker
+   domains, each of which runs a statically assigned contiguous share of the
+   iteration space.  No work stealing, no dynamic queue — assignment depends
+   only on (n, size), so the mapping from task index to worker is
+   deterministic and results are written back by index. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  ready : Condition.t;
+  finished : Condition.t;
+  mutable job : (int -> unit) option;
+  mutable generation : int;
+  mutable pending : int;
+  mutable stop : bool;
+  busy : bool Atomic.t;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Each worker domain owns a fixed slot (1 .. size-1); the caller of [run]
+   acts as slot 0.  Workers sleep on [ready] until a new generation is
+   published, run the job for their slot, then report on [finished]. *)
+let spawn_worker pool slot =
+  Domain.spawn (fun () ->
+      let rec loop last_generation =
+        Mutex.lock pool.mutex;
+        while (not pool.stop) && pool.generation = last_generation do
+          Condition.wait pool.ready pool.mutex
+        done;
+        if pool.stop then Mutex.unlock pool.mutex
+        else begin
+          let generation = pool.generation in
+          let job = Option.get pool.job in
+          Mutex.unlock pool.mutex;
+          job slot;
+          Mutex.lock pool.mutex;
+          pool.pending <- pool.pending - 1;
+          if pool.pending = 0 then Condition.broadcast pool.finished;
+          Mutex.unlock pool.mutex;
+          loop generation
+        end
+      in
+      loop 0)
+
+let live_pools : t list ref = ref []
+let live_mutex = Mutex.create ()
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let was_stopped = pool.stop in
+  pool.stop <- true;
+  Condition.broadcast pool.ready;
+  Mutex.unlock pool.mutex;
+  if not was_stopped then begin
+    List.iter Domain.join pool.workers;
+    pool.workers <- [];
+    Mutex.lock live_mutex;
+    live_pools := List.filter (fun p -> p != pool) !live_pools;
+    Mutex.unlock live_mutex
+  end
+
+let () = at_exit (fun () ->
+    let pools = Mutex.protect live_mutex (fun () -> !live_pools) in
+    List.iter shutdown pools)
+
+let create ?size:(requested = Domain.recommended_domain_count ()) () =
+  let size = max 1 requested in
+  let pool =
+    { size;
+      mutex = Mutex.create ();
+      ready = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      generation = 0;
+      pending = 0;
+      stop = false;
+      busy = Atomic.make false;
+      workers = [] }
+  in
+  if size > 1 then begin
+    pool.workers <- List.init (size - 1) (fun i -> spawn_worker pool (i + 1));
+    Mutex.lock live_mutex;
+    live_pools := pool :: !live_pools;
+    Mutex.unlock live_mutex
+  end;
+  pool
+
+let default_size () =
+  match Sys.getenv_opt "MSOC_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_pool = lazy (create ~size:(default_size ()) ())
+let get_default () = Lazy.force default_pool
+
+(* Run [f 0], ..., [f (size-1)] concurrently, the caller executing slot 0.
+   Re-entrant and concurrent calls degrade to serial execution in the
+   calling domain, so pooled code may freely call pooled code. *)
+let run pool f =
+  if pool.stop then invalid_arg "Pool.run: pool is shut down";
+  if pool.size = 1 || not (Atomic.compare_and_set pool.busy false true) then
+    for slot = 0 to pool.size - 1 do
+      f slot
+    done
+  else begin
+    let error = Atomic.make None in
+    let guarded slot =
+      try f slot
+      with e ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set error None (Some (e, backtrace)))
+    in
+    Mutex.lock pool.mutex;
+    pool.job <- Some guarded;
+    pool.generation <- pool.generation + 1;
+    pool.pending <- pool.size - 1;
+    Condition.broadcast pool.ready;
+    Mutex.unlock pool.mutex;
+    guarded 0;
+    Mutex.lock pool.mutex;
+    while pool.pending > 0 do
+      Condition.wait pool.finished pool.mutex
+    done;
+    pool.job <- None;
+    Mutex.unlock pool.mutex;
+    Atomic.set pool.busy false;
+    match Atomic.get error with
+    | Some (e, backtrace) -> Printexc.raise_with_backtrace e backtrace
+    | None -> ()
+  end
+
+(* Contiguous share of [0, n) for worker [slot] out of [workers]; shares
+   differ in size by at most one and concatenate, in slot order, to the
+   whole range — this is what makes pooled results order-deterministic. *)
+let chunk ~n ~workers slot =
+  let base = n / workers and extra = n mod workers in
+  let lo = (slot * base) + min slot extra in
+  let hi = lo + base + (if slot < extra then 1 else 0) in
+  (lo, hi)
+
+let parallel_iter_chunks pool ~n ~f =
+  if n > 0 then
+    run pool (fun slot ->
+        let lo, hi = chunk ~n ~workers:pool.size slot in
+        if lo < hi then f ~lo ~hi)
+
+let parallel_init pool n f =
+  if n <= 0 then [||]
+  else if pool.size = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    parallel_iter_chunks pool ~n ~f:(fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f i)
+        done);
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_map pool f input = parallel_init pool (Array.length input) (fun i -> f input.(i))
+
+let parallel_floats pool n f =
+  if n <= 0 then [||]
+  else begin
+    let out = Array.make n 0.0 in
+    parallel_iter_chunks pool ~n ~f:(fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- f i
+        done);
+    out
+  end
+
+(* Per-task generator streams: split serially from the parent BEFORE any
+   parallel execution, so the stream assigned to task [i] depends only on
+   the parent state and [i], never on the pool size or scheduling. *)
+let split_streams rng n = Array.init n (fun _ -> Prng.split rng)
+
+let parallel_init_rng pool ~rng n f =
+  let streams = split_streams rng n in
+  parallel_init pool n (fun i -> f streams.(i) i)
+
+let parallel_floats_rng pool ~rng n f =
+  let streams = split_streams rng n in
+  parallel_floats pool n (fun i -> f streams.(i) i)
+
+let with_pool ?size f =
+  let pool = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,0 +1,74 @@
+(** Work-stealing-free domain pool.
+
+    A fixed set of worker domains (OCaml 5 [Domain]s) executes statically
+    partitioned shares of an iteration space: task [i] of [n] always runs on
+    worker [i * size / n] (up to rounding), and results are written back by
+    index.  There is no dynamic load balancing — the intended workloads
+    (fault-simulation batches, Monte-Carlo trials, per-capture spectrum
+    analysis) are embarrassingly parallel with near-uniform task cost, and
+    the static assignment is what makes pooled runs reproducible.
+
+    Determinism contract: for a task function [f] whose result depends only
+    on its index (and, for the [_rng] variants, on its pre-split generator
+    stream), every entry point below returns results identical to the serial
+    [Array.init]-style evaluation, for every pool size.
+
+    Tasks run on multiple domains concurrently, so [f] must not mutate
+    shared state; mutating distinct elements/indices of a shared array is
+    fine (the pool join publishes all writes to the caller). *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] spawns [size - 1] worker domains (the caller of a
+    parallel operation acts as the remaining worker).  Default size:
+    [Domain.recommended_domain_count ()].  A pool of size 1 spawns nothing
+    and runs everything inline. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent.  Live pools are also shut down
+    on [at_exit], so leaking a pool cannot hang program termination. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)
+
+val get_default : unit -> t
+(** Lazily created process-wide pool sized by the [MSOC_DOMAINS] environment
+    variable when set (>= 1), else [Domain.recommended_domain_count ()]. *)
+
+val default_size : unit -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run pool f] executes [f slot] for every worker slot [0 .. size-1]
+    concurrently and waits for all of them; the caller runs slot 0.  The
+    first exception raised by any slot is re-raised after all slots finish.
+    Re-entrant calls (from inside a task) and concurrent calls from another
+    domain degrade to serial execution in the calling domain. *)
+
+val parallel_iter_chunks : t -> n:int -> f:(lo:int -> hi:int -> unit) -> unit
+(** Split [0, n) into at most [size] contiguous chunks (sizes differing by
+    at most one) and run [f ~lo ~hi] on each, one chunk per worker.  [hi] is
+    exclusive. *)
+
+val parallel_init : t -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init].  [f] must depend only on its index. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic result ordering. *)
+
+val parallel_floats : t -> int -> (int -> float) -> float array
+(** [parallel_init] specialised to an unboxed float result array. *)
+
+val split_streams : Prng.t -> int -> Prng.t array
+(** [split_streams g n] derives [n] decorrelated generator streams from [g]
+    by [n] serial {!Prng.split}s — stream [i] depends only on [g]'s state
+    and [i], never on the pool size, which keeps pooled stochastic code
+    bit-reproducible across pool sizes. *)
+
+val parallel_init_rng : t -> rng:Prng.t -> int -> (Prng.t -> int -> 'a) -> 'a array
+(** [parallel_init] where task [i] additionally receives its own pre-split
+    stream ({!split_streams}). *)
+
+val parallel_floats_rng : t -> rng:Prng.t -> int -> (Prng.t -> int -> float) -> float array

@@ -47,10 +47,23 @@ let float g =
 
 let uniform g ~lo ~hi = lo +. ((hi -. lo) *. float g)
 
+(* Unbiased bounded draw by power-of-two masking with rejection: draw the
+   smallest number of bits that can represent [n - 1] and retry until the
+   value lands below [n].  The old [bits mod n] mapped a 62-bit draw onto
+   [0, n) unevenly (low residues were over-represented by one part in
+   [2^62 / n]).  Expected retries < 1 per draw for every [n]. *)
 let int g n =
   assert (n > 0);
-  let bits = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
-  bits mod n
+  if n land (n - 1) = 0 then Int64.to_int (Int64.logand (bits64 g) (Int64.of_int (n - 1)))
+  else begin
+    let rec mask_of m = if m >= n - 1 then m else mask_of ((m lsl 1) lor 1) in
+    let mask = Int64.of_int (mask_of 1) in
+    let rec draw () =
+      let bits = Int64.to_int (Int64.logand (bits64 g) mask) in
+      if bits < n then bits else draw ()
+    in
+    draw ()
+  end
 
 let gaussian g =
   (* Box–Muller; reject a zero radius so that [log] stays finite. *)

@@ -28,7 +28,10 @@ val uniform : t -> lo:float -> hi:float -> float
 (** Uniform in [\[lo, hi)]. *)
 
 val int : t -> int -> int
-(** [int g n] is uniform in [\[0, n)].  Requires [n > 0]. *)
+(** [int g n] is uniform in [\[0, n)].  Requires [n > 0].  Exactly uniform:
+    non-power-of-two [n] uses power-of-two masking with rejection instead of
+    a (biased) modulo reduction, so each draw may consume more than one raw
+    output. *)
 
 val gaussian : t -> float
 (** Standard normal deviate (Box–Muller, no caching). *)

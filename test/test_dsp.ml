@@ -81,6 +81,45 @@ let test_rfft_hermitian_consistency () =
   Alcotest.(check bool) "prefix matches" true
     (max_complex_err half (Array.sub full 0 33) < 1e-11)
 
+let test_plan_cache_bitwise () =
+  (* a transform through a warm plan must equal the cold-cache transform
+     bit for bit, for both the radix-2 and the Bluestein paths *)
+  List.iter
+    (fun n ->
+      let g = Prng.create (1000 + n) in
+      let x = Array.init n (fun _ -> Prng.float g -. 0.5) in
+      Fft.clear_plan_cache ();
+      let cold = Fft.rfft x in
+      let warm = Fft.rfft x in
+      Alcotest.(check bool) (Printf.sprintf "n=%d warm = cold" n) true (warm = cold))
+    [ 64; 256; 100; 1000 ]
+
+let test_plan_cache_interleaved () =
+  (* plans for different lengths must not corrupt each other *)
+  let g = Prng.create 9 in
+  let xs = List.map (fun n -> Array.init n (fun _ -> Prng.float g -. 0.5)) [ 64; 96; 128; 100 ] in
+  Fft.clear_plan_cache ();
+  let fresh = List.map Fft.rfft xs in
+  let interleaved = List.map Fft.rfft (xs @ xs) in
+  List.iteri
+    (fun i a ->
+      let b = List.nth interleaved (i + List.length xs) in
+      Alcotest.(check bool) (Printf.sprintf "signal %d stable" i) true (a = b))
+    fresh;
+  let pow2, bluestein = Fft.plan_cache_sizes () in
+  Alcotest.(check bool) "pow2 plans cached" true (pow2 >= 2);
+  Alcotest.(check bool) "bluestein plans cached" true (bluestein >= 2)
+
+let test_plan_cache_accuracy () =
+  (* cached plans keep matching the direct DFT *)
+  let g = Prng.create 11 in
+  List.iter
+    (fun n ->
+      let x = random_complex g n in
+      let err = max_complex_err (Fft.fft x) (Fft.dft x) in
+      if err >= 1e-10 then Alcotest.failf "n=%d cached fft departs from dft (%g)" n err)
+    [ 96; 96; 128; 128 ]
+
 (* ---- Window ---- *)
 
 let test_window_dc_gain () =
@@ -153,6 +192,22 @@ let test_metrics_clean_sine () =
   Alcotest.check (approx 10.0) "fundamental found" f r.Metrics.fundamental_freq;
   Alcotest.(check bool) "snr very high" true (r.Metrics.snr_db > 100.0);
   Alcotest.(check bool) "sfdr very high" true (r.Metrics.sfdr_db > 100.0)
+
+let test_sfdr_noncoherent_tone () =
+  (* Regression: a pure tone at a non-coherent frequency leaks a Hann
+     skirt around the fundamental.  The worst "spur" bin then sits on that
+     skirt, and an unbounded hill-climb walks from it back into the main
+     lobe, reporting the fundamental itself as the spur (SFDR ~ 0 dB).
+     The bounded climb stays on the skirt, far below the carrier. *)
+  let fs = 1e6 and n = 1024 in
+  let f = 90_400.0 in
+  let x =
+    Array.init n (fun i -> sin (2.0 *. Float.pi *. f *. float_of_int i /. fs))
+  in
+  let sp = Spectrum.analyze ~sample_rate:fs x in
+  let r = Metrics.analyze sp in
+  if r.Metrics.sfdr_db <= 20.0 then
+    Alcotest.failf "SFDR %.1f dB: spur climb reached the fundamental" r.Metrics.sfdr_db
 
 let test_metrics_known_snr () =
   let g = Prng.create 7 in
@@ -435,6 +490,9 @@ let () =
         :: Alcotest.test_case "linearity" `Quick test_fft_linearity
         :: Alcotest.test_case "parseval" `Quick test_parseval
         :: Alcotest.test_case "rfft" `Quick test_rfft_hermitian_consistency
+        :: Alcotest.test_case "plan cache bitwise" `Quick test_plan_cache_bitwise
+        :: Alcotest.test_case "plan cache interleaved" `Quick test_plan_cache_interleaved
+        :: Alcotest.test_case "plan cache accuracy" `Quick test_plan_cache_accuracy
         :: qcheck [ prop_fft_roundtrip ] );
       ( "window",
         [ Alcotest.test_case "coherent gain" `Quick test_window_dc_gain;
@@ -447,6 +505,7 @@ let () =
           Alcotest.test_case "bin mapping" `Quick test_bin_frequency_mapping ] );
       ( "metrics",
         [ Alcotest.test_case "clean sine" `Quick test_metrics_clean_sine;
+          Alcotest.test_case "sfdr non-coherent tone" `Quick test_sfdr_noncoherent_tone;
           Alcotest.test_case "known snr" `Quick test_metrics_known_snr;
           Alcotest.test_case "harmonic distortion" `Quick test_metrics_harmonic_distortion;
           Alcotest.test_case "aliased harmonic" `Quick test_aliased_harmonic;

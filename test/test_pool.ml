@@ -1,0 +1,268 @@
+(* Determinism tests for the domain pool and everything wired onto it:
+   every pooled engine must return results bit-identical to its serial
+   path, for every pool size. *)
+
+module Pool = Msoc_util.Pool
+module Prng = Msoc_util.Prng
+module Monte_carlo = Msoc_stat.Monte_carlo
+module Spectrum = Msoc_dsp.Spectrum
+module Fir_netlist = Msoc_netlist.Fir_netlist
+module Fault = Msoc_netlist.Fault
+module Fault_sim = Msoc_netlist.Fault_sim
+module Digital_test = Msoc_synth.Digital_test
+
+let pool_sizes = [ 1; 2; 4 ]
+
+(* ---- Pool primitives ---- *)
+
+let test_chunking () =
+  (* parallel_iter_chunks covers [0, n) exactly once for awkward sizes *)
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          List.iter
+            (fun n ->
+              let hits = Array.make (max 1 n) 0 in
+              let lock = Mutex.create () in
+              Pool.parallel_iter_chunks pool ~n ~f:(fun ~lo ~hi ->
+                  Mutex.lock lock;
+                  for i = lo to hi - 1 do
+                    hits.(i) <- hits.(i) + 1
+                  done;
+                  Mutex.unlock lock);
+              if n > 0 then
+                Alcotest.(check (array int))
+                  (Printf.sprintf "n=%d size=%d each index once" n size)
+                  (Array.make n 1) (Array.sub hits 0 n))
+            [ 0; 1; 2; 3; 7; 64; 65 ]))
+    pool_sizes
+
+let test_parallel_init () =
+  let expected = Array.init 1000 (fun i -> (i * i) mod 97) in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let got = Pool.parallel_init pool 1000 (fun i -> (i * i) mod 97) in
+          Alcotest.(check (array int)) (Printf.sprintf "size %d" size) expected got))
+    pool_sizes
+
+let test_parallel_floats_and_map () =
+  let expected = Array.init 513 (fun i -> sin (float_of_int i)) in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let floats = Pool.parallel_floats pool 513 (fun i -> sin (float_of_int i)) in
+          Alcotest.(check (array (float 0.0))) "floats" expected floats;
+          let mapped = Pool.parallel_map pool (fun x -> 2.0 *. x) expected in
+          Alcotest.(check (array (float 0.0)))
+            "map" (Array.map (fun x -> 2.0 *. x) expected) mapped))
+    pool_sizes
+
+exception Task_failed of int
+
+let test_exception_propagation () =
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          match Pool.parallel_init pool 64 (fun i -> if i = 37 then raise (Task_failed i) else i) with
+          | _ -> Alcotest.fail "expected Task_failed"
+          | exception Task_failed 37 -> ()))
+    pool_sizes
+
+let test_reentrant_run () =
+  (* a task that itself calls into the pool must not deadlock: the nested
+     call degrades to serial inline execution *)
+  Pool.with_pool ~size:2 (fun pool ->
+      let outer =
+        Pool.parallel_init pool 4 (fun i ->
+            Array.fold_left ( + ) 0 (Pool.parallel_init pool 8 (fun j -> (10 * i) + j)))
+      in
+      Alcotest.(check (array int))
+        "nested totals"
+        (Array.init 4 (fun i -> (8 * 10 * i) + 28))
+        outer)
+
+let test_split_streams_stable () =
+  (* stream i depends only on the parent state and i — never on pool size *)
+  let draws g = Array.init 4 (fun _ -> Prng.bits64 g) in
+  let reference = Array.map draws (Pool.split_streams (Prng.create 77) 8) in
+  let again = Array.map draws (Pool.split_streams (Prng.create 77) 8) in
+  Alcotest.(check bool) "reproducible" true (reference = again);
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b -> if i < j then Alcotest.(check bool) "streams differ" false (a = b))
+        again)
+    reference
+
+let test_parallel_init_rng () =
+  let f g i = float_of_int i +. Prng.float g in
+  let reference = Pool.with_pool ~size:1 (fun p -> Pool.parallel_init_rng p ~rng:(Prng.create 5) 100 f) in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let got = Pool.parallel_init_rng pool ~rng:(Prng.create 5) 100 f in
+          Alcotest.(check bool) (Printf.sprintf "size %d bit-identical" size) true
+            (got = reference)))
+    pool_sizes
+
+(* ---- Pooled Monte Carlo ---- *)
+
+let test_monte_carlo_pooled () =
+  let f g _ = Prng.gaussian g +. Prng.float g in
+  let serial = Monte_carlo.sample_array_pooled ~trials:999 ~rng:(Prng.create 13) ~f () in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let pooled =
+            Monte_carlo.sample_array_pooled ~pool ~trials:999 ~rng:(Prng.create 13) ~f ()
+          in
+          Alcotest.(check bool) (Printf.sprintf "size %d bit-identical" size) true
+            (pooled = serial)))
+    pool_sizes
+
+(* ---- Pooled fault simulation ---- *)
+
+(* A filter small enough to simulate quickly but with more than one
+   62-fault batch, so the pooled path actually distributes batches. *)
+let small_fir () =
+  let design = Msoc_dsp.Fir.lowpass ~taps:5 ~cutoff:0.2 () in
+  let codes, scale = Msoc_dsp.Fir.quantize design.Msoc_dsp.Fir.taps ~bits:6 in
+  Fir_netlist.create ~coeffs:codes ~width_in:8 ~scale ()
+
+let fir_stimulus samples = Array.init samples (fun i -> ((i * 29) mod 256) - 128)
+
+let test_fault_sim_pooled () =
+  let fir = small_fir () in
+  let faults = Fault.collapse fir.Fir_netlist.circuit (Fault.universe fir.Fir_netlist.circuit) in
+  Alcotest.(check bool) "multiple batches" true (Array.length faults > 62);
+  let samples = 128 in
+  let stim = fir_stimulus samples in
+  let drive sim cycle = Fir_netlist.drive fir sim stim.(cycle) in
+  let serial =
+    Fault_sim.run fir.Fir_netlist.circuit ~output:"y" ~drive ~samples ~faults
+  in
+  let serial_detect =
+    Fault_sim.detect_exact fir.Fir_netlist.circuit ~output:"y" ~drive ~samples ~faults
+  in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let pooled =
+            Fault_sim.run ~pool fir.Fir_netlist.circuit ~output:"y" ~drive ~samples ~faults
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "size %d good stream" size)
+            serial.Fault_sim.good_stream pooled.Fault_sim.good_stream;
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d fault streams bit-identical" size)
+            true
+            (pooled.Fault_sim.fault_streams = serial.Fault_sim.fault_streams);
+          let pooled_detect =
+            Fault_sim.detect_exact ~pool fir.Fir_netlist.circuit ~output:"y" ~drive ~samples
+              ~faults
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d detect_exact identical" size)
+            true
+            (pooled_detect = serial_detect)))
+    pool_sizes
+
+let test_run_streams_not_aliased () =
+  (* regression for the stream-aliasing bug: every fault_streams element of
+     [run] must be a distinct array, including across batch boundaries *)
+  let fir = small_fir () in
+  let faults = Fault.collapse fir.Fir_netlist.circuit (Fault.universe fir.Fir_netlist.circuit) in
+  let samples = 64 in
+  let stim = fir_stimulus samples in
+  let drive sim cycle = Fir_netlist.drive fir sim stim.(cycle) in
+  let result = Fault_sim.run fir.Fir_netlist.circuit ~output:"y" ~drive ~samples ~faults in
+  let n = Array.length result.Fault_sim.fault_streams in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if result.Fault_sim.fault_streams.(i) == result.Fault_sim.fault_streams.(j) then
+        Alcotest.failf "streams %d and %d are the same array" i j
+    done;
+    if result.Fault_sim.fault_streams.(i) == result.Fault_sim.good_stream then
+      Alcotest.failf "stream %d aliases the good stream" i
+  done
+
+(* ---- Pooled spectrum analysis ---- *)
+
+let test_analyze_many_pooled () =
+  let g = Prng.create 321 in
+  let signals =
+    Array.init 9 (fun k ->
+        Array.init 256 (fun i ->
+            sin (2.0 *. Float.pi *. float_of_int ((k + 3) * i) /. 256.0)
+            +. (0.01 *. (Prng.float g -. 0.5))))
+  in
+  let serial = Array.map (Spectrum.analyze ~sample_rate:1e6) signals in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let pooled = Spectrum.analyze_many ~pool ~sample_rate:1e6 signals in
+          Array.iteri
+            (fun k sp ->
+              Alcotest.(check bool)
+                (Printf.sprintf "size %d signal %d bins identical" size k)
+                true
+                (sp.Spectrum.bins = serial.(k).Spectrum.bins))
+            pooled))
+    pool_sizes
+
+(* ---- Pooled end-to-end spectral coverage ---- *)
+
+let test_spectral_coverage_pooled () =
+  let config =
+    { Digital_test.default_config with Digital_test.taps = 5; Digital_test.input_bits = 8 }
+  in
+  let fir = Digital_test.build config in
+  let faults = Digital_test.collapsed_faults fir in
+  let fs = 1e6 in
+  let samples = 256 in
+  let f1 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:90e3 in
+  let codes =
+    Digital_test.ideal_codes config ~sample_rate:fs ~samples ~freqs:[ f1 ] ~amplitude_fs:0.9
+  in
+  let run pool =
+    Digital_test.spectral_coverage ?pool config fir ~sample_rate:fs ~input_codes:codes
+      ~reference_codes:codes ~tone_freqs:[ f1 ] ~faults
+  in
+  let serial = run None in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let pooled = run (Some pool) in
+          Alcotest.(check int)
+            (Printf.sprintf "size %d detected" size)
+            serial.Digital_test.detected pooled.Digital_test.detected;
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d undetected list identical" size)
+            true
+            (pooled.Digital_test.undetected = serial.Digital_test.undetected);
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d deviations identical" size)
+            true
+            (pooled.Digital_test.undetected_max_dev_lsb
+            = serial.Digital_test.undetected_max_dev_lsb)))
+    pool_sizes
+
+let () =
+  Alcotest.run "msoc_pool"
+    [ ( "primitives",
+        [ Alcotest.test_case "chunk coverage" `Quick test_chunking;
+          Alcotest.test_case "parallel_init" `Quick test_parallel_init;
+          Alcotest.test_case "floats and map" `Quick test_parallel_floats_and_map;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "re-entrant run" `Quick test_reentrant_run ] );
+      ( "rng streams",
+        [ Alcotest.test_case "split streams stable" `Quick test_split_streams_stable;
+          Alcotest.test_case "parallel_init_rng" `Quick test_parallel_init_rng;
+          Alcotest.test_case "monte carlo pooled" `Quick test_monte_carlo_pooled ] );
+      ( "fault sim",
+        [ Alcotest.test_case "run/detect_exact pooled" `Quick test_fault_sim_pooled;
+          Alcotest.test_case "streams not aliased" `Quick test_run_streams_not_aliased ] );
+      ( "spectra",
+        [ Alcotest.test_case "analyze_many pooled" `Quick test_analyze_many_pooled;
+          Alcotest.test_case "spectral coverage pooled" `Quick test_spectral_coverage_pooled ] ) ]

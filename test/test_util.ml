@@ -140,6 +140,28 @@ let test_prng_int_bounds () =
     (fun i c -> if c < 700 then Alcotest.failf "bucket %d underpopulated (%d)" i c)
     counts
 
+let test_prng_int_chi_square () =
+  (* Rejection sampling makes [int] exactly uniform over a non-power-of-two
+     range; the old masked-modulo draw biased the low residues, which a
+     chi-square test over enough draws detects.  df = 12; the 99.9% tail is
+     32.9, so a fixed-seed statistic above 40 means a real bias. *)
+  let g = Prng.create 417 in
+  let n = 13 and draws = 130_000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Prng.int g n in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int n in
+  let stat =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  if stat > 40.0 then Alcotest.failf "chi-square statistic %.1f (df 12): biased" stat
+
 (* ---- Interval ---- *)
 
 let interval_gen =
@@ -253,7 +275,8 @@ let () =
           Alcotest.test_case "float range" `Quick test_prng_float_range;
           Alcotest.test_case "uniform mean" `Quick test_prng_uniform_mean;
           Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
-          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds ] );
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int chi-square" `Quick test_prng_int_chi_square ] );
       ( "interval",
         Alcotest.test_case "basics" `Quick test_interval_basics
         :: Alcotest.test_case "division" `Quick test_interval_div

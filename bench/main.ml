@@ -31,9 +31,22 @@ module Fault_sim = Msoc_netlist.Fault_sim
 module Logic_sim = Msoc_netlist.Logic_sim
 module Atpg_lite = Msoc_netlist.Atpg_lite
 module Attr = Msoc_signal.Attr
+module Obs = Msoc_obs.Obs
 open Msoc_synth
 
-let quick = Array.exists (String.equal "quick") Sys.argv
+let quick =
+  (* strict argv handling: "quick"/"--quick" select reduced sizes, anything
+     else is a usage error rather than a silently ignored typo *)
+  let args = Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) in
+  List.iter
+    (fun arg ->
+      match arg with
+      | "quick" | "--quick" -> ()
+      | _ ->
+        Printf.eprintf "bench: unknown argument %S\nusage: %s [--quick]\n" arg Sys.argv.(0);
+        exit 2)
+    args;
+  args <> []
 
 let section title =
   Format.printf "@.==================================================================@.";
@@ -1156,6 +1169,98 @@ let parallel_speedup () =
      fault-sim and MC rows approach the pool size.  Identical = pooled output is@.\
      bit-for-bit the serial output, the pool's determinism contract.@."
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: probe overhead (enabled vs disabled) and pool balance.   *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_overhead () =
+  section "Telemetry — probe overhead and per-domain pool balance";
+  (* Explicit timed loops rather than Bechamel: Bechamel's iteration counts
+     would blow through the per-sink event cap with spans enabled and end
+     up timing the overflow path instead of the record path. *)
+  let time_per_op n f =
+    let t0 = Obs.now_ns () in
+    for _ = 1 to n do
+      f ()
+    done;
+    let t1 = Obs.now_ns () in
+    Int64.to_float (Int64.sub t1 t0) /. float_of_int n
+  in
+  Obs.disable ();
+  Obs.reset ();
+  let n_off = if quick then 200_000 else 2_000_000 in
+  let off_count = time_per_op n_off (fun () -> Obs.count "bench.probe") in
+  let off_observe = time_per_op n_off (fun () -> Obs.observe "bench.hist" 1.0) in
+  let off_span = time_per_op n_off (fun () -> Obs.span "bench.span" (fun () -> ())) in
+  Obs.enable ();
+  Obs.reset ();
+  let n_on = if quick then 100_000 else 500_000 in
+  let on_count = time_per_op n_on (fun () -> Obs.count "bench.probe") in
+  let on_observe = time_per_op n_on (fun () -> Obs.observe "bench.hist" 1.0) in
+  Obs.reset ();
+  (* stays under the per-sink event cap, so every span is actually recorded *)
+  let n_span = min 100_000 (Obs.max_events - 1) in
+  let on_span = time_per_op n_span (fun () -> Obs.span "bench.span" (fun () -> ())) in
+  Obs.disable ();
+  Obs.reset ();
+  let t = Texttable.create ~headers:[ "Probe"; "Disabled (ns/op)"; "Enabled (ns/op)" ] in
+  Texttable.add_row t
+    [ "counter"; Printf.sprintf "%.1f" off_count; Printf.sprintf "%.1f" on_count ];
+  Texttable.add_row t
+    [ "histogram"; Printf.sprintf "%.1f" off_observe; Printf.sprintf "%.1f" on_observe ];
+  Texttable.add_row t
+    [ "span"; Printf.sprintf "%.1f" off_span; Printf.sprintf "%.1f" on_span ];
+  Texttable.print t;
+  Format.printf "Disabled probes are one atomic load + branch each; the %.0f ns acceptance@.\
+                 bound applies to the Disabled column.@."
+    50.0;
+  (* Pool balance: run the pooled exact-detection fault sim with telemetry
+     on and report per-domain chunk counts and busy time. *)
+  let config = Digital_test.default_config in
+  let fir = Digital_test.build config in
+  let faults = Digital_test.collapsed_faults fir in
+  let samples = if quick then 256 else 512 in
+  let fs = 1e6 in
+  let f1 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:90e3 in
+  let stim =
+    Digital_test.ideal_codes config ~sample_rate:fs ~samples ~freqs:[ f1 ] ~amplitude_fs:0.9
+  in
+  let drive sim cycle = Fir_netlist.drive fir sim stim.(cycle) in
+  Obs.enable ();
+  Obs.reset ();
+  Pool.with_pool ~size:4 (fun pool ->
+      ignore
+        (Fault_sim.detect_exact ~pool fir.Fir_netlist.circuit ~output:"y" ~drive ~samples
+           ~faults));
+  Obs.disable ();
+  let tracks = List.filter (fun tr -> tr.Obs.track_chunks > 0) (Obs.snapshot_tracks ()) in
+  let bt = Texttable.create ~headers:[ "Domain"; "Chunks"; "Busy (ms)"; "Share" ] in
+  let total_busy =
+    List.fold_left (fun acc tr -> acc +. tr.Obs.chunk_busy_ns) 0.0 tracks
+  in
+  List.iter
+    (fun tr ->
+      Texttable.add_row bt
+        [ Printf.sprintf "%d" tr.Obs.track;
+          string_of_int tr.Obs.track_chunks;
+          Printf.sprintf "%.3f" (tr.Obs.chunk_busy_ns /. 1e6);
+          Texttable.cell_pct (tr.Obs.chunk_busy_ns /. Float.max total_busy 1.0) ])
+    tracks;
+  Format.printf "@.Pool balance — fault sim detect_exact, pool size 4 (%d faults, %d cycles):@."
+    (Array.length faults) samples;
+  Texttable.print bt;
+  let n_tracks = List.length tracks in
+  if n_tracks > 0 then begin
+    let max_busy =
+      List.fold_left (fun acc tr -> Float.max acc tr.Obs.chunk_busy_ns) 0.0 tracks
+    in
+    let mean_busy = total_busy /. float_of_int n_tracks in
+    Format.printf "imbalance (max busy / mean busy): %.2f across %d active domain(s)@."
+      (max_busy /. Float.max mean_busy 1.0)
+      n_tracks
+  end;
+  Obs.reset ()
+
 let () =
   Format.printf "Mixed-signal SOC path test synthesis — evaluation reproduction%s@."
     (if quick then " (quick mode)" else "");
@@ -1173,4 +1278,5 @@ let () =
   ablations ();
   kernels ();
   parallel_speedup ();
+  telemetry_overhead ();
   Format.printf "@.Done.@."

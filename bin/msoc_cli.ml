@@ -15,7 +15,71 @@ module Texttable = Msoc_util.Texttable
 module Tone = Msoc_dsp.Tone
 module Spectrum = Msoc_dsp.Spectrum
 module Metrics = Msoc_dsp.Metrics
+module Obs = Msoc_obs.Obs
 open Msoc_synth
+
+(* ---- telemetry flags (shared by every subcommand) ---- *)
+
+type telemetry = {
+  trace : string option;
+  events : string option;
+  metrics : bool;
+}
+
+let telemetry_term =
+  let open Cmdliner in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record telemetry and write a Chrome trace_event profile \
+                   (loadable in chrome://tracing or Perfetto) to $(docv).")
+  in
+  let events =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE"
+             ~doc:"Record telemetry and write JSONL structured events to $(docv).")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Record telemetry and print the span/counter/histogram summary on exit.")
+  in
+  Term.(const (fun trace events metrics -> { trace; events; metrics })
+        $ trace $ events $ metrics)
+
+(* Run [f] under a root span when any telemetry output was requested;
+   exporters run even if [f] raises, so a failing run still leaves a
+   usable profile behind. *)
+let with_telemetry tel ~command f =
+  if tel.trace = None && tel.events = None && not tel.metrics then f ()
+  else begin
+    Obs.enable ();
+    Obs.reset ();
+    let finish () =
+      Obs.disable ();
+      Option.iter
+        (fun file ->
+          Obs.write_chrome_trace file;
+          Format.eprintf "telemetry: trace written to %s@." file)
+        tel.trace;
+      Option.iter
+        (fun file ->
+          Obs.write_jsonl file;
+          Format.eprintf "telemetry: events written to %s@." file)
+        tel.events;
+      if tel.metrics then begin
+        print_newline ();
+        Obs.print_summary ()
+      end
+    in
+    match Obs.span "msoc" ~args:[ ("command", command) ] f with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
 
 let strategy_conv =
   let parse = function
@@ -37,7 +101,8 @@ let strategy_arg =
 
 (* ---- plan ---- *)
 
-let run_plan strategy =
+let run_plan tel strategy =
+  with_telemetry tel ~command:"plan" @@ fun () ->
   let path = Path.default_receiver () in
   let plan = Plan.synthesize ~strategy path in
   Format.printf "%a@." Plan.pp_summary plan
@@ -45,7 +110,7 @@ let run_plan strategy =
 let plan_cmd =
   let open Cmdliner in
   Cmd.v (Cmd.info "plan" ~doc:"Synthesise the system-level test plan")
-    Term.(const run_plan $ strategy_arg)
+    Term.(const run_plan $ telemetry_term $ strategy_arg)
 
 (* ---- coverage ---- *)
 
@@ -64,7 +129,8 @@ let measurement_of_name path strategy = function
   | "inl" -> Propagate.adc_inl path
   | s -> invalid_arg s
 
-let run_coverage strategy param =
+let run_coverage tel strategy param =
+  with_telemetry tel ~command:"coverage" @@ fun () ->
   let path = Path.default_receiver () in
   let m = measurement_of_name path strategy param in
   let err = Propagate.err m in
@@ -90,11 +156,12 @@ let coverage_cmd =
            ~doc:"Parameter: iip3, p1db, fc, isolation or inl.")
   in
   Cmd.v (Cmd.info "coverage" ~doc:"FCL/YL threshold analysis for a propagated test")
-    Term.(const run_coverage $ strategy_arg $ param)
+    Term.(const run_coverage $ telemetry_term $ strategy_arg $ param)
 
 (* ---- faultsim ---- *)
 
-let run_faultsim taps input_bits coeff_bits samples tones =
+let run_faultsim tel taps input_bits coeff_bits samples tones seed =
+  with_telemetry tel ~command:"faultsim" @@ fun () ->
   let config =
     { Digital_test.default_config with Digital_test.taps; input_bits; coeff_bits }
   in
@@ -109,7 +176,12 @@ let run_faultsim taps input_bits coeff_bits samples tones =
     else [ f1; Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:110e3 ]
   in
   let amplitude_fs = 0.9 /. float_of_int (max 1 tones) in
-  let codes = Digital_test.ideal_codes config ~sample_rate:fs ~samples ~freqs ~amplitude_fs in
+  (* seed 0 keeps the historical zero-phase stimulus; any other seed draws
+     reproducible random tone phases *)
+  let rng = if seed = 0 then None else Some (Prng.create seed) in
+  let codes =
+    Digital_test.ideal_codes ?rng config ~sample_rate:fs ~samples ~freqs ~amplitude_fs
+  in
   let det =
     Digital_test.spectral_coverage config fir ~sample_rate:fs ~input_codes:codes
       ~reference_codes:codes ~tone_freqs:freqs ~faults
@@ -125,12 +197,19 @@ let faultsim_cmd =
   let coeff_bits = Arg.(value & opt int 8 & info [ "coeff-bits" ] ~doc:"Coefficient width.") in
   let samples = Arg.(value & opt int 1024 & info [ "samples" ] ~doc:"Test pattern count.") in
   let tones = Arg.(value & opt int 2 & info [ "tones" ] ~doc:"Stimulus tone count (1 or 2).") in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ]
+             ~doc:"Stimulus phase seed; 0 (default) means the canonical zero-phase tones.")
+  in
   Cmd.v (Cmd.info "faultsim" ~doc:"Spectral stuck-at fault simulation of the FIR filter")
-    Term.(const run_faultsim $ taps $ input_bits $ coeff_bits $ samples $ tones)
+    Term.(const run_faultsim $ telemetry_term $ taps $ input_bits $ coeff_bits $ samples $ tones
+          $ seed)
 
 (* ---- spectrum ---- *)
 
-let run_spectrum level_dbm seed =
+let run_spectrum tel level_dbm seed =
+  with_telemetry tel ~command:"spectrum" @@ fun () ->
   let path = Path.default_receiver () in
   let eng = Path.engine path (Path.nominal_part path) ~seed in
   let fs = path.Path.ctx.Context.sim_rate_hz in
@@ -164,7 +243,24 @@ let run_spectrum level_dbm seed =
       ~f1_hz:(1e6 +. f1) ~f2_hz:(1e6 +. f2) ~power_dbm:level_dbm ()
   in
   let predicted = Msoc_signal.Attr.snr_db (Path.at_filter_input path stim) in
-  Format.printf "  predicted SNR : %a dB (attribute domain)@." Msoc_util.Interval.pp predicted
+  Format.printf "  predicted SNR : %a dB (attribute domain)@." Msoc_util.Interval.pp predicted;
+  (* Median-bin noise floor averaged over independently seeded captures,
+     analysed across the domain pool (deterministic for any pool size). *)
+  let captures = 4 in
+  let pool = Msoc_util.Pool.get_default () in
+  let signals =
+    Msoc_util.Pool.parallel_init pool captures (fun i ->
+        let eng = Path.engine path (Path.nominal_part path) ~seed:(seed + 1 + i) in
+        Path.run_volts eng input)
+  in
+  let spectra = Spectrum.analyze_many ~pool ~sample_rate:adc_rate signals in
+  let floor_db =
+    Array.fold_left
+      (fun acc sp -> acc +. Spectrum.noise_floor_db sp ~exclude:(fun _ -> false))
+      0.0 spectra
+    /. float_of_int captures
+  in
+  Format.printf "  noise floor   : %.1f dB/bin (median, %d pooled captures)@." floor_db captures
 
 let spectrum_cmd =
   let open Cmdliner in
@@ -173,11 +269,12 @@ let spectrum_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Noise seed.") in
   Cmd.v (Cmd.info "spectrum" ~doc:"Simulate the receiver and report its spectrum metrics")
-    Term.(const run_spectrum $ level $ seed)
+    Term.(const run_spectrum $ telemetry_term $ level $ seed)
 
 (* ---- measure ---- *)
 
-let run_measure strategy seed =
+let run_measure tel strategy seed =
+  with_telemetry tel ~command:"measure" @@ fun () ->
   let path = Path.default_receiver () in
   let part =
     if seed = 0 then Path.nominal_part path
@@ -206,11 +303,12 @@ let measure_cmd =
     Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Part seed; 0 means the nominal part.")
   in
   Cmd.v (Cmd.info "measure" ~doc:"Run the virtual tester against a manufactured part")
-    Term.(const run_measure $ strategy_arg $ seed)
+    Term.(const run_measure $ telemetry_term $ strategy_arg $ seed)
 
 (* ---- netlist ---- *)
 
-let run_netlist taps input_bits coeff_bits direct out_file =
+let run_netlist tel taps input_bits coeff_bits direct out_file =
+  with_telemetry tel ~command:"netlist" @@ fun () ->
   let design = Msoc_dsp.Fir.lowpass ~taps ~cutoff:0.12 () in
   let codes, scale = Msoc_dsp.Fir.quantize design.Msoc_dsp.Fir.taps ~bits:coeff_bits in
   let architecture =
@@ -243,7 +341,8 @@ let netlist_cmd =
            ~doc:"Dump the netlist in the text format.")
   in
   Cmd.v (Cmd.info "netlist" ~doc:"Synthesise a gate-level filter and optionally dump it")
-    Term.(const run_netlist $ taps $ input_bits $ coeff_bits $ direct $ out_file)
+    Term.(const run_netlist $ telemetry_term $ taps $ input_bits $ coeff_bits $ direct
+          $ out_file)
 
 let () =
   let open Cmdliner in

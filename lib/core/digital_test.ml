@@ -39,11 +39,20 @@ let collapsed_faults fir =
 let coherent_tone ~sample_rate ~samples ~target =
   Tone.coherent_frequency ~sample_rate ~samples ~target
 
-let ideal_codes config ~sample_rate ~samples ~freqs ~amplitude_fs =
+let ideal_codes ?rng config ~sample_rate ~samples ~freqs ~amplitude_fs =
   let half_range = float_of_int (1 lsl (config.input_bits - 1)) -. 1.0 in
   let amplitude = amplitude_fs *. half_range in
   let components =
-    List.map (fun freq -> Tone.component ~freq ~amplitude ()) freqs
+    List.map
+      (fun freq ->
+        match rng with
+        | None -> Tone.component ~freq ~amplitude ()
+        | Some rng ->
+          (* randomised (but seeded) starting phases: distinct stimuli per
+             seed while the tone set and coherence stay unchanged *)
+          let phase = Msoc_util.Prng.uniform rng ~lo:0.0 ~hi:Msoc_util.Units.two_pi in
+          Tone.component ~phase ~freq ~amplitude ())
+      freqs
   in
   let wave = Tone.synthesize ~sample_rate ~samples components in
   Array.map

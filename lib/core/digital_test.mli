@@ -46,11 +46,13 @@ val coherent_tone :
 (** Re-export of {!Msoc_dsp.Tone.coherent_frequency}. *)
 
 val ideal_codes :
-  config -> sample_rate:float -> samples:int -> freqs:float list ->
-  amplitude_fs:float -> int array
+  ?rng:Msoc_util.Prng.t -> config -> sample_rate:float -> samples:int ->
+  freqs:float list -> amplitude_fs:float -> int array
 (** Quantized multi-tone stimulus applied directly to the filter input
     (the "exact inputs known" scenario); [amplitude_fs] is the per-tone
-    amplitude as a fraction of the input full scale. *)
+    amplitude as a fraction of the input full scale.  With [rng], each
+    tone gets a seeded random starting phase (reproducible stimulus
+    variation); without, phases are zero as before. *)
 
 val output_spectrum :
   config -> Fir_netlist.t -> sample_rate:float -> int array -> Spectrum.t

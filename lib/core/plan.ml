@@ -56,6 +56,9 @@ let losses_for path (measurement : Propagate.t) =
       ~threshold_shift:0.0
 
 let synthesize ?(strategy = Propagate.Adaptive) path =
+  Msoc_obs.Obs.span "plan.synthesize"
+    ~args:[ ("strategy", Propagate.strategy_name strategy) ]
+  @@ fun () ->
   let specs = Spec.of_receiver path in
   let composed =
     [ Composed (Compose.path_gain path);

@@ -23,6 +23,25 @@ type t = {
 
 let err t = Accuracy.worst_case t.budget
 
+let strategy_name = function Nominal_gains -> "nominal-gains" | Adaptive -> "adaptive"
+
+module Obs = Msoc_obs.Obs
+
+(* One span per translated parameter, tagged with the achieved worst-case
+   accuracy; the tag closure only runs when telemetry is recording. *)
+let traced name build =
+  let timer = Obs.start_span name in
+  match build () with
+  | m ->
+    Obs.stop_span timer
+      ~args:(fun () ->
+        [ ("accuracy", Printf.sprintf "%.3g" (err m));
+          ("strategy", strategy_name m.strategy) ]);
+    m
+  | exception e ->
+    Obs.stop_span timer;
+    raise e
+
 let standard_test_level_dbm = -35.0
 
 let spec_for path block kind =
@@ -46,6 +65,7 @@ let rf_single_tone (path : Path.t) ~offset_hz ~power_dbm =
 let contribution source (p : Param.t) = { Accuracy.source; err = p.Param.tol }
 
 let mixer_iip3 (path : Path.t) ~strategy =
+  traced "propagate.mixer_iip3" @@ fun () ->
   let amp_gain = path.Path.amp.Amplifier.gain_db in
   let mixer_gain = path.Path.mixer.Mixer.gain_db in
   let lpf_gain = path.Path.lpf.Lpf.gain_db in
@@ -74,6 +94,7 @@ let mixer_iip3 (path : Path.t) ~strategy =
     prerequisites }
 
 let amp_iip3 (path : Path.t) ~strategy =
+  traced "propagate.amp_iip3" @@ fun () ->
   let mixer_gain = path.Path.mixer.Mixer.gain_db in
   let lpf_gain = path.Path.lpf.Lpf.gain_db in
   let budget, formula, prerequisites =
@@ -104,6 +125,7 @@ let amp_iip3 (path : Path.t) ~strategy =
     prerequisites }
 
 let mixer_p1db (path : Path.t) ~strategy =
+  traced "propagate.mixer_p1db" @@ fun () ->
   let amp_gain = path.Path.amp.Amplifier.gain_db in
   let budget, formula, prerequisites =
     match strategy with
@@ -142,6 +164,7 @@ let lpf_cutoff_slope_db_per_hz (path : Path.t) =
   (g_hi -. g_lo) /. (2.0 *. delta)
 
 let lo_freq_error (path : Path.t) =
+  traced "propagate.lo_freq_error" @@ fun () ->
   { spec = spec_for path Spec.Lo Spec.Freq_error;
     strategy = Adaptive;
     stimulus = rf_single_tone path ~offset_hz:100e3 ~power_dbm:standard_test_level_dbm;
@@ -155,6 +178,7 @@ let lo_freq_error (path : Path.t) =
     prerequisites = [] }
 
 let lpf_cutoff (path : Path.t) ~strategy =
+  traced "propagate.lpf_cutoff" @@ fun () ->
   let slope = Float.abs (lpf_cutoff_slope_db_per_hz path) in
   let gain_tol = path.Path.lpf.Lpf.gain_db.Param.tol in
   let lo_tol = path.Path.lo.Local_osc.freq_error_hz.Param.tol in
@@ -184,6 +208,7 @@ let lpf_cutoff (path : Path.t) ~strategy =
     prerequisites }
 
 let mixer_lo_isolation (path : Path.t) ~strategy =
+  traced "propagate.mixer_lo_isolation" @@ fun () ->
   let lpf_gain = path.Path.lpf.Lpf.gain_db in
   let budget, formula, prerequisites =
     match strategy with
@@ -209,6 +234,7 @@ let mixer_lo_isolation (path : Path.t) ~strategy =
     prerequisites }
 
 let adc_inl (path : Path.t) =
+  traced "propagate.adc_inl" @@ fun () ->
   { spec = spec_for path Spec.Adc Spec.Inl;
     strategy = Adaptive;
     stimulus = rf_single_tone path ~offset_hz:100e3 ~power_dbm:(standard_test_level_dbm +. 3.0);
@@ -222,6 +248,7 @@ let adc_inl (path : Path.t) =
     prerequisites = [ "path gain" ] }
 
 let dc_offset_composite (path : Path.t) =
+  traced "propagate.dc_offset_composite" @@ fun () ->
   let amp_offset = path.Path.amp.Amplifier.dc_offset_v in
   { spec = spec_for path Spec.Adc Spec.Offset_error;
     strategy = Nominal_gains;
@@ -245,8 +272,6 @@ let all_for_receiver path ~strategy =
     lo_freq_error path;
     adc_inl path;
     dc_offset_composite path ]
-
-let strategy_name = function Nominal_gains -> "nominal-gains" | Adaptive -> "adaptive"
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a [%s]@,  formula: %s@,  %a@,  prerequisites: %s@]" Spec.pp t.spec

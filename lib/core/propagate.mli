@@ -28,6 +28,8 @@ type t = {
 }
 
 val err : t -> float
+
+val strategy_name : strategy -> string
 (** Worst-case measurement error (the "Err" of Table 2's threshold
     columns). *)
 

@@ -1,3 +1,5 @@
+module Obs = Msoc_obs.Obs
+
 let two_pi = Msoc_util.Units.two_pi
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
@@ -84,14 +86,17 @@ let build_pow2_plan n =
    non-reentrant mutex across the build would self-deadlock.  If two
    domains race on a cold key both build; the first to publish wins and
    the plans are identical anyway (pure functions of the key). *)
-let memo_plan table key build =
+let memo_plan table key ~hit ~miss build =
   Mutex.lock plan_mutex;
   let existing = Hashtbl.find_opt table key in
   Mutex.unlock plan_mutex;
   match existing with
-  | Some plan -> plan
+  | Some plan ->
+    Obs.count hit;
+    plan
   | None ->
-    let plan = build () in
+    Obs.count miss;
+    let plan = Obs.span "fft.plan.build" build in
     Mutex.lock plan_mutex;
     let plan =
       match Hashtbl.find_opt table key with
@@ -103,7 +108,9 @@ let memo_plan table key build =
     Mutex.unlock plan_mutex;
     plan
 
-let pow2_plan n = memo_plan pow2_plans n (fun () -> build_pow2_plan n)
+let pow2_plan n =
+  memo_plan pow2_plans n ~hit:"fft.plan.pow2.hit" ~miss:"fft.plan.pow2.miss"
+    (fun () -> build_pow2_plan n)
 
 (* Iterative radix-2 decimation-in-time with table-driven twiddles: the
    bit-reversal permutation followed by log2(N) butterfly stages.  The
@@ -186,7 +193,9 @@ let build_bluestein_plan ~inverse n =
   { n; m; chirp_re; chirp_im; fb_re; fb_im }
 
 let bluestein_plan ~inverse n =
-  memo_plan bluestein_plans (n, inverse) (fun () -> build_bluestein_plan ~inverse n)
+  memo_plan bluestein_plans (n, inverse) ~hit:"fft.plan.bluestein.hit"
+    ~miss:"fft.plan.bluestein.miss"
+    (fun () -> build_bluestein_plan ~inverse n)
 
 (* Bluestein chirp-z: x_n * w_n convolved with the conj(w) chirp, where
    w_n = exp(-i pi n^2 / N).  The linear convolution is carried out with a
@@ -219,6 +228,7 @@ let bluestein ~inverse x =
 let transform ~inverse x =
   let n = Array.length x in
   assert (n >= 1);
+  Obs.count "fft.transforms";
   if n = 1 then Array.copy x
   else if is_power_of_two n then pow2_transform ~inverse x
   else bluestein ~inverse x
@@ -242,6 +252,7 @@ let rfft signal =
   assert (n >= 2);
   if is_power_of_two n then begin
     (* avoid the Complex boxing round-trip on the hot power-of-two path *)
+    Obs.count "fft.transforms";
     let re = Array.copy signal in
     let im = Array.make n 0.0 in
     fft_in_place ~re ~im ~inverse:false;

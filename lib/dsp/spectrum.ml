@@ -5,9 +5,13 @@ type t = {
   length : int;
 }
 
+module Obs = Msoc_obs.Obs
+
 let analyze ?(window = Window.Hann) ~sample_rate signal =
   let n = Array.length signal in
   assert (n >= 8);
+  Obs.count "spectrum.captures";
+  Obs.span "spectrum.analyze" @@ fun () ->
   let windowed = Window.apply window signal in
   let spectrum = Fft.rfft windowed in
   let gain = Window.coherent_gain window *. float_of_int n in
@@ -32,6 +36,9 @@ let analyze ?(window = Window.Hann) ~sample_rate signal =
    first concurrent accesses of a new length serialise on the plan build
    and every later capture shares the published plan read-only. *)
 let analyze_many ?pool ?(window = Window.Hann) ~sample_rate signals =
+  Obs.span "spectrum.analyze_many"
+    ~args:[ ("captures", string_of_int (Array.length signals)) ]
+  @@ fun () ->
   match pool with
   | Some pool when Msoc_util.Pool.size pool > 1 && Array.length signals > 1 ->
     Msoc_util.Pool.parallel_map pool (fun signal -> analyze ~window ~sample_rate signal) signals

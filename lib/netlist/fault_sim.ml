@@ -1,4 +1,5 @@
 module Pool = Msoc_util.Pool
+module Obs = Msoc_obs.Obs
 
 type run = {
   faults : Fault.t array;
@@ -71,6 +72,9 @@ let batch_offsets batch_array =
   offsets
 
 let run ?pool circuit ~output ~drive ~samples ~faults =
+  Obs.count "fault_sim.runs";
+  Obs.count ~by:(Array.length faults) "fault_sim.faults";
+  Obs.span "fault_sim.run" @@ fun () ->
   match pool with
   | Some pool when Pool.size pool > 1 && Array.length faults > faults_per_batch ->
     (* One Logic_sim instance per worker; each worker owns a contiguous
@@ -126,6 +130,9 @@ let detect_batch sim ~bus ~drive ~samples ~lane_values ~detected ~batch_start ba
   done
 
 let detect_exact ?pool circuit ~output ~drive ~samples ~faults =
+  Obs.count "fault_sim.detects";
+  Obs.count ~by:(Array.length faults) "fault_sim.faults";
+  Obs.span "fault_sim.detect" @@ fun () ->
   let detected = Array.make (Array.length faults) false in
   (match pool with
   | Some pool when Pool.size pool > 1 && Array.length faults > faults_per_batch ->

@@ -1,0 +1,48 @@
+(* Minimal JSON emission for the telemetry exporters.  Emission only — the
+   repo has no JSON dependency, and the exporters need nothing beyond
+   strings, finite numbers and flat objects. *)
+
+let escape_to buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let float_to buffer v =
+  (* JSON has no inf/nan literal; clamp to null (consumers treat as absent) *)
+  if Float.is_finite v then Buffer.add_string buffer (Printf.sprintf "%.6g" v)
+  else Buffer.add_string buffer "null"
+
+let int_to buffer v = Buffer.add_string buffer (string_of_int v)
+let int64_to buffer v = Buffer.add_string buffer (Int64.to_string v)
+
+(* ["k1":v1,"k2":v2] object from an emit list; values are emitted by the
+   provided closures so callers mix strings and numbers freely. *)
+let obj_to buffer fields =
+  Buffer.add_char buffer '{';
+  List.iteri
+    (fun i (key, emit) ->
+      if i > 0 then Buffer.add_char buffer ',';
+      escape_to buffer key;
+      Buffer.add_char buffer ':';
+      emit buffer)
+    fields;
+  Buffer.add_char buffer '}'
+
+let str s buffer = escape_to buffer s
+let num v buffer = float_to buffer v
+let int v buffer = int_to buffer v
+let int64 v buffer = int64_to buffer v
+
+let args_obj args buffer =
+  obj_to buffer (List.map (fun (k, v) -> (k, str v)) args)

@@ -1,0 +1,635 @@
+(* Telemetry for the virtual tester: monotonic-clock spans, counters and
+   log2-bucket histograms, recorded into per-domain sinks so that pooled
+   code instruments itself without any cross-domain write — probes cannot
+   perturb the pool's bit-identity contract.
+
+   Every probe is guarded by one atomic load of [enabled_flag]; the
+   disabled path is a few nanoseconds and allocation-free, so the probes
+   stay in the hot paths permanently (bench/main.exe measures the cost).
+
+   Concurrency model: a sink belongs to one domain (Domain.DLS) and only
+   that domain writes it.  Exports and [reset] read every sink; they are
+   meant to run after pooled work has joined — Pool.run's join publishes
+   the workers' writes, so an export after the join observes all of the
+   run's events.  Exporting concurrently with an in-flight pooled run is
+   not supported (it may miss that run's newest events). *)
+
+module Texttable = Msoc_util.Texttable
+module Pool = Msoc_util.Pool
+
+let now_ns () = Monotonic_clock.now ()
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+(* Export timestamps are relative to this base so that traces start near
+   t=0; set when telemetry is first enabled and on every [reset]. *)
+let epoch = Atomic.make 0L
+
+(* ------------------------------------------------------------------ *)
+(* Log2 buckets.  Bucket 0 collects non-positive (and NaN) values;     *)
+(* bucket i (1 <= i <= 129) covers [2^(i-65), 2^(i-64)), with the two  *)
+(* end buckets absorbing under/overflow.  Powers of two are exact      *)
+(* bucket edges: 1.0 starts bucket 65, 2.0 starts bucket 66, ...       *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_count = 130
+
+let bucket_index v =
+  if not (v > 0.0) then 0
+  else if v = infinity then bucket_count - 1
+  else begin
+    (* frexp: v = m * 2^e with 0.5 <= m < 1, hence 2^(e-1) <= v < 2^e *)
+    let _, e = Float.frexp v in
+    let i = e + 64 in
+    if i < 1 then 1 else if i > bucket_count - 1 then bucket_count - 1 else i
+  end
+
+let bucket_bounds i =
+  if i <= 0 then (neg_infinity, 0.0)
+  else begin
+    let i = min i (bucket_count - 1) in
+    let lo = if i = 1 then 0.0 else Float.ldexp 1.0 (i - 65) in
+    let hi = if i = bucket_count - 1 then infinity else Float.ldexp 1.0 (i - 64) in
+    (lo, hi)
+  end
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain sinks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type event = {
+  ev_path : string;  (* "outer/inner" span nesting path *)
+  ev_name : string;
+  ev_args : (string * string) list;
+  ev_start : int64;
+  ev_dur : int64;
+}
+
+type sink = {
+  domain_id : int;
+  mutable events : event array;
+  mutable n_events : int;
+  mutable dropped : int;
+  counters : (string, int ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+  mutable stack : string list;  (* open span paths, innermost first *)
+}
+
+let max_events = 1 lsl 20
+let dummy_event = { ev_path = ""; ev_name = ""; ev_args = []; ev_start = 0L; ev_dur = 0L }
+
+(* Sinks outlive their domains on purpose: a [Pool.with_pool] run shuts
+   its workers down before the caller exports, and the workers' telemetry
+   must still be there. *)
+let registry : sink list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let new_sink () =
+  let s =
+    { domain_id = (Domain.self () :> int);
+      events = [||];
+      n_events = 0;
+      dropped = 0;
+      counters = Hashtbl.create 16;
+      hists = Hashtbl.create 16;
+      stack = [] }
+  in
+  Mutex.lock registry_mutex;
+  registry := s :: !registry;
+  Mutex.unlock registry_mutex;
+  s
+
+let sink_key = Domain.DLS.new_key new_sink
+let my_sink () = Domain.DLS.get sink_key
+
+let record_event s ev =
+  let n = s.n_events in
+  if n >= max_events then s.dropped <- s.dropped + 1
+  else begin
+    let cap = Array.length s.events in
+    if n = cap then begin
+      let grown = Array.make (max 256 (min max_events (2 * cap))) dummy_event in
+      Array.blit s.events 0 grown 0 cap;
+      s.events <- grown
+    end;
+    s.events.(n) <- ev;
+    s.n_events <- n + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Probes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let count ?(by = 1) name =
+  if Atomic.get enabled_flag then begin
+    let s = my_sink () in
+    match Hashtbl.find_opt s.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add s.counters name (ref by)
+  end
+
+let observe name v =
+  if Atomic.get enabled_flag then begin
+    let s = my_sink () in
+    let h =
+      match Hashtbl.find_opt s.hists name with
+      | Some h -> h
+      | None ->
+        let h =
+          { h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+            h_buckets = Array.make bucket_count 0 }
+        in
+        Hashtbl.add s.hists name h;
+        h
+    in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let b = bucket_index v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  end
+
+let observe_ns name ns = observe name (Int64.to_float ns)
+
+type timer =
+  | Inactive
+  | Running of { path : string; name : string; args : (string * string) list; t0 : int64 }
+
+let start_span ?(args = []) name =
+  if not (Atomic.get enabled_flag) then Inactive
+  else begin
+    let s = my_sink () in
+    let path = match s.stack with [] -> name | parent :: _ -> parent ^ "/" ^ name in
+    s.stack <- path :: s.stack;
+    Running { path; name; args; t0 = now_ns () }
+  end
+
+let stop_span ?args t =
+  match t with
+  | Inactive -> ()
+  | Running r ->
+    let t1 = now_ns () in
+    let s = my_sink () in
+    (match s.stack with
+    | top :: rest when String.equal top r.path -> s.stack <- rest
+    | _ -> () (* reset() ran mid-span; the stack was already cleared *));
+    if Atomic.get enabled_flag then begin
+      let args =
+        match args with None -> r.args | Some late -> r.args @ late ()
+      in
+      record_event s
+        { ev_path = r.path;
+          ev_name = r.name;
+          ev_args = args;
+          ev_start = r.t0;
+          ev_dur = Int64.sub t1 r.t0 }
+    end
+
+let span ?args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t = start_span ?args name in
+    match f () with
+    | v ->
+      stop_span t;
+      v
+    | exception e ->
+      stop_span t;
+      raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let enable () =
+  if not (Atomic.get enabled_flag) then begin
+    if Int64.equal (Atomic.get epoch) 0L then Atomic.set epoch (now_ns ());
+    Atomic.set enabled_flag true
+  end
+
+let disable () = Atomic.set enabled_flag false
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun s ->
+      s.n_events <- 0;
+      s.dropped <- 0;
+      s.stack <- [];
+      Hashtbl.reset s.counters;
+      Hashtbl.reset s.hists)
+    !registry;
+  Mutex.unlock registry_mutex;
+  Atomic.set epoch (now_ns ())
+
+(* ------------------------------------------------------------------ *)
+(* Pool instrumentation.  The hooks live in Msoc_util.Pool (below this *)
+(* library in the dependency order) and we install the implementations *)
+(* here at module-initialisation time; each hook re-checks the enabled  *)
+(* flag, so an installed hook costs one atomic load when disabled.      *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Pool.Hooks.install
+    { Pool.Hooks.run =
+        (fun ~size:_ ~serialized ->
+          if Atomic.get enabled_flag then begin
+            count "pool.runs";
+            if serialized then count "pool.runs.serialized"
+          end);
+      chunk =
+        (fun ~size:_ ~slot ~lo ~hi f ->
+          if not (Atomic.get enabled_flag) then f ()
+          else begin
+            count "pool.chunks";
+            count ~by:(hi - lo) "pool.items";
+            observe "pool.chunk.items" (float_of_int (hi - lo));
+            span ~args:[ ("slot", string_of_int slot) ] "pool.chunk" f
+          end) }
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: merge the per-domain sinks deterministically (sinks      *)
+(* ordered by domain id; all aggregations are order-independent sums). *)
+(* ------------------------------------------------------------------ *)
+
+type span_stat = {
+  span_path : string;
+  span_count : int;
+  total_ns : float;
+  mean_ns : float;
+  p95_ns : float;
+  max_ns : float;
+}
+
+type counter_stat = { counter : string; total : int }
+
+type hist_stat = {
+  hist : string;
+  hist_count : int;
+  sum : float;
+  min_value : float;
+  max_value : float;
+  buckets : (int * int) list;  (* (bucket index, count), non-empty buckets only *)
+}
+
+type track_stat = {
+  track : int;  (* domain id *)
+  track_events : int;
+  track_chunks : int;
+  chunk_busy_ns : float;
+  track_dropped : int;
+}
+
+let sinks_snapshot () =
+  Mutex.lock registry_mutex;
+  let sinks = !registry in
+  Mutex.unlock registry_mutex;
+  List.sort (fun a b -> compare a.domain_id b.domain_id) sinks
+
+let snapshot_spans () =
+  let table : (string, float list ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      for i = 0 to s.n_events - 1 do
+        let ev = s.events.(i) in
+        let durs =
+          match Hashtbl.find_opt table ev.ev_path with
+          | Some r -> r
+          | None ->
+            let r = ref [] in
+            Hashtbl.add table ev.ev_path r;
+            r
+        in
+        durs := Int64.to_float ev.ev_dur :: !durs
+      done)
+    (sinks_snapshot ());
+  Hashtbl.fold
+    (fun path durs acc ->
+      let a = Array.of_list !durs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let total = Array.fold_left ( +. ) 0.0 a in
+      let p95 = a.(max 0 (int_of_float (Float.ceil (0.95 *. float_of_int n)) - 1)) in
+      { span_path = path;
+        span_count = n;
+        total_ns = total;
+        mean_ns = total /. float_of_int n;
+        p95_ns = p95;
+        max_ns = a.(n - 1) }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> compare a.span_path b.span_path)
+
+let snapshot_counters () =
+  let table : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun name r ->
+          let prev = Option.value ~default:0 (Hashtbl.find_opt table name) in
+          Hashtbl.replace table name (prev + !r))
+        s.counters)
+    (sinks_snapshot ());
+  Hashtbl.fold (fun name total acc -> { counter = name; total } :: acc) table []
+  |> List.sort (fun a b -> compare a.counter b.counter)
+
+let counter_total name =
+  match List.find_opt (fun c -> String.equal c.counter name) (snapshot_counters ()) with
+  | Some c -> c.total
+  | None -> 0
+
+let snapshot_hists () =
+  let table : (string, hist) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun name h ->
+          match Hashtbl.find_opt table name with
+          | None ->
+            Hashtbl.add table name
+              { h_count = h.h_count;
+                h_sum = h.h_sum;
+                h_min = h.h_min;
+                h_max = h.h_max;
+                h_buckets = Array.copy h.h_buckets }
+          | Some m ->
+            m.h_count <- m.h_count + h.h_count;
+            m.h_sum <- m.h_sum +. h.h_sum;
+            if h.h_min < m.h_min then m.h_min <- h.h_min;
+            if h.h_max > m.h_max then m.h_max <- h.h_max;
+            Array.iteri (fun i c -> m.h_buckets.(i) <- m.h_buckets.(i) + c) h.h_buckets)
+        s.hists)
+    (sinks_snapshot ());
+  Hashtbl.fold
+    (fun name h acc ->
+      let buckets = ref [] in
+      for i = bucket_count - 1 downto 0 do
+        if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+      done;
+      { hist = name;
+        hist_count = h.h_count;
+        sum = h.h_sum;
+        min_value = h.h_min;
+        max_value = h.h_max;
+        buckets = !buckets }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> compare a.hist b.hist)
+
+let hist_p95 h =
+  (* upper edge of the bucket holding the 95th percentile, clamped to the
+     observed maximum — log2 buckets give an upper bound, not an exact value *)
+  if h.hist_count = 0 then nan
+  else begin
+    let target = int_of_float (Float.ceil (0.95 *. float_of_int h.hist_count)) in
+    let rec walk cum = function
+      | [] -> h.max_value
+      | (i, c) :: rest ->
+        let cum = cum + c in
+        if cum >= target then Float.min (snd (bucket_bounds i)) h.max_value
+        else walk cum rest
+    in
+    walk 0 h.buckets
+  end
+
+let snapshot_tracks () =
+  List.filter_map
+    (fun s ->
+      if s.n_events = 0 && Hashtbl.length s.counters = 0 && Hashtbl.length s.hists = 0 then
+        None
+      else begin
+        let chunks = ref 0 and busy = ref 0.0 in
+        for i = 0 to s.n_events - 1 do
+          let ev = s.events.(i) in
+          if String.equal ev.ev_name "pool.chunk" then begin
+            incr chunks;
+            busy := !busy +. Int64.to_float ev.ev_dur
+          end
+        done;
+        Some
+          { track = s.domain_id;
+            track_events = s.n_events;
+            track_chunks = !chunks;
+            chunk_busy_ns = !busy;
+            track_dropped = s.dropped }
+      end)
+    (sinks_snapshot ())
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let summary () =
+  let buffer = Buffer.create 1024 in
+  let spans = snapshot_spans () in
+  if spans <> [] then begin
+    Buffer.add_string buffer "Spans\n";
+    let t =
+      Texttable.create
+        ~headers:[ "Span"; "Count"; "Total (ms)"; "Mean (us)"; "p95 (us)"; "Max (us)" ]
+    in
+    List.iter
+      (fun s ->
+        let depth =
+          String.fold_left (fun acc c -> if c = '/' then acc + 1 else acc) 0 s.span_path
+        in
+        let name =
+          match String.rindex_opt s.span_path '/' with
+          | Some i -> String.sub s.span_path (i + 1) (String.length s.span_path - i - 1)
+          | None -> s.span_path
+        in
+        Texttable.add_row t
+          [ String.concat "" (List.init depth (fun _ -> "  ")) ^ name;
+            string_of_int s.span_count;
+            Printf.sprintf "%.3f" (s.total_ns /. 1e6);
+            Printf.sprintf "%.1f" (s.mean_ns /. 1e3);
+            Printf.sprintf "%.1f" (s.p95_ns /. 1e3);
+            Printf.sprintf "%.1f" (s.max_ns /. 1e3) ])
+      spans;
+    Buffer.add_string buffer (Texttable.render t);
+    Buffer.add_char buffer '\n'
+  end;
+  let counters = snapshot_counters () in
+  if counters <> [] then begin
+    Buffer.add_string buffer "Counters\n";
+    let t = Texttable.create ~headers:[ "Counter"; "Total" ] in
+    List.iter (fun c -> Texttable.add_row t [ c.counter; string_of_int c.total ]) counters;
+    Buffer.add_string buffer (Texttable.render t);
+    Buffer.add_char buffer '\n'
+  end;
+  let hists = snapshot_hists () in
+  if hists <> [] then begin
+    Buffer.add_string buffer "Histograms (log2 buckets)\n";
+    let t =
+      Texttable.create ~headers:[ "Histogram"; "Count"; "Min"; "Mean"; "p95 (<=)"; "Max" ]
+    in
+    List.iter
+      (fun h ->
+        Texttable.add_row t
+          [ h.hist;
+            string_of_int h.hist_count;
+            Printf.sprintf "%.4g" h.min_value;
+            Printf.sprintf "%.4g" (h.sum /. float_of_int (max 1 h.hist_count));
+            Printf.sprintf "%.4g" (hist_p95 h);
+            Printf.sprintf "%.4g" h.max_value ])
+      hists;
+    Buffer.add_string buffer (Texttable.render t);
+    Buffer.add_char buffer '\n'
+  end;
+  let tracks = snapshot_tracks () in
+  if List.length tracks > 1 || List.exists (fun t -> t.track_chunks > 0) tracks then begin
+    Buffer.add_string buffer "Domain tracks (pool balance)\n";
+    let t =
+      Texttable.create
+        ~headers:[ "Track"; "Events"; "Pool chunks"; "Chunk busy (ms)"; "Dropped" ]
+    in
+    List.iter
+      (fun tr ->
+        Texttable.add_row t
+          [ Printf.sprintf "domain %d" tr.track;
+            string_of_int tr.track_events;
+            string_of_int tr.track_chunks;
+            Printf.sprintf "%.3f" (tr.chunk_busy_ns /. 1e6);
+            string_of_int tr.track_dropped ])
+      tracks;
+    Buffer.add_string buffer (Texttable.render t)
+  end;
+  if Buffer.length buffer = 0 then Buffer.add_string buffer "telemetry: no data recorded\n";
+  Buffer.contents buffer
+
+let print_summary () = print_string (summary ())
+
+(* Chrome trace-event format (the JSON Array Format wrapped in an object),
+   loadable by chrome://tracing and Perfetto: one thread track per domain,
+   complete ("X") events, timestamps in microseconds relative to [epoch]. *)
+let chrome_trace () =
+  let buffer = Buffer.create 4096 in
+  let base = Atomic.get epoch in
+  let us_of ns = Int64.to_float (Int64.sub ns base) /. 1e3 in
+  Buffer.add_string buffer "{\"traceEvents\":[";
+  Json.obj_to buffer
+    [ ("name", Json.str "process_name");
+      ("ph", Json.str "M");
+      ("pid", Json.int 1);
+      ("args", Json.args_obj [ ("name", "msoc virtual tester") ]) ];
+  List.iter
+    (fun s ->
+      Buffer.add_char buffer ',';
+      Json.obj_to buffer
+        [ ("name", Json.str "thread_name");
+          ("ph", Json.str "M");
+          ("pid", Json.int 1);
+          ("tid", Json.int s.domain_id);
+          ("args", Json.args_obj [ ("name", Printf.sprintf "domain %d" s.domain_id) ]) ];
+      for i = 0 to s.n_events - 1 do
+        let ev = s.events.(i) in
+        Buffer.add_char buffer ',';
+        Json.obj_to buffer
+          [ ("name", Json.str ev.ev_name);
+            ("cat", Json.str "msoc");
+            ("ph", Json.str "X");
+            ("pid", Json.int 1);
+            ("tid", Json.int s.domain_id);
+            ("ts", Json.num (us_of ev.ev_start));
+            ("dur", Json.num (Int64.to_float ev.ev_dur /. 1e3));
+            ("args", Json.args_obj (("path", ev.ev_path) :: ev.ev_args)) ]
+      done)
+    (sinks_snapshot ());
+  Buffer.add_string buffer "]}";
+  Buffer.contents buffer
+
+let sorted_bindings table =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* JSONL structured-event sink: one JSON object per line — spans in their
+   recording order per track, then counters and histograms, then a track
+   summary line.  Sinks are ordered by domain id. *)
+let jsonl () =
+  let buffer = Buffer.create 4096 in
+  let base = Atomic.get epoch in
+  let line fields =
+    Json.obj_to buffer fields;
+    Buffer.add_char buffer '\n'
+  in
+  List.iter
+    (fun s ->
+      for i = 0 to s.n_events - 1 do
+        let ev = s.events.(i) in
+        line
+          [ ("type", Json.str "span");
+            ("track", Json.int s.domain_id);
+            ("name", Json.str ev.ev_name);
+            ("path", Json.str ev.ev_path);
+            ("ts_ns", Json.int64 (Int64.sub ev.ev_start base));
+            ("dur_ns", Json.int64 ev.ev_dur);
+            ("args", Json.args_obj ev.ev_args) ]
+      done;
+      List.iter
+        (fun (name, r) ->
+          line
+            [ ("type", Json.str "counter");
+              ("track", Json.int s.domain_id);
+              ("name", Json.str name);
+              ("value", Json.int !r) ])
+        (sorted_bindings s.counters);
+      List.iter
+        (fun (name, h) ->
+          let buckets b =
+            Buffer.add_char b '[';
+            let first = ref true in
+            Array.iteri
+              (fun i c ->
+                if c > 0 then begin
+                  if not !first then Buffer.add_char b ',';
+                  first := false;
+                  Buffer.add_char b '[';
+                  Json.float_to b (fst (bucket_bounds i));
+                  Buffer.add_char b ',';
+                  Json.int_to b c;
+                  Buffer.add_char b ']'
+                end)
+              h.h_buckets;
+            Buffer.add_char b ']'
+          in
+          line
+            [ ("type", Json.str "histogram");
+              ("track", Json.int s.domain_id);
+              ("name", Json.str name);
+              ("count", Json.int h.h_count);
+              ("sum", Json.num h.h_sum);
+              ("min", Json.num h.h_min);
+              ("max", Json.num h.h_max);
+              ("buckets", buckets) ])
+        (sorted_bindings s.hists);
+      if s.n_events > 0 || Hashtbl.length s.counters > 0 || Hashtbl.length s.hists > 0 then
+        line
+          [ ("type", Json.str "track");
+            ("track", Json.int s.domain_id);
+            ("events", Json.int s.n_events);
+            ("dropped", Json.int s.dropped) ])
+    (sinks_snapshot ());
+  Buffer.contents buffer
+
+let write_file file contents =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_chrome_trace file = write_file file (chrome_trace ())
+let write_jsonl file = write_file file (jsonl ())

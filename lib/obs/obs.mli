@@ -1,0 +1,151 @@
+(** Telemetry for the virtual tester: spans, counters, histograms.
+
+    Probes are permanently compiled into the hot paths and gated by a
+    single runtime flag; while disabled every probe is one atomic load
+    plus a branch (a few nanoseconds, allocation-free), so leaving the
+    instrumentation in place costs nothing measurable.
+
+    {2 Concurrency and determinism}
+
+    Each domain writes to its own private sink ([Domain.DLS]); no probe
+    ever takes a lock or writes shared state, so enabling telemetry
+    cannot perturb the pool's bit-identity contract — pooled results are
+    identical with telemetry on or off, at any pool size.
+
+    Sinks are merged only at snapshot/export time, deterministically:
+    sinks are ordered by domain id and every aggregation (counter sums,
+    bucket-wise histogram merge, per-path span statistics) is
+    order-independent.  Exports are intended to run after pooled work
+    has joined — [Pool.run]'s join publishes the workers' writes, so an
+    export after the join observes all of the run's events.  Exporting
+    concurrently with an in-flight pooled run is not supported.
+
+    Each sink holds at most [max_events] span events; further events
+    are counted as dropped (visible in track stats) rather than grown
+    without bound. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. *)
+
+(** {2 Lifecycle} *)
+
+val enable : unit -> unit
+(** Start recording.  First call also stamps the trace epoch. *)
+
+val disable : unit -> unit
+(** Stop recording; already-recorded data remains exportable. *)
+
+val reset : unit -> unit
+(** Drop all recorded data in every sink and re-stamp the trace epoch. *)
+
+val enabled : unit -> bool
+
+val max_events : int
+(** Per-sink span-event capacity (events beyond it are dropped). *)
+
+(** {2 Probes} *)
+
+val count : ?by:int -> string -> unit
+(** [count name] adds [by] (default 1) to counter [name] on this domain. *)
+
+val observe : string -> float -> unit
+(** [observe name v] records [v] into histogram [name] on this domain. *)
+
+val observe_ns : string -> int64 -> unit
+(** [observe_ns name ns] records a nanosecond duration as a float. *)
+
+type timer
+(** An in-flight span; [Inactive] when telemetry is disabled. *)
+
+val start_span : ?args:(string * string) list -> string -> timer
+(** Open a span named [name], nested under this domain's innermost open
+    span.  Returns an inactive timer (no allocation beyond the variant)
+    when disabled. *)
+
+val stop_span : ?args:(unit -> (string * string) list) -> timer -> unit
+(** Close a span and record the event.  [args] is evaluated only if the
+    timer is live, so call sites can tag spans with computed values
+    (e.g. achieved accuracy) without paying for it when disabled. *)
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] inside a span; exception-safe.  Disabled
+    path is one atomic load, then a tail call to [f]. *)
+
+(** {2 Log2 histogram buckets} *)
+
+val bucket_count : int
+(** 130: bucket 0 holds non-positive values; bucket [i] (1..129) covers
+    [\[2^(i-65), 2^(i-64))] with the end buckets absorbing under- and
+    overflow.  Powers of two are exact bucket edges. *)
+
+val bucket_index : float -> int
+val bucket_bounds : int -> float * float
+(** [bucket_bounds i] is the [\[lo, hi)] range of bucket [i]. *)
+
+(** {2 Snapshots (deterministic merge of all sinks)} *)
+
+type span_stat = {
+  span_path : string;  (** slash-joined nesting path, e.g. ["plan.synthesize/propagate.mixer_iip3"] *)
+  span_count : int;
+  total_ns : float;
+  mean_ns : float;
+  p95_ns : float;  (** exact, from recorded durations *)
+  max_ns : float;
+}
+
+type counter_stat = { counter : string; total : int }
+
+type hist_stat = {
+  hist : string;
+  hist_count : int;
+  sum : float;
+  min_value : float;
+  max_value : float;
+  buckets : (int * int) list;  (** (bucket index, count), non-empty only *)
+}
+
+type track_stat = {
+  track : int;  (** domain id *)
+  track_events : int;
+  track_chunks : int;  (** pool chunks executed on this domain *)
+  chunk_busy_ns : float;
+  track_dropped : int;
+}
+
+val snapshot_spans : unit -> span_stat list
+(** Per-path aggregates, sorted by path. *)
+
+val snapshot_counters : unit -> counter_stat list
+(** Merged counter totals, sorted by name. *)
+
+val counter_total : string -> int
+(** Merged total for one counter (0 if never incremented). *)
+
+val snapshot_hists : unit -> hist_stat list
+(** Bucket-wise merged histograms, sorted by name. *)
+
+val snapshot_tracks : unit -> track_stat list
+(** One entry per domain that recorded anything, sorted by domain id.
+    Chunk counts/busy time expose pool balance. *)
+
+(** {2 Exporters} *)
+
+val summary : unit -> string
+(** Text tables: span tree (count/total/mean/p95/max), counters,
+    histograms, and per-domain pool-balance tracks. *)
+
+val print_summary : unit -> unit
+
+val chrome_trace : unit -> string
+(** Chrome [trace_event] JSON ({["{\"traceEvents\":[...]}"]}), loadable
+    by chrome://tracing or Perfetto: complete ("X") events, one thread
+    track per domain, timestamps in microseconds since the epoch stamped
+    at {!enable}/{!reset}. *)
+
+val write_chrome_trace : string -> unit
+
+val jsonl : unit -> string
+(** Structured events, one JSON object per line: ["span"], ["counter"],
+    ["histogram"] and ["track"] records, ordered by domain id. *)
+
+val write_jsonl : string -> unit

@@ -1,3 +1,5 @@
+module Obs = Msoc_obs.Obs
+
 type probability_estimate = {
   trials : int;
   successes : int;
@@ -9,6 +11,8 @@ let z_95 = 1.959963984540054
 
 let estimate_probability ~trials ~rng ~f =
   assert (trials > 0);
+  Obs.count ~by:trials "monte_carlo.trials";
+  Obs.span "monte_carlo.estimate_probability" @@ fun () ->
   let successes = ref 0 in
   for _ = 1 to trials do
     if f rng then incr successes
@@ -27,6 +31,8 @@ type mean_estimate = {
 
 let estimate_mean ~trials ~rng ~f =
   assert (trials > 1);
+  Obs.count ~by:trials "monte_carlo.trials";
+  Obs.span "monte_carlo.estimate_mean" @@ fun () ->
   let samples = Array.init trials (fun _ -> f rng) in
   let s = Describe.summarize samples in
   { trials;
@@ -45,6 +51,8 @@ let sample_array ~trials ~rng ~f = Array.init trials (fun _ -> f rng)
 
 let sample_array_pooled ?pool ~trials ~rng ~f () =
   assert (trials > 0);
+  Obs.count ~by:trials "monte_carlo.trials";
+  Obs.span "monte_carlo.sample_array" @@ fun () ->
   match pool with
   | Some pool ->
     Msoc_util.Pool.parallel_floats_rng pool ~rng trials (fun stream i -> f stream i)

@@ -19,6 +19,31 @@ type t = {
 
 let size t = t.size
 
+(* Instrumentation seam.  The telemetry library sits above this one in the
+   dependency order (it needs Texttable), so it cannot be called directly;
+   instead it installs hooks here at its own module-initialisation time.
+   With no hook installed the cost is one atomic load per pool run/chunk. *)
+module Hooks = struct
+  type t = {
+    run : size:int -> serialized:bool -> unit;
+    chunk : size:int -> slot:int -> lo:int -> hi:int -> (unit -> unit) -> unit;
+  }
+
+  let installed : t option Atomic.t = Atomic.make None
+  let install t = Atomic.set installed (Some t)
+  let uninstall () = Atomic.set installed None
+
+  let note_run ~size ~serialized =
+    match Atomic.get installed with
+    | None -> ()
+    | Some h -> h.run ~size ~serialized
+
+  let note_chunk ~size ~slot ~lo ~hi f =
+    match Atomic.get installed with
+    | None -> f ()
+    | Some h -> h.chunk ~size ~slot ~lo ~hi f
+end
+
 (* Each worker domain owns a fixed slot (1 .. size-1); the caller of [run]
    acts as slot 0.  Workers sleep on [ready] until a new generation is
    published, run the job for their slot, then report on [finished]. *)
@@ -103,11 +128,14 @@ let get_default () = Lazy.force default_pool
    calling domain, so pooled code may freely call pooled code. *)
 let run pool f =
   if pool.stop then invalid_arg "Pool.run: pool is shut down";
-  if pool.size = 1 || not (Atomic.compare_and_set pool.busy false true) then
+  if pool.size = 1 || not (Atomic.compare_and_set pool.busy false true) then begin
+    Hooks.note_run ~size:pool.size ~serialized:(pool.size > 1);
     for slot = 0 to pool.size - 1 do
       f slot
     done
+  end
   else begin
+    Hooks.note_run ~size:pool.size ~serialized:false;
     let error = Atomic.make None in
     let guarded slot =
       try f slot
@@ -147,7 +175,8 @@ let parallel_iter_chunks pool ~n ~f =
   if n > 0 then
     run pool (fun slot ->
         let lo, hi = chunk ~n ~workers:pool.size slot in
-        if lo < hi then f ~lo ~hi)
+        if lo < hi then
+          Hooks.note_chunk ~size:pool.size ~slot ~lo ~hi (fun () -> f ~lo ~hi))
 
 let parallel_init pool n f =
   if n <= 0 then [||]

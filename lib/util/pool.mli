@@ -19,6 +19,26 @@
 
 type t
 
+(** Instrumentation seam for the telemetry library (which sits above this
+    one in the dependency order and installs its probes here at module
+    initialisation).  With no hook installed, the overhead is one atomic
+    load per pool run and per chunk. *)
+module Hooks : sig
+  type t = {
+    run : size:int -> serialized:bool -> unit;
+        (** Called once per {!val:run}; [serialized] is true when a
+            re-entrant or concurrent call degraded to serial execution. *)
+    chunk : size:int -> slot:int -> lo:int -> hi:int -> (unit -> unit) -> unit;
+        (** Wraps the execution of one contiguous chunk; the hook MUST call
+            the thunk exactly once, on the current domain. *)
+  }
+
+  val install : t -> unit
+  (** Replace the installed hooks (last install wins). *)
+
+  val uninstall : unit -> unit
+end
+
 val create : ?size:int -> unit -> t
 (** [create ~size ()] spawns [size - 1] worker domains (the caller of a
     parallel operation acts as the remaining worker).  Default size:

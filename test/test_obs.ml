@@ -1,0 +1,459 @@
+(* Telemetry subsystem tests: span nesting and timing, histogram bucket
+   edges, deterministic merge of per-domain sinks across pool sizes,
+   disabled-path no-ops, and structural validation of the Chrome
+   trace_event / JSONL exports.
+
+   Telemetry state is process-global; every test starts from
+   [Obs.reset] + an explicit enable/disable and disables on exit, so
+   tests stay independent even though they share the registry. *)
+
+module Obs = Msoc_obs.Obs
+module Pool = Msoc_util.Pool
+module Prng = Msoc_util.Prng
+module Monte_carlo = Msoc_stat.Monte_carlo
+
+let pool_sizes = [ 1; 2; 4 ]
+
+let with_recording f =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect ~finally:(fun () -> Obs.disable (); Obs.reset ()) f
+
+let find_span path spans =
+  match List.find_opt (fun s -> String.equal s.Obs.span_path path) spans with
+  | Some s -> s
+  | None ->
+    Alcotest.failf "span %S not found (have: %s)" path
+      (String.concat ", " (List.map (fun s -> s.Obs.span_path) spans))
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  with_recording @@ fun () ->
+  let r =
+    Obs.span "outer" (fun () ->
+        let a = Obs.span "inner" (fun () -> 20) in
+        let b = Obs.span "inner" (fun () -> 22) in
+        a + b)
+  in
+  Alcotest.(check int) "span returns the body's value" 42 r;
+  let spans = Obs.snapshot_spans () in
+  let outer = find_span "outer" spans in
+  let inner = find_span "outer/inner" spans in
+  Alcotest.(check int) "outer count" 1 outer.Obs.span_count;
+  Alcotest.(check int) "inner count" 2 inner.Obs.span_count;
+  Alcotest.(check bool) "durations are non-negative" true (inner.Obs.total_ns >= 0.0);
+  Alcotest.(check bool) "outer contains both inners"
+    true (outer.Obs.total_ns >= inner.Obs.total_ns);
+  Alcotest.(check bool) "p95 <= max" true (inner.Obs.p95_ns <= inner.Obs.max_ns);
+  (* sibling after the nest is top-level again, not nested *)
+  Obs.span "sibling" (fun () -> ());
+  let spans = Obs.snapshot_spans () in
+  ignore (find_span "sibling" spans)
+
+let test_span_exception_unwinds () =
+  with_recording @@ fun () ->
+  (match Obs.span "outer" (fun () -> Obs.span "boom" (fun () -> failwith "x")) with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure _ -> ());
+  (* the stack unwound: a fresh span is recorded at the top level *)
+  Obs.span "after" (fun () -> ());
+  ignore (find_span "after" (Obs.snapshot_spans ()))
+
+let test_clock_monotone () =
+  let a = Obs.now_ns () in
+  let s = ref 0 in
+  for i = 1 to 10_000 do
+    s := !s + i
+  done;
+  ignore !s;
+  let b = Obs.now_ns () in
+  Alcotest.(check bool) "clock does not go backwards" true (Int64.compare b a >= 0)
+
+(* ---- histogram buckets ---- *)
+
+let test_bucket_edges () =
+  (* non-positive and NaN collapse into bucket 0 *)
+  Alcotest.(check int) "zero" 0 (Obs.bucket_index 0.0);
+  Alcotest.(check int) "negative" 0 (Obs.bucket_index (-3.0));
+  Alcotest.(check int) "nan" 0 (Obs.bucket_index Float.nan);
+  (* powers of two are exact bucket edges: [2^(i-65), 2^(i-64)) *)
+  Alcotest.(check int) "1.0" 65 (Obs.bucket_index 1.0);
+  Alcotest.(check int) "just under 1.0" 64 (Obs.bucket_index 0.9999999);
+  Alcotest.(check int) "2.0" 66 (Obs.bucket_index 2.0);
+  Alcotest.(check int) "3.0 shares 2.0's bucket" 66 (Obs.bucket_index 3.0);
+  Alcotest.(check int) "4.0" 67 (Obs.bucket_index 4.0);
+  Alcotest.(check int) "0.5" 64 (Obs.bucket_index 0.5);
+  (* extremes clamp to the end buckets rather than escaping the table *)
+  Alcotest.(check int) "tiny" 1 (Obs.bucket_index 1e-300);
+  Alcotest.(check int) "huge" (Obs.bucket_count - 1) (Obs.bucket_index 1e300);
+  Alcotest.(check int) "infinity" (Obs.bucket_count - 1) (Obs.bucket_index Float.infinity);
+  (* every positive value lies inside its bucket's [lo, hi) bounds *)
+  let check_value v =
+    let i = Obs.bucket_index v in
+    let lo, hi = Obs.bucket_bounds i in
+    if 1 < i && i < Obs.bucket_count - 1 then
+      Alcotest.(check bool)
+        (Printf.sprintf "%g in [%g, %g)" v lo hi)
+        true
+        (lo <= v && v < hi)
+  in
+  List.iter check_value
+    [ 1.0; 1.5; 2.0; 3.999; 4.0; 100.0; 1e6; 1e-6; 0.75; 12345.678 ];
+  (* bounds tile the positive axis: bucket i's hi is bucket i+1's lo *)
+  for i = 1 to Obs.bucket_count - 2 do
+    let _, hi = Obs.bucket_bounds i in
+    let lo', _ = Obs.bucket_bounds (i + 1) in
+    Alcotest.(check (float 0.0)) (Printf.sprintf "tile %d" i) hi lo'
+  done
+
+let test_histogram_stats () =
+  with_recording @@ fun () ->
+  List.iter (Obs.observe "h") [ 1.0; 2.0; 4.0; 4.0; -1.0 ];
+  match Obs.snapshot_hists () with
+  | [ h ] ->
+    Alcotest.(check string) "name" "h" h.Obs.hist;
+    Alcotest.(check int) "count" 5 h.Obs.hist_count;
+    Alcotest.(check (float 1e-9)) "sum" 10.0 h.Obs.sum;
+    Alcotest.(check (float 0.0)) "min" (-1.0) h.Obs.min_value;
+    Alcotest.(check (float 0.0)) "max" 4.0 h.Obs.max_value;
+    let count_at i =
+      match List.assoc_opt i h.Obs.buckets with Some c -> c | None -> 0
+    in
+    Alcotest.(check int) "bucket of 1.0" 1 (count_at 65);
+    Alcotest.(check int) "bucket of 2.0" 1 (count_at 66);
+    Alcotest.(check int) "bucket of 4.0 holds two" 2 (count_at 67);
+    Alcotest.(check int) "non-positive bucket" 1 (count_at 0)
+  | hs -> Alcotest.failf "expected one histogram, got %d" (List.length hs)
+
+(* ---- deterministic merge across pool sizes ---- *)
+
+(* Pooled workload probing from every task: counter totals, histogram
+   merges, and the computed result must be identical for pool sizes
+   1/2/4 (and identical to the telemetry-off result). *)
+let test_merge_determinism () =
+  let n = 1000 in
+  let task i =
+    Obs.count "merge.items";
+    Obs.observe "merge.values" (float_of_int (i mod 17));
+    float_of_int (i * i mod 101)
+  in
+  let reference =
+    Obs.disable ();
+    Obs.reset ();
+    Pool.with_pool ~size:1 (fun pool -> Pool.parallel_floats pool n task)
+  in
+  List.iter
+    (fun size ->
+      with_recording @@ fun () ->
+      let got = Pool.with_pool ~size (fun pool -> Pool.parallel_floats pool n task) in
+      Alcotest.(check (array (float 0.0)))
+        (Printf.sprintf "pooled result identical with telemetry on (size %d)" size)
+        reference got;
+      Alcotest.(check int)
+        (Printf.sprintf "counter total (size %d)" size)
+        n
+        (Obs.counter_total "merge.items");
+      (match
+         List.find_opt
+           (fun h -> String.equal h.Obs.hist "merge.values")
+           (Obs.snapshot_hists ())
+       with
+      | None -> Alcotest.fail "merged histogram missing"
+      | Some h ->
+        Alcotest.(check int) (Printf.sprintf "histogram count (size %d)" size) n h.Obs.hist_count;
+        let expected_sum =
+          let acc = ref 0.0 in
+          for i = 0 to n - 1 do
+            acc := !acc +. float_of_int (i mod 17)
+          done;
+          !acc
+        in
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "histogram sum (size %d)" size)
+          expected_sum h.Obs.sum);
+      (* every chunk the pool dispatched is accounted for in the tracks *)
+      let chunks =
+        List.fold_left (fun acc tr -> acc + tr.Obs.track_chunks) 0 (Obs.snapshot_tracks ())
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "chunk spans match the chunk counter (size %d)" size)
+        (Obs.counter_total "pool.chunks")
+        chunks)
+    pool_sizes
+
+let test_monte_carlo_identical_with_telemetry () =
+  let trials = 2000 in
+  let f g _ = Prng.float g in
+  let run () =
+    Pool.with_pool ~size:4 (fun pool ->
+        Monte_carlo.sample_array_pooled ~pool ~trials ~rng:(Prng.create 77) ~f ())
+  in
+  Obs.disable ();
+  Obs.reset ();
+  let off = run () in
+  let on = with_recording run in
+  Alcotest.(check (array (float 0.0))) "telemetry does not perturb sampled values" off on
+
+(* ---- disabled path ---- *)
+
+let test_disabled_noop () =
+  Obs.disable ();
+  Obs.reset ();
+  Obs.count "dead.counter";
+  Obs.observe "dead.hist" 1.0;
+  let v = Obs.span "dead.span" (fun () -> 7) in
+  Alcotest.(check int) "span still runs the body" 7 v;
+  let t = Obs.start_span "dead.manual" in
+  Obs.stop_span t ~args:(fun () -> Alcotest.fail "lazy args must not run when disabled");
+  Alcotest.(check int) "no counters" 0 (List.length (Obs.snapshot_counters ()));
+  Alcotest.(check int) "no histograms" 0 (List.length (Obs.snapshot_hists ()));
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.snapshot_spans ()))
+
+(* ---- exporter validation ---- *)
+
+(* Minimal JSON parser, enough to structurally validate the exporters
+   (the repo deliberately has no JSON dependency). *)
+module Mini_json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let next () =
+      if !pos >= n then raise (Bad "unexpected end");
+      let c = s.[!pos] in
+      incr pos;
+      c
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      let got = next () in
+      if got <> c then raise (Bad (Printf.sprintf "expected %c got %c at %d" c got !pos))
+    in
+    let literal word value =
+      String.iter expect word;
+      value
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' ->
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            let hex = String.init 4 (fun _ -> next ()) in
+            Buffer.add_string b (Printf.sprintf "\\u%s" hex)
+          | c -> raise (Bad (Printf.sprintf "bad escape %c" c)));
+          go ()
+        | c -> Buffer.add_char b c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let numchar c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when numchar c -> true | _ -> false) do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "bad number at %d" start))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        expect '{';
+        skip_ws ();
+        if peek () = Some '}' then (incr pos; Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((key, v) :: acc)
+            | '}' -> Obj (List.rev ((key, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object sep %c" c))
+          in
+          members []
+        end
+      | Some '[' ->
+        expect '[';
+        skip_ws ();
+        if peek () = Some ']' then (incr pos; Arr [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elements (v :: acc)
+            | ']' -> Arr (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array sep %c" c))
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> raise (Bad "empty input")
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad (Printf.sprintf "trailing input at %d" !pos));
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let str_exn key j =
+    match member key j with
+    | Some (Str s) -> s
+    | _ -> raise (Bad (Printf.sprintf "missing string field %S" key))
+
+  let num_exn key j =
+    match member key j with
+    | Some (Num v) -> v
+    | _ -> raise (Bad (Printf.sprintf "missing numeric field %S" key))
+end
+
+let record_reference_profile () =
+  (* a profile with nesting, a pooled stage (multiple domain tracks),
+     counters and a histogram — exercises every exporter feature *)
+  Obs.span "root" (fun () ->
+      Obs.span "stage" (fun () -> Obs.count "export.counter");
+      Obs.observe "export.hist" 3.0;
+      Pool.with_pool ~size:2 (fun pool ->
+          ignore (Pool.parallel_floats pool 64 (fun i -> float_of_int i))))
+
+let test_chrome_trace_valid () =
+  with_recording @@ fun () ->
+  record_reference_profile ();
+  let spans = Obs.snapshot_spans () in
+  let recorded = List.fold_left (fun acc s -> acc + s.Obs.span_count) 0 spans in
+  let json = Mini_json.parse (Obs.chrome_trace ()) in
+  let events =
+    match Mini_json.member "traceEvents" json with
+    | Some (Mini_json.Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents array missing"
+  in
+  let complete, metadata =
+    List.partition (fun e -> String.equal (Mini_json.str_exn "ph" e) "X") events
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "metadata-only other phases" "M" (Mini_json.str_exn "ph" e))
+    metadata;
+  (* every recorded span appears exactly once as a complete event — the
+     X form pairs begin/end by construction, so none can be unbalanced *)
+  Alcotest.(check int) "one X event per recorded span" recorded (List.length complete);
+  List.iter
+    (fun e ->
+      ignore (Mini_json.str_exn "name" e);
+      let ts = Mini_json.num_exn "ts" e in
+      let dur = Mini_json.num_exn "dur" e in
+      let tid = Mini_json.num_exn "tid" e in
+      Alcotest.(check bool) "ts >= 0" true (ts >= 0.0);
+      Alcotest.(check bool) "dur >= 0" true (dur >= 0.0);
+      Alcotest.(check bool) "tid is a domain id" true (tid >= 0.0))
+    complete;
+  (* one thread_name metadata record per domain track *)
+  let tracks = Obs.snapshot_tracks () in
+  let thread_names =
+    List.filter (fun e -> String.equal (Mini_json.str_exn "name" e) "thread_name") metadata
+  in
+  Alcotest.(check bool)
+    "a thread track per active domain" true
+    (List.length thread_names >= List.length tracks)
+
+let test_jsonl_valid () =
+  with_recording @@ fun () ->
+  record_reference_profile ();
+  let lines =
+    String.split_on_char '\n' (Obs.jsonl ()) |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "some lines" true (List.length lines > 0);
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      let j = Mini_json.parse line in
+      let kind = Mini_json.str_exn "type" j in
+      Hashtbl.replace kinds kind (1 + Option.value ~default:0 (Hashtbl.find_opt kinds kind));
+      ignore (Mini_json.num_exn "track" j))
+    lines;
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool) (Printf.sprintf "has %s records" kind) true
+        (Hashtbl.mem kinds kind))
+    [ "span"; "counter"; "histogram"; "track" ]
+
+let test_summary_renders () =
+  with_recording @@ fun () ->
+  record_reference_profile ();
+  let text = Obs.summary () in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec scan i = i + nl <= tl && (String.equal (String.sub text i nl) needle || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "summary mentions %s" needle) true
+        (contains needle))
+    [ "Spans"; "Counters"; "root"; "export.counter" ]
+
+let () =
+  Alcotest.run "msoc_obs"
+    [ ( "spans",
+        [ Alcotest.test_case "nesting and aggregation" `Quick test_span_nesting;
+          Alcotest.test_case "exception unwinds the stack" `Quick test_span_exception_unwinds;
+          Alcotest.test_case "clock monotone" `Quick test_clock_monotone ] );
+      ( "histograms",
+        [ Alcotest.test_case "bucket edges" `Quick test_bucket_edges;
+          Alcotest.test_case "stats and merge" `Quick test_histogram_stats ] );
+      ( "determinism",
+        [ Alcotest.test_case "merge across pool sizes" `Quick test_merge_determinism;
+          Alcotest.test_case "telemetry does not perturb results" `Quick
+            test_monte_carlo_identical_with_telemetry ] );
+      ( "disabled",
+        [ Alcotest.test_case "probes are no-ops" `Quick test_disabled_noop ] );
+      ( "exporters",
+        [ Alcotest.test_case "chrome trace structure" `Quick test_chrome_trace_valid;
+          Alcotest.test_case "jsonl structure" `Quick test_jsonl_valid;
+          Alcotest.test_case "text summary" `Quick test_summary_renders ] ) ]

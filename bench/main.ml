@@ -56,6 +56,26 @@ let section title =
 let path = Path.default_receiver ()
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable report: every section deposits its headline rows   *)
+(* here; main () writes BENCH_<gitrev>.json + BENCH_latest.json.       *)
+(* ------------------------------------------------------------------ *)
+
+module Report = Msoc_obs.Report
+
+let git_rev =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let rev = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when rev <> "" -> rev
+    | Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> "unknown"
+  with _ -> "unknown"
+
+let report =
+  Report.create ~git_rev ~pool_size:(Pool.default_size ())
+    ~mode:(if quick then "quick" else "full") ()
+
+(* ------------------------------------------------------------------ *)
 (* Figure 6: the experimental set-up, with the attribute propagation   *)
 (* trace of the standard two-tone stimulus.                            *)
 (* ------------------------------------------------------------------ *)
@@ -242,6 +262,11 @@ let figure4 () =
       in
       let rms = Msoc_stat.Describe.rms errs in
       let worst = Msoc_util.Floatx.max_abs errs in
+      let sname = Propagate.strategy_name strategy in
+      Report.add_scalar report ~section:"figure4" ~name:(sname ^ " budget worst")
+        ~unit_label:"dB" (Propagate.err m);
+      Report.add_scalar report ~section:"figure4" ~name:(sname ^ " empirical rms")
+        ~unit_label:"dB" rms;
       Texttable.add_row t
         [ (match strategy with
           | Propagate.Nominal_gains -> "nominal gains"
@@ -425,6 +450,14 @@ let table2 () =
              ~error:(Coverage.Uniform_err err)
          with
         | [ (_, at_tol); (_, tight); (_, loose) ] ->
+          (match label with
+          | "IIP3" ->
+            Report.add_comparison report ~section:"table2" ~name:"IIP3 FCL at Thr=Tol"
+              ~paper:"8.5%" ~measured:(Texttable.cell_pct at_tol.Coverage.fcl)
+          | "f_c" ->
+            Report.add_comparison report ~section:"table2" ~name:"f_c FCL at Thr=Tol"
+              ~paper:"6.1%" ~measured:(Texttable.cell_pct at_tol.Coverage.fcl)
+          | _ -> ());
           Texttable.add_row t
             [ label;
               Texttable.cell_pct at_tol.Coverage.fcl;
@@ -559,6 +592,8 @@ let coverage_ideal () =
         Digital_test.spectral_coverage config fir ~sample_rate:fs ~input_codes:codes
           ~reference_codes:codes ~tone_freqs:freqs ~faults
       in
+      Report.add_comparison report ~section:"coverage-ideal" ~name:label ~paper
+        ~measured:(Texttable.cell_pct det.Digital_test.coverage);
       Texttable.add_row t
         [ label;
           Texttable.cell_pct det.Digital_test.coverage;
@@ -696,6 +731,8 @@ let coverage_noisy () =
     (100.0 *. pass1.Digital_test.coverage)
     pass1.Digital_test.detected pass1.Digital_test.total pass1.Digital_test.noise_floor_db
     (Unix.gettimeofday () -. t0);
+  Report.add_comparison report ~section:"coverage-noisy" ~name:"pass 1 coverage"
+    ~paper:"74%" ~measured:(Texttable.cell_pct pass1.Digital_test.coverage);
   (* Second pass with more patterns on the survivors (paper: 8192). *)
   let codes2, reference2, tones2, exclusions2 = capture patterns2 100 in
   let t1 = Unix.gettimeofday () in
@@ -708,6 +745,8 @@ let coverage_noisy () =
     (Array.length pass1.Digital_test.undetected)
     (100.0 *. merged.Digital_test.coverage)
     (Unix.gettimeofday () -. t1);
+  Report.add_comparison report ~section:"coverage-noisy" ~name:"pass 2 coverage"
+    ~paper:"81.4%" ~measured:(Texttable.cell_pct merged.Digital_test.coverage);
   if Array.length merged.Digital_test.undetected_max_dev_lsb > 0 then
     Format.printf
       "remaining escapes perturb the output by at most %.3g input LSB (median %.3g)@."
@@ -1073,16 +1112,44 @@ let kernels () =
     Analyze.all ols (Toolkit.Instance.monotonic_clock) raw
   in
   let t = Texttable.create ~headers:[ "Kernel"; "ns/run" ] in
+  let clock_label = Measure.label Toolkit.Instance.monotonic_clock in
   List.iter
     (fun test ->
-      let results = analyze (benchmark test) in
+      let raw = benchmark test in
+      let results = analyze raw in
       Hashtbl.iter
         (fun name ols ->
           let nanos =
             match Analyze.OLS.estimates ols with Some (v :: _) -> v | Some [] | None -> nan
           in
           Texttable.add_row t [ name; Printf.sprintf "%.0f" nanos ])
-        results)
+        results;
+      (* the report stores the raw per-sample ns/run distribution, which is
+         what bench-diff's Welch intervals need (OLS gives no stddev) *)
+      let stable_name name =
+        (* drop the host pool size from "...-poolN" so the row pairs with a
+           baseline recorded on a machine with a different core count *)
+        let rec find i =
+          if i + 5 > String.length name then name
+          else if String.equal (String.sub name i 5) "-pool" then String.sub name 0 i ^ "-pool"
+          else find (i + 1)
+        in
+        find 0
+      in
+      Hashtbl.iter
+        (fun name (b : Benchmark.t) ->
+          let samples =
+            Array.map
+              (fun m -> Measurement_raw.get ~label:clock_label m /. Measurement_raw.run m)
+              b.Benchmark.lr
+          in
+          if Array.length samples > 0 then begin
+            let s = Msoc_stat.Describe.summarize samples in
+            Report.add_timing report ~section:"kernels" ~name:(stable_name name)
+              ~mean_ns:s.Msoc_stat.Describe.mean ~stddev_ns:s.Msoc_stat.Describe.stddev
+              ~samples:s.Msoc_stat.Describe.count
+          end)
+        raw)
     [ fft_test; fft_cold_test; fft_bluestein_test; fft_bluestein_cold_test; fsim_test;
       fsim_serial_test; fsim_pooled_test; path_test; coverage_test; plan_test ];
   Texttable.print t
@@ -1125,6 +1192,9 @@ let parallel_speedup () =
     (fun size ->
       Pool.with_pool ~size (fun pool ->
           let pooled, t_pooled = time (detect (Some pool)) in
+          Report.add_scalar report ~section:"parallel-speedup"
+            ~name:(Printf.sprintf "fault-sim pool%d speedup" size) ~unit_label:"x"
+            (t_serial /. t_pooled);
           Texttable.add_row t
             [ "fault sim";
               string_of_int size;
@@ -1155,6 +1225,9 @@ let parallel_speedup () =
     (fun size ->
       Pool.with_pool ~size (fun pool ->
           let pooled, t_pooled = time (mc (Some pool)) in
+          Report.add_scalar report ~section:"parallel-speedup"
+            ~name:(Printf.sprintf "monte-carlo pool%d speedup" size) ~unit_label:"x"
+            (t_mc_serial /. t_pooled);
           Texttable.add_row t
             [ Printf.sprintf "MC %dk trials" (trials / 1000);
               string_of_int size;
@@ -1211,6 +1284,12 @@ let telemetry_overhead () =
   Texttable.add_row t
     [ "span"; Printf.sprintf "%.1f" off_span; Printf.sprintf "%.1f" on_span ];
   Texttable.print t;
+  List.iter
+    (fun (name, value) ->
+      Report.add_scalar report ~section:"telemetry-overhead" ~name ~unit_label:"ns/op" value)
+    [ ("counter disabled", off_count); ("counter enabled", on_count);
+      ("histogram disabled", off_observe); ("histogram enabled", on_observe);
+      ("span disabled", off_span); ("span enabled", on_span) ];
   Format.printf "Disabled probes are one atomic load + branch each; the %.0f ns acceptance@.\
                  bound applies to the Disabled column.@."
     50.0;
@@ -1257,7 +1336,12 @@ let telemetry_overhead () =
     let mean_busy = total_busy /. float_of_int n_tracks in
     Format.printf "imbalance (max busy / mean busy): %.2f across %d active domain(s)@."
       (max_busy /. Float.max mean_busy 1.0)
-      n_tracks
+      n_tracks;
+    Report.add_scalar report ~section:"pool-balance" ~name:"active domains"
+      (float_of_int n_tracks);
+    Report.add_scalar report ~section:"pool-balance" ~name:"imbalance max/mean"
+      ~unit_label:"ratio"
+      (max_busy /. Float.max mean_busy 1.0)
   end;
   Obs.reset ()
 
@@ -1279,4 +1363,9 @@ let () =
   kernels ();
   parallel_speedup ();
   telemetry_overhead ();
+  let r = Report.finalize report in
+  let rev_file = Printf.sprintf "BENCH_%s.json" git_rev in
+  Report.write rev_file r;
+  Report.write "BENCH_latest.json" r;
+  Format.printf "@.report: wrote %s and BENCH_latest.json@." rev_file;
   Format.printf "@.Done.@."

@@ -2,10 +2,14 @@
    library.
 
    Subcommands:
-     plan       synthesise and print the system-level test plan
-     coverage   FCL/YL threshold analysis for one propagated parameter
-     faultsim   spectral stuck-at fault simulation of the digital filter
-     spectrum   simulate the receiver path and report SNR/SFDR/IM3 *)
+     plan        synthesise and print the system-level test plan
+     coverage    FCL/YL threshold analysis for one propagated parameter
+     faultsim    spectral stuck-at fault simulation of the digital filter
+     spectrum    simulate the receiver path and report SNR/SFDR/IM3
+     bench-diff  compare two bench reports and gate on regressions
+
+   Exit codes: 0 success; 1 runtime failure; 2 usage error; 3 bench-diff
+   regression (or missing section). *)
 
 module Path = Msoc_analog.Path
 module Context = Msoc_analog.Context
@@ -20,10 +24,14 @@ open Msoc_synth
 
 (* ---- telemetry flags (shared by every subcommand) ---- *)
 
+type metrics_format = Metrics_text | Metrics_prom
+
 type telemetry = {
   trace : string option;
   events : string option;
   metrics : bool;
+  metrics_format : metrics_format option;
+      (* an explicit --metrics-format implies metrics output *)
 }
 
 let telemetry_term =
@@ -44,14 +52,32 @@ let telemetry_term =
          & info [ "metrics" ]
              ~doc:"Record telemetry and print the span/counter/histogram summary on exit.")
   in
-  Term.(const (fun trace events metrics -> { trace; events; metrics })
-        $ trace $ events $ metrics)
+  let metrics_format =
+    let fmt =
+      Arg.conv
+        ( (function
+          | "text" -> Ok Metrics_text
+          | "prom" -> Ok Metrics_prom
+          | s -> Error (`Msg (Printf.sprintf "unknown metrics format %S (text|prom)" s))),
+          fun ppf f ->
+            Format.pp_print_string ppf
+              (match f with Metrics_text -> "text" | Metrics_prom -> "prom") )
+    in
+    Arg.(value & opt (some fmt) None
+         & info [ "metrics-format" ] ~docv:"FMT"
+             ~doc:"Metrics output format: $(b,text) (human summary, the default) or \
+                   $(b,prom) (Prometheus text exposition).  Implies $(b,--metrics).")
+  in
+  Term.(const (fun trace events metrics metrics_format ->
+            { trace; events; metrics; metrics_format })
+        $ trace $ events $ metrics $ metrics_format)
 
 (* Run [f] under a root span when any telemetry output was requested;
    exporters run even if [f] raises, so a failing run still leaves a
    usable profile behind. *)
 let with_telemetry tel ~command f =
-  if tel.trace = None && tel.events = None && not tel.metrics then f ()
+  let wants_metrics = tel.metrics || tel.metrics_format <> None in
+  if tel.trace = None && tel.events = None && not wants_metrics then f ()
   else begin
     Obs.enable ();
     Obs.reset ();
@@ -67,9 +93,13 @@ let with_telemetry tel ~command f =
           Obs.write_jsonl file;
           Format.eprintf "telemetry: events written to %s@." file)
         tel.events;
-      if tel.metrics then begin
+      if wants_metrics then begin
         print_newline ();
-        Obs.print_summary ()
+        match Option.value tel.metrics_format ~default:Metrics_text with
+        | Metrics_text -> Obs.print_summary ()
+        | Metrics_prom ->
+          Obs.warn_if_dropped ();
+          print_string (Obs.to_prometheus ())
       end
     in
     match Obs.span "msoc" ~args:[ ("command", command) ] f with
@@ -99,18 +129,45 @@ let strategy_arg =
     & opt strategy_conv Propagate.Adaptive
     & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"De-embedding strategy: nominal or adaptive.")
 
+(* Every command evaluates to its exit code; the plain reporting commands
+   succeed with 0 whenever they return at all. *)
+let code0 term = Cmdliner.Term.(const (fun () -> 0) $ term)
+
 (* ---- plan ---- *)
 
-let run_plan tel strategy =
+module Audit = Msoc_obs.Audit
+
+let run_plan tel strategy audit_file =
   with_telemetry tel ~command:"plan" @@ fun () ->
   let path = Path.default_receiver () in
+  if audit_file <> None then begin
+    Audit.enable ();
+    Audit.reset ()
+  end;
   let plan = Plan.synthesize ~strategy path in
-  Format.printf "%a@." Plan.pp_summary plan
+  Format.printf "%a@." Plan.pp_summary plan;
+  match audit_file with
+  | None -> ()
+  | Some file ->
+    Audit.disable ();
+    Format.printf "@.%s" (Audit.to_text ());
+    Audit.write_json file;
+    Format.eprintf "audit: %d provenance records written to %s@."
+      (List.length (Audit.records ()))
+      file;
+    Audit.reset ()
 
 let plan_cmd =
   let open Cmdliner in
+  let audit =
+    Arg.(value & opt (some string) None
+         & info [ "audit" ] ~docv:"FILE"
+             ~doc:"Record the synthesis audit trail (per-parameter provenance: strategy, \
+                   stimulus, achieved vs required accuracy, error-budget contributions), \
+                   write it as JSON to $(docv) and print the text report.")
+  in
   Cmd.v (Cmd.info "plan" ~doc:"Synthesise the system-level test plan")
-    Term.(const run_plan $ telemetry_term $ strategy_arg)
+    (code0 Term.(const run_plan $ telemetry_term $ strategy_arg $ audit))
 
 (* ---- coverage ---- *)
 
@@ -156,7 +213,7 @@ let coverage_cmd =
            ~doc:"Parameter: iip3, p1db, fc, isolation or inl.")
   in
   Cmd.v (Cmd.info "coverage" ~doc:"FCL/YL threshold analysis for a propagated test")
-    Term.(const run_coverage $ telemetry_term $ strategy_arg $ param)
+    (code0 Term.(const run_coverage $ telemetry_term $ strategy_arg $ param))
 
 (* ---- faultsim ---- *)
 
@@ -203,8 +260,9 @@ let faultsim_cmd =
              ~doc:"Stimulus phase seed; 0 (default) means the canonical zero-phase tones.")
   in
   Cmd.v (Cmd.info "faultsim" ~doc:"Spectral stuck-at fault simulation of the FIR filter")
-    Term.(const run_faultsim $ telemetry_term $ taps $ input_bits $ coeff_bits $ samples $ tones
-          $ seed)
+    (code0
+       Term.(const run_faultsim $ telemetry_term $ taps $ input_bits $ coeff_bits $ samples
+             $ tones $ seed))
 
 (* ---- spectrum ---- *)
 
@@ -269,7 +327,7 @@ let spectrum_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Noise seed.") in
   Cmd.v (Cmd.info "spectrum" ~doc:"Simulate the receiver and report its spectrum metrics")
-    Term.(const run_spectrum $ telemetry_term $ level $ seed)
+    (code0 Term.(const run_spectrum $ telemetry_term $ level $ seed))
 
 (* ---- measure ---- *)
 
@@ -303,7 +361,7 @@ let measure_cmd =
     Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Part seed; 0 means the nominal part.")
   in
   Cmd.v (Cmd.info "measure" ~doc:"Run the virtual tester against a manufactured part")
-    Term.(const run_measure $ telemetry_term $ strategy_arg $ seed)
+    (code0 Term.(const run_measure $ telemetry_term $ strategy_arg $ seed))
 
 (* ---- netlist ---- *)
 
@@ -341,13 +399,82 @@ let netlist_cmd =
            ~doc:"Dump the netlist in the text format.")
   in
   Cmd.v (Cmd.info "netlist" ~doc:"Synthesise a gate-level filter and optionally dump it")
-    Term.(const run_netlist $ telemetry_term $ taps $ input_bits $ coeff_bits $ direct
-          $ out_file)
+    (code0
+       Term.(const run_netlist $ telemetry_term $ taps $ input_bits $ coeff_bits $ direct
+             $ out_file))
 
+(* ---- bench-diff ---- *)
+
+let run_bench_diff tel old_file new_file tolerance =
+  with_telemetry tel ~command:"bench-diff" @@ fun () ->
+  let load file =
+    match Msoc_obs.Report.read file with
+    | Ok r -> r
+    | Error msg -> failwith (Printf.sprintf "%s: %s" file msg)
+  in
+  let old_report = load old_file in
+  let new_report = load new_file in
+  Format.printf "bench-diff: %s (rev %s, %s) -> %s (rev %s, %s), tolerance %.0f%%@.@."
+    old_file old_report.Msoc_obs.Report.meta.Msoc_obs.Report.git_rev
+    old_report.Msoc_obs.Report.meta.Msoc_obs.Report.mode new_file
+    new_report.Msoc_obs.Report.meta.Msoc_obs.Report.git_rev
+    new_report.Msoc_obs.Report.meta.Msoc_obs.Report.mode tolerance;
+  let d =
+    Msoc_stat.Bench_diff.diff ~tolerance_pct:tolerance ~old_report ~new_report ()
+  in
+  print_string (Msoc_stat.Bench_diff.render d);
+  if Msoc_stat.Bench_diff.gate_failed d then 3 else 0
+
+let bench_diff_cmd =
+  let open Cmdliner in
+  let old_file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json"
+         ~doc:"Baseline bench report.")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json"
+         ~doc:"Candidate bench report.")
+  in
+  let tolerance =
+    Arg.(value & opt float 5.0
+         & info [ "tolerance" ] ~docv:"PCT"
+             ~doc:"Allowed slowdown in percent before a timing counts as regressed \
+                   (the verdict also discounts the 95% confidence interval of the \
+                   delta, so noisy kernels need a clear signal to fail).")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Compare two bench reports ($(b,BENCH_*.json)) and gate on regressions")
+    Term.(const run_bench_diff $ telemetry_term $ old_file $ new_file $ tolerance)
+
+(* ---- entry point: exit-code discipline ---- *)
+
+(* Cmdliner's stock numbering (124/125) is replaced by the documented
+   contract: 0 ok, 1 runtime failure, 2 usage error, 3 regression gate. *)
 let () =
   let open Cmdliner in
   let doc = "Test synthesis for mixed-signal SOC paths (DATE 2000 reproduction)" in
-  exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "msoc" ~doc)
-          [ plan_cmd; coverage_cmd; faultsim_cmd; spectrum_cmd; measure_cmd; netlist_cmd ]))
+  let exits =
+    [ Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1 ~doc:"on a runtime failure (unreadable input, I/O error).";
+      Cmd.Exit.info 2 ~doc:"on a command-line usage error.";
+      Cmd.Exit.info 3
+        ~doc:"when $(b,bench-diff) finds a regressed or missing benchmark." ]
+  in
+  let group =
+    Cmd.group (Cmd.info "msoc" ~doc ~exits)
+      [ plan_cmd; coverage_cmd; faultsim_cmd; spectrum_cmd; measure_cmd; netlist_cmd;
+        bench_diff_cmd ]
+  in
+  let code =
+    match (try Ok (Cmd.eval_value ~catch:false group) with e -> Error e) with
+    | Error e ->
+      let msg = match e with Failure m -> m | e -> Printexc.to_string e in
+      Format.eprintf "msoc: error: %s@." msg;
+      1
+    | Ok (Error (`Parse | `Term)) -> 2
+    | Ok (Error `Exn) -> 1
+    | Ok (Ok (`Help | `Version)) -> 0
+    | Ok (Ok (`Ok code)) -> code
+  in
+  exit code

@@ -55,19 +55,57 @@ let losses_for path (measurement : Propagate.t) =
       ~error:(Coverage.Uniform_err (Propagate.err measurement))
       ~threshold_shift:0.0
 
+module Audit = Msoc_obs.Audit
+
+(* Composites are measured directly at the primary I/O, so their audit
+   record carries the composite tolerance as the requirement and the
+   instrument-grade accuracy as the achievement — no de-embedding chain. *)
+let audit_composed (c : Compose.t) =
+  if Audit.recording () then
+    Audit.record
+      { Audit.parameter = c.Compose.name;
+        origin = "composed";
+        strategy = "composite";
+        formula =
+          Printf.sprintf "%s measured directly at the primary I/O (%s)" c.Compose.name
+            c.Compose.unit_label;
+        stimulus = "mid-range two-tone at the primary input";
+        achieved_err = Accuracy.worst_case c.Compose.accuracy;
+        rss_err = Accuracy.rss c.Compose.accuracy;
+        instrument_err = c.Compose.accuracy.Accuracy.instrument_err;
+        contributions = [];
+        prerequisites = [];
+        required_tol = Some c.Compose.tolerance;
+        fcl = None;
+        yl = None }
+
 let synthesize ?(strategy = Propagate.Adaptive) path =
   Msoc_obs.Obs.span "plan.synthesize"
     ~args:[ ("strategy", Propagate.strategy_name strategy) ]
   @@ fun () ->
   let specs = Spec.of_receiver path in
   let composed =
-    [ Composed (Compose.path_gain path);
-      Composed (Compose.noise_figure path);
-      Composed (Compose.dynamic_range path) ]
+    List.map
+      (fun c ->
+        audit_composed c;
+        Composed c)
+      [ Compose.path_gain path; Compose.noise_figure path; Compose.dynamic_range path ]
   in
   let propagated =
     List.map
-      (fun m -> Propagated { measurement = m; losses = losses_for path m })
+      (fun m ->
+        let losses = losses_for path m in
+        (* enrich the provenance record Propagate just deposited with the
+           requirement this test must resolve and its predicted losses *)
+        if Audit.recording () then
+          Audit.annotate
+            ~parameter:(Propagate.parameter_name m)
+            ?required_tol:
+              (Option.map
+                 (fun p -> p.Param.tol)
+                 (param_of_spec path m.Propagate.spec))
+            ~fcl:losses.Coverage.fcl ~yl:losses.Coverage.yl ();
+        Propagated { measurement = m; losses })
       (Propagate.all_for_receiver path ~strategy)
   in
   let digital =

@@ -29,6 +29,10 @@ type t = {
 
 val err : t -> float
 
+val parameter_name : t -> string
+(** ["<block> <kind>"], e.g. ["Mixer IIP3"] — the key under which the
+    measurement appears in the {!Msoc_obs.Audit} trail. *)
+
 val strategy_name : strategy -> string
 (** Worst-case measurement error (the "Err" of Table 2's threshold
     columns). *)

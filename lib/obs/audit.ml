@@ -1,0 +1,138 @@
+module Texttable = Msoc_util.Texttable
+
+type contribution = { source : string; err : float }
+
+type record = {
+  parameter : string;
+  origin : string;
+  strategy : string;
+  formula : string;
+  stimulus : string;
+  achieved_err : float;
+  rss_err : float;
+  instrument_err : float;
+  contributions : contribution list;
+  prerequisites : string list;
+  required_tol : float option;
+  fcl : float option;
+  yl : float option;
+}
+
+(* Synthesis is a caller-domain activity; a plain mutable list under the
+   enabled flag is enough (no per-domain sinks as in Obs). *)
+let enabled = Atomic.make false
+let recording () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+let trail : record list ref = ref []  (* newest first *)
+let reset () = trail := []
+
+let record r = if Atomic.get enabled then trail := r :: !trail
+
+let annotate ~parameter ?required_tol ?fcl ?yl () =
+  if Atomic.get enabled then begin
+    let rec update = function
+      | [] -> []
+      | r :: rest when String.equal r.parameter parameter ->
+        { r with
+          required_tol = (match required_tol with Some _ -> required_tol | None -> r.required_tol);
+          fcl = (match fcl with Some _ -> fcl | None -> r.fcl);
+          yl = (match yl with Some _ -> yl | None -> r.yl) }
+        :: rest
+      | r :: rest -> r :: update rest
+    in
+    trail := update !trail
+  end
+
+let records () = List.rev !trail
+
+(* ------------------------------------------------------------------ *)
+(* Exports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let opt_num v buffer =
+  match v with Some v -> Json.num_exact v buffer | None -> Buffer.add_string buffer "null"
+
+let record_fields r =
+  [ ("parameter", Json.str r.parameter);
+    ("origin", Json.str r.origin);
+    ("strategy", Json.str r.strategy);
+    ("formula", Json.str r.formula);
+    ("stimulus", Json.str r.stimulus);
+    ("achieved_err", Json.num_exact r.achieved_err);
+    ("rss_err", Json.num_exact r.rss_err);
+    ("instrument_err", Json.num_exact r.instrument_err);
+    ( "contributions",
+      fun b ->
+        Json.arr_to b
+          (List.map
+             (fun c bb ->
+               Json.obj_to bb [ ("source", Json.str c.source); ("err", Json.num_exact c.err) ])
+             r.contributions) );
+    ("prerequisites", fun b -> Json.arr_to b (List.map Json.str r.prerequisites));
+    ("required_tol", opt_num r.required_tol);
+    ("fcl", opt_num r.fcl);
+    ("yl", opt_num r.yl) ]
+
+let to_json () =
+  let buffer = Buffer.create 4096 in
+  Json.obj_to buffer
+    [ ( "audit",
+        fun b ->
+          Json.arr_to b
+            (List.map (fun r bb -> Json.obj_to bb (record_fields r)) (records ())) ) ];
+  Buffer.contents buffer
+
+let write_json file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_json ());
+      output_char oc '\n')
+
+let to_text () =
+  let buffer = Buffer.create 1024 in
+  let rs = records () in
+  if rs = [] then Buffer.add_string buffer "audit: no synthesis records\n"
+  else begin
+    Buffer.add_string buffer "Synthesis audit trail\n";
+    let t =
+      Texttable.create
+        ~headers:
+          [ "Parameter"; "Origin"; "Strategy"; "Required tol"; "Achieved err"; "RSS err";
+            "FCL"; "YL"; "Prerequisites" ]
+    in
+    let opt fmt = function Some v -> fmt v | None -> "-" in
+    List.iter
+      (fun r ->
+        Texttable.add_row t
+          [ r.parameter;
+            r.origin;
+            r.strategy;
+            opt (Printf.sprintf "±%.3g") r.required_tol;
+            Printf.sprintf "±%.3g" r.achieved_err;
+            Printf.sprintf "±%.3g" r.rss_err;
+            opt (fun v -> Texttable.cell_pct v) r.fcl;
+            opt (fun v -> Texttable.cell_pct v) r.yl;
+            (match r.prerequisites with [] -> "-" | l -> String.concat ", " l) ])
+      rs;
+    Buffer.add_string buffer (Texttable.render t);
+    Buffer.add_char buffer '\n';
+    List.iter
+      (fun r ->
+        if r.contributions <> [] then begin
+          Buffer.add_string buffer
+            (Printf.sprintf "\n%s error budget (%s): %s\n" r.parameter r.strategy r.formula);
+          let bt = Texttable.create ~headers:[ "Contribution"; "Err" ] in
+          List.iter
+            (fun c -> Texttable.add_row bt [ c.source; Printf.sprintf "±%.3g" c.err ])
+            r.contributions;
+          Texttable.add_row bt
+            [ "instrument (residual)"; Printf.sprintf "±%.3g" r.instrument_err ];
+          Buffer.add_string buffer (Texttable.render bt)
+        end)
+      rs
+  end;
+  Buffer.contents buffer

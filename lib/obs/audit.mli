@@ -1,0 +1,60 @@
+(** Synthesis audit trail.
+
+    When recording is enabled, [Propagate] and [Plan.synthesize] deposit one
+    provenance record per synthesized parameter: which translation strategy
+    produced the test, the stimulus it drives, the accuracy it achieves and
+    — for propagated measurements — how each surrounding block's tolerance
+    contributes to the error budget through the de-embedding chain.
+
+    Recording is observation only: enabling it never changes a synthesized
+    plan (bit-identity with auditing off is part of the test suite).  The
+    sink is process-global and single-domain — synthesis runs on the caller
+    domain; pooled workers never record audit entries. *)
+
+type contribution = { source : string; err : float }
+
+type record = {
+  parameter : string;       (** e.g. ["Mixer IIP3"]. *)
+  origin : string;          (** ["propagated"] or ["composed"]. *)
+  strategy : string;        (** De-embedding strategy name. *)
+  formula : string;
+  stimulus : string;        (** Rendered stimulus attributes. *)
+  achieved_err : float;     (** Worst-case accuracy of the computed value. *)
+  rss_err : float;          (** Root-sum-square accuracy. *)
+  instrument_err : float;
+  contributions : contribution list;
+      (** Per-surrounding-block error-budget terms of the de-embedding
+          chain (empty for composites — that is composition's point). *)
+  prerequisites : string list;
+  required_tol : float option;
+      (** Parameter tolerance the test must resolve; filled by
+          [Plan.synthesize] via {!annotate}. *)
+  fcl : float option;       (** Predicted fault-coverage loss at Thr = Tol. *)
+  yl : float option;        (** Predicted yield loss at Thr = Tol. *)
+}
+
+val recording : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+val reset : unit -> unit
+
+val record : record -> unit
+(** No-op while disabled. *)
+
+val annotate :
+  parameter:string -> ?required_tol:float -> ?fcl:float -> ?yl:float -> unit -> unit
+(** Fill the optional fields of the most recent record for [parameter];
+    no-op while disabled or when the parameter was never recorded. *)
+
+val records : unit -> record list
+(** In recording order. *)
+
+val to_json : unit -> string
+(** One JSON object, [{"audit": [record, ...]}], numbers at round-trip
+    precision. *)
+
+val write_json : string -> unit
+
+val to_text : unit -> string
+(** Texttable report: one row per record plus the budget breakdown of each
+    propagated parameter. *)

@@ -511,8 +511,6 @@ let summary () =
   if Buffer.length buffer = 0 then Buffer.add_string buffer "telemetry: no data recorded\n";
   Buffer.contents buffer
 
-let print_summary () = print_string (summary ())
-
 (* Chrome trace-event format (the JSON Array Format wrapped in an object),
    loadable by chrome://tracing and Perfetto: one thread track per domain,
    complete ("X") events, timestamps in microseconds relative to [epoch]. *)
@@ -625,11 +623,111 @@ let jsonl () =
     (sinks_snapshot ());
   Buffer.contents buffer
 
+(* Prometheus text exposition (version 0.0.4).  Counters become counters,
+   log2 histograms become Prometheus histograms with cumulative buckets,
+   per-path span statistics become a summary family labelled by path, and
+   dropped events surface as their own counter so scrapers can alarm on
+   telemetry loss. *)
+
+let prometheus_name name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prometheus_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let prometheus_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let total_dropped () =
+  List.fold_left (fun acc s -> acc + s.dropped) 0 (sinks_snapshot ())
+
+let to_prometheus () =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun c ->
+      let name = "msoc_" ^ prometheus_name c.counter ^ "_total" in
+      line "# TYPE %s counter" name;
+      line "%s %d" name c.total)
+    (snapshot_counters ());
+  List.iter
+    (fun h ->
+      let name = "msoc_" ^ prometheus_name h.hist in
+      line "# TYPE %s histogram" name;
+      let cumulative = ref 0 in
+      List.iter
+        (fun (i, c) ->
+          cumulative := !cumulative + c;
+          let _, hi = bucket_bounds i in
+          let le = if hi = infinity then "+Inf" else prometheus_float hi in
+          line "%s_bucket{le=\"%s\"} %d" name le !cumulative)
+        h.buckets;
+      (* Prometheus requires a terminal +Inf bucket equal to _count *)
+      (match List.rev h.buckets with
+      | (i, _) :: _ when snd (bucket_bounds i) = infinity -> ()
+      | _ -> line "%s_bucket{le=\"+Inf\"} %d" name !cumulative);
+      line "%s_sum %s" name (prometheus_float h.sum);
+      line "%s_count %d" name h.hist_count)
+    (snapshot_hists ());
+  let spans = snapshot_spans () in
+  if spans <> [] then begin
+    line "# TYPE msoc_span_duration_nanoseconds summary";
+    List.iter
+      (fun s ->
+        let path = prometheus_label_value s.span_path in
+        line "msoc_span_duration_nanoseconds{path=\"%s\",quantile=\"0.95\"} %s" path
+          (prometheus_float s.p95_ns);
+        line "msoc_span_duration_nanoseconds_sum{path=\"%s\"} %s" path
+          (prometheus_float s.total_ns);
+        line "msoc_span_duration_nanoseconds_count{path=\"%s\"} %d" path s.span_count)
+      spans
+  end;
+  line "# TYPE msoc_dropped_span_events_total counter";
+  line "msoc_dropped_span_events_total %d" (total_dropped ());
+  Buffer.contents b
+
+(* Exported data with silently missing spans is worse than no data: any
+   sink that hit [max_events] makes the export announce itself on stderr. *)
+let warn_if_dropped () =
+  let dropped = total_dropped () in
+  if dropped > 0 then
+    Printf.eprintf
+      "telemetry: WARNING: %d span event(s) dropped (per-sink cap %d reached); span statistics and traces are incomplete\n%!"
+      dropped max_events
+
+let print_summary () =
+  warn_if_dropped ();
+  print_string (summary ())
+
 let write_file file contents =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
-let write_chrome_trace file = write_file file (chrome_trace ())
-let write_jsonl file = write_file file (jsonl ())
+let write_chrome_trace file =
+  warn_if_dropped ();
+  write_file file (chrome_trace ())
+
+let write_jsonl file =
+  warn_if_dropped ();
+  write_file file (jsonl ())
+
+let write_prometheus file =
+  warn_if_dropped ();
+  write_file file (to_prometheus ())

@@ -149,3 +149,19 @@ val jsonl : unit -> string
     ["histogram"] and ["track"] records, ordered by domain id. *)
 
 val write_jsonl : string -> unit
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition (0.0.4): counters as [msoc_<name>_total],
+    histograms with cumulative log2 buckets, per-path span statistics as a
+    labelled summary family, and [msoc_dropped_span_events_total]. *)
+
+val write_prometheus : string -> unit
+
+val total_dropped : unit -> int
+(** Span events dropped across all sinks since the last {!reset} (events
+    beyond the per-sink {!max_events} cap). *)
+
+val warn_if_dropped : unit -> unit
+(** Print a one-line stderr warning when {!total_dropped} is non-zero.
+    Every [write_*] exporter and {!print_summary} calls this, so
+    incomplete exports always announce themselves. *)

@@ -1,0 +1,85 @@
+(** Machine-readable bench reports.
+
+    The bench harness historically printed its tables and threw them away;
+    this module gives every run a durable, versioned JSON artifact
+    ([BENCH_<gitrev>.json] / [BENCH_latest.json]) that the [bench-diff]
+    regression gate and the EXPERIMENTS.md trajectory are built on.
+
+    A report is a list of named {e sections} (one per bench section), each
+    holding three kinds of rows:
+
+    - {e timings}: Bechamel kernel timings with mean/stddev/sample count,
+      the rows the regression gate pairs and tests;
+    - {e scalars}: single measured values (coverage fractions, speedups,
+      probe overheads) reported with a unit label;
+    - {e comparisons}: paper-vs-measured rows, kept as rendered strings
+      because the paper side is prose ("89.6%", "72 dB").
+
+    Numbers are emitted with round-trip precision ([%.17g]), so
+    [of_json (to_json r) = Ok r] holds structurally. *)
+
+val schema_version : int
+(** Current schema version (1).  [of_json] rejects other versions. *)
+
+type timing = {
+  t_name : string;
+  mean_ns : float;
+  stddev_ns : float;
+  samples : int;
+}
+
+type scalar = { s_name : string; value : float; unit_label : string }
+type comparison = { c_name : string; paper : string; measured : string }
+
+type section = {
+  sec_name : string;
+  timings : timing list;
+  scalars : scalar list;
+  comparisons : comparison list;
+}
+
+type meta = {
+  version : int;       (** Schema version the file was written with. *)
+  git_rev : string;
+  ocaml_version : string;
+  pool_size : int;
+  mode : string;       (** ["quick"] or ["full"]. *)
+}
+
+type t = { meta : meta; sections : section list }
+
+val section : t -> string -> section option
+
+(** {2 Incremental construction}
+
+    The bench harness appends rows as its sections run; sections and rows
+    keep their insertion order in the finished report. *)
+
+type builder
+
+val create :
+  git_rev:string -> pool_size:int -> mode:string -> unit -> builder
+(** [ocaml_version] is stamped from [Sys.ocaml_version]. *)
+
+val add_timing :
+  builder -> section:string -> name:string -> mean_ns:float ->
+  stddev_ns:float -> samples:int -> unit
+
+val add_scalar :
+  builder -> section:string -> name:string -> ?unit_label:string -> float -> unit
+
+val add_comparison :
+  builder -> section:string -> name:string -> paper:string -> measured:string -> unit
+
+val finalize : builder -> t
+
+(** {2 Serialization} *)
+
+val to_json : t -> string
+val of_json : string -> (t, string) result
+(** Structural validation included: wrong [schema_version], missing fields
+    and type mismatches all yield [Error]. *)
+
+val write : string -> t -> unit
+val read : string -> (t, string) result
+(** [Error] covers unreadable files as well as invalid contents. *)

@@ -1,0 +1,154 @@
+module Report = Msoc_obs.Report
+
+type verdict =
+  | Improved
+  | Unchanged
+  | Regressed
+  | Missing_new
+  | Missing_old
+  | Info
+
+let verdict_name = function
+  | Improved -> "improved"
+  | Unchanged -> "unchanged"
+  | Regressed -> "REGRESSED"
+  | Missing_new -> "MISSING"
+  | Missing_old -> "new"
+  | Info -> "info"
+
+type row = {
+  section : string;
+  metric : string;
+  old_value : float;
+  new_value : float;
+  delta_pct : float;
+  ci_pct : float;
+  verdict : verdict;
+}
+
+type t = {
+  rows : row list;
+  regressed : int;
+  missing : int;
+  improved : int;
+}
+
+let delta_pct ~old_ ~new_ =
+  if old_ = 0.0 then (if new_ = 0.0 then 0.0 else infinity)
+  else 100.0 *. (new_ -. old_) /. old_
+
+(* The gate tests the whole confidence interval against the tolerance:
+   a kernel only regresses when even the optimistic end of its delta
+   interval is past the allowance, so noisy measurements stay neutral. *)
+let timing_row ~tolerance_pct section (o : Report.timing) (n : Report.timing) =
+  let delta = delta_pct ~old_:o.Report.mean_ns ~new_:n.Report.mean_ns in
+  let ci_ns =
+    Describe.welch_ci95 ~stddev_a:o.Report.stddev_ns ~n_a:o.Report.samples
+      ~stddev_b:n.Report.stddev_ns ~n_b:n.Report.samples
+  in
+  let ci = if o.Report.mean_ns = 0.0 then 0.0 else 100.0 *. ci_ns /. o.Report.mean_ns in
+  let verdict =
+    if delta -. ci > tolerance_pct then Regressed
+    else if delta +. ci < -.tolerance_pct then Improved
+    else Unchanged
+  in
+  { section;
+    metric = o.Report.t_name;
+    old_value = o.Report.mean_ns;
+    new_value = n.Report.mean_ns;
+    delta_pct = delta;
+    ci_pct = ci;
+    verdict }
+
+let scalar_row section (o : Report.scalar) (n : Report.scalar) =
+  { section;
+    metric = o.Report.s_name;
+    old_value = o.Report.value;
+    new_value = n.Report.value;
+    delta_pct = delta_pct ~old_:o.Report.value ~new_:n.Report.value;
+    ci_pct = 0.0;
+    verdict = Info }
+
+let unpaired section metric ~side value =
+  match side with
+  | `Old ->
+    { section; metric; old_value = value; new_value = nan; delta_pct = nan;
+      ci_pct = nan; verdict = Missing_new }
+  | `New ->
+    { section; metric; old_value = nan; new_value = value; delta_pct = nan;
+      ci_pct = nan; verdict = Missing_old }
+
+(* Pair two row lists by name, preserving the old report's order; rows
+   unique to the new report trail in their own order. *)
+let pair ~name_of ~value_of ~paired old_rows new_rows section =
+  let matched =
+    List.map
+      (fun o ->
+        match List.find_opt (fun n -> String.equal (name_of n) (name_of o)) new_rows with
+        | Some n -> paired section o n
+        | None -> unpaired section (name_of o) ~side:`Old (value_of o))
+      old_rows
+  in
+  let fresh =
+    List.filter_map
+      (fun n ->
+        if List.exists (fun o -> String.equal (name_of o) (name_of n)) old_rows then None
+        else Some (unpaired section (name_of n) ~side:`New (value_of n)))
+      new_rows
+  in
+  matched @ fresh
+
+let diff_section ~tolerance_pct sec_name (o : Report.section option)
+    (n : Report.section option) =
+  let timings s = match s with None -> [] | Some s -> s.Report.timings in
+  let scalars s = match s with None -> [] | Some s -> s.Report.scalars in
+  pair
+    ~name_of:(fun (t : Report.timing) -> t.Report.t_name)
+    ~value_of:(fun (t : Report.timing) -> t.Report.mean_ns)
+    ~paired:(timing_row ~tolerance_pct) (timings o) (timings n) sec_name
+  @ pair
+      ~name_of:(fun (s : Report.scalar) -> s.Report.s_name)
+      ~value_of:(fun (s : Report.scalar) -> s.Report.value)
+      ~paired:scalar_row (scalars o) (scalars n) sec_name
+
+let diff ?(tolerance_pct = 5.0) ~old_report ~new_report () =
+  let names =
+    let of_report (r : Report.t) =
+      List.map (fun s -> s.Report.sec_name) r.Report.sections
+    in
+    let olds = of_report old_report in
+    olds @ List.filter (fun n -> not (List.mem n olds)) (of_report new_report)
+  in
+  let rows =
+    List.concat_map
+      (fun name ->
+        diff_section ~tolerance_pct name
+          (Report.section old_report name)
+          (Report.section new_report name))
+      names
+  in
+  let count v = List.length (List.filter (fun r -> r.verdict = v) rows) in
+  { rows;
+    regressed = count Regressed;
+    missing = count Missing_new;
+    improved = count Improved }
+
+let gate_failed t = t.regressed > 0 || t.missing > 0
+
+let render t =
+  let module T = Msoc_util.Texttable in
+  let table =
+    T.create ~headers:[ "Section"; "Metric"; "Old"; "New"; "Delta %"; "±CI %"; "Verdict" ]
+  in
+  let cell x = if Float.is_nan x then "-" else T.cell_f ~decimals:2 x in
+  List.iter
+    (fun r ->
+      T.add_row table
+        [ r.section; r.metric; cell r.old_value; cell r.new_value; cell r.delta_pct;
+          cell r.ci_pct; verdict_name r.verdict ])
+    t.rows;
+  let summary =
+    Printf.sprintf "%d compared: %d improved, %d regressed, %d missing\n"
+      (List.length t.rows) t.improved t.regressed t.missing
+  in
+  T.render table ^ summary

@@ -1,0 +1,54 @@
+(** The bench-regression gate.
+
+    Compares two {!Msoc_obs.Report} bench reports: sections are paired by
+    name, their timing rows by kernel name, and each paired timing gets a
+    relative delta with a 95% confidence interval (Welch, from
+    {!Describe.welch_ci95} on the stored mean/stddev/sample counts).
+
+    A timing {e regresses} when its whole confidence interval sits above
+    the tolerance — noisy kernels with wide intervals do not trip the gate,
+    genuinely slower ones do.  It {e improves} symmetrically.  Rows present
+    on only one side are flagged [Missing_new]/[Missing_old] so a silently
+    dropped bench section can never pass for "no regression".
+
+    Scalar rows (coverage fractions, speedups) are compared informationally
+    — their delta is reported but they never trip the gate, because their
+    good direction is metric-specific. *)
+
+type verdict =
+  | Improved
+  | Unchanged
+  | Regressed
+  | Missing_new  (** In the old report, absent from the new one. *)
+  | Missing_old  (** New row with no baseline — informational. *)
+  | Info         (** Scalar row: delta reported, never gated. *)
+
+val verdict_name : verdict -> string
+
+type row = {
+  section : string;
+  metric : string;
+  old_value : float;   (** [nan] for [Missing_old]. *)
+  new_value : float;   (** [nan] for [Missing_new]. *)
+  delta_pct : float;   (** 100 * (new - old) / old; [nan] when unpaired. *)
+  ci_pct : float;      (** 95% half-width of [delta_pct]; 0 for scalars. *)
+  verdict : verdict;
+}
+
+type t = {
+  rows : row list;
+  regressed : int;     (** [Regressed] timing rows. *)
+  missing : int;       (** [Missing_new] rows (sections or timings). *)
+  improved : int;
+}
+
+val diff : ?tolerance_pct:float -> old_report:Msoc_obs.Report.t ->
+  new_report:Msoc_obs.Report.t -> unit -> t
+(** Default tolerance 5 (percent). *)
+
+val gate_failed : t -> bool
+(** True when anything regressed or went missing — the condition under
+    which [msoc_cli bench-diff] exits 3. *)
+
+val render : t -> string
+(** Texttable: one row per compared metric, verdict column last. *)

@@ -212,145 +212,13 @@ let test_disabled_noop () =
 
 (* ---- exporter validation ---- *)
 
-(* Minimal JSON parser, enough to structurally validate the exporters
-   (the repo deliberately has no JSON dependency). *)
+(* Structural validation goes through the library's own JSON parser
+   (lib/obs/json.ml) — the same one the bench-report round trip uses. *)
 module Mini_json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | Arr of t list
-    | Obj of (string * t) list
+  include Msoc_obs.Json
 
-  exception Bad of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let next () =
-      if !pos >= n then raise (Bad "unexpected end");
-      let c = s.[!pos] in
-      incr pos;
-      c
-    in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        incr pos;
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      let got = next () in
-      if got <> c then raise (Bad (Printf.sprintf "expected %c got %c at %d" c got !pos))
-    in
-    let literal word value =
-      String.iter expect word;
-      value
-    in
-    let parse_string () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        match next () with
-        | '"' -> Buffer.contents b
-        | '\\' ->
-          (match next () with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | '/' -> Buffer.add_char b '/'
-          | 'n' -> Buffer.add_char b '\n'
-          | 'r' -> Buffer.add_char b '\r'
-          | 't' -> Buffer.add_char b '\t'
-          | 'b' -> Buffer.add_char b '\b'
-          | 'f' -> Buffer.add_char b '\012'
-          | 'u' ->
-            let hex = String.init 4 (fun _ -> next ()) in
-            Buffer.add_string b (Printf.sprintf "\\u%s" hex)
-          | c -> raise (Bad (Printf.sprintf "bad escape %c" c)));
-          go ()
-        | c -> Buffer.add_char b c; go ()
-      in
-      go ()
-    in
-    let parse_number () =
-      let start = !pos in
-      let numchar c =
-        match c with
-        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-        | _ -> false
-      in
-      while (match peek () with Some c when numchar c -> true | _ -> false) do
-        incr pos
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some v -> v
-      | None -> raise (Bad (Printf.sprintf "bad number at %d" start))
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-        expect '{';
-        skip_ws ();
-        if peek () = Some '}' then (incr pos; Obj [])
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let key = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match next () with
-            | ',' -> members ((key, v) :: acc)
-            | '}' -> Obj (List.rev ((key, v) :: acc))
-            | c -> raise (Bad (Printf.sprintf "bad object sep %c" c))
-          in
-          members []
-        end
-      | Some '[' ->
-        expect '[';
-        skip_ws ();
-        if peek () = Some ']' then (incr pos; Arr [])
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match next () with
-            | ',' -> elements (v :: acc)
-            | ']' -> Arr (List.rev (v :: acc))
-            | c -> raise (Bad (Printf.sprintf "bad array sep %c" c))
-          in
-          elements []
-        end
-      | Some '"' -> Str (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> Num (parse_number ())
-      | None -> raise (Bad "empty input")
-    in
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then raise (Bad (Printf.sprintf "trailing input at %d" !pos));
-    v
-
-  let member key = function
-    | Obj fields -> List.assoc_opt key fields
-    | _ -> None
-
-  let str_exn key j =
-    match member key j with
-    | Some (Str s) -> s
-    | _ -> raise (Bad (Printf.sprintf "missing string field %S" key))
-
-  let num_exn key j =
-    match member key j with
-    | Some (Num v) -> v
-    | _ -> raise (Bad (Printf.sprintf "missing numeric field %S" key))
+  let str_exn = string_exn
+  let num_exn = number_exn
 end
 
 let record_reference_profile () =
@@ -370,7 +238,7 @@ let test_chrome_trace_valid () =
   let json = Mini_json.parse (Obs.chrome_trace ()) in
   let events =
     match Mini_json.member "traceEvents" json with
-    | Some (Mini_json.Arr evs) -> evs
+    | Some (Mini_json.Array evs) -> evs
     | _ -> Alcotest.fail "traceEvents array missing"
   in
   let complete, metadata =
@@ -438,6 +306,89 @@ let test_summary_renders () =
         (contains needle))
     [ "Spans"; "Counters"; "root"; "export.counter" ]
 
+(* ---- prometheus exposition ---- *)
+
+let contains_sub text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec scan i =
+    i + nl <= tl && (String.equal (String.sub text i nl) needle || scan (i + 1))
+  in
+  scan 0
+
+let test_prometheus_exposition () =
+  with_recording @@ fun () ->
+  record_reference_profile ();
+  let text = Obs.to_prometheus () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle) true
+        (contains_sub text needle))
+    [ (* counter family, sanitized to [a-zA-Z0-9_:] with a _total suffix *)
+      "# TYPE msoc_export_counter_total counter";
+      "msoc_export_counter_total 1";
+      (* histogram family with cumulative buckets, +Inf terminal, sum/count *)
+      "# TYPE msoc_export_hist histogram";
+      "le=\"+Inf\"";
+      "msoc_export_hist_sum 3";
+      "msoc_export_hist_count 1";
+      (* span stats as a labelled summary *)
+      "# TYPE msoc_span_duration_nanoseconds summary";
+      "quantile=\"0.95\"";
+      "msoc_dropped_span_events_total 0" ];
+  (* well-formed exposition: every non-comment line is "name value" or
+     "name{labels} value" with a parseable float value *)
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "no value on line %S" line
+        | Some i ->
+          let v = String.sub line (i + 1) (String.length line - i - 1) in
+          Alcotest.(check bool) (Printf.sprintf "numeric value on %S" line) true
+            (match float_of_string_opt v with Some _ -> true | None -> false)
+      end)
+    (String.split_on_char '\n' text);
+  (* the +Inf bucket equals _count, as Prometheus requires *)
+  match
+    List.find_opt
+      (fun l -> contains_sub l "msoc_export_hist_bucket{le=\"+Inf\"}")
+      (String.split_on_char '\n' text)
+  with
+  | None -> Alcotest.fail "terminal +Inf bucket missing"
+  | Some l ->
+    Alcotest.(check bool) "+Inf bucket holds every observation" true
+      (contains_sub l " 1")
+
+let test_dropped_events_warned () =
+  with_recording @@ fun () ->
+  (* overflow one sink past its event cap *)
+  for _ = 1 to Obs.max_events + 16 do
+    Obs.span "overflow" (fun () -> ())
+  done;
+  Alcotest.(check bool) "events were dropped" true (Obs.total_dropped () > 0);
+  Alcotest.(check bool) "exposition reports the drop count" true
+    (contains_sub (Obs.to_prometheus ())
+       (Printf.sprintf "msoc_dropped_span_events_total %d" (Obs.total_dropped ())));
+  (* the export path announces the loss loudly on stderr *)
+  let file = Filename.temp_file "msoc_warn" ".txt" in
+  let saved = Unix.dup Unix.stderr in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  Obs.warn_if_dropped ();
+  flush stderr;
+  Unix.dup2 saved Unix.stderr;
+  Unix.close saved;
+  let ic = open_in file in
+  let warning = try input_line ic with End_of_file -> "" in
+  close_in ic;
+  Sys.remove file;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "warning mentions %S" needle) true
+        (contains_sub warning needle))
+    [ "WARNING"; "dropped"; string_of_int Obs.max_events ]
+
 let () =
   Alcotest.run "msoc_obs"
     [ ( "spans",
@@ -456,4 +407,7 @@ let () =
       ( "exporters",
         [ Alcotest.test_case "chrome trace structure" `Quick test_chrome_trace_valid;
           Alcotest.test_case "jsonl structure" `Quick test_jsonl_valid;
-          Alcotest.test_case "text summary" `Quick test_summary_renders ] ) ]
+          Alcotest.test_case "text summary" `Quick test_summary_renders;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "dropped events are warned about" `Quick
+            test_dropped_events_warned ] ) ]

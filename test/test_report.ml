@@ -1,0 +1,287 @@
+(* Observatory tests: the bench-report JSON schema round trip, the
+   bench-diff verdict engine on synthetic fixture pairs, and the synthesis
+   audit trail (record completeness + bit-identity of synthesis with
+   auditing on and off). *)
+
+module Report = Msoc_obs.Report
+module Json = Msoc_obs.Json
+module Audit = Msoc_obs.Audit
+module Bench_diff = Msoc_stat.Bench_diff
+module Path = Msoc_analog.Path
+open Msoc_synth
+
+(* ---- report schema round trip ---- *)
+
+let reference_report () =
+  let b = Report.create ~git_rev:"deadbee" ~pool_size:4 ~mode:"full" () in
+  Report.add_timing b ~section:"kernels" ~name:"fft-4096" ~mean_ns:123.456789012345678
+    ~stddev_ns:0.125 ~samples:321;
+  Report.add_timing b ~section:"kernels" ~name:"fault-sim" ~mean_ns:1e9 ~stddev_ns:2.5e7
+    ~samples:12;
+  (* names that exercise the string escaper *)
+  Report.add_scalar b ~section:"kernels" ~name:"speed \"quoted\"\tand\nsplit"
+    ~unit_label:"x" 1.5;
+  Report.add_scalar b ~section:"overhead" ~name:"plain" 2.0;
+  Report.add_comparison b ~section:"overhead" ~name:"coverage" ~paper:"89.6%"
+    ~measured:"91.2%";
+  Report.finalize b
+
+let test_roundtrip () =
+  let r = reference_report () in
+  (match Report.of_json (Report.to_json r) with
+  | Error e -> Alcotest.failf "of_json (to_json r) failed: %s" e
+  | Ok r' ->
+    Alcotest.(check bool) "structural equality through JSON" true (r = r'));
+  (* and through the filesystem *)
+  let file = Filename.temp_file "msoc_report" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Report.write file r;
+      match Report.read file with
+      | Error e -> Alcotest.failf "read (write r) failed: %s" e
+      | Ok r' -> Alcotest.(check bool) "equality through a file" true (r = r'))
+
+let test_roundtrip_preserves_order () =
+  let r = reference_report () in
+  match Report.of_json (Report.to_json r) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok r' ->
+    Alcotest.(check (list string))
+      "section order preserved"
+      (List.map (fun s -> s.Report.sec_name) r.Report.sections)
+      (List.map (fun s -> s.Report.sec_name) r'.Report.sections)
+
+let minimal_meta =
+  {|"meta":{"git_rev":"x","ocaml_version":"5.1.1","pool_size":1,"mode":"quick"}|}
+
+let test_rejects_invalid () =
+  let expect_error label json =
+    match Report.of_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected rejection" label
+  in
+  expect_error "not JSON at all" "][ nope";
+  expect_error "wrong shape" {|[1, 2, 3]|};
+  expect_error "missing meta" {|{"schema_version":1,"sections":[]}|};
+  expect_error "wrong schema version"
+    (Printf.sprintf {|{"schema_version":99,%s,"sections":[]}|} minimal_meta);
+  expect_error "sections not a list"
+    (Printf.sprintf {|{"schema_version":1,%s,"sections":7}|} minimal_meta);
+  expect_error "timing missing a field"
+    (Printf.sprintf
+       {|{"schema_version":1,%s,"sections":[{"name":"k","timings":[{"name":"t","mean_ns":1}],"scalars":[],"comparisons":[]}]}|}
+       minimal_meta);
+  (* the minimal valid document parses *)
+  match
+    Report.of_json
+      (Printf.sprintf {|{"schema_version":1,%s,"sections":[]}|} minimal_meta)
+  with
+  | Ok r -> Alcotest.(check int) "schema version" 1 r.Report.meta.Report.version
+  | Error e -> Alcotest.failf "minimal document rejected: %s" e
+
+let test_json_parser_escapes () =
+  (* the embedded parser understands escapes the emitter never produces *)
+  match Json.parse {|{"a": "A\n", "b": [1.5e3, true, null]}|} with
+  | Json.Object [ ("a", Json.String a); ("b", Json.Array [ n; t; nl ]) ] ->
+    Alcotest.(check string) "unicode + newline escape" "A\n" a;
+    Alcotest.(check bool) "number" true (n = Json.Number 1500.0);
+    Alcotest.(check bool) "true" true (t = Json.Bool true);
+    Alcotest.(check bool) "null" true (nl = Json.Null)
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+(* ---- bench-diff verdicts ---- *)
+
+let report_of sections =
+  let b = Report.create ~git_rev:"r" ~pool_size:1 ~mode:"quick" () in
+  List.iter
+    (fun (sec, rows) ->
+      List.iter
+        (fun (name, mean, stddev, n) ->
+          Report.add_timing b ~section:sec ~name ~mean_ns:mean ~stddev_ns:stddev ~samples:n)
+        rows)
+    sections;
+  Report.finalize b
+
+let find_row d sec name =
+  match
+    List.find_opt
+      (fun r -> String.equal r.Bench_diff.section sec && String.equal r.Bench_diff.metric name)
+      d.Bench_diff.rows
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "diff row %s/%s missing" sec name
+
+let check_verdict d sec name expected =
+  let r = find_row d sec name in
+  Alcotest.(check string)
+    (Printf.sprintf "verdict of %s/%s" sec name)
+    (Bench_diff.verdict_name expected)
+    (Bench_diff.verdict_name r.Bench_diff.verdict)
+
+let test_verdicts () =
+  let old_report =
+    report_of
+      [ ( "kernels",
+          [ ("fast", 1000.0, 10.0, 100);    (* gets 20% faster *)
+            ("slow", 1000.0, 10.0, 100);    (* gets 50% slower *)
+            ("noisy", 1000.0, 400.0, 4);    (* +10% but the CI swamps it *)
+            ("gone", 500.0, 5.0, 50) ] ) ]  (* dropped from the new report *)
+  in
+  let new_report =
+    report_of
+      [ ( "kernels",
+          [ ("fast", 800.0, 10.0, 100);
+            ("slow", 1500.0, 10.0, 100);
+            ("noisy", 1100.0, 400.0, 4);
+            ("fresh", 50.0, 1.0, 10) ] ) ]
+  in
+  let d = Bench_diff.diff ~tolerance_pct:5.0 ~old_report ~new_report () in
+  check_verdict d "kernels" "fast" Bench_diff.Improved;
+  check_verdict d "kernels" "slow" Bench_diff.Regressed;
+  check_verdict d "kernels" "noisy" Bench_diff.Unchanged;
+  check_verdict d "kernels" "gone" Bench_diff.Missing_new;
+  check_verdict d "kernels" "fresh" Bench_diff.Missing_old;
+  Alcotest.(check int) "regressed count" 1 d.Bench_diff.regressed;
+  Alcotest.(check int) "missing count" 1 d.Bench_diff.missing;
+  Alcotest.(check int) "improved count" 1 d.Bench_diff.improved;
+  Alcotest.(check bool) "gate fails" true (Bench_diff.gate_failed d);
+  let slow = find_row d "kernels" "slow" in
+  Alcotest.(check (float 1e-9)) "delta_pct" 50.0 slow.Bench_diff.delta_pct;
+  (* a generous tolerance absorbs the same slowdown *)
+  let lax = Bench_diff.diff ~tolerance_pct:100.0 ~old_report ~new_report () in
+  check_verdict lax "kernels" "slow" Bench_diff.Unchanged;
+  Alcotest.(check bool) "still gated by the missing row" true (Bench_diff.gate_failed lax)
+
+let test_improvement_only_passes () =
+  let old_report = report_of [ ("kernels", [ ("k", 1000.0, 10.0, 100) ]) ] in
+  let new_report = report_of [ ("kernels", [ ("k", 700.0, 10.0, 100) ]) ] in
+  let d = Bench_diff.diff ~old_report ~new_report () in
+  check_verdict d "kernels" "k" Bench_diff.Improved;
+  Alcotest.(check bool) "improvements do not gate" false (Bench_diff.gate_failed d)
+
+let test_missing_section_gates () =
+  let rows = [ ("k", 1000.0, 10.0, 100) ] in
+  let both = report_of [ ("kernels", rows); ("extra", rows) ] in
+  let only_kernels = report_of [ ("kernels", rows) ] in
+  let d = Bench_diff.diff ~old_report:both ~new_report:only_kernels () in
+  check_verdict d "extra" "k" Bench_diff.Missing_new;
+  Alcotest.(check bool) "dropped section gates" true (Bench_diff.gate_failed d);
+  (* the reverse — a section that only exists in the new report — is fine *)
+  let d' = Bench_diff.diff ~old_report:only_kernels ~new_report:both () in
+  check_verdict d' "extra" "k" Bench_diff.Missing_old;
+  Alcotest.(check bool) "new section does not gate" false (Bench_diff.gate_failed d')
+
+let test_render_mentions_verdicts () =
+  let old_report = report_of [ ("kernels", [ ("k", 1000.0, 1.0, 100) ]) ] in
+  let new_report = report_of [ ("kernels", [ ("k", 2000.0, 1.0, 100) ]) ] in
+  let text =
+    Bench_diff.render (Bench_diff.diff ~old_report ~new_report ())
+  in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec scan i =
+      i + nl <= tl && (String.equal (String.sub text i nl) needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "render mentions %S" needle) true
+        (contains needle))
+    [ "Verdict"; "REGRESSED"; "1 regressed" ]
+
+(* ---- synthesis audit trail ---- *)
+
+let with_audit f =
+  Audit.enable ();
+  Audit.reset ();
+  Fun.protect ~finally:(fun () -> Audit.disable (); Audit.reset ()) f
+
+let test_audit_completeness () =
+  with_audit @@ fun () ->
+  let path = Path.default_receiver () in
+  let plan = Plan.synthesize ~strategy:Propagate.Adaptive path in
+  (* stop recording: the reference measurements recomputed below must not
+     append to the trail under test *)
+  Audit.disable ();
+  let records = Audit.records () in
+  (* one record per synthesized analog parameter: every composed and
+     propagated entry, nothing else *)
+  let analog_entries =
+    List.length
+      (List.filter
+         (function Plan.Composed _ | Plan.Propagated _ -> true
+                 | Plan.Digital_filter_test _ -> false)
+         plan.Plan.entries)
+  in
+  Alcotest.(check int) "one record per synthesized parameter" analog_entries
+    (List.length records);
+  (* composition-strategy record: measured directly, no de-embedding chain *)
+  let pg =
+    match List.find_opt (fun r -> String.equal r.Audit.parameter "path gain") records with
+    | Some r -> r
+    | None -> Alcotest.fail "no audit record for the path-gain composite"
+  in
+  Alcotest.(check string) "composite origin" "composed" pg.Audit.origin;
+  Alcotest.(check string) "composite strategy" "composite" pg.Audit.strategy;
+  Alcotest.(check bool) "composite records its tolerance" true
+    (pg.Audit.required_tol <> None);
+  Alcotest.(check int) "composites have no budget contributions" 0
+    (List.length pg.Audit.contributions);
+  Alcotest.(check bool) "stimulus recorded" true (String.length pg.Audit.stimulus > 0);
+  (* propagation-strategy record: achieved accuracy is Propagate's own,
+     the budget breakdown and the plan-level annotations are present *)
+  let m = Propagate.mixer_iip3 path ~strategy:Propagate.Adaptive in
+  let r =
+    match
+      List.find_opt (fun r -> String.equal r.Audit.parameter "Mixer IIP3") records
+    with
+    | Some r -> r
+    | None -> Alcotest.fail "no audit record for Mixer IIP3"
+  in
+  Alcotest.(check string) "propagated origin" "propagated" r.Audit.origin;
+  Alcotest.(check string) "strategy name" "adaptive" r.Audit.strategy;
+  Alcotest.(check (float 0.0)) "achieved accuracy is Propagate's worst case"
+    (Propagate.err m) r.Audit.achieved_err;
+  Alcotest.(check string) "formula" m.Propagate.formula r.Audit.formula;
+  Alcotest.(check bool) "per-block budget contributions present" true
+    (List.length r.Audit.contributions > 0);
+  Alcotest.(check bool) "required tolerance annotated by the plan" true
+    (r.Audit.required_tol <> None);
+  Alcotest.(check bool) "predicted FCL/YL annotated by the plan" true
+    (r.Audit.fcl <> None && r.Audit.yl <> None);
+  (* the audit JSON parses and holds the same record count *)
+  match Json.parse_result (Audit.to_json ()) with
+  | Error e -> Alcotest.failf "audit JSON invalid: %s" e
+  | Ok j ->
+    Alcotest.(check int) "audit JSON record count" (List.length records)
+      (List.length (Json.list_exn "audit" j))
+
+let test_audit_bit_identity () =
+  let path = Path.default_receiver () in
+  Audit.disable ();
+  Audit.reset ();
+  let off = Plan.synthesize path in
+  let on = with_audit (fun () -> Plan.synthesize path) in
+  Alcotest.(check bool) "entries identical with auditing on/off" true
+    (off.Plan.entries = on.Plan.entries);
+  Alcotest.(check bool) "specs identical" true (off.Plan.specs = on.Plan.specs);
+  Alcotest.(check bool) "boundary checks identical" true
+    (off.Plan.boundary_checks = on.Plan.boundary_checks)
+
+let () =
+  Alcotest.run "msoc_report"
+    [ ( "report-schema",
+        [ Alcotest.test_case "JSON round trip" `Quick test_roundtrip;
+          Alcotest.test_case "order preserved" `Quick test_roundtrip_preserves_order;
+          Alcotest.test_case "invalid documents rejected" `Quick test_rejects_invalid;
+          Alcotest.test_case "parser escape handling" `Quick test_json_parser_escapes ] );
+      ( "bench-diff",
+        [ Alcotest.test_case "verdicts on a fixture pair" `Quick test_verdicts;
+          Alcotest.test_case "improvement alone passes" `Quick test_improvement_only_passes;
+          Alcotest.test_case "missing section gates" `Quick test_missing_section_gates;
+          Alcotest.test_case "rendered table" `Quick test_render_mentions_verdicts ] );
+      ( "audit-trail",
+        [ Alcotest.test_case "record completeness" `Quick test_audit_completeness;
+          Alcotest.test_case "synthesis bit-identity" `Quick test_audit_bit_identity ] ) ]

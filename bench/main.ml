@@ -55,6 +55,24 @@ let section title =
 
 let path = Path.default_receiver ()
 
+(* Stage-parameter accessors over the generic default path; the concrete
+   params records are only needed for fields that carry no tolerance
+   (clock rate, bit width). *)
+let path_param stage name = Path.param path ~stage ~name
+
+let lpf_params =
+  match (Option.get (Path.find_stage path "LPF")).Msoc_analog.Stage.block with
+  | Msoc_analog.Stage.Lpf p -> p
+  | _ -> assert false
+
+let adc_params =
+  match (Path.digitizer path).Msoc_analog.Stage.block with
+  | Msoc_analog.Stage.Adc { adc; _ } -> adc
+  | _ -> assert false
+
+let lo_freq_hz = Option.get (Path.lo_freq_hz path)
+let decim = Path.decimation path
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable report: every section deposits its headline rows   *)
 (* here; main () writes BENCH_<gitrev>.json + BENCH_latest.json.       *)
@@ -84,10 +102,10 @@ let figure6 () =
   section "Figure 6 — experimental set-up (signal path + attribute trace)";
   Format.printf "Amp -> Mixer (LO) -> LPF -> ADC -> 13-tap digital filter@.";
   Format.printf "  LO %.1f MHz, LPF fc %.0f kHz (clock %.1f MHz), ADC %d bit @ %.0f kHz@."
-    (path.Path.lo.Msoc_analog.Local_osc.freq_hz /. 1e6)
-    (path.Path.lpf.Lpf.cutoff_hz.Param.nominal /. 1e3)
-    (path.Path.lpf.Lpf.clock_hz /. 1e6)
-    path.Path.adc.Msoc_analog.Adc.bits
+    (lo_freq_hz /. 1e6)
+    ((path_param "LPF" "cutoff_hz").Param.nominal /. 1e3)
+    (lpf_params.Lpf.clock_hz /. 1e6)
+    adc_params.Msoc_analog.Adc.bits
     (Path.adc_rate_hz path /. 1e3);
   let stim =
     Attr.two_tone ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx) ~f1_hz:1.09e6
@@ -133,7 +151,7 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 
 let measure_if_gain engine ~fs ~adc_rate ~n_adc ~f_if ~level_dbm =
-  let n_sim = n_adc * path.Path.adc_decimation in
+  let n_sim = n_adc * decim in
   let input =
     Tone.synthesize ~sample_rate:fs ~samples:n_sim
       [ Tone.component ~freq:(1e6 +. f_if) ~amplitude:(Units.vpeak_of_dbm level_dbm) () ]
@@ -152,11 +170,10 @@ let figure3 () =
      inside the composite tolerance, so the mid-level test passes — but the
      high-amplitude check drives the mixer into saturation. *)
   let masked_part =
-    let nominal = Path.nominal_part path in
-    { nominal with
-      Path.amp_v = { nominal.Path.amp_v with Amplifier.gain_db = 24.5 };
-      Path.mixer_v = { nominal.Path.mixer_v with Mixer.gain_db = 7.0 };
-      Path.lpf_v = { nominal.Path.lpf_v with Lpf.gain_db = -2.8 } }
+    let part = Path.nominal_part path in
+    let part = Path.with_value path part ~stage:"Amp" ~name:"gain_db" 24.5 in
+    let part = Path.with_value path part ~stage:"Mixer" ~name:"gain_db" 7.0 in
+    Path.with_value path part ~stage:"LPF" ~name:"gain_db" (-2.8)
   in
   let fs = path.Path.ctx.Context.sim_rate_hz in
   let adc_rate = Path.adc_rate_hz path in
@@ -224,10 +241,10 @@ let figure4 () =
       ~headers:
         [ "Method"; "Formula"; "Budget (worst)"; "Empirical RMS err"; "Empirical max err" ]
   in
-  let iip3 = path.Path.mixer.Mixer.iip3_dbm in
-  let amp_gain = path.Path.amp.Amplifier.gain_db in
-  let mixer_gain = path.Path.mixer.Mixer.gain_db in
-  let lpf_gain = path.Path.lpf.Lpf.gain_db in
+  let iip3 = path_param "Mixer" "iip3_dbm" in
+  let amp_gain = path_param "Amp" "gain_db" in
+  let mixer_gain = path_param "Mixer" "gain_db" in
+  let lpf_gain = path_param "LPF" "gain_db" in
   let trials = if quick then 5000 else 50000 in
   let pool = Pool.get_default () in
   List.iter
@@ -356,7 +373,7 @@ let figure2_and_5 () =
   section "Figures 2 & 5 — parameter distribution, FCL/YL regions, threshold trade-off";
   let m = Propagate.mixer_iip3 path ~strategy:Propagate.Adaptive in
   let err = Propagate.err m in
-  let iip3 = path.Path.mixer.Mixer.iip3_dbm in
+  let iip3 = path_param "Mixer" "iip3_dbm" in
   let population =
     Coverage.defective_population ~nominal:iip3.Param.nominal ~tol:iip3.Param.tol
   in
@@ -648,7 +665,7 @@ let coverage_noisy () =
   (* the filter input width matches the ADC so no requantization intervenes *)
   let config =
     { Digital_test.default_config with
-      Digital_test.input_bits = path.Path.adc.Msoc_analog.Adc.bits }
+      Digital_test.input_bits = adc_params.Msoc_analog.Adc.bits }
   in
   let fir = Digital_test.build config in
   let faults = Digital_test.collapsed_faults fir in
@@ -657,7 +674,7 @@ let coverage_noisy () =
   let adc_rate = Path.adc_rate_hz path in
   let fs = path.Path.ctx.Context.sim_rate_hz in
   let capture patterns seed =
-    let n_sim = patterns * path.Path.adc_decimation in
+    let n_sim = patterns * decim in
     let f1 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:patterns ~target:90e3 in
     let f2 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:patterns ~target:110e3 in
     let engine = Path.engine path (Path.nominal_part path) ~seed in
@@ -689,7 +706,7 @@ let coverage_noisy () =
          f1 +/- f2 on top of the odd-order IM3 and harmonics *)
       [ f1; f2; im3_lo; im3_hi; fold (2.0 *. f1); fold (2.0 *. f2); fold (3.0 *. f1);
         fold (3.0 *. f2); fold (f1 +. f2); fold (f2 -. f1);
-        fold path.Path.lpf.Lpf.clock_hz ]
+        fold lpf_params.Lpf.clock_hz ]
     in
     (codes, reference, [ f1; f2 ], exclusions)
   in
@@ -869,7 +886,7 @@ let ablation_margin () =
   (* the digital-test analogue of Fig. 5's threshold trade-off *)
   let config =
     { Digital_test.default_config with
-      Digital_test.input_bits = path.Path.adc.Msoc_analog.Adc.bits }
+      Digital_test.input_bits = adc_params.Msoc_analog.Adc.bits }
   in
   let fir = Digital_test.build config in
   let faults = Digital_test.collapsed_faults fir in
@@ -877,7 +894,7 @@ let ablation_margin () =
   let fs = path.Path.ctx.Context.sim_rate_hz in
   let patterns = if quick then 1024 else 2048 in
   let capture seed =
-    let n_sim = patterns * path.Path.adc_decimation in
+    let n_sim = patterns * decim in
     let f1 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:patterns ~target:90e3 in
     let f2 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:patterns ~target:110e3 in
     let engine = Path.engine path (Path.nominal_part path) ~seed in
@@ -931,7 +948,7 @@ let ablation_interface () =
   let adc_rate = Path.adc_rate_hz path in
   let fs = path.Path.ctx.Context.sim_rate_hz in
   let n_adc = if quick then 2048 else 4096 in
-  let n_sim = n_adc * path.Path.adc_decimation in
+  let n_sim = n_adc * decim in
   let f1 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:90e3 in
   let f2 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:110e3 in
   let input =
@@ -953,11 +970,11 @@ let ablation_interface () =
       ~rng:(Prng.create 8)
   in
   let sd_codes =
-    Msoc_analog.Sigma_delta.capture sd ~decimation:path.Path.adc_decimation analog
+    Msoc_analog.Sigma_delta.capture sd ~decimation:decim analog
   in
   let sd_scale =
     float_of_int
-      (Msoc_analog.Sigma_delta.output_full_scale ~decimation:path.Path.adc_decimation)
+      (Msoc_analog.Sigma_delta.output_full_scale ~decimation:decim)
   in
   let sd_volts = Array.map (fun c -> float_of_int c /. sd_scale) sd_codes in
   let report label volts =
@@ -1101,6 +1118,20 @@ let kernels () =
   let plan_test =
     Test.make ~name:"plan-synthesis" (Staged.stage (fun () -> ignore (Plan.synthesize path)))
   in
+  (* one plan-synthesis kernel per registered non-default topology, so the
+     bench-diff gate also covers the generic stage-iteration core *)
+  let topology_plan_tests =
+    List.filter_map
+      (fun name ->
+        if String.equal name "default" then None
+        else
+          Option.map
+            (fun p ->
+              Test.make ~name:("plan-synthesis-" ^ name)
+                (Staged.stage (fun () -> ignore (Plan.synthesize p))))
+            (Msoc_analog.Topology.build name))
+      Msoc_analog.Topology.names
+  in
   let benchmark test =
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
     Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test
@@ -1150,8 +1181,9 @@ let kernels () =
               ~samples:s.Msoc_stat.Describe.count
           end)
         raw)
-    [ fft_test; fft_cold_test; fft_bluestein_test; fft_bluestein_cold_test; fsim_test;
-      fsim_serial_test; fsim_pooled_test; path_test; coverage_test; plan_test ];
+    ([ fft_test; fft_cold_test; fft_bluestein_test; fft_bluestein_cold_test; fsim_test;
+       fsim_serial_test; fsim_pooled_test; path_test; coverage_test; plan_test ]
+    @ topology_plan_tests);
   Texttable.print t
 
 (* ------------------------------------------------------------------ *)
@@ -1203,9 +1235,9 @@ let parallel_speedup () =
               (if pooled = serial then "yes" else "NO — DETERMINISM BUG") ]))
     [ 2; 4 ];
   (* Monte-Carlo trial loop: the Figure 4 error model at full size. *)
-  let iip3 = path.Path.mixer.Mixer.iip3_dbm in
-  let mixer_gain = path.Path.mixer.Mixer.gain_db in
-  let lpf_gain = path.Path.lpf.Lpf.gain_db in
+  let iip3 = path_param "Mixer" "iip3_dbm" in
+  let mixer_gain = path_param "Mixer" "gain_db" in
+  let lpf_gain = path_param "LPF" "gain_db" in
   let trials = if quick then 200_000 else 1_000_000 in
   let trial g _ =
     let actual_mixer = Param.sample mixer_gain g in

@@ -136,10 +136,48 @@ let code0 term = Cmdliner.Term.(const (fun () -> 0) $ term)
 (* ---- plan ---- *)
 
 module Audit = Msoc_obs.Audit
+module Topology = Msoc_analog.Topology
 
-let run_plan tel strategy audit_file =
+let topology_conv =
+  let parse name =
+    match Topology.find name with
+    | Some _ -> Ok name
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown topology %S (known: %s)" name
+              (String.concat ", " Topology.names)))
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_string)
+
+(* the conv above has already validated the name *)
+let build_topology name =
+  match Topology.build name with Some p -> p | None -> assert false
+
+let topology_arg =
+  Cmdliner.Arg.(
+    value
+    & opt topology_conv "default"
+    & info [ "topology" ] ~docv:"NAME"
+        ~doc:"Signal-path topology to synthesise the plan for; see \
+              $(b,--list-topologies).")
+
+let list_topologies_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "list-topologies" ] ~doc:"List the registered topologies and exit.")
+
+let print_topologies () =
+  let t = Texttable.create ~headers:[ "Topology"; "Stages" ] in
+  List.iter (fun (name, summary) -> Texttable.add_row t [ name; summary ])
+    Topology.summaries;
+  Texttable.print t
+
+let run_plan tel strategy topology list_topologies audit_file =
   with_telemetry tel ~command:"plan" @@ fun () ->
-  let path = Path.default_receiver () in
+  if list_topologies then print_topologies ()
+  else begin
+  let path = build_topology topology in
   if audit_file <> None then begin
     Audit.enable ();
     Audit.reset ()
@@ -156,6 +194,7 @@ let run_plan tel strategy audit_file =
       (List.length (Audit.records ()))
       file;
     Audit.reset ()
+  end
 
 let plan_cmd =
   let open Cmdliner in
@@ -167,7 +206,9 @@ let plan_cmd =
                    write it as JSON to $(docv) and print the text report.")
   in
   Cmd.v (Cmd.info "plan" ~doc:"Synthesise the system-level test plan")
-    (code0 Term.(const run_plan $ telemetry_term $ strategy_arg $ audit))
+    (code0
+       Term.(const run_plan $ telemetry_term $ strategy_arg $ topology_arg
+             $ list_topologies_arg $ audit))
 
 (* ---- coverage ---- *)
 
@@ -273,7 +314,7 @@ let run_spectrum tel level_dbm seed =
   let fs = path.Path.ctx.Context.sim_rate_hz in
   let adc_rate = Path.adc_rate_hz path in
   let n_adc = 4096 in
-  let n_sim = n_adc * path.Path.adc_decimation in
+  let n_sim = n_adc * Path.decimation path in
   let f1 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:90e3 in
   let f2 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:110e3 in
   let amplitude = Units.vpeak_of_dbm level_dbm in
@@ -331,9 +372,9 @@ let spectrum_cmd =
 
 (* ---- measure ---- *)
 
-let run_measure tel strategy seed =
+let run_measure tel strategy topology seed =
   with_telemetry tel ~command:"measure" @@ fun () ->
-  let path = Path.default_receiver () in
+  let path = build_topology topology in
   let part =
     if seed = 0 then Path.nominal_part path
     else Path.sample_part path (Prng.create seed)
@@ -361,7 +402,7 @@ let measure_cmd =
     Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Part seed; 0 means the nominal part.")
   in
   Cmd.v (Cmd.info "measure" ~doc:"Run the virtual tester against a manufactured part")
-    (code0 Term.(const run_measure $ telemetry_term $ strategy_arg $ seed))
+    (code0 Term.(const run_measure $ telemetry_term $ strategy_arg $ topology_arg $ seed))
 
 (* ---- netlist ---- *)
 

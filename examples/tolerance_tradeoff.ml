@@ -18,7 +18,7 @@ let () =
   let measurement = Propagate.mixer_iip3 path ~strategy:Propagate.Adaptive in
   let err = Propagate.err measurement in
   let spec = measurement.Propagate.spec in
-  let iip3 = path.Path.mixer.Msoc_analog.Mixer.iip3_dbm in
+  let iip3 = Path.param path ~stage:"Mixer" ~name:"iip3_dbm" in
   let population =
     Coverage.defective_population ~nominal:iip3.Param.nominal ~tol:iip3.Param.tol
   in
@@ -45,7 +45,7 @@ let () =
   (* Monte-Carlo with the physical error mechanism: the IIP3 computation
      assumes the nominal amp gain; each manufactured part has its own. *)
   Format.printf "@.=== Monte-Carlo with sampled gain tolerances ===@.";
-  let amp_gain = path.Path.amp.Msoc_analog.Amplifier.gain_db in
+  let amp_gain = Path.param path ~stage:"Amp" ~name:"gain_db" in
   let rng = Prng.create 7777 in
   let measure g true_iip3 =
     (* measured = true + (actual amp gain - assumed nominal gain) *)

@@ -59,6 +59,10 @@ val code_to_volts : params -> int -> float
 val ideal_snr_db : params -> float
 (** 6.02 N + 1.76. *)
 
+val alias_fold_interval : rate:float -> Msoc_util.Interval.t -> Msoc_util.Interval.t
+(** Fold a frequency interval into the first Nyquist zone of [rate] —
+    shared by every digitizing stage's attribute transform. *)
+
 val transform : params -> adc_rate_hz:float -> Context.t -> Attr.t -> Attr.t
 (** Attribute propagation: alias-fold every frequency into the first
     Nyquist zone of the converter rate, add offset to the DC level, add

@@ -2,115 +2,273 @@ module I = Msoc_util.Interval
 module Prng = Msoc_util.Prng
 module Attr = Msoc_signal.Attr
 
-type t = {
-  ctx : Context.t;
-  amp : Amplifier.params;
-  lo : Local_osc.params;
-  mixer : Mixer.params;
-  lpf : Lpf.params;
-  adc : Adc.params;
-  adc_decimation : int;
-}
+type t = { ctx : Context.t; stages : Stage.t list }
+type part = (string * Stage.values) list
 
-type part = {
-  amp_v : Amplifier.values;
-  lo_v : Local_osc.values;
-  mixer_v : Mixer.values;
-  lpf_v : Lpf.values;
-  adc_v : Adc.values;
-}
+(* ---- construction & validation ---- *)
+
+let validate ctx stages =
+  if stages = [] then invalid_arg "Path.create: empty stage list";
+  let ids =
+    List.concat_map
+      (fun s ->
+        s.Stage.id :: (match Stage.lo_id s with Some lo -> [ lo ] | None -> []))
+      stages
+  in
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup ids with
+  | Some id -> invalid_arg (Printf.sprintf "Path.create: duplicate stage id %S" id)
+  | None -> ());
+  let digitizers = List.filter Stage.is_digitizer stages in
+  (match digitizers with
+  | [ d ] ->
+    (match List.rev stages with
+    | last :: _ when last == d -> ()
+    | _ -> invalid_arg "Path.create: the digitizer must be the last stage")
+  | [] -> invalid_arg "Path.create: a path needs exactly one digitizing stage"
+  | _ -> invalid_arg "Path.create: more than one digitizing stage");
+  let decimation =
+    match Stage.decimation (List.hd digitizers) with Some d -> d | None -> 1
+  in
+  if decimation < 1 then invalid_arg "Path.create: decimation must be >= 1";
+  let out_rate = ctx.Context.sim_rate_hz /. float_of_int decimation in
+  List.iter
+    (fun s ->
+      match s.Stage.block with
+      | Stage.Lpf p ->
+        if p.Lpf.cutoff_hz.Param.nominal > out_rate /. 2.0 then
+          invalid_arg
+            (Printf.sprintf
+               "Path.create: stage %S cutoff %.0f Hz exceeds the digitizer Nyquist %.0f Hz"
+               s.Stage.id p.Lpf.cutoff_hz.Param.nominal (out_rate /. 2.0))
+      | Stage.Amp _ | Stage.Mix _ | Stage.Adc _ | Stage.Sd_adc _ -> ())
+    stages
+
+let create ~ctx stages =
+  validate ctx stages;
+  { ctx; stages }
 
 let default_receiver () =
   let ctx = Context.default in
-  { ctx;
-    amp = Amplifier.default_params;
-    lo = Local_osc.default_params ~freq_hz:1e6;
-    mixer = Mixer.default_params;
-    lpf = Lpf.default_params ~clock_hz:3.3e6;
-    adc = Adc.default_params;
-    adc_decimation = 8 }
+  create ~ctx
+    [ Stage.amp Amplifier.default_params;
+      Stage.mixer ~lo:(Local_osc.default_params ~freq_hz:1e6) Mixer.default_params;
+      Stage.lpf (Lpf.default_params ~clock_hz:3.3e6);
+      Stage.adc ~decimation:8 Adc.default_params ]
 
-let adc_rate_hz t = t.ctx.Context.sim_rate_hz /. float_of_int t.adc_decimation
+(* ---- structural accessors ---- *)
 
-let nominal_part t =
-  { amp_v = Amplifier.nominal_values t.amp;
-    lo_v = Local_osc.nominal_values t.lo;
-    mixer_v = Mixer.nominal_values t.mixer;
-    lpf_v = Lpf.nominal_values t.lpf;
-    adc_v = Adc.nominal_values t.adc }
+let digitizer t = List.find Stage.is_digitizer t.stages
 
-let sample_part t g =
-  { amp_v = Amplifier.sample_values t.amp g;
-    lo_v = Local_osc.sample_values t.lo g;
-    mixer_v = Mixer.sample_values t.mixer g;
-    lpf_v = Lpf.sample_values t.lpf g;
-    adc_v = Adc.sample_values t.adc g }
+let decimation t =
+  match Stage.decimation (digitizer t) with Some d -> d | None -> 1
+
+let adc_rate_hz t = t.ctx.Context.sim_rate_hz /. float_of_int (decimation t)
+let find_stage t id = List.find_opt (fun s -> String.equal s.Stage.id id) t.stages
+
+let first_mixer t =
+  List.find_opt (fun s -> match s.Stage.block with Stage.Mix _ -> true | _ -> false) t.stages
+
+let lo_freq_hz t =
+  match first_mixer t with
+  | Some s -> (match Stage.lo_params s with Some lo -> Some lo.Local_osc.freq_hz | None -> None)
+  | None -> None
+
+let lo_drive_dbm t =
+  match first_mixer t with
+  | Some s -> (match Stage.lo_params s with Some lo -> Some lo.Local_osc.drive_dbm | None -> None)
+  | None -> None
+
+(* A parameter id either names a stage directly or names the LO owned by a
+   mixer stage. *)
+let param_opt t ~stage ~name =
+  match find_stage t stage with
+  | Some s -> Stage.param s ~name
+  | None ->
+    List.find_map
+      (fun s ->
+        match Stage.lo_id s with
+        | Some lo when String.equal lo stage -> List.assoc_opt name (Stage.lo_params_named s)
+        | _ -> None)
+      t.stages
+
+let param t ~stage ~name =
+  match param_opt t ~stage ~name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Path.param: no parameter %S on stage %S" name stage)
+
+(* ---- de-embedding folds ---- *)
+
+let gain_stages t =
+  List.filter_map
+    (fun s -> match Stage.gain_param s with Some g -> Some (s, g) | None -> None)
+    t.stages
+
+let gains_before t ~stage =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | s :: _ when String.equal s.Stage.id stage -> List.rev acc
+    | s :: rest ->
+      (match Stage.gain_param s with
+      | Some g -> go (g :: acc) rest
+      | None -> go acc rest)
+  in
+  go [] t.stages
+
+let gains_from t ~stage =
+  let rec skip = function
+    | [] -> []
+    | s :: rest when String.equal s.Stage.id stage -> s :: rest
+    | _ :: rest -> skip rest
+  in
+  List.filter_map Stage.gain_param (skip t.stages)
 
 let nominal_path_gain_db t =
-  t.amp.Amplifier.gain_db.Param.nominal
-  +. t.mixer.Mixer.gain_db.Param.nominal
-  +. t.lpf.Lpf.gain_db.Param.nominal
+  List.fold_left (fun acc (_, g) -> acc +. g.Param.nominal) 0.0 (gain_stages t)
 
+(* Right-nested accumulation — the historical association order, kept for
+   bit-identity of interval bounds. *)
 let path_gain_interval_db t =
-  I.add
-    (Param.interval t.amp.Amplifier.gain_db)
-    (I.add (Param.interval t.mixer.Mixer.gain_db) (Param.interval t.lpf.Lpf.gain_db))
+  let rec go = function
+    | [] -> I.point 0.0
+    | [ (_, g) ] -> Param.interval g
+    | (_, g) :: rest -> I.add (Param.interval g) (go rest)
+  in
+  go (gain_stages t)
+
+(* ---- manufactured parts ---- *)
+
+let nominal_part t = List.map (fun s -> (s.Stage.id, Stage.nominal_values s)) t.stages
+
+let sample_part t g =
+  (* Draws happen in REVERSE stage order (and mixer before LO inside a
+     mixer stage): the historical sampler was a record expression, whose
+     fields OCaml evaluates right to left.  The returned part is still in
+     path order. *)
+  let rec go acc = function
+    | [] -> acc
+    | s :: rest -> go ((s.Stage.id, Stage.sample_values s g) :: acc) rest
+  in
+  go [] (List.rev t.stages)
+
+let part_values part ~stage =
+  match List.assoc_opt stage part with
+  | Some v -> Some v
+  | None -> None
+
+let part_value_opt t part ~stage ~name =
+  match part_values part ~stage with
+  | Some v -> Stage.value v ~name
+  | None ->
+    (* an LO id: find the owning mixer stage *)
+    List.find_map
+      (fun s ->
+        match Stage.lo_id s with
+        | Some lo when String.equal lo stage -> (
+          match List.assoc_opt s.Stage.id part with
+          | Some v -> Stage.lo_value v ~name
+          | None -> None)
+        | _ -> None)
+      t.stages
+
+let part_value t part ~stage ~name =
+  match part_value_opt t part ~stage ~name with
+  | Some x -> x
+  | None ->
+    invalid_arg (Printf.sprintf "Path.part_value: no value %S on stage %S" name stage)
+
+let with_value t part ~stage ~name x =
+  let set id f =
+    List.map (fun (k, v) -> if String.equal k id then (k, f v) else (k, v)) part
+  in
+  match find_stage t stage with
+  | Some s ->
+    set s.Stage.id (fun v ->
+        match Stage.set_value v ~name x with
+        | Some v' -> v'
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Path.with_value: no value %S on stage %S" name stage))
+  | None -> (
+    match
+      List.find_opt
+        (fun s -> match Stage.lo_id s with Some lo -> String.equal lo stage | None -> false)
+        t.stages
+    with
+    | Some s ->
+      set s.Stage.id (fun v ->
+          match Stage.set_lo_value v ~name x with
+          | Some v' -> v'
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Path.with_value: no LO value %S on stage %S" name stage))
+    | None -> invalid_arg (Printf.sprintf "Path.with_value: no stage %S" stage))
+
+(* ---- waveform engine ---- *)
 
 type engine = {
-  spec : t;
-  amp_i : Amplifier.instance;
-  lo_osc : Local_osc.osc;
-  mixer_i : Mixer.instance;
-  lpf_i : Lpf.instance;
-  adc_i : Adc.instance;
-  amp_rng : Prng.t;
-  mixer_rng : Prng.t;
-  lpf_rng : Prng.t;
-  adc_rng : Prng.t;
+  steps : (float -> float) array;   (* analog stages, path order *)
+  resets : (unit -> unit) array;
+  capture : float array -> int array;
+  code_to_volts : int -> float;
 }
 
 let engine t part ~seed =
   let root = Prng.create seed in
-  let amp_rng = Prng.split root in
-  let lo_rng = Prng.split root in
-  let mixer_rng = Prng.split root in
-  let lpf_rng = Prng.split root in
-  let adc_build_rng = Prng.split root in
-  let adc_rng = Prng.split root in
-  { spec = t;
-    amp_i = Amplifier.instance t.ctx part.amp_v;
-    lo_osc = Local_osc.create t.ctx part.lo_v ~rng:lo_rng;
-    mixer_i = Mixer.instance t.ctx part.mixer_v ~lo_drive_dbm:t.lo.Local_osc.drive_dbm;
-    lpf_i = Lpf.instance t.ctx ~clock_hz:t.lpf.Lpf.clock_hz part.lpf_v;
-    adc_i = Adc.instance t.adc t.ctx part.adc_v ~rng:adc_build_rng;
-    amp_rng;
-    mixer_rng;
-    lpf_rng;
-    adc_rng }
+  (* instantiate in stage order: the sequential Prng.split calls inside
+     Stage.instantiate reproduce the historical per-block stream layout *)
+  let runtimes =
+    let rec go = function
+      | [] -> []
+      | s :: rest ->
+        let values =
+          match List.assoc_opt s.Stage.id part with
+          | Some v -> v
+          | None ->
+            invalid_arg (Printf.sprintf "Path.engine: part has no values for stage %S" s.Stage.id)
+        in
+        let r = Stage.instantiate s ~ctx:t.ctx values ~root in
+        r :: go rest
+    in
+    go t.stages
+  in
+  let steps = ref [] and resets = ref [] in
+  let capture = ref None and code_to_volts = ref None in
+  List.iter
+    (function
+      | Stage.Analog { step; reset } ->
+        steps := step :: !steps;
+        resets := reset :: !resets
+      | Stage.Digitize { capture = c; to_volts } ->
+        capture := Some c;
+        code_to_volts := Some to_volts)
+    runtimes;
+  { steps = Array.of_list (List.rev !steps);
+    resets = Array.of_list (List.rev !resets);
+    capture = (match !capture with Some c -> c | None -> fun _ -> [||]);
+    code_to_volts = (match !code_to_volts with Some f -> f | None -> float_of_int) }
 
 let run_analog e input =
-  Lpf.reset e.lpf_i;
-  Array.map
-    (fun x ->
-      let amplified = Amplifier.process e.amp_i ~rng:e.amp_rng x in
-      let lo = Local_osc.next e.lo_osc in
-      let mixed = Mixer.process e.mixer_i ~rng:e.mixer_rng ~lo amplified in
-      Lpf.process e.lpf_i ~rng:e.lpf_rng mixed)
-    input
+  Array.iter (fun reset -> reset ()) e.resets;
+  Array.map (fun x -> Array.fold_left (fun acc step -> step acc) x e.steps) input
 
-let run_codes e input =
-  let analog = run_analog e input in
-  Adc.capture e.adc_i ~decimation:e.spec.adc_decimation ~rng:e.adc_rng analog
+let run_codes e input = e.capture (run_analog e input)
+let run_volts e input = Array.map e.code_to_volts (run_codes e input)
 
-let run_volts e input =
-  Array.map (Adc.code_to_volts e.spec.adc) (run_codes e input)
+(* ---- attribute-domain propagation ---- *)
 
 let stages t signal =
-  let after_amp = Amplifier.transform t.amp t.ctx signal in
-  let after_mixer = Mixer.transform t.mixer ~lo:t.lo t.ctx after_amp in
-  let after_lpf = Lpf.transform t.lpf t.ctx after_mixer in
-  let after_adc = Adc.transform t.adc ~adc_rate_hz:(adc_rate_hz t) t.ctx after_lpf in
-  [ ("amp", after_amp); ("mixer", after_mixer); ("lpf", after_lpf); ("adc", after_adc) ]
+  let rate = adc_rate_hz t in
+  let rec go acc signal = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      let signal = Stage.transfer s ~ctx:t.ctx ~adc_rate_hz:rate signal in
+      go ((String.lowercase_ascii s.Stage.id, signal) :: acc) signal rest
+  in
+  go [] signal t.stages
 
 let at_filter_input t signal =
   match List.rev (stages t signal) with

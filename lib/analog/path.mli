@@ -1,66 +1,105 @@
-(** The experimental signal path of the paper (Fig. 6):
+(** A signal path as an ordered, validated list of {!Stage.t}.
+
+    The default topology is the paper's experimental receiver (Fig. 6):
 
     {v Amp -> Mixer (LO) -> LPF -> ADC -> digital filter v}
 
-    This module owns the composed structure: parameter sets of each block, a
-    manufactured-part sampler, the streaming waveform engine (simulation
-    rate in, ADC codes out), and the attribute-domain propagation that the
-    test-synthesis core consumes. *)
+    but any stage list with exactly one trailing digitizer is accepted.
+    This module owns the composed structure: the manufactured-part sampler,
+    the streaming waveform engine (simulation rate in, digitizer codes
+    out), and the attribute-domain propagation that the test-synthesis core
+    consumes. *)
 
 module Attr = Msoc_signal.Attr
 
-type t = {
-  ctx : Context.t;
-  amp : Amplifier.params;
-  lo : Local_osc.params;
-  mixer : Mixer.params;
-  lpf : Lpf.params;
-  adc : Adc.params;
-  adc_decimation : int;
-}
+type t = private { ctx : Context.t; stages : Stage.t list }
 
-type part = {
-  amp_v : Amplifier.values;
-  lo_v : Local_osc.values;
-  mixer_v : Mixer.values;
-  lpf_v : Lpf.values;
-  adc_v : Adc.values;
-}
+type part = (string * Stage.values) list
+(** Manufactured-part values keyed by stage id, in path order. *)
+
+val create : ctx:Context.t -> Stage.t list -> t
+(** Validates at construction: non-empty, unique stage (and LO) ids,
+    exactly one digitizing stage and it comes last, decimation >= 1, and
+    every LPF cutoff below the digitizer's output Nyquist rate.
+
+    @raise Invalid_argument when a rule is violated. *)
 
 val default_receiver : unit -> t
 (** 8 MHz simulation rate; 1 MHz LO; 200 kHz channel LPF clocked at
-    3.3 MHz; 12-bit ±1 V ADC at 1 MHz (decimation 8). *)
+    3.3 MHz; 14-bit ±1 V ADC at 1 MHz (decimation 8). *)
 
+(** {1 Structure} *)
+
+val digitizer : t -> Stage.t
+val decimation : t -> int
 val adc_rate_hz : t -> float
-val nominal_part : t -> part
-val sample_part : t -> Msoc_util.Prng.t -> part
-(** Defect-free manufacturing instance of the whole path. *)
+val find_stage : t -> string -> Stage.t option
+val first_mixer : t -> Stage.t option
+val lo_freq_hz : t -> float option
+val lo_drive_dbm : t -> float option
+
+val param_opt : t -> stage:string -> name:string -> Param.t option
+(** Look up a toleranced parameter by stage id and conventional field name.
+    [stage] may also name the LO owned by a mixer stage. *)
+
+val param : t -> stage:string -> name:string -> Param.t
+(** @raise Invalid_argument if absent. *)
+
+(** {1 De-embedding folds} *)
+
+val gain_stages : t -> (Stage.t * Param.t) list
+(** Stages that insert pass-band gain, in path order. *)
+
+val gains_before : t -> stage:string -> Param.t list
+(** Gain parameters of the stages strictly preceding [stage]. *)
+
+val gains_from : t -> stage:string -> Param.t list
+(** Gain parameters of [stage] and everything after it. *)
 
 val nominal_path_gain_db : t -> float
-(** Sum of nominal pass-band gains (Amp + Mixer + LPF). *)
+(** Sum of nominal pass-band gains, accumulated in path order. *)
 
 val path_gain_interval_db : t -> Msoc_util.Interval.t
 (** Pass-band path gain with all gain tolerances accumulated. *)
 
+(** {1 Manufactured parts} *)
+
+val nominal_part : t -> part
+
+val sample_part : t -> Msoc_util.Prng.t -> part
+(** Defect-free manufacturing instance of the whole path; draws happen in
+    reverse stage order (mixer before LO within a stage), reproducing the
+    historical record-expression sampler bit for bit. *)
+
+val part_value_opt : t -> part -> stage:string -> name:string -> float option
+val part_value : t -> part -> stage:string -> name:string -> float
+val with_value : t -> part -> stage:string -> name:string -> float -> part
+(** Functional update of one value; [stage] may name an LO. *)
+
+(** {1 Waveform engine} *)
+
 type engine
 
 val engine : t -> part -> seed:int -> engine
-(** Instantiate every block; all stochastic behaviour (noise, phase noise,
+(** Instantiate every stage; all stochastic behaviour (noise, phase noise,
     DNL realisation) derives deterministically from [seed]. *)
 
 val run_codes : engine -> float array -> int array
 (** Input waveform at the simulation rate (volts at the primary input) to
-    ADC output codes at the decimated rate. *)
+    digitizer output codes at the decimated rate. *)
 
 val run_volts : engine -> float array -> float array
 (** Same, with codes converted back to volts. *)
 
 val run_analog : engine -> float array -> float array
-(** The LPF output before the ADC, at the simulation rate (for probing). *)
+(** The analog signal just before the digitizer, at the simulation rate
+    (for probing).  Resets stage filter state, not oscillator phase. *)
+
+(** {1 Attribute-domain propagation} *)
 
 val stages : t -> Attr.t -> (string * Attr.t) list
-(** Attribute propagation trace: [(block name, signal after block)] in path
-    order, ending at the digital-filter input. *)
+(** Attribute propagation trace: [(lower-cased stage id, signal after the
+    stage)] in path order, ending at the digital-filter input. *)
 
 val at_filter_input : t -> Attr.t -> Attr.t
 (** Final element of {!stages}. *)

@@ -92,3 +92,38 @@ let capture inst ~decimation input =
 let output_full_scale ~decimation = decimation * decimation * decimation
 
 let theoretical_sqnr_db ~osr = (15.0 *. Float.log2 osr) -. 12.9 +. 1.76
+
+(* ---- attribute-domain propagation ---- *)
+
+module I = Msoc_util.Interval
+module Attr = Msoc_signal.Attr
+
+let full_scale_power_dbm (p : params) = Units.dbm_of_vpeak p.full_scale_v
+
+let transform (p : params) ~adc_rate_hz ctx (s : Attr.t) =
+  let fold (tn : Attr.tone) =
+    { tn with Attr.freq_hz = Adc.alias_fold_interval ~rate:adc_rate_hz tn.Attr.freq_hz }
+  in
+  let folded = Attr.map_tones s ~f:fold in
+  (* In-band quantization noise follows the 2nd-order shaping prediction at
+     the loop's oversampling ratio; thermal noise is input-referred. *)
+  let osr = Float.max 2.0 (ctx.Context.sim_rate_hz /. (2.0 *. ctx.Context.analysis_bw_hz)) in
+  let quant_dbm = full_scale_power_dbm p -. theoretical_sqnr_db ~osr in
+  let thermal_dbm =
+    Units.dbm_of_watts
+      (Context.boltzmann *. ctx.Context.temperature_k *. ctx.Context.analysis_bw_hz
+      *. Float.max 1.0 (Units.power_ratio_of_db p.nf_db.Param.nominal))
+  in
+  let noise_w =
+    Units.watts_of_dbm s.Attr.noise_dbm
+    +. Units.watts_of_dbm quant_dbm
+    +. Units.watts_of_dbm thermal_dbm
+  in
+  (* Integrator leakage moves shaped noise back in band; model its worst
+     case as an SQNR degradation proportional to leakage * OSR. *)
+  let leak_hi = I.(((Param.interval p.leakage).hi)) in
+  let leak_penalty_db = 10.0 *. Float.log10 (1.0 +. (leak_hi *. osr)) in
+  let noise_w = noise_w *. Units.power_ratio_of_db leak_penalty_db in
+  { folded with
+    Attr.dc_volts = I.add folded.Attr.dc_volts (Param.interval p.comparator_offset_v);
+    Attr.noise_dbm = Units.dbm_of_watts noise_w }

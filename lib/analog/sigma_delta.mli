@@ -50,3 +50,11 @@ val output_full_scale : decimation:int -> int
 
 val theoretical_sqnr_db : osr:float -> float
 (** Ideal 2nd-order prediction: 15 log2(OSR) - 12.9 + 1.76 dB. *)
+
+val transform :
+  params -> adc_rate_hz:float -> Context.t -> Msoc_signal.Attr.t -> Msoc_signal.Attr.t
+(** Attribute propagation: alias-fold every frequency into the first
+    Nyquist zone of the output rate, add the comparator offset to the DC
+    level, and add shaped quantization noise (2nd-order SQNR at the
+    analysis-bandwidth OSR, degraded by worst-case integrator leakage)
+    plus input-referred thermal noise. *)

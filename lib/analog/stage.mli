@@ -1,0 +1,108 @@
+(** First-class stage descriptor.
+
+    A stage bundles everything the test-synthesis core needs to know about
+    one block of a signal path: an id, the toleranced parameter set
+    ({!Param.t} values addressable by conventional name), the block's
+    attribute-domain transfer function, its waveform-engine step, and its
+    de-embedding info (pass-band gain, cascade noise figure, nonlinearity
+    handle).  {!Path} holds an ordered list of these; [lib/core] folds over
+    them generically instead of naming receiver fields. *)
+
+module Prng = Msoc_util.Prng
+module Attr = Msoc_signal.Attr
+
+type block =
+  | Amp of Amplifier.params
+  | Mix of { lo_id : string; lo : Local_osc.params; mixer : Mixer.params }
+      (** A mixer stage owns its local oscillator; [lo_id] names the LO in
+          specs, plans and audit rows. *)
+  | Lpf of Lpf.params
+  | Adc of { adc : Adc.params; decimation : int }
+  | Sd_adc of { sd : Sigma_delta.params; decimation : int }
+
+type t = { id : string; block : block }
+
+(** Manufactured-part values for one stage, mirroring [block]. *)
+type values =
+  | Amp_v of Amplifier.values
+  | Mix_v of { lo_v : Local_osc.values; mixer_v : Mixer.values }
+  | Lpf_v of Lpf.values
+  | Adc_v of Adc.values
+  | Sd_v of Sigma_delta.values
+
+(** {1 Registry constructors} *)
+
+val amp : ?id:string -> Amplifier.params -> t
+(** Default id ["Amp"]. *)
+
+val mixer : ?id:string -> ?lo_id:string -> lo:Local_osc.params -> Mixer.params -> t
+(** Default ids ["Mixer"] / ["LO"]. *)
+
+val lpf : ?id:string -> Lpf.params -> t
+(** Default id ["LPF"]. *)
+
+val adc : ?id:string -> decimation:int -> Adc.params -> t
+(** Default id ["ADC"]. *)
+
+val sigma_delta : ?id:string -> decimation:int -> Sigma_delta.params -> t
+(** Sigma-delta digitizer; default id ["ADC"]. *)
+
+(** {1 Structural queries} *)
+
+val lo_id : t -> string option
+val lo_params : t -> Local_osc.params option
+val is_digitizer : t -> bool
+val decimation : t -> int option
+val block_name : t -> string
+(** Lower-case class name: ["amplifier"], ["mixer"], ["lpf"], ["adc"],
+    ["sigma-delta"]. *)
+
+(** {1 Toleranced parameters} *)
+
+val params : t -> (string * Param.t) list
+(** The stage's own parameters, by conventional field name
+    (e.g. ["gain_db"], ["iip3_dbm"]).  LO parameters are separate — see
+    {!lo_params_named}. *)
+
+val lo_params_named : t -> (string * Param.t) list
+val param : t -> name:string -> Param.t option
+
+val gain_param : t -> Param.t option
+(** Pass-band gain this stage inserts ahead of what follows — the
+    de-embedding handle.  [None] for digitizers. *)
+
+val nf_param : t -> Param.t option
+val iip3_param : t -> Param.t option
+
+(** {1 Manufactured parts} *)
+
+val nominal_values : t -> values
+
+val sample_values : t -> Prng.t -> values
+(** Draw order within a stage (LO before mixer) is fixed: it reproduces
+    the historical receiver sampler bit-for-bit. *)
+
+val value : values -> name:string -> float option
+val lo_value : values -> name:string -> float option
+val set_value : values -> name:string -> float -> values option
+val set_lo_value : values -> name:string -> float -> values option
+
+(** {1 Attribute-domain transfer} *)
+
+val transfer : t -> ctx:Context.t -> adc_rate_hz:float -> Attr.t -> Attr.t
+(** [adc_rate_hz] is the path's post-decimation output rate (used by
+    digitizing stages for alias folding; ignored by analog ones). *)
+
+(** {1 Waveform engine} *)
+
+type runtime =
+  | Analog of { step : float -> float; reset : unit -> unit }
+  | Digitize of { capture : float array -> int array; to_volts : int -> float }
+
+val instantiate : t -> ctx:Context.t -> values -> root:Prng.t -> runtime
+(** Build the runtime form of one stage.  PRNG streams are split off
+    [root] sequentially in stage order (LO before mixer, ADC build stream
+    before its runtime stream) — the exact split sequence of the
+    historical engine, so seeded waveforms stay bit-identical.
+
+    @raise Invalid_argument if [values] does not match the stage's block. *)

@@ -1,0 +1,40 @@
+(* Registry of shipped path topologies.  Each entry is a thunk so the
+   registry stays cheap to load and every lookup gets a fresh Path.t. *)
+
+type entry = { name : string; summary : string; build : unit -> Path.t }
+
+let sigma_delta_receiver () =
+  let ctx = Context.default in
+  Path.create ~ctx
+    [ Stage.amp Amplifier.default_params;
+      Stage.mixer ~lo:(Local_osc.default_params ~freq_hz:1e6) Mixer.default_params;
+      Stage.lpf (Lpf.default_params ~clock_hz:3.3e6);
+      Stage.sigma_delta ~decimation:8 (Sigma_delta.default_params ~full_scale_v:1.0) ]
+
+let amp_bypass_receiver () =
+  let ctx = Context.default in
+  Path.create ~ctx
+    [ Stage.mixer ~lo:(Local_osc.default_params ~freq_hz:1e6) Mixer.default_params;
+      Stage.lpf (Lpf.default_params ~clock_hz:3.3e6);
+      Stage.adc ~decimation:8 Adc.default_params ]
+
+let registry =
+  [ { name = "default";
+      summary = "paper Fig. 6 receiver: Amp -> Mixer(LO) -> LPF -> ADC";
+      build = Path.default_receiver };
+    { name = "sigma-delta";
+      summary = "receiver with a 2nd-order sigma-delta digitizer instead of the Nyquist ADC";
+      build = sigma_delta_receiver };
+    { name = "amp-bypass";
+      summary = "low-gain mode with the front-end amplifier bypassed: Mixer(LO) -> LPF -> ADC";
+      build = amp_bypass_receiver } ]
+
+let names = List.map (fun e -> e.name) registry
+let find name = List.find_opt (fun e -> String.equal e.name name) registry
+
+let build name =
+  match find name with
+  | Some e -> Some (e.build ())
+  | None -> None
+
+let summaries = List.map (fun e -> (e.name, e.summary)) registry

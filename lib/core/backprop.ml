@@ -1,9 +1,6 @@
 module Path = Msoc_analog.Path
+module Stage = Msoc_analog.Stage
 module Param = Msoc_analog.Param
-module Amplifier = Msoc_analog.Amplifier
-module Mixer = Msoc_analog.Mixer
-module Lpf = Msoc_analog.Lpf
-module Adc = Msoc_analog.Adc
 module Units = Msoc_util.Units
 
 type requirements = {
@@ -39,22 +36,36 @@ let cascade_iip3_dbm ~gains_db ~iip3_dbm =
     iip3_dbm;
   Units.db_of_power_ratio (1.0 /. !reciprocal)
 
+(* Allocations are keyed by (block class, kind): the shipped topologies
+   never carry two stages of the same class, and system-requirement
+   partitioning is a per-class exercise. *)
 let gain_blocks (path : Path.t) =
-  [ (Spec.Amp, Spec.Gain, path.Path.amp.Amplifier.gain_db);
-    (Spec.Mixer, Spec.Gain, path.Path.mixer.Mixer.gain_db);
-    (Spec.Lpf, Spec.Passband_gain, path.Path.lpf.Lpf.gain_db) ]
+  List.map
+    (fun (s, g) ->
+      let c = Spec.class_of_stage s in
+      (c, Spec.gain_kind c, g))
+    (Path.gain_stages path)
 
 (* Preceding gains at their low corners: the NF margin a stage receives
    must survive the least gain any in-tolerance part puts in front of it. *)
+let nf_stages_with ~gain_low (path : Path.t) =
+  let rec go acc pre = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      let acc =
+        match Stage.nf_param s with
+        | Some nf -> (Spec.class_of_stage s, nf, pre) :: acc
+        | None -> acc
+      in
+      let pre =
+        match Stage.gain_param s with Some g -> pre +. gain_low s g | None -> pre
+      in
+      go acc pre rest
+  in
+  go [] 0.0 path.Path.stages
+
 let nf_blocks (path : Path.t) =
-  let low (p : Param.t) = p.Param.nominal -. p.Param.tol in
-  let amp_low = low path.Path.amp.Amplifier.gain_db in
-  let mixer_low = low path.Path.mixer.Mixer.gain_db in
-  let lpf_low = low path.Path.lpf.Lpf.gain_db in
-  [ (Spec.Amp, path.Path.amp.Amplifier.nf_db, 0.0);
-    (Spec.Mixer, path.Path.mixer.Mixer.nf_db, amp_low);
-    (Spec.Lpf, path.Path.lpf.Lpf.nf_db, amp_low +. mixer_low);
-    (Spec.Adc, path.Path.adc.Adc.nf_db, amp_low +. mixer_low +. lpf_low) ]
+  nf_stages_with path ~gain_low:(fun _ (p : Param.t) -> p.Param.nominal -. p.Param.tol)
 
 let allocate requirements (path : Path.t) =
   let gain_lo, gain_hi = requirements.gain_db in
@@ -91,19 +102,18 @@ let allocate requirements (path : Path.t) =
     | Some { bound = Spec.Within { lo; _ }; _ } -> lo
     | Some _ | None -> invalid_arg "Backprop.allocate: gain allocation missing"
   in
-  let amp_low = alloc_gain_low Spec.Amp Spec.Gain in
-  let mixer_low = alloc_gain_low Spec.Mixer Spec.Gain in
-  let lpf_low = alloc_gain_low Spec.Lpf Spec.Passband_gain in
   let stages =
-    [ (Spec.Amp, path.Path.amp.Amplifier.nf_db, 0.0);
-      (Spec.Mixer, path.Path.mixer.Mixer.nf_db, amp_low);
-      (Spec.Lpf, path.Path.lpf.Lpf.nf_db, amp_low +. mixer_low);
-      (Spec.Adc, path.Path.adc.Adc.nf_db, amp_low +. mixer_low +. lpf_low) ]
+    nf_stages_with path ~gain_low:(fun s _ ->
+        let c = Spec.class_of_stage s in
+        alloc_gain_low c (Spec.gain_kind c))
+  in
+  let gain_lows =
+    List.map (fun (c, k, _) -> alloc_gain_low c k) gains
   in
   let nf_nominal_worst_gains =
     Compose.friis_nf_db
       ~nf_db:(Array.of_list (List.map (fun (_, (p : Param.t), _) -> p.Param.nominal) stages))
-      ~gain_db:[| amp_low; mixer_low; lpf_low |]
+      ~gain_db:(Array.of_list gain_lows)
   in
   let margin_linear =
     Units.power_ratio_of_db requirements.nf_max_db
@@ -128,20 +138,35 @@ let allocate requirements (path : Path.t) =
               "Friis: stage margin diluted by %.0f dB of preceding gain" preceding_gain_db })
       stages
   in
-  (* IIP3: reciprocal intercept budget split equally over the two active
-     nonlinear stages. *)
+  (* IIP3: reciprocal intercept budget split equally over the active
+     nonlinear stages; each stage's floor assumes the worst-case gain in
+     front of it, i.e. the high corner of the gain allocation just
+     computed, so the cascade bound survives any part the allocation itself
+     accepts. *)
+  let alloc_gain_hi block kind fallback =
+    match List.find_opt (fun a -> a.block = block && a.kind = kind) gain_allocs with
+    | Some { bound = Spec.Within { hi; _ }; _ } -> hi
+    | Some _ | None -> fallback
+  in
   let nonlinear =
-    (* each stage's floor assumes the worst-case gain in front of it, i.e.
-       the high corner of the gain allocation just computed, so the cascade
-       bound survives any part the allocation itself accepts *)
-    let amp_alloc_hi =
-      match
-        List.find_opt (fun a -> a.block = Spec.Amp && a.kind = Spec.Gain) gain_allocs
-      with
-      | Some { bound = Spec.Within { hi; _ }; _ } -> hi
-      | Some _ | None -> path.Path.amp.Amplifier.gain_db.Param.nominal
+    let rec go acc pre = function
+      | [] -> List.rev acc
+      | s :: rest ->
+        let acc =
+          match Stage.iip3_param s with
+          | Some _ -> (Spec.class_of_stage s, pre) :: acc
+          | None -> acc
+        in
+        let pre =
+          match Stage.gain_param s with
+          | Some g ->
+            let c = Spec.class_of_stage s in
+            pre +. alloc_gain_hi c (Spec.gain_kind c) g.Param.nominal
+          | None -> pre
+        in
+        go acc pre rest
     in
-    [ (Spec.Amp, 0.0); (Spec.Mixer, amp_alloc_hi) ]
+    go [] 0.0 path.Path.stages
   in
   let n = float_of_int (List.length nonlinear) in
   let iip3_allocs =
@@ -161,12 +186,14 @@ let allocate requirements (path : Path.t) =
   in
   let lo, hi = requirements.channel_cutoff_hz in
   let cutoff_alloc =
-    { block = Spec.Lpf;
-      kind = Spec.Cutoff_freq;
-      bound = Spec.Within { lo; hi };
-      rationale = "direct projection of the channel-selectivity requirement" }
+    if List.exists (fun a -> a.kind = Spec.Passband_gain) gain_allocs then
+      [ { block = Spec.Lpf;
+          kind = Spec.Cutoff_freq;
+          bound = Spec.Within { lo; hi };
+          rationale = "direct projection of the channel-selectivity requirement" } ]
+    else []
   in
-  gain_allocs @ nf_allocs @ iip3_allocs @ [ cutoff_alloc ]
+  gain_allocs @ nf_allocs @ iip3_allocs @ cutoff_alloc
 
 type verification = {
   requirement : string;
@@ -221,14 +248,33 @@ let verify requirements (path : Path.t) allocations =
       achieved_worst_case = Printf.sprintf "%.2f dB" nf_worst;
       satisfied = nf_worst <= requirements.nf_max_db +. epsilon }
   in
-  (* IIP3 with both stages at their allocated floors and the amp gain at its
-     allocated high corner (worst for the mixer's referred intercept). *)
-  let amp_iip3_floor = fst (bound_corners (find_bound allocations Spec.Amp Spec.Iip3)) in
-  let mixer_iip3_floor = fst (bound_corners (find_bound allocations Spec.Mixer Spec.Iip3)) in
-  let amp_gain_hi = snd (bound_corners (find_bound allocations Spec.Amp Spec.Gain)) in
+  (* IIP3 with every nonlinear stage at its allocated floor and the gains
+     in front of the later stages at their allocated high corners (worst
+     for the referred intercepts). *)
+  let nonlinear =
+    List.filter_map
+      (fun (s : Msoc_analog.Stage.t) ->
+        match Stage.iip3_param s with
+        | Some _ ->
+          let c = Spec.class_of_stage s in
+          Some (c, Spec.gain_kind c)
+        | None -> None)
+      path.Path.stages
+  in
+  let iip3_floors =
+    List.map (fun (c, _) -> fst (bound_corners (find_bound allocations c Spec.Iip3))) nonlinear
+  in
+  let gains_hi =
+    (* each stage's own allocated-high gain feeds the next stage; the last
+       stage's trailing gain is irrelevant to the cascade *)
+    List.mapi
+      (fun i (c, k) ->
+        if i = List.length nonlinear - 1 then 0.0
+        else snd (bound_corners (find_bound allocations c k)))
+      nonlinear
+  in
   let iip3_worst =
-    cascade_iip3_dbm ~gains_db:[| amp_gain_hi; 0.0 |]
-      ~iip3_dbm:[| amp_iip3_floor; mixer_iip3_floor |]
+    cascade_iip3_dbm ~gains_db:(Array.of_list gains_hi) ~iip3_dbm:(Array.of_list iip3_floors)
   in
   let iip3_check =
     { requirement = "system IIP3";
@@ -237,11 +283,16 @@ let verify requirements (path : Path.t) allocations =
       satisfied = iip3_worst >= requirements.iip3_min_dbm -. 0.1 }
   in
   let lo, hi = requirements.channel_cutoff_hz in
-  let alloc_lo, alloc_hi = bound_corners (find_bound allocations Spec.Lpf Spec.Cutoff_freq) in
-  let cutoff_check =
-    { requirement = "channel corner";
-      required = Printf.sprintf "[%.0f, %.0f] Hz" lo hi;
-      achieved_worst_case = Printf.sprintf "[%.0f, %.0f] Hz" alloc_lo alloc_hi;
-      satisfied = alloc_lo >= lo -. epsilon && alloc_hi <= hi +. epsilon }
+  let cutoff_checks =
+    match
+      List.find_opt (fun a -> a.block = Spec.Lpf && a.kind = Spec.Cutoff_freq) allocations
+    with
+    | None -> []
+    | Some alloc ->
+      let alloc_lo, alloc_hi = bound_corners alloc.bound in
+      [ { requirement = "channel corner";
+          required = Printf.sprintf "[%.0f, %.0f] Hz" lo hi;
+          achieved_worst_case = Printf.sprintf "[%.0f, %.0f] Hz" alloc_lo alloc_hi;
+          satisfied = alloc_lo >= lo -. epsilon && alloc_hi <= hi +. epsilon } ]
   in
-  [ gain_check; nf_check; iip3_check; cutoff_check ]
+  [ gain_check; nf_check; iip3_check ] @ cutoff_checks

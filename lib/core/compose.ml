@@ -1,10 +1,12 @@
 module Units = Msoc_util.Units
 module Param = Msoc_analog.Param
 module Path = Msoc_analog.Path
+module Stage = Msoc_analog.Stage
 module Amplifier = Msoc_analog.Amplifier
 module Mixer = Msoc_analog.Mixer
-module Lpf = Msoc_analog.Lpf
+module Local_osc = Msoc_analog.Local_osc
 module Adc = Msoc_analog.Adc
+module Sigma_delta = Msoc_analog.Sigma_delta
 module Nonlin = Msoc_analog.Nonlin
 module Context = Msoc_analog.Context
 
@@ -20,7 +22,12 @@ type t = {
 let path_gain (path : Path.t) =
   let interval = Path.path_gain_interval_db path in
   { name = "path gain";
-    covers = [ (Spec.Amp, Spec.Gain); (Spec.Mixer, Spec.Gain); (Spec.Lpf, Spec.Passband_gain) ];
+    covers =
+      List.map
+        (fun (s, _) ->
+          let c = Spec.class_of_stage s in
+          (c, Spec.gain_kind c))
+        (Path.gain_stages path);
     nominal = Msoc_util.Interval.mid interval;
     tolerance = Msoc_util.Interval.err interval;
     accuracy = Accuracy.create [];
@@ -36,13 +43,14 @@ let friis_nf_db ~nf_db ~gain_db =
   done;
   Units.db_of_power_ratio !factor
 
+(* Every stage contributes noise; every non-digitizer contributes the gain
+   in front of the next stage — so |nf| = |gain| + 1 holds for any path
+   with a single trailing digitizer. *)
 let cascade_params (path : Path.t) =
   let nf p = p.Param.nominal and tol p = p.Param.tol in
-  let amp = path.Path.amp and mixer = path.Path.mixer in
-  let lpf = path.Path.lpf and adc = path.Path.adc in
-  ( [| amp.Amplifier.nf_db; mixer.Mixer.nf_db; lpf.Lpf.nf_db; adc.Adc.nf_db |],
-    [| amp.Amplifier.gain_db; mixer.Mixer.gain_db; lpf.Lpf.gain_db |],
-    nf, tol )
+  let nfs = List.filter_map Stage.nf_param path.Path.stages in
+  let gains = List.map snd (Path.gain_stages path) in
+  (Array.of_list nfs, Array.of_list gains, nf, tol)
 
 let noise_figure (path : Path.t) =
   let nfs, gains, nominal_of, tol_of = cascade_params path in
@@ -63,7 +71,12 @@ let noise_figure (path : Path.t) =
   in
   { name = "cascade noise figure";
     covers =
-      [ (Spec.Mixer, Spec.Noise_figure); (Spec.Adc, Spec.Noise_figure) ];
+      List.filter_map
+        (fun s ->
+          let c = Spec.class_of_stage s in
+          if List.mem Spec.Noise_figure (Spec.table1 c) then Some (c, Spec.Noise_figure)
+          else None)
+        path.Path.stages;
     nominal;
     tolerance = Float.max (hi -. nominal) (nominal -. lo);
     accuracy = Accuracy.create ~instrument_err:0.5 [];
@@ -76,18 +89,42 @@ let noise_floor_input_dbm (path : Path.t) =
   in
   Context.thermal_noise_dbm path.Path.ctx +. nf
 
+let gains_before_nominal (path : Path.t) ~stage =
+  List.fold_left (fun acc (p : Param.t) -> acc +. p.Param.nominal) 0.0
+    (Path.gains_before path ~stage)
+
 let dynamic_range (path : Path.t) =
   (* Ceiling: the mixer compression referred to the primary input; floor:
      the cascade noise floor referred to the primary input. *)
-  let amp_gain = path.Path.amp.Amplifier.gain_db in
-  let p1db = path.Path.mixer.Mixer.p1db_dbm in
-  let ceiling = p1db.Param.nominal -. amp_gain.Param.nominal in
-  let floor = noise_floor_input_dbm path in
-  let tolerance =
-    p1db.Param.tol +. amp_gain.Param.tol +. 1.0 (* NF corner contribution, conservative *)
+  let ceiling, tolerance =
+    match Path.first_mixer path with
+    | Some mx ->
+      let p1db = Path.param path ~stage:mx.Stage.id ~name:"p1db_dbm" in
+      let pre_tol =
+        List.fold_left (fun acc (p : Param.t) -> acc +. p.Param.tol) 0.0
+          (Path.gains_before path ~stage:mx.Stage.id)
+      in
+      ( p1db.Param.nominal -. gains_before_nominal path ~stage:mx.Stage.id,
+        p1db.Param.tol +. pre_tol +. 1.0 (* NF corner contribution, conservative *) )
+    | None ->
+      (* no compressing mixer: the digitizer full scale is the ceiling *)
+      let fs =
+        match (Path.digitizer path).Stage.block with
+        | Stage.Adc { adc; _ } -> adc.Adc.full_scale_v
+        | Stage.Sd_adc { sd; _ } -> sd.Sigma_delta.full_scale_v
+        | _ -> 1.0
+      in
+      (Units.dbm_of_vpeak fs -. Path.nominal_path_gain_db path, 1.0)
   in
+  let floor = noise_floor_input_dbm path in
   { name = "dynamic range";
-    covers = [ (Spec.Lpf, Spec.Dynamic_range); (Spec.Adc, Spec.Dynamic_range) ];
+    covers =
+      List.filter_map
+        (fun s ->
+          let c = Spec.class_of_stage s in
+          if List.mem Spec.Dynamic_range (Spec.table1 c) then Some (c, Spec.Dynamic_range)
+          else None)
+        path.Path.stages;
     nominal = ceiling -. floor;
     tolerance;
     accuracy = Accuracy.create ~instrument_err:0.5 [];
@@ -102,27 +139,69 @@ type boundary_check = {
   min_snr_db : float;
 }
 
+(* Per-stage input-referred compression ceiling, None when the stage never
+   limits (LPF). *)
+let stage_ceiling_dbm (s : Stage.t) ~preceding_gain_db =
+  match s.Stage.block with
+  | Stage.Amp p ->
+    (* a cubic's hard saturation sits ~3.6 dB above its 1 dB compression;
+       with no explicit P1dB, IIP3 - 9.6 locates compression *)
+    Some (p.Amplifier.iip3_dbm.Param.nominal -. 9.6 -. preceding_gain_db)
+  | Stage.Mix { mixer; _ } -> Some (mixer.Mixer.p1db_dbm.Param.nominal -. preceding_gain_db)
+  | Stage.Lpf _ -> None
+  | Stage.Adc { adc; _ } ->
+    Some (Units.dbm_of_vpeak adc.Adc.full_scale_v -. preceding_gain_db)
+  | Stage.Sd_adc { sd; _ } ->
+    (* 2nd-order loops overload near 0.85 of the feedback full scale *)
+    Some (Units.dbm_of_vpeak (0.85 *. sd.Sigma_delta.full_scale_v) -. preceding_gain_db)
+
 (* Input-referred compression ceiling: the first block whose limit is hit as
    the stimulus rises.  With the default receiver the ADC full scale binds,
    which is why an out-of-tolerance amp gain masked in the composite shows
    up as clipping at the high-amplitude check. *)
 let ceiling_input_dbm (path : Path.t) =
-  let path_gain = Path.nominal_path_gain_db path in
-  let amp_gain = path.Path.amp.Amplifier.gain_db.Param.nominal in
-  let adc_ceiling = Units.dbm_of_vpeak path.Path.adc.Adc.full_scale_v -. path_gain in
-  let mixer_ceiling = path.Path.mixer.Mixer.p1db_dbm.Param.nominal -. amp_gain in
-  (* a cubic's hard saturation sits ~3.6 dB above its 1 dB compression;
-     for the amp (no explicit P1dB) IIP3 - 9.6 locates compression *)
-  let amp_ceiling = path.Path.amp.Amplifier.iip3_dbm.Param.nominal -. 9.6 in
-  Float.min adc_ceiling (Float.min mixer_ceiling amp_ceiling)
+  let ceilings =
+    let rec go acc cum = function
+      | [] -> List.rev acc
+      | s :: rest ->
+        let acc =
+          match stage_ceiling_dbm s ~preceding_gain_db:cum with
+          | Some c -> c :: acc
+          | None -> acc
+        in
+        let cum =
+          match Stage.gain_param s with
+          | Some g ->
+            (* 0.0 +. g = g: the first stage's ceiling is bitwise the
+               un-referred one *)
+            if cum = 0.0 then g.Param.nominal else cum +. g.Param.nominal
+          | None -> cum
+        in
+        go acc cum rest
+    in
+    go [] 0.0 path.Path.stages
+  in
+  match ceilings with
+  | [] -> invalid_arg "Compose.ceiling_input_dbm: no limiting stage"
+  | c :: rest -> List.fold_left Float.min c rest
 
-(* Input-referred system noise floor: cascade thermal noise or the ADC
-   quantization floor, whichever dominates. *)
+(* Input-referred system noise floor: cascade thermal noise or the
+   digitizer quantization floor, whichever dominates. *)
 let floor_input_dbm (path : Path.t) =
   let thermal = noise_floor_input_dbm path in
   let quant =
-    Units.dbm_of_vpeak path.Path.adc.Adc.full_scale_v
-    -. Adc.ideal_snr_db path.Path.adc -. Path.nominal_path_gain_db path
+    match (Path.digitizer path).Stage.block with
+    | Stage.Adc { adc; _ } ->
+      Units.dbm_of_vpeak adc.Adc.full_scale_v
+      -. Adc.ideal_snr_db adc -. Path.nominal_path_gain_db path
+    | Stage.Sd_adc { sd; _ } ->
+      let ctx = path.Path.ctx in
+      let osr =
+        Float.max 2.0 (ctx.Context.sim_rate_hz /. (2.0 *. ctx.Context.analysis_bw_hz))
+      in
+      Units.dbm_of_vpeak sd.Sigma_delta.full_scale_v
+      -. Sigma_delta.theoretical_sqnr_db ~osr -. Path.nominal_path_gain_db path
+    | Stage.Amp _ | Stage.Mix _ | Stage.Lpf _ -> neg_infinity
   in
   Float.max thermal quant
 
@@ -147,28 +226,48 @@ type saturation_report = {
   headroom_db : float;
 }
 
+(* The hard-saturation input level of one stage (None for the LPF, which
+   only accumulates gain in front of later limits). *)
+let stage_limit_dbm (ctx : Context.t) (s : Stage.t) =
+  match s.Stage.block with
+  | Stage.Amp p ->
+    let inst = Amplifier.instance ctx (Amplifier.nominal_values p) in
+    Some (Units.dbm_of_vpeak (Amplifier.saturation_input_v inst))
+  | Stage.Mix { lo; mixer; _ } ->
+    let inst =
+      Mixer.instance ctx (Mixer.nominal_values mixer) ~lo_drive_dbm:lo.Local_osc.drive_dbm
+    in
+    Some (Units.dbm_of_vpeak (Mixer.saturation_input_v inst))
+  | Stage.Lpf _ -> None
+  | Stage.Adc { adc; _ } -> Some (Units.dbm_of_vpeak adc.Adc.full_scale_v)
+  | Stage.Sd_adc { sd; _ } ->
+    Some (Units.dbm_of_vpeak (0.85 *. sd.Sigma_delta.full_scale_v))
+
 let saturation_analysis (path : Path.t) ~input_dbm =
   let ctx = path.Path.ctx in
-  let amp_values = Amplifier.nominal_values path.Path.amp in
-  let amp_inst = Amplifier.instance ctx amp_values in
-  let mixer_inst =
-    Mixer.instance ctx (Mixer.nominal_values path.Path.mixer)
-      ~lo_drive_dbm:path.Path.lo.Msoc_analog.Local_osc.drive_dbm
+  let report s drive limit =
+    { block = String.lowercase_ascii s.Stage.id;
+      drive_dbm = drive;
+      limit_dbm = limit;
+      headroom_db = limit -. drive }
   in
-  let amp_gain_hi =
-    path.Path.amp.Amplifier.gain_db.Param.nominal +. path.Path.amp.Amplifier.gain_db.Param.tol
+  (* worst-case (high-corner) gain accumulates in front of each stage *)
+  let rec go acc gain_hi = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      let drive = if gain_hi = 0.0 then input_dbm else input_dbm +. gain_hi in
+      let acc =
+        match stage_limit_dbm ctx s with
+        | Some limit -> report s drive limit :: acc
+        | None -> acc
+      in
+      let gain_hi =
+        match Stage.gain_param s with
+        | Some g ->
+          if gain_hi = 0.0 then g.Param.nominal +. g.Param.tol
+          else (gain_hi +. g.Param.nominal) +. g.Param.tol
+        | None -> gain_hi
+      in
+      go acc gain_hi rest
   in
-  let amp_sat_dbm = Units.dbm_of_vpeak (Amplifier.saturation_input_v amp_inst) in
-  let mixer_sat_dbm = Units.dbm_of_vpeak (Mixer.saturation_input_v mixer_inst) in
-  let adc_limit_dbm = Units.dbm_of_vpeak path.Path.adc.Adc.full_scale_v in
-  let path_gain_hi =
-    amp_gain_hi
-    +. path.Path.mixer.Mixer.gain_db.Param.nominal +. path.Path.mixer.Mixer.gain_db.Param.tol
-    +. path.Path.lpf.Lpf.gain_db.Param.nominal +. path.Path.lpf.Lpf.gain_db.Param.tol
-  in
-  let report block drive limit =
-    { block; drive_dbm = drive; limit_dbm = limit; headroom_db = limit -. drive }
-  in
-  [ report "amp" input_dbm amp_sat_dbm;
-    report "mixer" (input_dbm +. amp_gain_hi) mixer_sat_dbm;
-    report "adc" (input_dbm +. path_gain_hi) adc_limit_dbm ]
+  go [] 0.0 path.Path.stages

@@ -1,9 +1,7 @@
 module Path = Msoc_analog.Path
+module Stage = Msoc_analog.Stage
 module Context = Msoc_analog.Context
 module Param = Msoc_analog.Param
-module Amplifier = Msoc_analog.Amplifier
-module Mixer = Msoc_analog.Mixer
-module Local_osc = Msoc_analog.Local_osc
 module Lpf = Msoc_analog.Lpf
 module Units = Msoc_util.Units
 module Tone = Msoc_dsp.Tone
@@ -24,7 +22,21 @@ let create ?(seed = 1234) ?(capture_samples = 4096) path part =
 
 let capture_samples t = t.capture_samples
 let adc_rate t = Path.adc_rate_hz t.path
-let lo_nominal t = t.path.Path.lo.Local_osc.freq_hz
+
+let lo_nominal t =
+  match Path.lo_freq_hz t.path with
+  | Some f -> f
+  | None -> invalid_arg "Measure: path has no LO"
+
+let mixer_stage t =
+  match Path.first_mixer t.path with
+  | Some s -> s
+  | None -> invalid_arg "Measure: path has no mixer stage"
+
+let lpf_stage_opt t =
+  List.find_opt
+    (fun s -> match s.Stage.block with Stage.Lpf _ -> true | _ -> false)
+    t.path.Path.stages
 
 let snap_if t freq =
   let n = t.capture_samples and fs = adc_rate t in
@@ -32,7 +44,7 @@ let snap_if t freq =
 
 let raw_capture t components =
   let engine = Path.engine t.path t.part ~seed:t.seed in
-  let n_sim = t.capture_samples * t.path.Path.adc_decimation in
+  let n_sim = t.capture_samples * Path.decimation t.path in
   let input =
     Tone.synthesize ~sample_rate:t.path.Path.ctx.Context.sim_rate_hz ~samples:n_sim
       components
@@ -55,15 +67,33 @@ let tone_power_dbm spectrum ~freq_hz =
 
 (* The raw reading at the test IF includes the LPF's (design-known)
    roll-off there; correct it back to the pass-band value so the result is
-   comparable with the sum of block pass-band gains. *)
+   comparable with the sum of block pass-band gains.  Paths without an LPF
+   stage need no correction. *)
 let lpf_rolloff_correction_db t ~if_freq =
-  let values = Lpf.nominal_values t.path.Path.lpf in
-  values.Lpf.gain_db -. Lpf.magnitude_db values t.path.Path.ctx ~freq:if_freq
+  match lpf_stage_opt t with
+  | None -> 0.0
+  | Some s ->
+    let params = match s.Stage.block with Stage.Lpf p -> p | _ -> assert false in
+    let values = Lpf.nominal_values params in
+    values.Lpf.gain_db -. Lpf.magnitude_db values t.path.Path.ctx ~freq:if_freq
+
+(* Design-known droop of the digitizer's decimation filter at the test IF:
+   zero for the Nyquist ADC, the sinc^3 response of the 3-stage CIC for the
+   sigma-delta.  Returned as a (negative) response in dB. *)
+let digitizer_droop_db t ~if_freq =
+  match (Path.digitizer t.path).Stage.block with
+  | Stage.Sd_adc { decimation; _ } ->
+    let cic = Msoc_dsp.Cic.create ~order:3 ~decimation in
+    Msoc_dsp.Cic.magnitude_db cic ~input_rate:t.path.Path.ctx.Context.sim_rate_hz
+      ~freq:if_freq
+  | _ -> 0.0
 
 let path_gain_db t ~level_dbm =
   let if_freq = snap_if t 100e3 in
   let sp = capture t ~tones:[ (lo_nominal t +. if_freq, level_dbm) ] in
-  tone_power_dbm sp ~freq_hz:if_freq -. level_dbm +. lpf_rolloff_correction_db t ~if_freq
+  tone_power_dbm sp ~freq_hz:if_freq -. level_dbm
+  +. lpf_rolloff_correction_db t ~if_freq
+  -. digitizer_droop_db t ~if_freq
 
 (* Parabolic interpolation of the spectral peak around the strongest bin
    near the expected frequency; sub-bin frequency resolution. *)
@@ -99,38 +129,62 @@ let lo_frequency_hz t ~level_dbm =
   let rf = lo_nominal t +. snap_if t 100e3 in
   rf -. if_frequency_hz t ~rf_freq_hz:rf ~level_dbm
 
+(* Nominal sum of the gains in front of the mixer — the de-embedding term
+   the measurements below refer their readings through. *)
+let pre_mixer_gain_db t =
+  List.fold_left (fun acc (p : Param.t) -> acc +. p.Param.nominal) 0.0
+    (Path.gains_before t.path ~stage:(mixer_stage t).Stage.id)
+
 let mixer_iip3_dbm t ~strategy =
   let f1 = snap_if t 90e3 and f2 = snap_if t 110e3 in
-  (* Backed off 5 dB from the standard level: closer to compression the
-     5th-order term contaminates the IM3 products and the extrapolated
-     intercept reads low. *)
-  let level = Propagate.standard_test_level_dbm -. 5.0 in
+  (* Per-tone level backed off from the mixer's nominal compression point
+     referred to the primary input: high enough that the IM3 products
+     clear the digitizer floor, low enough that the 5th-order term does
+     not contaminate them and read the extrapolated intercept low.  A
+     Nyquist ADC's flat quantization floor allows 22 dB of back-off (on
+     the default receiver this is exactly the historical standard level
+     minus 5 dB, -40 dBm); a sigma-delta's noise-shaped floor sits far
+     higher at the IM3 frequencies and needs a hotter stimulus. *)
+  let backoff_db =
+    match (Path.digitizer t.path).Stage.block with
+    | Stage.Sd_adc _ -> 12.0
+    | _ -> 22.0
+  in
+  let level =
+    (Path.param t.path ~stage:(mixer_stage t).Stage.id ~name:"p1db_dbm").Param.nominal
+    -. pre_mixer_gain_db t -. backoff_db
+  in
   let sp =
     capture t ~tones:[ (lo_nominal t +. f1, level); (lo_nominal t +. f2, level) ]
   in
   (* every reading corrected to the pass band at its own frequency *)
-  let read freq = tone_power_dbm sp ~freq_hz:freq +. lpf_rolloff_correction_db t ~if_freq:freq in
+  let read freq =
+    tone_power_dbm sp ~freq_hz:freq
+    +. lpf_rolloff_correction_db t ~if_freq:freq
+    -. digitizer_droop_db t ~if_freq:freq
+  in
   let x = 0.5 *. (read f1 +. read f2) in
   let im3_lo = (2.0 *. f1) -. f2 and im3_hi = (2.0 *. f2) -. f1 in
   let y = 0.5 *. (read im3_lo +. read im3_hi) in
   let observable = ((3.0 *. x) -. y) /. 2.0 in
-  let amp_gain = t.path.Path.amp.Amplifier.gain_db.Param.nominal in
   match strategy with
   | Propagate.Nominal_gains ->
-    observable
-    -. t.path.Path.mixer.Mixer.gain_db.Param.nominal
-    -. t.path.Path.lpf.Lpf.gain_db.Param.nominal
+    (* de-embed through the nominal gains of the mixer and what follows *)
+    List.fold_left
+      (fun acc (p : Param.t) -> acc -. p.Param.nominal)
+      observable
+      (Path.gains_from t.path ~stage:(mixer_stage t).Stage.id)
   | Propagate.Adaptive ->
     let g_path = path_gain_db t ~level_dbm:level in
-    observable -. g_path +. amp_gain
+    observable -. g_path +. pre_mixer_gain_db t
 
 let gain_at_level t ~if_freq ~level_dbm =
   let sp = capture t ~tones:[ (lo_nominal t +. if_freq, level_dbm) ] in
-  tone_power_dbm sp ~freq_hz:if_freq -. level_dbm
+  tone_power_dbm sp ~freq_hz:if_freq -. level_dbm -. digitizer_droop_db t ~if_freq
 
 let mixer_p1db_dbm t ~strategy =
   let if_freq = snap_if t 100e3 in
-  let amp_gain = t.path.Path.amp.Amplifier.gain_db.Param.nominal in
+  let amp_gain = pre_mixer_gain_db t in
   (* Compression is judged against the small-signal gain at the same test
      frequency, so no roll-off correction may be applied to either side. *)
   let reference =
@@ -145,7 +199,8 @@ let mixer_p1db_dbm t ~strategy =
      the nominal-gain variant conflates a gain deficit with compression
      (its documented weakness), and a low start at least grades it. *)
   let start =
-    t.path.Path.mixer.Mixer.p1db_dbm.Param.nominal -. amp_gain -. 12.0
+    (Path.param t.path ~stage:(mixer_stage t).Stage.id ~name:"p1db_dbm").Param.nominal
+    -. amp_gain -. 12.0
   in
   let drop level = reference -. gain_at_level t ~if_freq ~level_dbm:level -. 1.0 in
   let rec sweep level previous =
@@ -188,7 +243,7 @@ let lpf_cutoff_hz t ~strategy =
           (raw_capture t [ Tone.component ~freq:rf ~amplitude:(Units.vpeak_of_dbm level) () ])
       in
       let actual = interpolated_peak_hz sp ~near_hz:if_target in
-      tone_power_dbm sp ~freq_hz:actual -. level
+      tone_power_dbm sp ~freq_hz:actual -. level -. digitizer_droop_db t ~if_freq:actual
   in
   let rec coarse f =
     if f > 320e3 then (f -. 15e3, f)
@@ -225,9 +280,21 @@ let mixer_lo_isolation_db t =
     power := !power +. sp.Spectrum.bins.(k)
   done;
   let leak_dbm = Units.dbm_of_vpeak (sqrt (2.0 *. !power)) in
-  (* refer the output reading back through the LPF pass-band gain *)
-  let leak_at_mixer = leak_dbm -. t.path.Path.lpf.Lpf.gain_db.Param.nominal in
-  t.path.Path.lo.Local_osc.drive_dbm -. leak_at_mixer
+  (* refer the output reading back through the pass-band gains that follow
+     the mixer *)
+  let mx = mixer_stage t in
+  let leak_at_mixer =
+    let after =
+      match Path.gains_from t.path ~stage:mx.Stage.id with [] -> [] | _ :: rest -> rest
+    in
+    List.fold_left (fun acc (p : Param.t) -> acc -. p.Param.nominal) leak_dbm after
+  in
+  let drive =
+    match Path.lo_drive_dbm t.path with
+    | Some d -> d
+    | None -> invalid_arg "Measure: mixer stage carries no LO"
+  in
+  drive -. leak_at_mixer
 
 let dc_offset_composite_v t = Msoc_util.Floatx.mean (raw_capture t [])
 
@@ -245,36 +312,65 @@ let validate_part ?pool ?seed path part ~strategy =
     { parameter; true_value; measured; error = measured -. true_value; budget }
   in
   let true_path_gain =
-    part.Path.amp_v.Amplifier.gain_db
-    +. part.Path.mixer_v.Mixer.gain_db
-    +. part.Path.lpf_v.Lpf.gain_db
+    List.fold_left
+      (fun acc (s, _) -> acc +. Path.part_value path part ~stage:s.Stage.id ~name:"gain_db")
+      0.0 (Path.gain_stages path)
   in
+  let mixer = Path.first_mixer path in
+  let lpf =
+    List.find_opt
+      (fun s -> match s.Stage.block with Stage.Lpf _ -> true | _ -> false)
+      path.Path.stages
+  in
+  let id s = String.lowercase_ascii s.Stage.id in
   (* Each measurement is an independent tester session (every capture
-     builds a fresh engine from the session seed), so the five procedures
-     can run on separate domains; results come back in procedure order
+     builds a fresh engine from the session seed), so the procedures can
+     run on separate domains; results come back in procedure order
      regardless of pool size. *)
   let procedures =
-    [| (fun () ->
-         entry "path gain (dB)" ~true_value:true_path_gain
-           ~measured:(path_gain_db t ~level_dbm:Propagate.standard_test_level_dbm)
-           ~budget:0.5);
-       (fun () ->
-         entry "mixer IIP3 (dBm)" ~true_value:part.Path.mixer_v.Mixer.iip3_dbm
-           ~measured:(mixer_iip3_dbm t ~strategy)
-           ~budget:(Propagate.err (Propagate.mixer_iip3 path ~strategy)));
-       (fun () ->
-         entry "mixer P1dB (dBm)" ~true_value:part.Path.mixer_v.Mixer.p1db_dbm
-           ~measured:(mixer_p1db_dbm t ~strategy)
-           ~budget:(Propagate.err (Propagate.mixer_p1db path ~strategy)));
-       (fun () ->
-         entry "LPF cutoff (Hz)" ~true_value:part.Path.lpf_v.Lpf.cutoff_hz
-           ~measured:(lpf_cutoff_hz t ~strategy)
-           ~budget:(Propagate.err (Propagate.lpf_cutoff path ~strategy)));
-       (fun () ->
-         entry "LO frequency error (Hz)" ~true_value:part.Path.lo_v.Local_osc.freq_error_hz
-           ~measured:(lo_frequency_hz t ~level_dbm:Propagate.standard_test_level_dbm
-                      -. path.Path.lo.Local_osc.freq_hz)
-           ~budget:(Propagate.err (Propagate.lo_freq_error path))) |]
+    Array.of_list
+      (List.concat
+         [ [ (fun () ->
+               entry "path gain (dB)" ~true_value:true_path_gain
+                 ~measured:(path_gain_db t ~level_dbm:Propagate.standard_test_level_dbm)
+                 ~budget:0.5) ];
+           (match mixer with
+           | Some mx ->
+             [ (fun () ->
+                 entry
+                   (id mx ^ " IIP3 (dBm)")
+                   ~true_value:(Path.part_value path part ~stage:mx.Stage.id ~name:"iip3_dbm")
+                   ~measured:(mixer_iip3_dbm t ~strategy)
+                   ~budget:(Propagate.err (Propagate.mixer_iip3 path ~strategy)));
+               (fun () ->
+                 entry
+                   (id mx ^ " P1dB (dBm)")
+                   ~true_value:(Path.part_value path part ~stage:mx.Stage.id ~name:"p1db_dbm")
+                   ~measured:(mixer_p1db_dbm t ~strategy)
+                   ~budget:(Propagate.err (Propagate.mixer_p1db path ~strategy))) ]
+           | None -> []);
+           (match (lpf, mixer) with
+           | Some lp, Some _ ->
+             [ (fun () ->
+                 entry
+                   (String.uppercase_ascii (id lp) ^ " cutoff (Hz)")
+                   ~true_value:(Path.part_value path part ~stage:lp.Stage.id ~name:"cutoff_hz")
+                   ~measured:(lpf_cutoff_hz t ~strategy)
+                   ~budget:(Propagate.err (Propagate.lpf_cutoff path ~strategy))) ]
+           | _ -> []);
+           (match mixer with
+           | Some mx ->
+             let lo_id =
+               match Stage.lo_id mx with Some l -> l | None -> "LO"
+             in
+             [ (fun () ->
+                 entry (lo_id ^ " frequency error (Hz)")
+                   ~true_value:(Path.part_value path part ~stage:lo_id ~name:"freq_error_hz")
+                   ~measured:
+                     (lo_frequency_hz t ~level_dbm:Propagate.standard_test_level_dbm
+                     -. lo_nominal t)
+                   ~budget:(Propagate.err (Propagate.lo_freq_error path))) ]
+           | None -> []) ])
   in
   let results =
     match pool with

@@ -1,10 +1,5 @@
 module Path = Msoc_analog.Path
 module Param = Msoc_analog.Param
-module Amplifier = Msoc_analog.Amplifier
-module Mixer = Msoc_analog.Mixer
-module Local_osc = Msoc_analog.Local_osc
-module Lpf = Msoc_analog.Lpf
-module Adc = Msoc_analog.Adc
 module Distribution = Msoc_stat.Distribution
 
 type entry =
@@ -19,26 +14,12 @@ type t = {
   boundary_checks : Compose.boundary_check list;
 }
 
+(* The toleranced source parameter a spec verifies, located by the spec's
+   stage id and the kind's conventional field-name candidates. *)
 let param_of_spec (path : Path.t) (spec : Spec.t) =
-  match (spec.Spec.block, spec.Spec.kind) with
-  | Spec.Amp, Spec.Gain -> Some path.Path.amp.Amplifier.gain_db
-  | Spec.Amp, Spec.Iip3 -> Some path.Path.amp.Amplifier.iip3_dbm
-  | Spec.Amp, Spec.Dc_offset -> Some path.Path.amp.Amplifier.dc_offset_v
-  | Spec.Mixer, Spec.Gain -> Some path.Path.mixer.Mixer.gain_db
-  | Spec.Mixer, Spec.Iip3 -> Some path.Path.mixer.Mixer.iip3_dbm
-  | Spec.Mixer, Spec.Lo_isolation -> Some path.Path.mixer.Mixer.lo_isolation_db
-  | Spec.Mixer, Spec.Noise_figure -> Some path.Path.mixer.Mixer.nf_db
-  | Spec.Mixer, Spec.P1db -> Some path.Path.mixer.Mixer.p1db_dbm
-  | Spec.Lo, Spec.Freq_error -> Some path.Path.lo.Local_osc.freq_error_hz
-  | Spec.Lo, Spec.Phase_noise -> Some path.Path.lo.Local_osc.phase_noise_deg_rms
-  | Spec.Lpf, Spec.Passband_gain -> Some path.Path.lpf.Lpf.gain_db
-  | Spec.Lpf, Spec.Stopband_gain -> Some path.Path.lpf.Lpf.stopband_db
-  | Spec.Lpf, Spec.Cutoff_freq -> Some path.Path.lpf.Lpf.cutoff_hz
-  | Spec.Adc, Spec.Offset_error -> Some path.Path.adc.Adc.offset_error_v
-  | Spec.Adc, Spec.Inl -> Some path.Path.adc.Adc.inl_lsb
-  | Spec.Adc, Spec.Dnl -> Some path.Path.adc.Adc.dnl_lsb
-  | Spec.Adc, Spec.Noise_figure -> Some path.Path.adc.Adc.nf_db
-  | (Spec.Amp | Spec.Mixer | Spec.Lo | Spec.Lpf | Spec.Adc | Spec.Digital_filter), _ -> None
+  List.find_map
+    (fun name -> Path.param_opt path ~stage:spec.Spec.stage ~name)
+    (Spec.param_names spec.Spec.kind)
 
 let population_of_spec path spec =
   match param_of_spec path spec with
@@ -83,7 +64,7 @@ let synthesize ?(strategy = Propagate.Adaptive) path =
   Msoc_obs.Obs.span "plan.synthesize"
     ~args:[ ("strategy", Propagate.strategy_name strategy) ]
   @@ fun () ->
-  let specs = Spec.of_receiver path in
+  let specs = Spec.of_path path in
   let composed =
     List.map
       (fun c ->
@@ -106,7 +87,7 @@ let synthesize ?(strategy = Propagate.Adaptive) path =
                  (param_of_spec path m.Propagate.spec))
             ~fcl:losses.Coverage.fcl ~yl:losses.Coverage.yl ();
         Propagated { measurement = m; losses })
-      (Propagate.all_for_receiver path ~strategy)
+      (Propagate.all_for_path path ~strategy)
   in
   let digital =
     [ Digital_filter_test
@@ -169,7 +150,7 @@ let entry_name = function
   | Propagated { measurement; _ } ->
     (* lower-case to match the prerequisite strings used by Propagate *)
     let spec = measurement.Propagate.spec in
-    String.lowercase_ascii (Spec.block_name spec.Spec.block)
+    String.lowercase_ascii spec.Spec.stage
     ^ " "
     ^ String.lowercase_ascii (Spec.kind_name spec.Spec.kind)
   | Digital_filter_test _ -> "digital filter structural test"
@@ -243,7 +224,7 @@ let pp_summary ppf t =
           c.Compose.nominal c.Compose.unit_label c.Compose.tolerance
       | Propagated { measurement; losses } ->
         Format.fprintf ppf "  [propagate] %-24s err ±%-6.3g FCL %5.2f%%  YL %5.2f%%@,"
-          (Spec.block_name measurement.Propagate.spec.Spec.block ^ " "
+          (measurement.Propagate.spec.Spec.stage ^ " "
           ^ Spec.kind_name measurement.Propagate.spec.Spec.kind)
           (Propagate.err measurement) (100.0 *. losses.Coverage.fcl)
           (100.0 *. losses.Coverage.yl)

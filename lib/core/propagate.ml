@@ -1,11 +1,9 @@
 module Units = Msoc_util.Units
 module Param = Msoc_analog.Param
 module Path = Msoc_analog.Path
-module Amplifier = Msoc_analog.Amplifier
-module Mixer = Msoc_analog.Mixer
-module Local_osc = Msoc_analog.Local_osc
+module Stage = Msoc_analog.Stage
 module Lpf = Msoc_analog.Lpf
-module Adc = Msoc_analog.Adc
+module Local_osc = Msoc_analog.Local_osc
 module Context = Msoc_analog.Context
 module Attr = Msoc_signal.Attr
 
@@ -28,8 +26,9 @@ let strategy_name = function Nominal_gains -> "nominal-gains" | Adaptive -> "ada
 module Obs = Msoc_obs.Obs
 module Audit = Msoc_obs.Audit
 
-let parameter_name (m : t) =
-  Spec.block_name m.spec.Spec.block ^ " " ^ Spec.kind_name m.spec.Spec.kind
+(* Audit keys derive from the stage id, not the block class, so two stages
+   of the same class (e.g. two amplifiers) never collide. *)
+let parameter_name (m : t) = m.spec.Spec.stage ^ " " ^ Spec.kind_name m.spec.Spec.kind
 
 (* Compact stimulus rendering for the audit trail: what drives the primary
    input, at what level, over what noise floor. *)
@@ -85,45 +84,101 @@ let traced name build =
 
 let standard_test_level_dbm = -35.0
 
-let spec_for path block kind =
-  match List.find_opt (fun s -> s.Spec.block = block && s.Spec.kind = kind)
-          (Spec.of_receiver path)
+let spec_for path stage kind =
+  match
+    List.find_opt
+      (fun s -> String.equal s.Spec.stage stage && s.Spec.kind = kind)
+      (Spec.of_path path)
   with
   | Some s -> s
-  | None -> invalid_arg "Propagate: no such spec for this receiver"
+  | None -> invalid_arg "Propagate: no such spec for this path"
+
+(* ---- stage lookups ---- *)
+
+let find_class path pred =
+  List.find_opt (fun s -> pred s.Stage.block) path.Path.stages
+
+let amp_stage path =
+  find_class path (function Stage.Amp _ -> true | _ -> false)
+
+let mixer_stage path = Path.first_mixer path
+
+let lpf_stage path =
+  find_class path (function Stage.Lpf _ -> true | _ -> false)
+
+let require what = function
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Propagate: path has no %s stage" what)
+
+let lo_of path =
+  let mx = require "mixer" (mixer_stage path) in
+  match (Stage.lo_id mx, Stage.lo_params mx) with
+  | Some id, Some p -> (id, p)
+  | _ -> invalid_arg "Propagate: mixer stage carries no LO"
+
+(* Gain stages (lower-cased id, gain Param.t) strictly before / from /
+   strictly after a named stage — the de-embedding chains every budget
+   folds over. *)
+let gain_split path ~stage =
+  let rec go before = function
+    | [] -> (List.rev before, [])
+    | s :: rest when String.equal s.Stage.id stage -> (List.rev before, s :: rest)
+    | s :: rest -> go (s :: before) rest
+  in
+  let before, from = go [] path.Path.stages in
+  let gains l =
+    List.filter_map
+      (fun s ->
+        match Stage.gain_param s with
+        | Some g -> Some (String.lowercase_ascii s.Stage.id, g)
+        | None -> None)
+      l
+  in
+  (gains before, gains from)
+
+let all_gains path =
+  List.map
+    (fun (s, g) -> (String.lowercase_ascii s.Stage.id, g))
+    (Path.gain_stages path)
+
+let nominal_sum gains =
+  List.fold_left (fun acc (_, (g : Param.t)) -> acc +. g.Param.nominal) 0.0 gains
 
 let rf_two_tone (path : Path.t) =
-  let f_lo = path.Path.lo.Local_osc.freq_hz in
+  let f_lo = match Path.lo_freq_hz path with Some f -> f | None -> 0.0 in
   Attr.two_tone
     ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx)
     ~f1_hz:(f_lo +. 90e3) ~f2_hz:(f_lo +. 110e3) ~power_dbm:standard_test_level_dbm ()
 
 let rf_single_tone (path : Path.t) ~offset_hz ~power_dbm =
+  let f_lo = match Path.lo_freq_hz path with Some f -> f | None -> 0.0 in
   Attr.single_tone
     ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx)
-    ~freq_hz:(path.Path.lo.Local_osc.freq_hz +. offset_hz) ~power_dbm ()
+    ~freq_hz:(f_lo +. offset_hz) ~power_dbm ()
 
 let contribution source (p : Param.t) = { Accuracy.source; err = p.Param.tol }
 
+let nominal_contributions ?(suffix = " (nominal assumed)") gains =
+  List.map (fun (id, g) -> contribution ("G_" ^ id ^ suffix) g) gains
+
 let mixer_iip3 (path : Path.t) ~strategy =
   traced "propagate.mixer_iip3" @@ fun () ->
-  let amp_gain = path.Path.amp.Amplifier.gain_db in
-  let mixer_gain = path.Path.mixer.Mixer.gain_db in
-  let lpf_gain = path.Path.lpf.Lpf.gain_db in
+  let mx = require "mixer" (mixer_stage path) in
+  let before, from = gain_split path ~stage:mx.Stage.id in
   let budget, formula, prerequisites =
     match strategy with
     | Nominal_gains ->
-      ( Accuracy.create
-          [ contribution "G_mixer (nominal assumed)" mixer_gain;
-            contribution "G_lpf (nominal assumed)" lpf_gain ],
-        "IIP3 = (3X - Y)/2 - G_mixer - G_lpf",
+      ( Accuracy.create (nominal_contributions from),
+        "IIP3 = (3X - Y)/2 - "
+        ^ String.concat " - " (List.map (fun (id, _) -> "G_" ^ id) from),
         [] )
     | Adaptive ->
-      ( Accuracy.create [ contribution "G_amp (nominal assumed)" amp_gain ],
-        "IIP3 = (3X - Y)/2 - G_path + G_amp",
+      ( Accuracy.create (nominal_contributions before),
+        "IIP3 = (3X - Y)/2 - G_path"
+        ^ String.concat "" (List.map (fun (id, _) -> " + G_" ^ id) before),
         [ "path gain" ] )
   in
-  { spec = spec_for path Spec.Mixer Spec.Iip3;
+  { spec = spec_for path mx.Stage.id Spec.Iip3;
     strategy;
     stimulus = rf_two_tone path;
     procedure =
@@ -136,25 +191,25 @@ let mixer_iip3 (path : Path.t) ~strategy =
 
 let amp_iip3 (path : Path.t) ~strategy =
   traced "propagate.amp_iip3" @@ fun () ->
-  let mixer_gain = path.Path.mixer.Mixer.gain_db in
-  let lpf_gain = path.Path.lpf.Lpf.gain_db in
+  let amp = require "amplifier" (amp_stage path) in
+  let masking = { Accuracy.source = "mixer IM3 masking"; err = 1.0 } in
+  let mixer_prereq =
+    match mixer_stage path with
+    | Some mx -> [ String.lowercase_ascii mx.Stage.id ^ " IIP3" ]
+    | None -> []
+  in
   let budget, formula, prerequisites =
     match strategy with
     | Nominal_gains ->
-      ( Accuracy.create
-          [ contribution "G_amp (nominal assumed)" path.Path.amp.Amplifier.gain_db;
-            contribution "G_mixer (nominal assumed)" mixer_gain;
-            contribution "G_lpf (nominal assumed)" lpf_gain;
-            { Accuracy.source = "mixer IM3 masking"; err = 1.0 } ],
+      ( Accuracy.create (nominal_contributions (all_gains path) @ [ masking ]),
         "IIP3_amp = (3X - Y)/2 - G_path(nominal)",
         [] )
     | Adaptive ->
-      ( Accuracy.create
-          [ { Accuracy.source = "mixer IM3 masking"; err = 1.0 } ],
+      ( Accuracy.create [ masking ],
         "IIP3_amp = (3X - Y)/2 - G_path(measured)",
-        [ "path gain"; "mixer IIP3" ] )
+        "path gain" :: mixer_prereq )
   in
-  { spec = spec_for path Spec.Amp Spec.Iip3;
+  { spec = spec_for path amp.Stage.id Spec.Iip3;
     strategy;
     stimulus = rf_two_tone path;
     procedure =
@@ -167,27 +222,27 @@ let amp_iip3 (path : Path.t) ~strategy =
 
 let mixer_p1db (path : Path.t) ~strategy =
   traced "propagate.mixer_p1db" @@ fun () ->
-  let amp_gain = path.Path.amp.Amplifier.gain_db in
+  let mx = require "mixer" (mixer_stage path) in
+  let before, from = gain_split path ~stage:mx.Stage.id in
+  let p1db = Path.param path ~stage:mx.Stage.id ~name:"p1db_dbm" in
   let budget, formula, prerequisites =
     match strategy with
     | Nominal_gains ->
       ( Accuracy.create
-          [ contribution "G_amp (nominal assumed)" amp_gain;
-            contribution "G_mixer (compression ref, nominal)" path.Path.mixer.Mixer.gain_db;
-            contribution "G_lpf (compression ref, nominal)" path.Path.lpf.Lpf.gain_db ],
+          (nominal_contributions before
+          @ nominal_contributions ~suffix:" (compression ref, nominal)" from),
         "P1dB = P_in(output 1 dB below nominal-gain line) + G_amp(nominal)",
         [] )
     | Adaptive ->
-      ( Accuracy.create [ contribution "G_amp (nominal assumed)" amp_gain ],
+      ( Accuracy.create (nominal_contributions before),
         "P1dB = P_in(gain drop of 1 dB vs measured small-signal path gain) + G_amp",
         [ "path gain" ] )
   in
-  { spec = spec_for path Spec.Mixer Spec.P1db;
+  { spec = spec_for path mx.Stage.id Spec.P1db;
     strategy;
     stimulus =
       rf_single_tone path ~offset_hz:100e3
-        ~power_dbm:(path.Path.mixer.Mixer.p1db_dbm.Param.nominal
-                    -. path.Path.amp.Amplifier.gain_db.Param.nominal);
+        ~power_dbm:(p1db.Param.nominal -. nominal_sum before);
     procedure =
       "Sweep the single-tone input level upward; find the input power at \
        which the output fundamental sits 1 dB below the extrapolated linear \
@@ -197,7 +252,9 @@ let mixer_p1db (path : Path.t) ~strategy =
     prerequisites }
 
 let lpf_cutoff_slope_db_per_hz (path : Path.t) =
-  let values = Lpf.nominal_values path.Path.lpf in
+  let lpf = require "LPF" (lpf_stage path) in
+  let params = match lpf.Stage.block with Stage.Lpf p -> p | _ -> assert false in
+  let values = Lpf.nominal_values params in
   let fc = values.Lpf.cutoff_hz in
   let delta = fc *. 1e-3 in
   let g_hi = Lpf.magnitude_db values path.Path.ctx ~freq:(fc +. delta) in
@@ -206,7 +263,8 @@ let lpf_cutoff_slope_db_per_hz (path : Path.t) =
 
 let lo_freq_error (path : Path.t) =
   traced "propagate.lo_freq_error" @@ fun () ->
-  { spec = spec_for path Spec.Lo Spec.Freq_error;
+  let lo_id, _ = lo_of path in
+  { spec = spec_for path lo_id Spec.Freq_error;
     strategy = Adaptive;
     stimulus = rf_single_tone path ~offset_hz:100e3 ~power_dbm:standard_test_level_dbm;
     procedure =
@@ -220,26 +278,30 @@ let lo_freq_error (path : Path.t) =
 
 let lpf_cutoff (path : Path.t) ~strategy =
   traced "propagate.lpf_cutoff" @@ fun () ->
+  let lpf = require "LPF" (lpf_stage path) in
+  let lo_id, lo = lo_of path in
   let slope = Float.abs (lpf_cutoff_slope_db_per_hz path) in
-  let gain_tol = path.Path.lpf.Lpf.gain_db.Param.tol in
-  let lo_tol = path.Path.lo.Local_osc.freq_error_hz.Param.tol in
+  let gain_tol = (Path.param path ~stage:lpf.Stage.id ~name:"gain_db").Param.tol in
+  let lo_tol = lo.Local_osc.freq_error_hz.Param.tol in
   let budget, formula, prerequisites =
     match strategy with
     | Nominal_gains ->
       ( Accuracy.create ~instrument_err:2000.0
           [ { Accuracy.source = "G_passband tol via roll-off slope"; err = gain_tol /. slope };
-            { Accuracy.source = "LO frequency error (nominal assumed)"; err = lo_tol } ],
+            { Accuracy.source = lo_id ^ " frequency error (nominal assumed)"; err = lo_tol } ],
         "f_c = f_RF(output at nominal gain - 3 dB) - f_LO(nominal)",
         [] )
     | Adaptive ->
       ( Accuracy.create ~instrument_err:2000.0 [],
         "f_c = f_RF(gain 3 dB below this part's own pass band) - f_LO(measured)",
-        [ "path gain"; "LO frequency error" ] )
+        [ "path gain"; lo_id ^ " frequency error" ] )
   in
-  { spec = spec_for path Spec.Lpf Spec.Cutoff_freq;
+  { spec = spec_for path lpf.Stage.id Spec.Cutoff_freq;
     strategy;
-    stimulus = rf_single_tone path ~offset_hz:path.Path.lpf.Lpf.cutoff_hz.Param.nominal
-      ~power_dbm:standard_test_level_dbm;
+    stimulus =
+      rf_single_tone path
+        ~offset_hz:(Path.param path ~stage:lpf.Stage.id ~name:"cutoff_hz").Param.nominal
+        ~power_dbm:standard_test_level_dbm;
     procedure =
       "Sweep the RF stimulus so the IF crosses the corner; find the -3 dB \
        frequency relative to the pass-band reference and subtract the LO \
@@ -250,21 +312,27 @@ let lpf_cutoff (path : Path.t) ~strategy =
 
 let mixer_lo_isolation (path : Path.t) ~strategy =
   traced "propagate.mixer_lo_isolation" @@ fun () ->
-  let lpf_gain = path.Path.lpf.Lpf.gain_db in
+  let mx = require "mixer" (mixer_stage path) in
+  let _, from = gain_split path ~stage:mx.Stage.id in
+  (* gains strictly after the mixer refer the spur reading back to it *)
+  let after = match from with [] -> [] | _ :: rest -> rest in
+  let refer_names = String.concat " - " (List.map (fun (id, _) -> "G_" ^ id) after) in
+  let drive_assumed = { Accuracy.source = "LO drive level assumed"; err = 0.5 } in
   let budget, formula, prerequisites =
     match strategy with
     | Nominal_gains ->
       ( Accuracy.create
-          [ contribution "G_lpf at the folded LO bin (nominal assumed)" lpf_gain;
-            { Accuracy.source = "LO drive level assumed"; err = 0.5 } ],
-        "isolation = P_LO(drive) - (P(LO spur at output) - G_lpf)",
+          (nominal_contributions ~suffix:" at the folded LO bin (nominal assumed)" after
+          @ [ drive_assumed ]),
+        Printf.sprintf "isolation = P_LO(drive) - (P(LO spur at output) - %s)" refer_names,
         [] )
     | Adaptive ->
-      ( Accuracy.create [ { Accuracy.source = "LO drive level assumed"; err = 0.5 } ],
-        "isolation = P_LO(drive) - (P(LO spur) - G_lpf(from measured path gain))",
+      ( Accuracy.create [ drive_assumed ],
+        Printf.sprintf "isolation = P_LO(drive) - (P(LO spur) - %s(from measured path gain))"
+          refer_names,
         [ "path gain" ] )
   in
-  { spec = spec_for path Spec.Mixer Spec.Lo_isolation;
+  { spec = spec_for path mx.Stage.id Spec.Lo_isolation;
     strategy;
     stimulus = Attr.silence ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx) ();
     procedure =
@@ -276,7 +344,8 @@ let mixer_lo_isolation (path : Path.t) ~strategy =
 
 let adc_inl (path : Path.t) =
   traced "propagate.adc_inl" @@ fun () ->
-  { spec = spec_for path Spec.Adc Spec.Inl;
+  let digitizer = Path.digitizer path in
+  { spec = spec_for path digitizer.Stage.id Spec.Inl;
     strategy = Adaptive;
     stimulus = rf_single_tone path ~offset_hz:100e3 ~power_dbm:(standard_test_level_dbm +. 3.0);
     procedure =
@@ -290,8 +359,17 @@ let adc_inl (path : Path.t) =
 
 let dc_offset_composite (path : Path.t) =
   traced "propagate.dc_offset_composite" @@ fun () ->
-  let amp_offset = path.Path.amp.Amplifier.dc_offset_v in
-  { spec = spec_for path Spec.Adc Spec.Offset_error;
+  let digitizer = Path.digitizer path in
+  let leakage =
+    match amp_stage path with
+    | Some amp ->
+      let offset = Path.param path ~stage:amp.Stage.id ~name:"dc_offset_v" in
+      [ { Accuracy.source =
+            String.lowercase_ascii amp.Stage.id ^ " offset leakage into DC";
+          err = offset.Param.tol } ]
+    | None -> []
+  in
+  { spec = spec_for path digitizer.Stage.id Spec.Offset_error;
     strategy = Nominal_gains;
     stimulus = Attr.silence ~noise_dbm:(Context.thermal_noise_dbm path.Path.ctx) ();
     procedure =
@@ -299,20 +377,31 @@ let dc_offset_composite (path : Path.t) =
        amp offset (mixed to DC by LO leakage) plus ADC offset as one \
        composite value.";
     formula = "offset_composite = DC(out); individual offsets not separable";
-    budget =
-      Accuracy.create ~instrument_err:1e-3
-        [ { Accuracy.source = "amp offset leakage into DC"; err = amp_offset.Param.tol } ];
+    budget = Accuracy.create ~instrument_err:1e-3 leakage;
     prerequisites = [] }
 
-let all_for_receiver path ~strategy =
-  [ mixer_iip3 path ~strategy;
-    amp_iip3 path ~strategy;
-    mixer_p1db path ~strategy;
-    lpf_cutoff path ~strategy;
-    mixer_lo_isolation path ~strategy;
-    lo_freq_error path;
-    adc_inl path;
-    dc_offset_composite path ]
+(* The measurement list adapts to the topology: each builder is emitted only
+   when its stage exists, in the fixed historical order. *)
+let all_for_path path ~strategy =
+  let has_amp = amp_stage path <> None in
+  let has_mixer = mixer_stage path <> None in
+  let has_lpf = lpf_stage path <> None in
+  let nyquist_adc =
+    match (Path.digitizer path).Stage.block with
+    | Stage.Adc _ -> true
+    | Stage.Amp _ | Stage.Mix _ | Stage.Lpf _ | Stage.Sd_adc _ -> false
+  in
+  List.concat
+    [ (if has_mixer then [ mixer_iip3 path ~strategy ] else []);
+      (if has_amp then [ amp_iip3 path ~strategy ] else []);
+      (if has_mixer then [ mixer_p1db path ~strategy ] else []);
+      (if has_lpf && has_mixer then [ lpf_cutoff path ~strategy ] else []);
+      (if has_mixer then [ mixer_lo_isolation path ~strategy ] else []);
+      (if has_mixer then [ lo_freq_error path ] else []);
+      (if nyquist_adc then [ adc_inl path ] else []);
+      [ dc_offset_composite path ] ]
+
+let all_for_receiver = all_for_path
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%a [%s]@,  formula: %s@,  %a@,  prerequisites: %s@]" Spec.pp t.spec

@@ -1,10 +1,12 @@
 module Param = Msoc_analog.Param
 module Path = Msoc_analog.Path
+module Stage = Msoc_analog.Stage
 module Amplifier = Msoc_analog.Amplifier
 module Mixer_blk = Msoc_analog.Mixer
 module Local_osc = Msoc_analog.Local_osc
 module Lpf_blk = Msoc_analog.Lpf
 module Adc_blk = Msoc_analog.Adc
+module Sigma_delta = Msoc_analog.Sigma_delta
 
 type block = Amp | Mixer | Lo | Lpf | Adc | Digital_filter
 
@@ -36,6 +38,7 @@ type bound =
 
 type t = {
   block : block;
+  stage : string;
   kind : kind;
   origin : origin;
   bound : bound;
@@ -88,6 +91,35 @@ let composable = function
   | Iip3 | Dc_offset | Harmonic3 | Lo_isolation | P1db | Freq_error | Phase_noise
   | Stopband_gain | Cutoff_freq | Offset_error | Inl | Dnl | Stuck_at_coverage -> false
 
+let class_of_stage (s : Stage.t) =
+  match s.Stage.block with
+  | Stage.Amp _ -> Amp
+  | Stage.Mix _ -> Mixer
+  | Stage.Lpf _ -> Lpf
+  | Stage.Adc _ | Stage.Sd_adc _ -> Adc
+
+let gain_kind = function
+  | Lpf -> Passband_gain
+  | Amp | Mixer | Lo | Adc | Digital_filter -> Gain
+
+(* Candidate parameter names (in the {!Stage.params} convention) backing a
+   spec kind; tried in order against the spec's stage. *)
+let param_names = function
+  | Gain | Passband_gain -> [ "gain_db" ]
+  | Iip3 -> [ "iip3_dbm" ]
+  | Dc_offset -> [ "dc_offset_v" ]
+  | Lo_isolation -> [ "lo_isolation_db" ]
+  | Noise_figure -> [ "nf_db" ]
+  | P1db -> [ "p1db_dbm" ]
+  | Freq_error -> [ "freq_error_hz" ]
+  | Phase_noise -> [ "phase_noise_deg_rms" ]
+  | Stopband_gain -> [ "stopband_db" ]
+  | Cutoff_freq -> [ "cutoff_hz" ]
+  | Offset_error -> [ "offset_error_v"; "comparator_offset_v" ]
+  | Inl -> [ "inl_lsb" ]
+  | Dnl -> [ "dnl_lsb" ]
+  | Harmonic3 | Dynamic_range | Stuck_at_coverage -> []
+
 let passes bound value =
   match bound with
   | At_least threshold -> value >= threshold
@@ -100,7 +132,7 @@ let pp_bound ppf = function
   | Within { lo; hi } -> Format.fprintf ppf "in [%g, %g]" lo hi
 
 let pp ppf t =
-  Format.fprintf ppf "%s.%s (%s) %a %s" (block_name t.block) (kind_name t.kind)
+  Format.fprintf ppf "%s.%s (%s) %a %s" t.stage (kind_name t.kind)
     (origin_name t.origin) pp_bound t.bound t.unit_label
 
 let within_param (p : Param.t) =
@@ -109,32 +141,58 @@ let within_param (p : Param.t) =
 let at_least_param (p : Param.t) = At_least (p.Param.nominal -. p.Param.tol)
 let at_most_param (p : Param.t) = At_most (p.Param.nominal +. p.Param.tol)
 
-let of_receiver (path : Path.t) =
-  let amp = path.Path.amp and mixer = path.Path.mixer in
-  let lo = path.Path.lo and lpf = path.Path.lpf and adc = path.Path.adc in
-  let spec block kind origin bound unit_label = { block; kind; origin; bound; unit_label } in
-  [ spec Amp Gain Partitioned (within_param amp.Amplifier.gain_db) "dB";
-    spec Amp Iip3 Non_ideality (at_least_param amp.Amplifier.iip3_dbm) "dBm";
-    spec Amp Dc_offset Non_ideality (within_param amp.Amplifier.dc_offset_v) "V";
-    spec Amp Harmonic3 Non_ideality
-      (At_most
-         (* HD3 bound implied by the IIP3 bound at the standard test level. *)
-         (-2.0 *. (amp.Amplifier.iip3_dbm.Param.nominal -. amp.Amplifier.iip3_dbm.Param.tol)))
-      "dBc";
-    spec Mixer Gain Partitioned (within_param mixer.Mixer_blk.gain_db) "dB";
-    spec Mixer Iip3 Non_ideality (at_least_param mixer.Mixer_blk.iip3_dbm) "dBm";
-    spec Mixer Lo_isolation Non_ideality (at_least_param mixer.Mixer_blk.lo_isolation_db) "dB";
-    spec Mixer Noise_figure Partitioned (at_most_param mixer.Mixer_blk.nf_db) "dB";
-    spec Mixer P1db Non_ideality (at_least_param mixer.Mixer_blk.p1db_dbm) "dBm";
-    spec Lo Freq_error System_projection (within_param lo.Local_osc.freq_error_hz) "Hz";
-    spec Lo Phase_noise Non_ideality (at_most_param lo.Local_osc.phase_noise_deg_rms) "deg rms";
-    spec Lpf Passband_gain Partitioned (within_param lpf.Lpf_blk.gain_db) "dB";
-    spec Lpf Stopband_gain System_projection (at_most_param lpf.Lpf_blk.stopband_db) "dB";
-    spec Lpf Cutoff_freq System_projection (within_param lpf.Lpf_blk.cutoff_hz) "Hz";
-    spec Lpf Dynamic_range Partitioned (At_least 60.0) "dB";
-    spec Adc Offset_error Non_ideality (within_param adc.Adc_blk.offset_error_v) "V";
-    spec Adc Inl Non_ideality (at_most_param adc.Adc_blk.inl_lsb) "LSB";
-    spec Adc Dnl Non_ideality (at_most_param adc.Adc_blk.dnl_lsb) "LSB";
-    spec Adc Noise_figure Partitioned (at_most_param adc.Adc_blk.nf_db) "dB";
-    spec Adc Dynamic_range Partitioned (At_least 60.0) "dB";
-    spec Digital_filter Stuck_at_coverage System_projection (At_least 0.8) "fraction" ]
+let of_stage (s : Stage.t) =
+  let spec block kind origin bound unit_label =
+    { block; stage = s.Stage.id; kind; origin; bound; unit_label }
+  in
+  match s.Stage.block with
+  | Stage.Amp amp ->
+    [ spec Amp Gain Partitioned (within_param amp.Amplifier.gain_db) "dB";
+      spec Amp Iip3 Non_ideality (at_least_param amp.Amplifier.iip3_dbm) "dBm";
+      spec Amp Dc_offset Non_ideality (within_param amp.Amplifier.dc_offset_v) "V";
+      spec Amp Harmonic3 Non_ideality
+        (At_most
+           (* HD3 bound implied by the IIP3 bound at the standard test level. *)
+           (-2.0
+           *. (amp.Amplifier.iip3_dbm.Param.nominal -. amp.Amplifier.iip3_dbm.Param.tol)))
+        "dBc" ]
+  | Stage.Mix { lo_id; lo; mixer } ->
+    let lo_spec kind origin bound unit_label =
+      { block = Lo; stage = lo_id; kind; origin; bound; unit_label }
+    in
+    [ spec Mixer Gain Partitioned (within_param mixer.Mixer_blk.gain_db) "dB";
+      spec Mixer Iip3 Non_ideality (at_least_param mixer.Mixer_blk.iip3_dbm) "dBm";
+      spec Mixer Lo_isolation Non_ideality (at_least_param mixer.Mixer_blk.lo_isolation_db)
+        "dB";
+      spec Mixer Noise_figure Partitioned (at_most_param mixer.Mixer_blk.nf_db) "dB";
+      spec Mixer P1db Non_ideality (at_least_param mixer.Mixer_blk.p1db_dbm) "dBm";
+      lo_spec Freq_error System_projection (within_param lo.Local_osc.freq_error_hz) "Hz";
+      lo_spec Phase_noise Non_ideality (at_most_param lo.Local_osc.phase_noise_deg_rms)
+        "deg rms" ]
+  | Stage.Lpf lpf ->
+    [ spec Lpf Passband_gain Partitioned (within_param lpf.Lpf_blk.gain_db) "dB";
+      spec Lpf Stopband_gain System_projection (at_most_param lpf.Lpf_blk.stopband_db) "dB";
+      spec Lpf Cutoff_freq System_projection (within_param lpf.Lpf_blk.cutoff_hz) "Hz";
+      spec Lpf Dynamic_range Partitioned (At_least 60.0) "dB" ]
+  | Stage.Adc { adc; _ } ->
+    [ spec Adc Offset_error Non_ideality (within_param adc.Adc_blk.offset_error_v) "V";
+      spec Adc Inl Non_ideality (at_most_param adc.Adc_blk.inl_lsb) "LSB";
+      spec Adc Dnl Non_ideality (at_most_param adc.Adc_blk.dnl_lsb) "LSB";
+      spec Adc Noise_figure Partitioned (at_most_param adc.Adc_blk.nf_db) "dB";
+      spec Adc Dynamic_range Partitioned (At_least 60.0) "dB" ]
+  | Stage.Sd_adc { sd; _ } ->
+    [ spec Adc Offset_error Non_ideality (within_param sd.Sigma_delta.comparator_offset_v)
+        "V";
+      spec Adc Noise_figure Partitioned (at_most_param sd.Sigma_delta.nf_db) "dB";
+      spec Adc Dynamic_range Partitioned (At_least 60.0) "dB" ]
+
+let of_path (path : Path.t) =
+  List.concat_map of_stage path.Path.stages
+  @ [ { block = Digital_filter;
+        stage = block_name Digital_filter;
+        kind = Stuck_at_coverage;
+        origin = System_projection;
+        bound = At_least 0.8;
+        unit_label = "fraction" } ]
+
+let of_receiver = of_path

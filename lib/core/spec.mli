@@ -36,7 +36,8 @@ type bound =
   | Within of { lo : float; hi : float }
 
 type t = {
-  block : block;
+  block : block;    (** Block class — decides Table-1 membership. *)
+  stage : string;   (** Stage id (or LO id) this spec belongs to. *)
   kind : kind;
   origin : origin;
   bound : bound;
@@ -53,10 +54,28 @@ val table1 : block -> kind list
 val composable : kind -> bool
 (** Partitioned parameters compose at the system level (§4.2). *)
 
+val class_of_stage : Msoc_analog.Stage.t -> block
+(** The block class of a stage (sigma-delta digitizers class as {!Adc}). *)
+
+val gain_kind : block -> kind
+(** The kind under which a block class's pass-band gain is spec'd
+    ({!Passband_gain} for the LPF, {!Gain} otherwise). *)
+
+val param_names : kind -> string list
+(** Candidate {!Msoc_analog.Stage.params} names backing a spec kind, tried
+    in order; empty for kinds with no toleranced source parameter. *)
+
 val passes : bound -> float -> bool
 val pp_bound : Format.formatter -> bound -> unit
 val pp : Format.formatter -> t -> unit
 
+val of_stage : Msoc_analog.Stage.t -> t list
+(** Table-1 specs of one stage (a mixer stage also emits its LO's). *)
+
+val of_path : Msoc_analog.Path.t -> t list
+(** Concrete spec list for a path: every Table 1 parameter of every stage
+    with bounds derived from the nominal value and tolerance, plus the
+    trailing digital-filter structural spec. *)
+
 val of_receiver : Msoc_analog.Path.t -> t list
-(** Concrete spec list for a receiver path: every Table 1 parameter with
-    bounds derived from the block's nominal value and tolerance. *)
+(** Alias of {!of_path} (historical name). *)

@@ -1,0 +1,34 @@
+(* Regenerates the pinned virtual-tester ADC-code fixture used by the golden
+   test.  The capture is fully deterministic: nominal part, fixed engine seed,
+   coherent two-tone stimulus at the standard test level. *)
+module Path = Msoc_analog.Path
+module Context = Msoc_analog.Context
+module Tone = Msoc_dsp.Tone
+module Units = Msoc_util.Units
+module Prng = Msoc_util.Prng
+open Msoc_synth
+
+let () =
+  let path = Path.default_receiver () in
+  let fs = path.Path.ctx.Context.sim_rate_hz in
+  let decim = Path.decimation path in
+  let adc_rate = Path.adc_rate_hz path in
+  let n_adc = 512 in
+  let n_sim = n_adc * decim in
+  let f1 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:90e3 in
+  let f2 = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:110e3 in
+  let input =
+    Tone.synthesize ~sample_rate:fs ~samples:n_sim
+      [ Tone.component ~freq:(1e6 +. f1)
+          ~amplitude:(Units.vpeak_of_dbm Propagate.standard_test_level_dbm) ();
+        Tone.component ~freq:(1e6 +. f2)
+          ~amplitude:(Units.vpeak_of_dbm Propagate.standard_test_level_dbm) () ]
+  in
+  (* nominal part, then a Monte-Carlo sampled part: both deterministic *)
+  let emit label part =
+    let engine = Path.engine path part ~seed:42 in
+    let codes = Path.run_codes engine input in
+    Array.iteri (fun i c -> Printf.printf "%s %d %d\n" label i c) codes
+  in
+  emit "nominal" (Path.nominal_part path);
+  emit "sampled" (Path.sample_part path (Prng.create 7))

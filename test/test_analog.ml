@@ -441,7 +441,7 @@ let test_path_waveform_end_to_end () =
   let fs = path.Path.ctx.Context.sim_rate_hz in
   let adc_rate = Path.adc_rate_hz path in
   let n_adc = 2048 in
-  let n_sim = n_adc * path.Path.adc_decimation in
+  let n_sim = n_adc * Path.decimation path in
   let f_if = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:100e3 in
   let f_rf = 1e6 +. f_if in
   let input =
@@ -462,7 +462,7 @@ let test_path_attribute_vs_waveform_consistency () =
   let fs = path.Path.ctx.Context.sim_rate_hz in
   let adc_rate = Path.adc_rate_hz path in
   let n_adc = 4096 in
-  let n_sim = n_adc * path.Path.adc_decimation in
+  let n_sim = n_adc * Path.decimation path in
   let f_if = Tone.coherent_frequency ~sample_rate:adc_rate ~samples:n_adc ~target:100e3 in
   let f_rf = 1e6 +. f_if in
   let input =
@@ -487,13 +487,53 @@ let test_sampled_parts_differ_but_within_tolerance () =
   let path = Path.default_receiver () in
   let g = Prng.create 123 in
   let p1 = Path.sample_part path g and p2 = Path.sample_part path g in
-  Alcotest.(check bool) "parts differ" true
-    (p1.Path.amp_v.Amplifier.gain_db <> p2.Path.amp_v.Amplifier.gain_db);
+  let amp_gain p = Path.part_value path p ~stage:"Amp" ~name:"gain_db" in
+  Alcotest.(check bool) "parts differ" true (amp_gain p1 <> amp_gain p2);
   List.iter
     (fun (p : Path.part) ->
-      if Float.abs (p.Path.amp_v.Amplifier.gain_db -. 20.0) > 1.0 then
+      if Float.abs (amp_gain p -. 20.0) > 1.0 then
         Alcotest.fail "sampled gain escaped tolerance")
     [ p1; p2 ]
+
+(* ---- Topology registry ---- *)
+
+let test_topology_registry_builds () =
+  Alcotest.(check bool) "registry non-empty" true (Topology.names <> []);
+  Alcotest.(check bool) "default registered" true (List.mem "default" Topology.names);
+  List.iter
+    (fun name ->
+      match Topology.build name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "Topology.build %S returned None" name)
+    Topology.names;
+  Alcotest.(check (option pass)) "unknown name rejected" None (Topology.build "no-such")
+
+(* Property: for every registered topology the interval arithmetic of
+   [Path.path_gain_interval_db] bounds the pass-band gain of each of 1000
+   Monte-Carlo manufactured parts. *)
+let test_topology_mc_gain_within_interval () =
+  List.iter
+    (fun name ->
+      let path =
+        match Topology.build name with
+        | Some p -> p
+        | None -> Alcotest.failf "Topology.build %S returned None" name
+      in
+      let interval = Path.path_gain_interval_db path in
+      let g = Prng.create 20260807 in
+      for i = 1 to 1000 do
+        let part = Path.sample_part path g in
+        let gain =
+          List.fold_left
+            (fun acc (s, _) ->
+              acc +. Path.part_value path part ~stage:s.Stage.id ~name:"gain_db")
+            0.0 (Path.gain_stages path)
+        in
+        if not (I.contains interval gain) then
+          Alcotest.failf "%s part %d: gain %.6f outside [%.6f, %.6f]" name i gain
+            interval.I.lo interval.I.hi
+      done)
+    Topology.names
 
 let () =
   Alcotest.run "msoc_analog"
@@ -545,4 +585,8 @@ let () =
           Alcotest.test_case "waveform end-to-end" `Quick test_path_waveform_end_to_end;
           Alcotest.test_case "attribute vs waveform" `Quick
             test_path_attribute_vs_waveform_consistency;
-          Alcotest.test_case "sampled parts" `Quick test_sampled_parts_differ_but_within_tolerance ] ) ]
+          Alcotest.test_case "sampled parts" `Quick test_sampled_parts_differ_but_within_tolerance ] );
+      ( "topology",
+        [ Alcotest.test_case "registry builds" `Quick test_topology_registry_builds;
+          Alcotest.test_case "MC gain within interval" `Quick
+            test_topology_mc_gain_within_interval ] ) ]

@@ -136,7 +136,7 @@ let test_adaptive_beats_nominal_iip3 () =
     (Propagate.err adaptive < Propagate.err nominal);
   (* the adaptive method depends only on Block A's (the amp's) tolerance *)
   Alcotest.check (approx 1e-9) "adaptive err = amp tol + instrument"
-    (path.Path.amp.Msoc_analog.Amplifier.gain_db.Param.tol +. 0.1)
+    ((Path.param path ~stage:"Amp" ~name:"gain_db").Param.tol +. 0.1)
     (Propagate.err adaptive);
   Alcotest.(check bool) "adaptive needs the path-gain prerequisite" true
     (List.mem "path gain" adaptive.Propagate.prerequisites)
@@ -158,7 +158,7 @@ let test_cutoff_error_sources () =
   let slope = Float.abs (Propagate.lpf_cutoff_slope_db_per_hz path) in
   Alcotest.(check bool) "slope is physical" true (slope > 1e-6 && slope < 1e-3);
   Alcotest.(check bool) "error includes the slope-amplified gain term" true
-    (Propagate.err nominal > path.Path.lpf.Msoc_analog.Lpf.gain_db.Param.tol /. slope)
+    (Propagate.err nominal > (Path.param path ~stage:"LPF" ~name:"gain_db").Param.tol /. slope)
 
 let test_all_for_receiver_unique_specs () =
   let ms = Propagate.all_for_receiver path ~strategy:Propagate.Adaptive in
@@ -577,11 +577,11 @@ let test_measure_path_gain () =
 
 let test_measure_lo_frequency () =
   let part = Path.nominal_part path in
-  let shifted = { part with Path.lo_v = { part.Path.lo_v with Msoc_analog.Local_osc.freq_error_hz = 137.0 } } in
+  let shifted = Path.with_value path part ~stage:"LO" ~name:"freq_error_hz" 137.0 in
   let t = Measure.create ~capture_samples:4096 path shifted in
   let measured = Measure.lo_frequency_hz t ~level_dbm:Propagate.standard_test_level_dbm in
   Alcotest.check (Alcotest.float 30.0) "LO error recovered" 137.0
-    (measured -. path.Path.lo.Msoc_analog.Local_osc.freq_hz)
+    (measured -. Option.get (Path.lo_freq_hz path))
 
 let test_measure_validations_within_budget () =
   let part = Path.nominal_part path in
@@ -596,12 +596,9 @@ let test_measure_adaptive_beats_nominal_p1db () =
   (* a part whose amp gain sits at the tolerance corner: the nominal-line
      method confuses the gain deficit with compression *)
   let part = Path.nominal_part path in
-  let low_gain =
-    { part with
-      Path.amp_v = { part.Path.amp_v with Msoc_analog.Amplifier.gain_db = 19.0 } }
-  in
+  let low_gain = Path.with_value path part ~stage:"Amp" ~name:"gain_db" 19.0 in
   let t = Measure.create ~capture_samples:2048 path low_gain in
-  let truth = low_gain.Path.mixer_v.Msoc_analog.Mixer.p1db_dbm in
+  let truth = Path.part_value path low_gain ~stage:"Mixer" ~name:"p1db_dbm" in
   let nominal = Measure.mixer_p1db_dbm t ~strategy:Propagate.Nominal_gains in
   let adaptive = Measure.mixer_p1db_dbm t ~strategy:Propagate.Adaptive in
   Alcotest.(check bool)

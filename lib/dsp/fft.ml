@@ -9,13 +9,19 @@ let next_power_of_two n =
   let rec grow p = if p >= n then p else grow (p * 2) in
   grow 1
 
+(* "Fast" here means radix-2: a size the planner can transform without the
+   Bluestein detour.  Consumers that may zero-pad (a spectrum whose bin
+   grid is free, a convolution) pad to this. *)
+let next_fast_size n = next_power_of_two n
+
 (* ------------------------------------------------------------------ *)
 (* Plan cache.  Every transform of length N reuses the same bit-       *)
-(* reversal permutation and twiddle tables, and every Bluestein        *)
-(* transform of length N reuses its chirp and the spectrum of its      *)
-(* (fixed) convolution kernel.  Plans are immutable once built and the *)
-(* table is mutex-protected, so cached transforms are safe to run from *)
-(* multiple domains concurrently.                                      *)
+(* reversal permutation and twiddle tables, every Bluestein transform  *)
+(* of length N reuses its chirp and the spectrum of its (fixed)        *)
+(* convolution kernel, and every real-input transform of length N      *)
+(* reuses its untangling twiddles.  Plans are immutable once built and *)
+(* the table is mutex-protected, so cached transforms are safe to run  *)
+(* from multiple domains concurrently.                                 *)
 (* ------------------------------------------------------------------ *)
 
 type pow2_plan = {
@@ -36,15 +42,24 @@ type bluestein_plan = {
   fb_im : float array;
 }
 
+(* Untangling twiddles of the packed real transform: exp(-2i pi k / n)
+   for k = 0 .. n/2, keyed by the (even) real length n. *)
+type rfft_plan = {
+  ut_re : float array;
+  ut_im : float array;
+}
+
 let plan_mutex = Mutex.create ()
 let pow2_plans : (int, pow2_plan) Hashtbl.t = Hashtbl.create 8
 (* keyed by (n, inverse): the chirp sign differs between directions *)
 let bluestein_plans : (int * bool, bluestein_plan) Hashtbl.t = Hashtbl.create 8
+let rfft_plans : (int, rfft_plan) Hashtbl.t = Hashtbl.create 8
 
 let clear_plan_cache () =
   Mutex.lock plan_mutex;
   Hashtbl.reset pow2_plans;
   Hashtbl.reset bluestein_plans;
+  Hashtbl.reset rfft_plans;
   Mutex.unlock plan_mutex
 
 let plan_cache_sizes () =
@@ -112,6 +127,33 @@ let pow2_plan n =
   memo_plan pow2_plans n ~hit:"fft.plan.pow2.hit" ~miss:"fft.plan.pow2.miss"
     (fun () -> build_pow2_plan n)
 
+(* ------------------------------------------------------------------ *)
+(* Per-domain scratch.  The transforms below need short-lived work     *)
+(* buffers (the packed half-length signal, the Bluestein convolution); *)
+(* allocating them per call made the capture loop GC-bound, so each    *)
+(* domain keeps one buffer per (role, exact length).  Buffers hold no  *)
+(* state between calls — every user overwrites before reading — and    *)
+(* roles keep the concurrent uses inside one transform distinct.       *)
+(* ------------------------------------------------------------------ *)
+
+let scratch_key : (int * int, float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let scratch ~role n =
+  let tbl = Domain.DLS.get scratch_key in
+  match Hashtbl.find_opt tbl (role, n) with
+  | Some a -> a
+  | None ->
+    let a = Array.make n 0.0 in
+    Hashtbl.add tbl (role, n) a;
+    a
+
+(* roles: 0/1 — packed/real input of [rfft]; 2/3 — Bluestein convolution *)
+let role_pack_re = 0
+and role_pack_im = 1
+and role_conv_re = 2
+and role_conv_im = 3
+
 (* Iterative radix-2 decimation-in-time with table-driven twiddles: the
    bit-reversal permutation followed by log2(N) butterfly stages.  The
    inverse direction conjugates the (forward-sign) table entries. *)
@@ -158,16 +200,6 @@ let fft_in_place ~re ~im ~inverse =
     end
   end
 
-let split x =
-  (Array.map (fun (c : Complex.t) -> c.re) x, Array.map (fun (c : Complex.t) -> c.im) x)
-
-let join re im = Array.init (Array.length re) (fun i -> { Complex.re = re.(i); im = im.(i) })
-
-let pow2_transform ~inverse x =
-  let re, im = split x in
-  fft_in_place ~re ~im ~inverse;
-  join re im
-
 let build_bluestein_plan ~inverse n =
   let sign = if inverse then 1.0 else -1.0 in
   let chirp_re = Array.make n 0.0 and chirp_im = Array.make n 0.0 in
@@ -197,19 +229,23 @@ let bluestein_plan ~inverse n =
     ~miss:"fft.plan.bluestein.miss"
     (fun () -> build_bluestein_plan ~inverse n)
 
-(* Bluestein chirp-z: x_n * w_n convolved with the conj(w) chirp, where
-   w_n = exp(-i pi n^2 / N).  The linear convolution is carried out with a
-   power-of-two circular FFT of length >= 2N - 1; the chirp and the
-   kernel's spectrum come from the plan. *)
-let bluestein ~inverse x =
-  let n = Array.length x in
+(* Bluestein chirp-z, in place on split arrays: x_n * w_n convolved with
+   the conj(w) chirp, where w_n = exp(-i pi n^2 / N).  The linear
+   convolution is carried out with a power-of-two circular FFT of length
+   >= 2N - 1 in per-domain scratch; the chirp and the kernel's spectrum
+   come from the plan. *)
+let bluestein_in_place ~re ~im ~inverse =
+  let n = Array.length re in
+  assert (Array.length im = n);
   let plan = bluestein_plan ~inverse n in
   let m = plan.m in
-  let a_re = Array.make m 0.0 and a_im = Array.make m 0.0 in
+  let a_re = scratch ~role:role_conv_re m and a_im = scratch ~role:role_conv_im m in
+  Array.fill a_re 0 m 0.0;
+  Array.fill a_im 0 m 0.0;
   for k = 0 to n - 1 do
-    let { Complex.re; im } = x.(k) in
-    a_re.(k) <- (re *. plan.chirp_re.(k)) -. (im *. plan.chirp_im.(k));
-    a_im.(k) <- (re *. plan.chirp_im.(k)) +. (im *. plan.chirp_re.(k))
+    let xr = re.(k) and xi = im.(k) in
+    a_re.(k) <- (xr *. plan.chirp_re.(k)) -. (xi *. plan.chirp_im.(k));
+    a_im.(k) <- (xr *. plan.chirp_im.(k)) +. (xi *. plan.chirp_re.(k))
   done;
   fft_in_place ~re:a_re ~im:a_im ~inverse:false;
   for k = 0 to m - 1 do
@@ -220,18 +256,36 @@ let bluestein ~inverse x =
   done;
   fft_in_place ~re:a_re ~im:a_im ~inverse:true;
   let scale = if inverse then 1.0 /. float_of_int n else 1.0 in
-  Array.init n (fun k ->
-      let re = (a_re.(k) *. plan.chirp_re.(k)) -. (a_im.(k) *. plan.chirp_im.(k)) in
-      let im = (a_re.(k) *. plan.chirp_im.(k)) +. (a_im.(k) *. plan.chirp_re.(k)) in
-      { Complex.re = re *. scale; im = im *. scale })
+  for k = 0 to n - 1 do
+    let rr = (a_re.(k) *. plan.chirp_re.(k)) -. (a_im.(k) *. plan.chirp_im.(k)) in
+    let ri = (a_re.(k) *. plan.chirp_im.(k)) +. (a_im.(k) *. plan.chirp_re.(k)) in
+    re.(k) <- rr *. scale;
+    im.(k) <- ri *. scale
+  done
+
+(* Any-length in-place transform on split arrays (no Complex boxing). *)
+let transform_in_place ~re ~im ~inverse =
+  let n = Array.length re in
+  if n > 1 then begin
+    if is_power_of_two n then fft_in_place ~re ~im ~inverse
+    else bluestein_in_place ~re ~im ~inverse
+  end
+
+let split x =
+  (Array.map (fun (c : Complex.t) -> c.re) x, Array.map (fun (c : Complex.t) -> c.im) x)
+
+let join re im = Array.init (Array.length re) (fun i -> { Complex.re = re.(i); im = im.(i) })
 
 let transform ~inverse x =
   let n = Array.length x in
   assert (n >= 1);
   Obs.count "fft.transforms";
   if n = 1 then Array.copy x
-  else if is_power_of_two n then pow2_transform ~inverse x
-  else bluestein ~inverse x
+  else begin
+    let re, im = split x in
+    transform_in_place ~re ~im ~inverse;
+    join re im
+  end
 
 let fft x = transform ~inverse:false x
 let ifft x = transform ~inverse:true x
@@ -247,19 +301,78 @@ let dft x =
       done;
       !acc)
 
+(* ------------------------------------------------------------------ *)
+(* Real-input transform.  Every tester waveform is real, so the full   *)
+(* complex transform wastes half its work on a zero imaginary part.    *)
+(* For even N the classic pack-two-reals trick halves the transform:   *)
+(* z_k = x_{2k} + i x_{2k+1} is transformed at length N/2, then the    *)
+(* even/odd spectra are untangled with the plan's twiddles:            *)
+(*   E_k = (Z_k + conj Z_{h-k}) / 2,  O_k = -i (Z_k - conj Z_{h-k})/2, *)
+(*   X_k = E_k + exp(-2 pi i k / N) O_k,   k = 0..h,  Z_h := Z_0.      *)
+(* Odd N falls back to a full-length transform on split arrays.        *)
+(* ------------------------------------------------------------------ *)
+
+let build_rfft_plan n =
+  let h = n / 2 in
+  let ut_re = Array.make (h + 1) 0.0 and ut_im = Array.make (h + 1) 0.0 in
+  for k = 0 to h do
+    let angle = -.two_pi *. float_of_int k /. float_of_int n in
+    ut_re.(k) <- cos angle;
+    ut_im.(k) <- sin angle
+  done;
+  { ut_re; ut_im }
+
+let rfft_plan n =
+  memo_plan rfft_plans n ~hit:"fft.plan.rfft.hit" ~miss:"fft.plan.rfft.miss"
+    (fun () -> build_rfft_plan n)
+
+(* Forward transform of a real signal into caller-provided split output:
+   [re]/[im] receive the n/2 + 1 non-redundant bins (DC .. Nyquist). *)
+let rfft_into signal ~re ~im =
+  let n = Array.length signal in
+  assert (n >= 2);
+  let bins = (n / 2) + 1 in
+  assert (Array.length re >= bins && Array.length im >= bins);
+  Obs.count "fft.transforms";
+  if n land 1 = 1 then begin
+    (* odd length: full-size split transform of (signal, 0) *)
+    let w_re = scratch ~role:role_pack_re n and w_im = scratch ~role:role_pack_im n in
+    Array.blit signal 0 w_re 0 n;
+    Array.fill w_im 0 n 0.0;
+    transform_in_place ~re:w_re ~im:w_im ~inverse:false;
+    Array.blit w_re 0 re 0 bins;
+    Array.blit w_im 0 im 0 bins
+  end
+  else begin
+    let h = n / 2 in
+    let z_re = scratch ~role:role_pack_re h and z_im = scratch ~role:role_pack_im h in
+    for k = 0 to h - 1 do
+      z_re.(k) <- signal.(2 * k);
+      z_im.(k) <- signal.((2 * k) + 1)
+    done;
+    transform_in_place ~re:z_re ~im:z_im ~inverse:false;
+    let plan = rfft_plan n in
+    let ut_re = plan.ut_re and ut_im = plan.ut_im in
+    for k = 0 to h do
+      (* Z_h and Z_0 coincide (length-h periodicity) *)
+      let zk_re = if k = h then z_re.(0) else z_re.(k) in
+      let zk_im = if k = h then z_im.(0) else z_im.(k) in
+      let j = (h - k) mod h in
+      let zj_re = z_re.(j) and zj_im = -.z_im.(j) in
+      let e_re = 0.5 *. (zk_re +. zj_re) and e_im = 0.5 *. (zk_im +. zj_im) in
+      (* O_k = -i (Z_k - conj Z_{h-k}) / 2 *)
+      let d_re = 0.5 *. (zk_re -. zj_re) and d_im = 0.5 *. (zk_im -. zj_im) in
+      let o_re = d_im and o_im = -.d_re in
+      let w_re = ut_re.(k) and w_im = ut_im.(k) in
+      re.(k) <- e_re +. ((w_re *. o_re) -. (w_im *. o_im));
+      im.(k) <- e_im +. ((w_re *. o_im) +. (w_im *. o_re))
+    done
+  end
+
 let rfft signal =
   let n = Array.length signal in
   assert (n >= 2);
-  if is_power_of_two n then begin
-    (* avoid the Complex boxing round-trip on the hot power-of-two path *)
-    Obs.count "fft.transforms";
-    let re = Array.copy signal in
-    let im = Array.make n 0.0 in
-    fft_in_place ~re ~im ~inverse:false;
-    Array.init ((n / 2) + 1) (fun k -> { Complex.re = re.(k); im = im.(k) })
-  end
-  else begin
-    let x = Array.map (fun v -> { Complex.re = v; im = 0.0 }) signal in
-    let full = fft x in
-    Array.sub full 0 ((n / 2) + 1)
-  end
+  let bins = (n / 2) + 1 in
+  let re = Array.make bins 0.0 and im = Array.make bins 0.0 in
+  rfft_into signal ~re ~im;
+  join re im

@@ -6,12 +6,16 @@
     DFT is exported for cross-validation in the test suite.
 
     Transforms are {e planned}: the bit-reversal permutation and twiddle
-    tables of each power-of-two length, and the chirp plus convolution-kernel
-    spectrum of each Bluestein length, are computed once and memoised, so
-    repeated same-length transforms (the virtual tester performs thousands of
-    same-size captures) skip all [cos]/[sin] evaluation.  The plan table is
-    mutex-protected and plans are immutable once published, so transforms may
-    run concurrently from multiple domains.
+    tables of each power-of-two length, the chirp plus convolution-kernel
+    spectrum of each Bluestein length, and the untangling twiddles of each
+    real-input length are computed once and memoised, so repeated same-length
+    transforms (the virtual tester performs thousands of same-size captures)
+    skip all [cos]/[sin] evaluation.  The plan table is mutex-protected and
+    plans are immutable once published, so transforms may run concurrently
+    from multiple domains.  Internal work buffers (the Bluestein convolution,
+    the packed real input) live in per-domain scratch, so steady-state
+    transforms through the [_in_place]/[_into] entry points allocate
+    nothing.
 
     Conventions: forward transform is [X_k = sum_n x_n exp(-2πi kn / N)]; the
     inverse includes the [1/N] factor, so [ifft (fft x) = x]. *)
@@ -21,9 +25,20 @@ val is_power_of_two : int -> bool
 val next_power_of_two : int -> int
 (** Smallest power of two >= the argument.  Requires a positive argument. *)
 
+val next_fast_size : int -> int
+(** Smallest length >= the argument that transforms without the Bluestein
+    detour (currently [next_power_of_two]).  Consumers free to zero-pad —
+    a spectrum whose bin grid is not pinned, a convolution — should pad to
+    this. *)
+
 val fft_in_place : re:float array -> im:float array -> inverse:bool -> unit
 (** In-place radix-2 transform.  Requires both arrays of the same
     power-of-two length.  The inverse applies the [1/N] scaling. *)
+
+val transform_in_place : re:float array -> im:float array -> inverse:bool -> unit
+(** In-place transform of any length on split arrays: radix-2 when the
+    length is a power of two, Bluestein otherwise (via per-domain scratch —
+    allocation-free in steady state). *)
 
 val fft : Complex.t array -> Complex.t array
 (** Forward transform of any length >= 1. *)
@@ -34,9 +49,17 @@ val ifft : Complex.t array -> Complex.t array
 val dft : Complex.t array -> Complex.t array
 (** O(N^2) reference implementation. *)
 
+val rfft_into : float array -> re:float array -> im:float array -> unit
+(** Forward transform of a real signal into caller-provided split output:
+    the first [N/2 + 1] cells of [re]/[im] receive the non-redundant bins
+    (DC .. Nyquist).  Any length >= 2; even lengths run a half-length
+    complex transform (pack-two-reals), odd lengths a full-length one.
+    Allocation-free in steady state. *)
+
 val rfft : float array -> Complex.t array
 (** Forward transform of a real signal; returns the [N/2 + 1] non-redundant
-    bins (DC .. Nyquist).  Any length >= 2. *)
+    bins (DC .. Nyquist).  Any length >= 2.  Boxing wrapper around
+    {!rfft_into}. *)
 
 val clear_plan_cache : unit -> unit
 (** Drop every memoised plan.  Only useful to benchmarks and tests that want

@@ -1,19 +1,24 @@
 let two_pi = Msoc_util.Units.two_pi
 
+(* Resonator state as a float-only record: its fields are stored flat, so
+   the recurrence runs without boxing (a [float ref] would allocate on
+   every [:=] — two boxes per sample on the tester's hot path). *)
+type state = { mutable s1 : float; mutable s2 : float }
+
 let bin signal ~k =
   let n = Array.length signal in
   assert (k >= 0 && k < n);
   let w = two_pi *. float_of_int k /. float_of_int n in
   let coeff = 2.0 *. cos w in
-  let s1 = ref 0.0 and s2 = ref 0.0 in
-  Array.iter
-    (fun x ->
-      let s0 = x +. (coeff *. !s1) -. !s2 in
-      s2 := !s1;
-      s1 := s0)
-    signal;
+  let st = { s1 = 0.0; s2 = 0.0 } in
+  for i = 0 to n - 1 do
+    let x = Array.unsafe_get signal i in
+    let s0 = x +. (coeff *. st.s1) -. st.s2 in
+    st.s2 <- st.s1;
+    st.s1 <- s0
+  done;
   (* X_k = s1 e^{jw} - s2 (forward-DFT convention) *)
-  { Complex.re = (!s1 *. cos w) -. !s2; im = !s1 *. sin w }
+  { Complex.re = (st.s1 *. cos w) -. st.s2; im = st.s1 *. sin w }
 
 let power signal ~sample_rate ~freq =
   let n = Array.length signal in

@@ -37,20 +37,24 @@ let harmonic_power_db t ~fundamental ~harmonic =
 
 let intermod3_products ~f1 ~f2 = (Float.abs ((2.0 *. f1) -. f2), Float.abs ((2.0 *. f2) -. f1))
 
+(* Exclusion masks as flat bool arrays indexed by bin: the noise sums below
+   run over every bin, and a hash probe per bin costs more than the add it
+   guards.  [bins_around] already clamps to [1, bin_count). *)
 let snr_with_exclusions t ~fundamental ~harmonics =
   let hw = lobe_half_width t.Spectrum.window in
-  let excluded = Hashtbl.create 64 in
+  let nbins = Spectrum.bin_count t in
+  let excluded = Array.make nbins false in
   let exclude_tone freq =
     let center = Spectrum.bin_of_frequency t freq in
-    List.iter (fun k -> Hashtbl.replace excluded k ()) (bins_around t center hw)
+    List.iter (fun k -> excluded.(k) <- true) (bins_around t center hw)
   in
   for h = 1 to harmonics do
     exclude_tone (alias_fold ~sample_rate:t.Spectrum.sample_rate (float_of_int h *. fundamental))
   done;
   let signal = Spectrum.tone_power t ~freq:fundamental in
   let noise = ref 0.0 in
-  for k = 1 to Spectrum.bin_count t - 1 do
-    if not (Hashtbl.mem excluded k) then noise := !noise +. t.Spectrum.bins.(k)
+  for k = 1 to nbins - 1 do
+    if not (Array.unsafe_get excluded k) then noise := !noise +. t.Spectrum.bins.(k)
   done;
   if !noise <= 1e-40 then 400.0 else db signal -. db !noise
 
@@ -58,10 +62,11 @@ let snr_db t ~fundamental = snr_with_exclusions t ~fundamental ~harmonics:5
 
 let snr_multi_db t ~signals ?(exclude = []) () =
   let hw = lobe_half_width t.Spectrum.window in
-  let excluded = Hashtbl.create 64 in
+  let nbins = Spectrum.bin_count t in
+  let excluded = Array.make nbins false in
   let exclude_tone freq =
     let center = Spectrum.bin_of_frequency t freq in
-    List.iter (fun k -> Hashtbl.replace excluded k ()) (bins_around t center hw)
+    List.iter (fun k -> excluded.(k) <- true) (bins_around t center hw)
   in
   let fs = t.Spectrum.sample_rate in
   List.iter
@@ -75,8 +80,8 @@ let snr_multi_db t ~signals ?(exclude = []) () =
     List.fold_left (fun acc freq -> acc +. Spectrum.tone_power t ~freq) 0.0 signals
   in
   let noise = ref 0.0 in
-  for k = 1 to Spectrum.bin_count t - 1 do
-    if not (Hashtbl.mem excluded k) then noise := !noise +. t.Spectrum.bins.(k)
+  for k = 1 to nbins - 1 do
+    if not (Array.unsafe_get excluded k) then noise := !noise +. t.Spectrum.bins.(k)
   done;
   if !noise <= 1e-40 then 400.0 else db signal -. db !noise
 

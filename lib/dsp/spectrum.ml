@@ -7,26 +7,45 @@ type t = {
 
 module Obs = Msoc_obs.Obs
 
+(* Per-domain scratch for the windowed signal and the split transform
+   output: a spectrum per fault stream, per Monte-Carlo sample, per
+   repeated capture used to allocate (and immediately discard) all three —
+   only the one-sided power array below survives the call. *)
+let scratch_key : (int * int, float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let scratch ~role n =
+  let tbl = Domain.DLS.get scratch_key in
+  match Hashtbl.find_opt tbl (role, n) with
+  | Some a -> a
+  | None ->
+    let a = Array.make n 0.0 in
+    Hashtbl.add tbl (role, n) a;
+    a
+
 let analyze ?(window = Window.Hann) ~sample_rate signal =
   let n = Array.length signal in
   assert (n >= 8);
   Obs.count "spectrum.captures";
   Obs.span "spectrum.analyze" @@ fun () ->
-  let windowed = Window.apply window signal in
-  let spectrum = Fft.rfft windowed in
+  let windowed = scratch ~role:0 n in
+  Window.apply_into window signal windowed;
+  let bin_count = (n / 2) + 1 in
+  let f_re = scratch ~role:1 bin_count and f_im = scratch ~role:2 bin_count in
+  Fft.rfft_into windowed ~re:f_re ~im:f_im;
   let gain = Window.coherent_gain window *. float_of_int n in
   (* One-sided mean-square power, normalised by the window's equivalent
      noise bandwidth so that (a) summing a tone's main lobe yields its true
      mean-square power a^2/2 and (b) summing noise bins yields the true
      noise variance.  Both identities are exact for cosine-sum windows. *)
   let enbw = Window.noise_bandwidth_bins window in
+  let norm = 1.0 /. (gain *. gain *. enbw) in
   let bins =
-    Array.mapi
-      (fun k (c : Complex.t) ->
-        let mag2 = (c.re *. c.re) +. (c.im *. c.im) in
+    Array.init bin_count (fun k ->
+        let re = Array.unsafe_get f_re k and im = Array.unsafe_get f_im k in
+        let mag2 = (re *. re) +. (im *. im) in
         let scale = if k = 0 || (n mod 2 = 0 && k = n / 2) then 1.0 else 2.0 in
-        scale *. mag2 /. (gain *. gain *. enbw))
-      spectrum
+        scale *. mag2 *. norm)
   in
   { bins; sample_rate; window; length = n }
 

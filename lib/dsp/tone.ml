@@ -19,8 +19,18 @@ let sample ~sample_rate ~t components =
       acc +. (amplitude *. sin ((two_pi *. freq *. time) +. phase)))
     0.0 components
 
+(* [synthesize_into] evaluates points with exactly the same arithmetic as
+   [sample] (the virtual tester's golden fixtures pin the codes bit-for-bit)
+   — it only removes the per-capture output allocation. *)
+let synthesize_into ~sample_rate components out =
+  for t = 0 to Array.length out - 1 do
+    Array.unsafe_set out t (sample ~sample_rate ~t components)
+  done
+
 let synthesize ~sample_rate ~samples components =
-  Array.init samples (fun t -> sample ~sample_rate ~t components)
+  let out = Array.make samples 0.0 in
+  synthesize_into ~sample_rate components out;
+  out
 
 let two_tone ~sample_rate ~samples ~f1 ~f2 ~amplitude =
   synthesize ~sample_rate ~samples

@@ -18,6 +18,10 @@ val coherent_frequency : sample_rate:float -> samples:int -> target:float -> flo
 val synthesize : sample_rate:float -> samples:int -> component list -> float array
 (** Sum of sines sampled at [sample_rate]. *)
 
+val synthesize_into : sample_rate:float -> component list -> float array -> unit
+(** Fill the whole output array with the same waveform (bit-identical to
+    {!synthesize} of the same length) without allocating. *)
+
 val sample : sample_rate:float -> t:int -> component list -> float
 (** Single point of the same waveform (streaming form). *)
 

@@ -19,7 +19,7 @@ let cosine_terms = function
   | Blackman -> [| 0.42; -0.5; 0.08 |]
   | Blackman_harris -> [| 0.35875; -0.48829; 0.14128; -0.01168 |]
 
-let coefficients kind n =
+let compute_coefficients kind n =
   assert (n >= 1);
   let terms = cosine_terms kind in
   Array.init n (fun i ->
@@ -27,6 +27,46 @@ let coefficients kind n =
       let acc = ref 0.0 in
       Array.iteri (fun k a -> acc := !acc +. (a *. cos (float_of_int k *. phase))) terms;
       !acc)
+
+(* Coefficient cache.  Every capture of the same (window, length) reuses
+   the same table — the virtual tester windows thousands of same-size
+   captures, and the n cosine evaluations per capture used to dominate
+   [Spectrum.analyze].  Cached tables are treated as immutable; the public
+   [coefficients] returns a defensive copy, the in-place [apply]/
+   [apply_into] paths read the shared table directly. *)
+let coeff_mutex = Mutex.create ()
+let coeff_cache : (int * int, float array) Hashtbl.t = Hashtbl.create 8
+
+let kind_tag = function
+  | Rectangular -> 0
+  | Hann -> 1
+  | Hamming -> 2
+  | Blackman -> 3
+  | Blackman_harris -> 4
+
+let cached_coefficients kind n =
+  let key = (kind_tag kind, n) in
+  Mutex.lock coeff_mutex;
+  let existing = Hashtbl.find_opt coeff_cache key in
+  Mutex.unlock coeff_mutex;
+  match existing with
+  | Some w -> w
+  | None ->
+    (* built outside the lock; racing domains build identical tables and
+       the first to publish wins *)
+    let w = compute_coefficients kind n in
+    Mutex.lock coeff_mutex;
+    let w =
+      match Hashtbl.find_opt coeff_cache key with
+      | Some winner -> winner
+      | None ->
+        Hashtbl.add coeff_cache key w;
+        w
+    in
+    Mutex.unlock coeff_mutex;
+    w
+
+let coefficients kind n = Array.copy (cached_coefficients kind n)
 
 let coherent_gain kind = (cosine_terms kind).(0)
 
@@ -39,6 +79,15 @@ let noise_bandwidth_bins kind =
   in
   sum_sq /. (terms.(0) *. terms.(0))
 
+let apply_into kind signal out =
+  let n = Array.length signal in
+  assert (Array.length out >= n);
+  let w = cached_coefficients kind n in
+  for i = 0 to n - 1 do
+    Array.unsafe_set out i (Array.unsafe_get signal i *. Array.unsafe_get w i)
+  done
+
 let apply kind signal =
-  let w = coefficients kind (Array.length signal) in
-  Array.mapi (fun i x -> x *. w.(i)) signal
+  let out = Array.make (Array.length signal) 0.0 in
+  apply_into kind signal out;
+  out

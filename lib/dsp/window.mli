@@ -14,7 +14,8 @@ val name : kind -> string
 
 val coefficients : kind -> int -> float array
 (** [coefficients kind n] is the length-[n] window (periodic form).
-    Requires [n >= 1]. *)
+    Requires [n >= 1].  Tables are cached per [(kind, n)]; the returned
+    array is a fresh copy the caller may mutate. *)
 
 val coherent_gain : kind -> float
 (** Mean of the window coefficients (amplitude scaling of a coherent tone). *)
@@ -24,3 +25,8 @@ val noise_bandwidth_bins : kind -> float
 
 val apply : kind -> float array -> float array
 (** Pointwise product with the window of matching length. *)
+
+val apply_into : kind -> float array -> float array -> unit
+(** [apply_into kind signal out] writes the windowed signal into the first
+    [length signal] cells of [out] (which must be at least that long) —
+    the allocation-free form for callers with a scratch buffer. *)

@@ -77,31 +77,45 @@ let run ?pool circuit ~output ~drive ~samples ~faults =
   Obs.span "fault_sim.run" @@ fun () ->
   match pool with
   | Some pool when Pool.size pool > 1 && Array.length faults > faults_per_batch ->
-    (* One Logic_sim instance per worker; each worker owns a contiguous
-       range of batches and fresh per-batch stream arrays, so no simulation
-       state and no output array is shared between domains.  [drive] runs
+    (* One persistent Logic_sim instance per worker slot (created on first
+       use, reused across every batch the slot runs — including stolen
+       ones); each batch gets fresh stream arrays because those escape into
+       the result.  [prepare] makes batches independent of the sim that
+       runs them, so stealing cannot change any output.  [drive] runs
        concurrently against distinct sims and must only mutate the sim it
-       is handed. *)
+       is handed.  Batches are expensive and few, hence [grain:1]. *)
     let batch_array = Array.of_list (batches faults) in
     let offsets = batch_offsets batch_array in
     let good_stream = Array.make samples 0 in
     let fault_streams = Array.init (Array.length faults) (fun _ -> [||]) in
-    Pool.parallel_iter_chunks pool ~n:(Array.length batch_array) ~f:(fun ~lo ~hi ->
-        let bus = Netlist.find_output circuit output in
-        let sim = Logic_sim.create circuit in
-        let lane_values = Array.make Logic_sim.lanes 0 in
-        let scratch_good = if lo = 0 then good_stream else Array.make samples 0 in
+    let bus = Netlist.find_output circuit output in
+    let states = Array.make (Pool.size pool) None in
+    let slot_state slot =
+      match states.(slot) with
+      | Some st -> st
+      | None ->
+        let st = (Logic_sim.create circuit, Array.make Logic_sim.lanes 0, Array.make samples 0) in
+        states.(slot) <- Some st;
+        st
+    in
+    Pool.parallel_iter_grained pool ~n:(Array.length batch_array) ~grain:1
+      ~f:(fun ~slot ~lo ~hi ->
+        let sim, lane_values, scratch_good = slot_state slot in
         for b = lo to hi - 1 do
           let batch = batch_array.(b) in
           let batch_streams =
             Array.init (Array.length batch) (fun _ -> Array.make samples 0)
           in
-          simulate_batch sim ~bus ~drive ~samples ~lane_values ~good_stream:scratch_good
+          (* batch 0 owns lane 0's stream; every other batch discards its
+             (identical) copy into the slot's scratch *)
+          let good_target = if b = 0 then good_stream else scratch_good in
+          simulate_batch sim ~bus ~drive ~samples ~lane_values ~good_stream:good_target
             ~batch_streams batch;
           Array.iteri
             (fun lane _ -> fault_streams.(offsets.(b) + lane) <- batch_streams.(lane))
             batch
-        done);
+        done)
+      ();
     { faults; good_stream; fault_streams }
   | Some _ | None ->
     let fault_streams = Array.init (Array.length faults) (fun _ -> [||]) in
@@ -138,15 +152,25 @@ let detect_exact ?pool circuit ~output ~drive ~samples ~faults =
   | Some pool when Pool.size pool > 1 && Array.length faults > faults_per_batch ->
     let batch_array = Array.of_list (batches faults) in
     let offsets = batch_offsets batch_array in
-    Pool.parallel_iter_chunks pool ~n:(Array.length batch_array) ~f:(fun ~lo ~hi ->
-        let bus = Netlist.find_output circuit output in
-        let sim = Logic_sim.create circuit in
-        let lane_values = Array.make Logic_sim.lanes 0 in
+    let bus = Netlist.find_output circuit output in
+    let states = Array.make (Pool.size pool) None in
+    let slot_state slot =
+      match states.(slot) with
+      | Some st -> st
+      | None ->
+        let st = (Logic_sim.create circuit, Array.make Logic_sim.lanes 0) in
+        states.(slot) <- Some st;
+        st
+    in
+    Pool.parallel_iter_grained pool ~n:(Array.length batch_array) ~grain:1
+      ~f:(fun ~slot ~lo ~hi ->
+        let sim, lane_values = slot_state slot in
         for b = lo to hi - 1 do
           (* disjoint index ranges of [detected]: no write contention *)
           detect_batch sim ~bus ~drive ~samples ~lane_values ~detected
             ~batch_start:offsets.(b) batch_array.(b)
         done)
+      ()
   | Some _ | None ->
     let bus = Netlist.find_output circuit output in
     let sim = Logic_sim.create circuit in

@@ -259,7 +259,10 @@ let () =
             count ~by:(hi - lo) "pool.items";
             observe "pool.chunk.items" (float_of_int (hi - lo));
             span ~args:[ ("slot", string_of_int slot) ] "pool.chunk" f
-          end) }
+          end);
+      steal =
+        (fun ~size:_ ~thief:_ ~victim:_ ->
+          if Atomic.get enabled_flag then count "pool.steals") }
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots: merge the per-domain sinks deterministically (sinks      *)

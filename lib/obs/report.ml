@@ -1,10 +1,15 @@
-let schema_version = 1
+let schema_version = 2
 
 type timing = {
   t_name : string;
   mean_ns : float;
   stddev_ns : float;
   samples : int;
+  (* allocation evidence (schema v2): per-iteration GC load.  Reports
+     written at schema v1 parse with all three at 0.0. *)
+  minor_words : float;
+  major_words : float;
+  major_collections : float;
 }
 
 type scalar = { s_name : string; value : float; unit_label : string }
@@ -66,9 +71,12 @@ let partial_of b section =
     b.b_order <- section :: b.b_order;
     p
 
-let add_timing b ~section ~name ~mean_ns ~stddev_ns ~samples =
+let add_timing b ~section ~name ~mean_ns ~stddev_ns ~samples ?(minor_words = 0.0)
+    ?(major_words = 0.0) ?(major_collections = 0.0) () =
   let p = partial_of b section in
-  p.p_timings <- { t_name = name; mean_ns; stddev_ns; samples } :: p.p_timings
+  p.p_timings <-
+    { t_name = name; mean_ns; stddev_ns; samples; minor_words; major_words; major_collections }
+    :: p.p_timings
 
 let add_scalar b ~section ~name ?(unit_label = "") value =
   let p = partial_of b section in
@@ -98,7 +106,10 @@ let timing_fields t =
   [ ("name", Json.str t.t_name);
     ("mean_ns", Json.num_exact t.mean_ns);
     ("stddev_ns", Json.num_exact t.stddev_ns);
-    ("samples", Json.int t.samples) ]
+    ("samples", Json.int t.samples);
+    ("minor_words", Json.num_exact t.minor_words);
+    ("major_words", Json.num_exact t.major_words);
+    ("major_collections", Json.num_exact t.major_collections) ]
 
 let scalar_fields s =
   [ ("name", Json.str s.s_name);
@@ -142,8 +153,10 @@ let of_json text =
   | j ->
     (try
        let version = Json.int_exn "schema_version" j in
-       if version <> schema_version then
-         Error (Printf.sprintf "unsupported schema_version %d (expected %d)" version schema_version)
+       if version < 1 || version > schema_version then
+         Error
+           (Printf.sprintf "unsupported schema_version %d (expected 1..%d)" version
+              schema_version)
        else begin
          let m =
            match Json.member "meta" j with
@@ -162,13 +175,22 @@ let of_json text =
              (fun s ->
                { sec_name = Json.string_exn "name" s;
                  timings =
-                   List.map
-                     (fun t ->
-                       { t_name = Json.string_exn "name" t;
-                         mean_ns = Json.number_exn "mean_ns" t;
-                         stddev_ns = Json.number_exn "stddev_ns" t;
-                         samples = Json.int_exn "samples" t })
-                     (Json.list_exn "timings" s);
+                   ((* the GC fields arrived in schema v2; v1 rows read 0.0 *)
+                    let number_or_zero key t =
+                      match Option.bind (Json.member key t) Json.to_number with
+                      | Some v -> v
+                      | None -> 0.0
+                    in
+                    List.map
+                      (fun t ->
+                        { t_name = Json.string_exn "name" t;
+                          mean_ns = Json.number_exn "mean_ns" t;
+                          stddev_ns = Json.number_exn "stddev_ns" t;
+                          samples = Json.int_exn "samples" t;
+                          minor_words = number_or_zero "minor_words" t;
+                          major_words = number_or_zero "major_words" t;
+                          major_collections = number_or_zero "major_collections" t })
+                      (Json.list_exn "timings" s));
                  scalars =
                    List.map
                      (fun v ->

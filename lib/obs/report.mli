@@ -19,13 +19,18 @@
     [of_json (to_json r) = Ok r] holds structurally. *)
 
 val schema_version : int
-(** Current schema version (1).  [of_json] rejects other versions. *)
+(** Current schema version (2).  [of_json] accepts every version up to this
+    one — v1 files (no per-kernel GC fields) read with those fields at 0.0
+    — and rejects newer ones. *)
 
 type timing = {
   t_name : string;
   mean_ns : float;
   stddev_ns : float;
   samples : int;
+  minor_words : float;       (** Mean minor words allocated per iteration. *)
+  major_words : float;       (** Mean major words allocated per iteration. *)
+  major_collections : float; (** Mean major collections per iteration. *)
 }
 
 type scalar = { s_name : string; value : float; unit_label : string }
@@ -63,7 +68,10 @@ val create :
 
 val add_timing :
   builder -> section:string -> name:string -> mean_ns:float ->
-  stddev_ns:float -> samples:int -> unit
+  stddev_ns:float -> samples:int -> ?minor_words:float ->
+  ?major_words:float -> ?major_collections:float -> unit -> unit
+(** The GC fields default to 0.0 (callers without allocation
+    instrumentation). *)
 
 val add_scalar :
   builder -> section:string -> name:string -> ?unit_label:string -> float -> unit

@@ -24,6 +24,15 @@ type row = {
   delta_pct : float;
   ci_pct : float;
   verdict : verdict;
+  (* allocation evidence carried alongside the timing (schema v2 reports;
+     0.0 for v1 baselines and scalar rows) *)
+  old_minor_words : float;
+  new_minor_words : float;
+  (* the 95% delta interval contains zero while being wider than the
+     measured delta: too noisy to call either way.  Never gates, but
+     surfaced so a "pass" from 2-3 wild samples is not mistaken for
+     evidence. *)
+  noisy : bool;
 }
 
 type t = {
@@ -58,7 +67,10 @@ let timing_row ~tolerance_pct section (o : Report.timing) (n : Report.timing) =
     new_value = n.Report.mean_ns;
     delta_pct = delta;
     ci_pct = ci;
-    verdict }
+    verdict;
+    old_minor_words = o.Report.minor_words;
+    new_minor_words = n.Report.minor_words;
+    noisy = ci > 0.0 && ci >= Float.abs delta }
 
 let scalar_row section (o : Report.scalar) (n : Report.scalar) =
   { section;
@@ -67,16 +79,21 @@ let scalar_row section (o : Report.scalar) (n : Report.scalar) =
     new_value = n.Report.value;
     delta_pct = delta_pct ~old_:o.Report.value ~new_:n.Report.value;
     ci_pct = 0.0;
-    verdict = Info }
+    verdict = Info;
+    old_minor_words = 0.0;
+    new_minor_words = 0.0;
+    noisy = false }
 
 let unpaired section metric ~side value =
   match side with
   | `Old ->
     { section; metric; old_value = value; new_value = nan; delta_pct = nan;
-      ci_pct = nan; verdict = Missing_new }
+      ci_pct = nan; verdict = Missing_new; old_minor_words = 0.0;
+      new_minor_words = 0.0; noisy = false }
   | `New ->
     { section; metric; old_value = nan; new_value = value; delta_pct = nan;
-      ci_pct = nan; verdict = Missing_old }
+      ci_pct = nan; verdict = Missing_old; old_minor_words = 0.0;
+      new_minor_words = 0.0; noisy = false }
 
 (* Pair two row lists by name, preserving the old report's order; rows
    unique to the new report trail in their own order. *)
@@ -135,20 +152,37 @@ let diff ?(tolerance_pct = 5.0) ~old_report ~new_report () =
 
 let gate_failed t = t.regressed > 0 || t.missing > 0
 
+let noisy_count t =
+  List.length (List.filter (fun r -> r.noisy) t.rows)
+
 let render t =
   let module T = Msoc_util.Texttable in
   let table =
-    T.create ~headers:[ "Section"; "Metric"; "Old"; "New"; "Delta %"; "±CI %"; "Verdict" ]
+    T.create
+      ~headers:
+        [ "Section"; "Metric"; "Old"; "New"; "Delta %"; "±CI %"; "mWords old";
+          "mWords new"; "Verdict" ]
   in
   let cell x = if Float.is_nan x then "-" else T.cell_f ~decimals:2 x in
+  let words x = if x = 0.0 then "-" else T.cell_f ~decimals:0 x in
   List.iter
     (fun r ->
       T.add_row table
         [ r.section; r.metric; cell r.old_value; cell r.new_value; cell r.delta_pct;
-          cell r.ci_pct; verdict_name r.verdict ])
+          cell r.ci_pct; words r.old_minor_words; words r.new_minor_words;
+          verdict_name r.verdict ^ (if r.noisy then " (noisy)" else "") ])
     t.rows;
   let summary =
     Printf.sprintf "%d compared: %d improved, %d regressed, %d missing\n"
       (List.length t.rows) t.improved t.regressed t.missing
   in
-  T.render table ^ summary
+  let warning =
+    match noisy_count t with
+    | 0 -> ""
+    | k ->
+      Printf.sprintf
+        "warning: %d timing row(s) have a 95%% CI spanning zero — too noisy to resolve; \
+         rerun with more samples before trusting their verdicts\n"
+        k
+  in
+  T.render table ^ summary ^ warning

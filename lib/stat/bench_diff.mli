@@ -33,6 +33,10 @@ type row = {
   delta_pct : float;   (** 100 * (new - old) / old; [nan] when unpaired. *)
   ci_pct : float;      (** 95% half-width of [delta_pct]; 0 for scalars. *)
   verdict : verdict;
+  old_minor_words : float;  (** Per-iteration minor words (0 on v1/scalars). *)
+  new_minor_words : float;
+  noisy : bool;        (** Timing row whose 95% CI spans zero: the verdict
+                           is a non-result, warned about in {!render}. *)
 }
 
 type t = {
@@ -50,5 +54,10 @@ val gate_failed : t -> bool
 (** True when anything regressed or went missing — the condition under
     which [msoc_cli bench-diff] exits 3. *)
 
+val noisy_count : t -> int
+(** Timing rows whose confidence interval spans zero. *)
+
 val render : t -> string
-(** Texttable: one row per compared metric, verdict column last. *)
+(** Texttable: one row per compared metric (timing rows carry their
+    minor-word columns), verdict column last, followed by the summary line
+    and — when {!noisy_count} is non-zero — a CI-spans-zero warning. *)

@@ -57,8 +57,14 @@ let sample_array_pooled ?pool ~trials ~rng ~f () =
   | Some pool ->
     Msoc_util.Pool.parallel_floats_rng pool ~rng trials (fun stream i -> f stream i)
   | None ->
-    let streams = Msoc_util.Pool.split_streams rng trials in
-    Array.init trials (fun i -> f streams.(i) i)
+    (* Same streams as the pooled path, drawn through one reused scratch
+       generator: a million-trial run allocates one seed table instead of
+       a million generator records inside the timed region. *)
+    let seeds = Msoc_util.Pool.split_seeds rng trials in
+    let scratch = Msoc_util.Prng.create 0 in
+    Array.init trials (fun i ->
+        Msoc_util.Prng.reseed scratch (Msoc_util.Pool.seed_at seeds i);
+        f scratch i)
 
 let estimate_mean_pooled ?pool ~trials ~rng ~f () =
   assert (trials > 1);

@@ -1,8 +1,11 @@
-(* A deliberately simple parallel execution layer: a fixed set of worker
-   domains, each of which runs a statically assigned contiguous share of the
-   iteration space.  No work stealing, no dynamic queue — assignment depends
-   only on (n, size), so the mapping from task index to worker is
-   deterministic and results are written back by index. *)
+(* A parallel execution layer: a fixed set of worker domains over which
+   iteration spaces are scheduled in contiguous grains.  Each worker owns a
+   static contiguous share of [0, n); within its share it claims one grain
+   at a time through an atomic cursor, and a worker that drains its own
+   share steals trailing grains from the other workers' cursors.  Results
+   are always written back by index, so the execution order (and therefore
+   the stealing) cannot be observed in the results — pooled runs stay
+   bit-identical to serial ones at every pool size. *)
 
 type t = {
   size : int;
@@ -27,6 +30,7 @@ module Hooks = struct
   type t = {
     run : size:int -> serialized:bool -> unit;
     chunk : size:int -> slot:int -> lo:int -> hi:int -> (unit -> unit) -> unit;
+    steal : size:int -> thief:int -> victim:int -> unit;
   }
 
   let installed : t option Atomic.t = Atomic.make None
@@ -42,6 +46,11 @@ module Hooks = struct
     match Atomic.get installed with
     | None -> f ()
     | Some h -> h.chunk ~size ~slot ~lo ~hi f
+
+  let note_steal ~size ~thief ~victim =
+    match Atomic.get installed with
+    | None -> ()
+    | Some h -> h.steal ~size ~thief ~victim
 end
 
 (* Each worker domain owns a fixed slot (1 .. size-1); the caller of [run]
@@ -171,35 +180,90 @@ let chunk ~n ~workers slot =
   let hi = lo + base + (if slot < extra then 1 else 0) in
   (lo, hi)
 
+(* Grains per worker share when the caller gives no cost hint: enough
+   slack for stealing to level an uneven tail without flooding the atomic
+   cursors (or the telemetry) with micro-chunks. *)
+let default_grains_per_worker = 8
+
+let default_grain ~n ~workers =
+  max 1 ((n + (workers * default_grains_per_worker) - 1) / (workers * default_grains_per_worker))
+
+(* Grain-aware scheduling with work stealing.  Worker [slot] owns the
+   contiguous share [chunk ~n ~workers slot] and claims [grain]-sized
+   sub-ranges of it through its atomic cursor; when its own share is
+   drained it scans the other workers' cursors (cyclically from its own
+   slot) and steals their remaining grains the same way.  [f] only ever
+   sees disjoint [lo, hi) ranges covering [0, n) exactly once; because
+   results are written by index, the claim order is unobservable and the
+   determinism contract is preserved. *)
+let parallel_iter_grained pool ~n ?grain ~f () =
+  if n > 0 then begin
+    let workers = pool.size in
+    let grain =
+      match grain with
+      | Some g -> max 1 g
+      | None -> default_grain ~n ~workers
+    in
+    let cursors =
+      Array.init workers (fun slot -> Atomic.make (fst (chunk ~n ~workers slot)))
+    in
+    let limits = Array.init workers (fun slot -> snd (chunk ~n ~workers slot)) in
+    run pool (fun slot ->
+        let drain victim =
+          let hi_v = limits.(victim) in
+          let continue = ref true in
+          while !continue do
+            let lo = Atomic.fetch_and_add cursors.(victim) grain in
+            if lo >= hi_v then continue := false
+            else begin
+              let hi = min (lo + grain) hi_v in
+              if victim <> slot then Hooks.note_steal ~size:workers ~thief:slot ~victim;
+              Hooks.note_chunk ~size:workers ~slot ~lo ~hi (fun () -> f ~slot ~lo ~hi)
+            end
+          done
+        in
+        drain slot;
+        for d = 1 to workers - 1 do
+          drain ((slot + d) mod workers)
+        done)
+  end
+
+(* Compatibility entry point: one maximal grain per worker reproduces the
+   historical static split (at most [size] chunks, contiguous, sizes
+   differing by at most one). *)
 let parallel_iter_chunks pool ~n ~f =
   if n > 0 then
-    run pool (fun slot ->
-        let lo, hi = chunk ~n ~workers:pool.size slot in
-        if lo < hi then
-          Hooks.note_chunk ~size:pool.size ~slot ~lo ~hi (fun () -> f ~lo ~hi))
+    parallel_iter_grained pool ~n
+      ~grain:((n + pool.size - 1) / pool.size)
+      ~f:(fun ~slot:_ ~lo ~hi -> f ~lo ~hi)
+      ()
 
-let parallel_init pool n f =
+let parallel_init ?grain pool n f =
   if n <= 0 then [||]
-  else if pool.size = 1 then Array.init n f
+  else if pool.size = 1 && grain = None then Array.init n f
   else begin
     let results = Array.make n None in
-    parallel_iter_chunks pool ~n ~f:(fun ~lo ~hi ->
+    parallel_iter_grained pool ~n ?grain
+      ~f:(fun ~slot:_ ~lo ~hi ->
         for i = lo to hi - 1 do
           results.(i) <- Some (f i)
-        done);
+        done)
+      ();
     Array.map (function Some v -> v | None -> assert false) results
   end
 
 let parallel_map pool f input = parallel_init pool (Array.length input) (fun i -> f input.(i))
 
-let parallel_floats pool n f =
+let parallel_floats ?grain pool n f =
   if n <= 0 then [||]
   else begin
     let out = Array.make n 0.0 in
-    parallel_iter_chunks pool ~n ~f:(fun ~lo ~hi ->
+    parallel_iter_grained pool ~n ?grain
+      ~f:(fun ~slot:_ ~lo ~hi ->
         for i = lo to hi - 1 do
           out.(i) <- f i
-        done);
+        done)
+      ();
     out
   end
 
@@ -208,13 +272,53 @@ let parallel_floats pool n f =
    the parent state and [i], never on the pool size or scheduling. *)
 let split_streams rng n = Array.init n (fun _ -> Prng.split rng)
 
-let parallel_init_rng pool ~rng n f =
-  let streams = split_streams rng n in
-  parallel_init pool n (fun i -> f streams.(i) i)
+(* Seed-table variant: the stream of task [i] is fully named by one raw
+   64-bit draw (Prng.split_seed), so the fan-out stores n unboxed seeds in
+   a floatarray instead of n generator records, and each worker replays
+   them through one per-slot scratch generator (Prng.reseed).  Stream [i]
+   is bit-identical to [split_streams rng n].(i). *)
+let split_seeds rng n =
+  let seeds = Float.Array.create n in
+  for i = 0 to n - 1 do
+    Float.Array.unsafe_set seeds i (Int64.float_of_bits (Prng.split_seed rng))
+  done;
+  seeds
 
-let parallel_floats_rng pool ~rng n f =
-  let streams = split_streams rng n in
-  parallel_floats pool n (fun i -> f streams.(i) i)
+let seed_at seeds i = Int64.bits_of_float (Float.Array.unsafe_get seeds i)
+
+let parallel_init_rng ?grain pool ~rng n f =
+  if n <= 0 then [||]
+  else begin
+    let seeds = split_seeds rng n in
+    let scratch = Array.init pool.size (fun _ -> Prng.create 0) in
+    let results = Array.make n None in
+    parallel_iter_grained pool ~n ?grain
+      ~f:(fun ~slot ~lo ~hi ->
+        let g = scratch.(slot) in
+        for i = lo to hi - 1 do
+          Prng.reseed g (seed_at seeds i);
+          results.(i) <- Some (f g i)
+        done)
+      ();
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let parallel_floats_rng ?grain pool ~rng n f =
+  if n <= 0 then [||]
+  else begin
+    let seeds = split_seeds rng n in
+    let scratch = Array.init pool.size (fun _ -> Prng.create 0) in
+    let out = Array.make n 0.0 in
+    parallel_iter_grained pool ~n ?grain
+      ~f:(fun ~slot ~lo ~hi ->
+        let g = scratch.(slot) in
+        for i = lo to hi - 1 do
+          Prng.reseed g (seed_at seeds i);
+          out.(i) <- f g i
+        done)
+      ();
+    out
+  end
 
 let with_pool ?size f =
   let pool = create ?size () in

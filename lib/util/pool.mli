@@ -1,17 +1,20 @@
-(** Work-stealing-free domain pool.
+(** Grain-aware work-stealing domain pool.
 
-    A fixed set of worker domains (OCaml 5 [Domain]s) executes statically
-    partitioned shares of an iteration space: task [i] of [n] always runs on
-    worker [i * size / n] (up to rounding), and results are written back by
-    index.  There is no dynamic load balancing — the intended workloads
-    (fault-simulation batches, Monte-Carlo trials, per-capture spectrum
-    analysis) are embarrassingly parallel with near-uniform task cost, and
-    the static assignment is what makes pooled runs reproducible.
+    A fixed set of worker domains (OCaml 5 [Domain]s) executes an iteration
+    space in contiguous {e grains}.  Worker [slot] owns a static contiguous
+    share of [0, n); within it, grains are claimed through a per-worker
+    atomic cursor, and a worker whose share is drained steals the remaining
+    grains of the other workers — so an uneven tail (the last few expensive
+    fault batches, a straggling capture) is levelled instead of serialising
+    the join.
 
-    Determinism contract: for a task function [f] whose result depends only
-    on its index (and, for the [_rng] variants, on its pre-split generator
-    stream), every entry point below returns results identical to the serial
-    [Array.init]-style evaluation, for every pool size.
+    Determinism contract: scheduling is {e not} part of the result.  Every
+    entry point hands [f] disjoint index ranges covering [0, n) exactly
+    once and writes results back by index, so for a task function whose
+    result depends only on its index (and, for the [_rng] variants, on its
+    pre-split generator stream), pooled results are bit-identical to the
+    serial [Array.init]-style evaluation — for every pool size and every
+    grain, stealing included.
 
     Tasks run on multiple domains concurrently, so [f] must not mutate
     shared state; mutating distinct elements/indices of a shared array is
@@ -22,7 +25,7 @@ type t
 (** Instrumentation seam for the telemetry library (which sits above this
     one in the dependency order and installs its probes here at module
     initialisation).  With no hook installed, the overhead is one atomic
-    load per pool run and per chunk. *)
+    load per pool run, per chunk and per steal. *)
 module Hooks : sig
   type t = {
     run : size:int -> serialized:bool -> unit;
@@ -31,6 +34,9 @@ module Hooks : sig
     chunk : size:int -> slot:int -> lo:int -> hi:int -> (unit -> unit) -> unit;
         (** Wraps the execution of one contiguous chunk; the hook MUST call
             the thunk exactly once, on the current domain. *)
+    steal : size:int -> thief:int -> victim:int -> unit;
+        (** Called when worker [thief] claims a grain from [victim]'s
+            share, immediately before the corresponding [chunk] call. *)
   }
 
   val install : t -> unit
@@ -67,18 +73,30 @@ val run : t -> (int -> unit) -> unit
     Re-entrant calls (from inside a task) and concurrent calls from another
     domain degrade to serial execution in the calling domain. *)
 
+val parallel_iter_grained :
+  t -> n:int -> ?grain:int -> f:(slot:int -> lo:int -> hi:int -> unit) -> unit -> unit
+(** Schedule [0, n) in contiguous grains of at most [grain] items with work
+    stealing.  [f ~slot ~lo ~hi] receives the executing worker's slot so
+    callers can reuse per-worker scratch state (a slot never runs two
+    chunks concurrently); [hi] is exclusive.  [grain] is the per-kernel
+    cost hint: pass 1 when each item is expensive (a fault batch, a
+    capture), leave it out for cheap uniform items (the default splits each
+    worker's share into 8 grains).  Chunk boundaries depend on [(n, size,
+    grain)] only — never on timing — and results written by index are
+    bit-identical to serial execution. *)
+
 val parallel_iter_chunks : t -> n:int -> f:(lo:int -> hi:int -> unit) -> unit
-(** Split [0, n) into at most [size] contiguous chunks (sizes differing by
-    at most one) and run [f ~lo ~hi] on each, one chunk per worker.  [hi] is
+(** Historical static split: one maximal grain per worker, i.e. at most
+    [size] contiguous chunks with sizes differing by at most one.  [hi] is
     exclusive. *)
 
-val parallel_init : t -> int -> (int -> 'a) -> 'a array
+val parallel_init : ?grain:int -> t -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init].  [f] must depend only on its index. *)
 
 val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with deterministic result ordering. *)
 
-val parallel_floats : t -> int -> (int -> float) -> float array
+val parallel_floats : ?grain:int -> t -> int -> (int -> float) -> float array
 (** [parallel_init] specialised to an unboxed float result array. *)
 
 val split_streams : Prng.t -> int -> Prng.t array
@@ -87,8 +105,20 @@ val split_streams : Prng.t -> int -> Prng.t array
     and [i], never on the pool size, which keeps pooled stochastic code
     bit-reproducible across pool sizes. *)
 
-val parallel_init_rng : t -> rng:Prng.t -> int -> (Prng.t -> int -> 'a) -> 'a array
-(** [parallel_init] where task [i] additionally receives its own pre-split
-    stream ({!split_streams}). *)
+val split_seeds : Prng.t -> int -> floatarray
+(** Flat variant of {!split_streams}: one unboxed 64-bit seed per stream
+    (stored as a bit pattern), [seed_at] reads them back.  Stream [i]
+    replayed through {!Prng.reseed} is bit-identical to
+    [split_streams g n].(i), but a million-trial fan-out allocates one
+    floatarray instead of a million generator records. *)
 
-val parallel_floats_rng : t -> rng:Prng.t -> int -> (Prng.t -> int -> float) -> float array
+val seed_at : floatarray -> int -> int64
+
+val parallel_init_rng : ?grain:int -> t -> rng:Prng.t -> int -> (Prng.t -> int -> 'a) -> 'a array
+(** [parallel_init] where task [i] additionally receives its own pre-split
+    stream ({!split_seeds}).  The generator handed to [f] is a per-worker
+    scratch generator reseeded for each task: it is only valid for the
+    duration of the call and must not be retained. *)
+
+val parallel_floats_rng :
+  ?grain:int -> t -> rng:Prng.t -> int -> (Prng.t -> int -> float) -> float array

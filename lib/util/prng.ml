@@ -1,4 +1,17 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256** over a [floatarray] of the four state words' bit patterns.
+   A record of [mutable s0..s3 : int64] fields boxes a fresh Int64 on every
+   field store — six heap allocations per [bits64] draw — which is pure GC
+   load in Monte-Carlo / noise-injection inner loops and collapses pooled
+   throughput (OCaml 5 minor collections stop every domain).  A floatarray
+   stores the same 64 bits flat: [Int64.float_of_bits]/[bits_of_float] are
+   bit-pattern moves (no rounding, NaN payloads preserved), and float
+   stores into a floatarray do not allocate.  The algorithm and its output
+   are bit-for-bit unchanged. *)
+
+type t = floatarray
+
+let get g i = Int64.bits_of_float (Float.Array.unsafe_get g i)
+let set g i v = Float.Array.unsafe_set g i (Int64.float_of_bits v)
 
 let splitmix64 state =
   let open Int64 in
@@ -8,37 +21,52 @@ let splitmix64 state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
-let create seed =
-  let state = ref (Int64.of_int seed) in
-  let s0 = splitmix64 state in
-  let s1 = splitmix64 state in
-  let s2 = splitmix64 state in
-  let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+(* Expand a 64-bit seed into the four state words through splitmix64 —
+   shared by [create], [split] and [reseed] so every path that names a
+   stream by one raw draw produces the identical stream. *)
+let expand g bits =
+  let state = ref bits in
+  set g 0 (splitmix64 state);
+  set g 1 (splitmix64 state);
+  set g 2 (splitmix64 state);
+  set g 3 (splitmix64 state)
 
-let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+let create seed =
+  let g = Float.Array.create 4 in
+  expand g (Int64.of_int seed);
+  g
+
+let copy g = Float.Array.copy g
 
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 g =
   let open Int64 in
-  let result = mul (rotl (mul g.s1 5L) 7) 9L in
-  let t = shift_left g.s1 17 in
-  g.s2 <- logxor g.s2 g.s0;
-  g.s3 <- logxor g.s3 g.s1;
-  g.s1 <- logxor g.s1 g.s2;
-  g.s0 <- logxor g.s0 g.s3;
-  g.s2 <- logxor g.s2 t;
-  g.s3 <- rotl g.s3 45;
+  let s0 = get g 0 and s1 = get g 1 and s2 = get g 2 and s3 = get g 3 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let t = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 t in
+  let s3 = rotl s3 45 in
+  set g 0 s0;
+  set g 1 s1;
+  set g 2 s2;
+  set g 3 s3;
   result
 
-let split g =
-  let state = ref (bits64 g) in
-  let s0 = splitmix64 state in
-  let s1 = splitmix64 state in
-  let s2 = splitmix64 state in
-  let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+let split_seed g = bits64 g
+
+let reseed g bits = expand g bits
+
+let of_seed_bits bits =
+  let g = Float.Array.create 4 in
+  expand g bits;
+  g
+
+let split g = of_seed_bits (bits64 g)
 
 (* 53 high bits scaled into [0,1). *)
 let float g =

@@ -81,6 +81,59 @@ let test_rfft_hermitian_consistency () =
   Alcotest.(check bool) "prefix matches" true
     (max_complex_err half (Array.sub full 0 33) < 1e-11)
 
+let complexify = Array.map (fun v -> { Complex.re = v; im = 0.0 })
+
+let prop_rfft_matches_fft =
+  (* the packed half-size real transform must agree with the full complex
+     FFT on the non-negative bins for every length, even and odd *)
+  QCheck.Test.make ~name:"rfft = fft prefix for arbitrary sizes" ~count:80
+    (QCheck.int_range 2 300) (fun n ->
+      let g = Prng.create (5000 + n) in
+      let x = Array.init n (fun _ -> Prng.float g -. 0.5) in
+      let full = Fft.fft (complexify x) in
+      max_complex_err (Fft.rfft x) (Array.sub full 0 ((n / 2) + 1)) < 1e-9)
+
+let test_rfft_explicit_sizes () =
+  (* even sizes take the pack-two-reals half-size path, odd sizes the full
+     split transform; cover pow2 and Bluestein on both, plus the two
+     production lengths (4096-point capture, 1000-point plan) *)
+  List.iter
+    (fun n ->
+      let g = Prng.create (7000 + n) in
+      let x = Array.init n (fun _ -> Prng.float g -. 0.5) in
+      let half = Fft.rfft x in
+      Alcotest.(check int) (Printf.sprintf "n=%d bin count" n) ((n / 2) + 1)
+        (Array.length half);
+      let full = Fft.fft (complexify x) in
+      let err = max_complex_err half (Array.sub full 0 ((n / 2) + 1)) in
+      if err >= 1e-9 then Alcotest.failf "n=%d rfft departs from fft (%g)" n err)
+    [ 2; 3; 5; 8; 9; 15; 100; 101; 256; 999; 1000; 4096 ]
+
+let test_rfft_into_reuse () =
+  (* rfft_into writes the same bins as rfft, and reusing the caller's
+     output arrays (plus the per-domain scratch underneath) across calls
+     must not leak state between transforms *)
+  let g = Prng.create 8080 in
+  let x1 = Array.init 96 (fun _ -> Prng.float g -. 0.5) in
+  let x2 = Array.init 96 (fun _ -> Prng.float g -. 0.5) in
+  let re = Array.make 49 0.0 and im = Array.make 49 0.0 in
+  let check label x =
+    Fft.rfft_into x ~re ~im;
+    Array.iteri
+      (fun k (c : Complex.t) ->
+        if c.Complex.re <> re.(k) || c.Complex.im <> im.(k) then
+          Alcotest.failf "%s: bin %d differs from rfft" label k)
+      (Fft.rfft x)
+  in
+  check "first" x1;
+  check "second" x2;
+  check "first again" x1
+
+let test_next_fast_size () =
+  Alcotest.(check int) "1000 -> 1024" 1024 (Fft.next_fast_size 1000);
+  Alcotest.(check int) "64 -> 64" 64 (Fft.next_fast_size 64);
+  Alcotest.(check int) "65 -> 128" 128 (Fft.next_fast_size 65)
+
 let test_plan_cache_bitwise () =
   (* a transform through a warm plan must equal the cold-cache transform
      bit for bit, for both the radix-2 and the Bluestein paths *)
@@ -490,10 +543,13 @@ let () =
         :: Alcotest.test_case "linearity" `Quick test_fft_linearity
         :: Alcotest.test_case "parseval" `Quick test_parseval
         :: Alcotest.test_case "rfft" `Quick test_rfft_hermitian_consistency
+        :: Alcotest.test_case "rfft explicit sizes" `Quick test_rfft_explicit_sizes
+        :: Alcotest.test_case "rfft_into reuse" `Quick test_rfft_into_reuse
+        :: Alcotest.test_case "next_fast_size" `Quick test_next_fast_size
         :: Alcotest.test_case "plan cache bitwise" `Quick test_plan_cache_bitwise
         :: Alcotest.test_case "plan cache interleaved" `Quick test_plan_cache_interleaved
         :: Alcotest.test_case "plan cache accuracy" `Quick test_plan_cache_accuracy
-        :: qcheck [ prop_fft_roundtrip ] );
+        :: qcheck [ prop_fft_roundtrip; prop_rfft_matches_fft ] );
       ( "window",
         [ Alcotest.test_case "coherent gain" `Quick test_window_dc_gain;
           Alcotest.test_case "ENBW empirical" `Quick test_window_enbw_empirical;

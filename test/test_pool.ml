@@ -11,7 +11,9 @@ module Fault = Msoc_netlist.Fault
 module Fault_sim = Msoc_netlist.Fault_sim
 module Digital_test = Msoc_synth.Digital_test
 
-let pool_sizes = [ 1; 2; 4 ]
+(* 8 oversubscribes any CI box we use — stealing and uneven grain tails
+   actually happen there, and bit-identity must hold regardless. *)
+let pool_sizes = [ 1; 2; 4; 8 ]
 
 (* ---- Pool primitives ---- *)
 
@@ -36,6 +38,68 @@ let test_chunking () =
                   (Array.make n 1) (Array.sub hits 0 n))
             [ 0; 1; 2; 3; 7; 64; 65 ]))
     pool_sizes
+
+let test_grained_coverage () =
+  (* parallel_iter_grained covers [0, n) exactly once for every pool size
+     and grain, including grain 1 (max stealing) and the default grain *)
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          List.iter
+            (fun (n, grain) ->
+              let hits = Array.make (max 1 n) 0 in
+              let lock = Mutex.create () in
+              Pool.parallel_iter_grained pool ~n ?grain
+                ~f:(fun ~slot:_ ~lo ~hi ->
+                  Mutex.lock lock;
+                  for i = lo to hi - 1 do
+                    hits.(i) <- hits.(i) + 1
+                  done;
+                  Mutex.unlock lock)
+                ();
+              if n > 0 then
+                let label =
+                  Printf.sprintf "n=%d grain=%s size=%d each index once" n
+                    (match grain with None -> "auto" | Some g -> string_of_int g)
+                    size
+                in
+                Alcotest.(check (array int)) label (Array.make n 1) (Array.sub hits 0 n))
+            [ (0, None); (1, Some 1); (7, Some 1); (64, Some 3); (65, None); (129, Some 1) ]))
+    pool_sizes
+
+let test_grained_hooks () =
+  (* the chunk hooks account for every scheduled item exactly once, and a
+     steal is always cross-slot (a worker never "steals" from itself) *)
+  let items = Atomic.make 0 and chunks = Atomic.make 0 in
+  let steals = Atomic.make 0 and bad_steal = Atomic.make false in
+  Pool.Hooks.install
+    { run = (fun ~size:_ ~serialized:_ -> ());
+      chunk =
+        (fun ~size:_ ~slot:_ ~lo ~hi thunk ->
+          Atomic.incr chunks;
+          ignore (Atomic.fetch_and_add items (hi - lo));
+          thunk ());
+      steal =
+        (fun ~size:_ ~thief ~victim ->
+          if thief = victim then Atomic.set bad_steal true;
+          Atomic.incr steals) };
+  Fun.protect ~finally:Pool.Hooks.uninstall (fun () ->
+      Pool.with_pool ~size:4 (fun pool ->
+          let n = 64 in
+          let sum = Atomic.make 0 in
+          Pool.parallel_iter_grained pool ~n ~grain:1
+            ~f:(fun ~slot:_ ~lo ~hi ->
+              for i = lo to hi - 1 do
+                ignore (Atomic.fetch_and_add sum i)
+              done)
+            ();
+          Alcotest.(check int) "all indices processed" (n * (n - 1) / 2) (Atomic.get sum);
+          Alcotest.(check int) "chunk hooks cover n items" n (Atomic.get items);
+          Alcotest.(check bool) "at least one chunk per run" true (Atomic.get chunks >= 1);
+          Alcotest.(check bool) "no self-steal" false (Atomic.get bad_steal);
+          Alcotest.(check bool)
+            "every steal precedes a chunk" true
+            (Atomic.get steals <= Atomic.get chunks)))
 
 let test_parallel_init () =
   let expected = Array.init 1000 (fun i -> (i * i) mod 97) in
@@ -252,6 +316,8 @@ let () =
   Alcotest.run "msoc_pool"
     [ ( "primitives",
         [ Alcotest.test_case "chunk coverage" `Quick test_chunking;
+          Alcotest.test_case "grained coverage" `Quick test_grained_coverage;
+          Alcotest.test_case "grained hooks account items" `Quick test_grained_hooks;
           Alcotest.test_case "parallel_init" `Quick test_parallel_init;
           Alcotest.test_case "floats and map" `Quick test_parallel_floats_and_map;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;

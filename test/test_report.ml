@@ -15,9 +15,9 @@ open Msoc_synth
 let reference_report () =
   let b = Report.create ~git_rev:"deadbee" ~pool_size:4 ~mode:"full" () in
   Report.add_timing b ~section:"kernels" ~name:"fft-4096" ~mean_ns:123.456789012345678
-    ~stddev_ns:0.125 ~samples:321;
+    ~stddev_ns:0.125 ~samples:321 ~minor_words:512.0 ~major_words:16.5 ();
   Report.add_timing b ~section:"kernels" ~name:"fault-sim" ~mean_ns:1e9 ~stddev_ns:2.5e7
-    ~samples:12;
+    ~samples:12 ();
   (* names that exercise the string escaper *)
   Report.add_scalar b ~section:"kernels" ~name:"speed \"quoted\"\tand\nsplit"
     ~unit_label:"x" 1.5;
@@ -90,6 +90,28 @@ let test_json_parser_escapes () =
     Alcotest.(check bool) "null" true (nl = Json.Null)
   | _ -> Alcotest.fail "unexpected parse shape"
 
+let test_v1_document_parses () =
+  (* a schema-v1 report (no GC fields on timings) stays accepted: the
+     fields default to 0.0 and the file's own version is preserved so old
+     committed baselines keep feeding bench-diff *)
+  let v1 =
+    Printf.sprintf
+      {|{"schema_version":1,%s,"sections":[{"name":"kernels","timings":[{"name":"fft","mean_ns":10.5,"stddev_ns":1.25,"samples":9}],"scalars":[],"comparisons":[]}]}|}
+      minimal_meta
+  in
+  match Report.of_json v1 with
+  | Error e -> Alcotest.failf "v1 report rejected: %s" e
+  | Ok r ->
+    Alcotest.(check int) "file version preserved" 1 r.Report.meta.Report.version;
+    (match r.Report.sections with
+    | [ { Report.timings = [ t ]; _ } ] ->
+      Alcotest.(check (float 0.0)) "mean kept" 10.5 t.Report.mean_ns;
+      Alcotest.(check (float 0.0)) "minor_words defaults" 0.0 t.Report.minor_words;
+      Alcotest.(check (float 0.0)) "major_words defaults" 0.0 t.Report.major_words;
+      Alcotest.(check (float 0.0)) "major_collections defaults" 0.0
+        t.Report.major_collections
+    | _ -> Alcotest.fail "expected one section with one timing")
+
 (* ---- bench-diff verdicts ---- *)
 
 let report_of sections =
@@ -98,7 +120,7 @@ let report_of sections =
     (fun (sec, rows) ->
       List.iter
         (fun (name, mean, stddev, n) ->
-          Report.add_timing b ~section:sec ~name ~mean_ns:mean ~stddev_ns:stddev ~samples:n)
+          Report.add_timing b ~section:sec ~name ~mean_ns:mean ~stddev_ns:stddev ~samples:n ())
         rows)
     sections;
   Report.finalize b
@@ -191,6 +213,40 @@ let test_render_mentions_verdicts () =
         (contains needle))
     [ "Verdict"; "REGRESSED"; "1 regressed" ]
 
+let test_noisy_rows_warned () =
+  (* a timing whose 95% CI spans zero is flagged per-row and triggers the
+     trailing warning, but never gates *)
+  let old_report = report_of [ ("kernels", [ ("wild", 1000.0, 400.0, 3) ]) ] in
+  let new_report = report_of [ ("kernels", [ ("wild", 1050.0, 400.0, 3) ]) ] in
+  let d = Bench_diff.diff ~old_report ~new_report () in
+  Alcotest.(check int) "noisy_count" 1 (Bench_diff.noisy_count d);
+  Alcotest.(check bool) "row flagged" true (find_row d "kernels" "wild").Bench_diff.noisy;
+  Alcotest.(check bool) "noise does not gate" false (Bench_diff.gate_failed d);
+  let text = Bench_diff.render d in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec scan i =
+      i + nl <= tl && (String.equal (String.sub text i nl) needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "verdict suffixed" true (contains "(noisy)");
+  Alcotest.(check bool) "warning line present" true (contains "warning:");
+  (* a clean pair renders no warning *)
+  let quiet =
+    Bench_diff.render
+      (Bench_diff.diff
+         ~old_report:(report_of [ ("kernels", [ ("k", 1000.0, 1.0, 100) ]) ])
+         ~new_report:(report_of [ ("kernels", [ ("k", 1001.0, 1.0, 100) ]) ])
+         ())
+  in
+  Alcotest.(check bool) "no spurious warning" false
+    (let nl = String.length "warning:" and tl = String.length quiet in
+     let rec scan i =
+       i + nl <= tl && (String.equal (String.sub quiet i nl) "warning:" || scan (i + 1))
+     in
+     scan 0)
+
 (* ---- synthesis audit trail ---- *)
 
 let with_audit f =
@@ -276,9 +332,11 @@ let () =
         [ Alcotest.test_case "JSON round trip" `Quick test_roundtrip;
           Alcotest.test_case "order preserved" `Quick test_roundtrip_preserves_order;
           Alcotest.test_case "invalid documents rejected" `Quick test_rejects_invalid;
-          Alcotest.test_case "parser escape handling" `Quick test_json_parser_escapes ] );
+          Alcotest.test_case "parser escape handling" `Quick test_json_parser_escapes;
+          Alcotest.test_case "schema v1 still parses" `Quick test_v1_document_parses ] );
       ( "bench-diff",
         [ Alcotest.test_case "verdicts on a fixture pair" `Quick test_verdicts;
+          Alcotest.test_case "noisy rows warned" `Quick test_noisy_rows_warned;
           Alcotest.test_case "improvement alone passes" `Quick test_improvement_only_passes;
           Alcotest.test_case "missing section gates" `Quick test_missing_section_gates;
           Alcotest.test_case "rendered table" `Quick test_render_mentions_verdicts ] );

@@ -600,11 +600,11 @@ let coverage_ideal () =
       let codes =
         Digital_test.ideal_codes config ~sample_rate:fs ~samples ~freqs ~amplitude_fs
       in
-      let drive sim cycle = Fir_netlist.drive fir sim codes.(cycle) in
-      let active =
-        Fault_sim.detect_exact fir.Fir_netlist.circuit ~output:"y" ~drive ~samples ~faults
-      in
+      let active = Digital_test.activated fir ~codes ~faults in
       let n_active = Array.fold_left (fun a b -> if b then a + 1 else a) 0 active in
+      let prefix = Digital_test.activation_prefix fir ~codes ~faults in
+      Format.printf "%s: activation sweep compactable to %d/%d patterns@." label prefix
+        samples;
       let det =
         Digital_test.spectral_coverage config fir ~sample_rate:fs ~input_codes:codes
           ~reference_codes:codes ~tone_freqs:freqs ~faults
@@ -1110,8 +1110,10 @@ let kernels () =
                 ~drive:(fun sim cycle -> Fir_netlist.drive fir sim stimulus.(cycle))
                 ~samples:256 ~faults)))
   in
-  (* the full collapsed fault set (several batches): serial vs pooled *)
-  let pool = Pool.get_default () in
+  (* the full collapsed fault set (several batches): serial vs pooled.
+     The pooled kernel pins 8 domains (the ROADMAP target configuration)
+     so its name and workload are machine-independent. *)
+  let pool8 = Pool.create ~size:8 () in
   let fsim_serial_test =
     Test.make ~name:(Printf.sprintf "fault-sim-%dx256-serial" (Array.length faults_all))
       (Staged.stage (fun () ->
@@ -1122,12 +1124,23 @@ let kernels () =
   in
   let fsim_pooled_test =
     Test.make
-      ~name:(Printf.sprintf "fault-sim-%dx256-pool%d" (Array.length faults_all) (Pool.size pool))
+      ~name:(Printf.sprintf "fault-sim-%dx256-pool8" (Array.length faults_all))
       (Staged.stage (fun () ->
            ignore
-             (Fault_sim.detect_exact ~pool fir.Fir_netlist.circuit ~output:"y"
+             (Fault_sim.detect_exact ~pool:pool8 fir.Fir_netlist.circuit ~output:"y"
                 ~drive:(fun sim cycle -> Fir_netlist.drive fir sim stimulus.(cycle))
                 ~samples:256 ~faults:faults_all)))
+  in
+  (* fault dropping over a long sweep: graded first-detect cycles on 1024
+     patterns — late chunks fly with only the stubborn remainder live *)
+  let stimulus1024 = Array.init 1024 (fun i -> ((i * 37) mod 512) - 256) in
+  let fsim_drop_test =
+    Test.make ~name:"fault-sim-drop"
+      (Staged.stage (fun () ->
+           ignore
+             (Fault_sim.detect_cycles fir.Fir_netlist.circuit ~output:"y"
+                ~drive:(fun sim cycle -> Fir_netlist.drive fir sim stimulus1024.(cycle))
+                ~samples:1024 ~faults:faults_all)))
   in
   (* analog path waveform simulation, 1024 sim samples *)
   let engine = Path.engine path (Path.nominal_part path) ~seed:3 in
@@ -1253,7 +1266,7 @@ let kernels () =
         raw)
     ([ fft_test; fft_cold_test; rfft_test; fft_bluestein_test; fft_bluestein_cold_test;
        rfft_bluestein_test; mc_arena_test; fsim_test; fsim_serial_test; fsim_pooled_test;
-       path_test; coverage_test; plan_test ]
+       fsim_drop_test; path_test; coverage_test; plan_test ]
     @ topology_plan_tests);
   Texttable.print t
 
@@ -1304,7 +1317,7 @@ let parallel_speedup () =
               Printf.sprintf "%.3f" t_pooled;
               Printf.sprintf "%.2fx" (t_serial /. t_pooled);
               (if pooled = serial then "yes" else "NO — DETERMINISM BUG") ]))
-    [ 2; 4 ];
+    [ 2; 4; 8 ];
   (* Monte-Carlo trial loop: the Figure 4 error model at full size. *)
   let iip3 = path_param "Mixer" "iip3_dbm" in
   let mixer_gain = path_param "Mixer" "gain_db" in

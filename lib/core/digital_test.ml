@@ -36,6 +36,19 @@ let collapsed_faults fir =
   let circuit = fir.Fir_netlist.circuit in
   Fault.collapse circuit (Fault.universe circuit)
 
+let activated ?pool fir ~codes ~faults =
+  let drive sim cycle = Fir_netlist.drive fir sim codes.(cycle) in
+  Fault_sim.detect_exact ?pool fir.Fir_netlist.circuit ~output:Fir_netlist.output_bus_name
+    ~drive ~samples:(Array.length codes) ~faults
+
+let activation_prefix ?pool fir ~codes ~faults =
+  let drive sim cycle = Fir_netlist.drive fir sim codes.(cycle) in
+  let cycles =
+    Fault_sim.detect_cycles ?pool fir.Fir_netlist.circuit
+      ~output:Fir_netlist.output_bus_name ~drive ~samples:(Array.length codes) ~faults
+  in
+  1 + Array.fold_left max (-1) cycles
+
 let coherent_tone ~sample_rate ~samples ~target =
   Tone.coherent_frequency ~sample_rate ~samples ~target
 

@@ -41,6 +41,21 @@ val build : config -> Fir_netlist.t
 
 val collapsed_faults : Fir_netlist.t -> Fault.t array
 
+val activated :
+  ?pool:Msoc_util.Pool.t ->
+  Fir_netlist.t -> codes:int array -> faults:Fault.t array -> bool array
+(** Time-domain activation sweep: which faults perturb the filter output in
+    at least one cycle under the given stimulus codes.  Thin wrapper over
+    [Fault_sim.detect_exact] (cone-reduced, fault-dropping engine);
+    bit-identical for every pool size. *)
+
+val activation_prefix :
+  ?pool:Msoc_util.Pool.t ->
+  Fir_netlist.t -> codes:int array -> faults:Fault.t array -> int
+(** Number of leading stimulus codes that carry all the activations of
+    [activated]: truncating the sweep there activates exactly the same
+    fault set (pattern compaction for repeated screening runs). *)
+
 val coherent_tone :
   sample_rate:float -> samples:int -> target:float -> float
 (** Re-export of {!Msoc_dsp.Tone.coherent_frequency}. *)

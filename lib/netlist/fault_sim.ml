@@ -11,10 +11,15 @@ let faults_per_batch = Logic_sim.lanes - 1
 
 let batches faults =
   let total = Array.length faults in
-  let count = (total + faults_per_batch - 1) / faults_per_batch in
-  List.init count (fun b ->
-      let lo = b * faults_per_batch in
-      Array.sub faults lo (min faults_per_batch (total - lo)))
+  if total = 0 then [ [||] ]
+    (* one empty batch: the fault-free machine is simulated unconditionally,
+       so [run ~faults:[||]] still produces a real [good_stream] *)
+  else begin
+    let count = (total + faults_per_batch - 1) / faults_per_batch in
+    List.init count (fun b ->
+        let lo = b * faults_per_batch in
+        Array.sub faults lo (min faults_per_batch (total - lo)))
+  end
 
 let prepare sim batch =
   Logic_sim.clear_faults sim;
@@ -89,14 +94,9 @@ let run ?pool circuit ~output ~drive ~samples ~faults =
     let good_stream = Array.make samples 0 in
     let fault_streams = Array.init (Array.length faults) (fun _ -> [||]) in
     let bus = Netlist.find_output circuit output in
-    let states = Array.make (Pool.size pool) None in
-    let slot_state slot =
-      match states.(slot) with
-      | Some st -> st
-      | None ->
-        let st = (Logic_sim.create circuit, Array.make Logic_sim.lanes 0, Array.make samples 0) in
-        states.(slot) <- Some st;
-        st
+    let slot_state =
+      Pool.per_slot pool (fun () ->
+          (Logic_sim.create circuit, Array.make Logic_sim.lanes 0, Array.make samples 0))
     in
     Pool.parallel_iter_grained pool ~n:(Array.length batch_array) ~grain:1
       ~f:(fun ~slot ~lo ~hi ->
@@ -124,62 +124,303 @@ let run ?pool circuit ~output ~drive ~samples ~faults =
     let good_stream = run_fold circuit ~output ~drive ~samples ~faults ~on_fault in
     { faults; good_stream; fault_streams }
 
-let detect_batch sim ~bus ~drive ~samples ~lane_values ~detected ~batch_start batch =
-  prepare sim batch;
-  let live = ref (Array.length batch) in
-  let cycle = ref 0 in
-  while !cycle < samples && !live > 0 do
-    drive sim !cycle;
-    Logic_sim.eval sim;
-    Logic_sim.read_bus_lanes sim bus lane_values;
-    let good = lane_values.(0) in
-    for lane = 0 to Array.length batch - 1 do
-      if (not detected.(batch_start + lane)) && lane_values.(lane + 1) <> good then begin
-        detected.(batch_start + lane) <- true;
-        decr live
-      end
+(* ------------------------------------------------------------------------
+   Exact detection: chunked, cone-reduced, fault-dropping engine.
+
+   One fault-free reference sim records every node's lane-0 bit per cycle
+   (the {e good table}, one chunk at a time); fault batches then pack all
+   63 lanes with faults (no lane-0 reference needed — detection compares
+   the batch's output-cone bits against the good table) and evaluate only
+   the reduced program of the batch's union cone.  Between chunks,
+   detected faults are dropped and survivors repacked into fewer, tighter
+   batches; a new batch inherits each lane's DFF state from the lane's
+   previous batch where the DFF was in that batch's cone and the
+   fault-free bit everywhere else (lanes provably carry fault-free values
+   outside their own fault's cone).  Every step is a pure function of the
+   detection prefix, which in turn is a pure per-fault predicate of
+   (circuit, drive, samples, fault) — so flags are bit-identical for any
+   pool size, including serial. *)
+
+let det_chunk = 32
+
+type dbatch = {
+  fault_idx : int array; (* lane l hosts faults.(fault_idx.(l)); ascending *)
+  carry : (dbatch * int) array;
+      (* per lane: (previous-round batch, lane) whose DFF state this lane
+         inherits; [||] means reset state (cycle 0) *)
+  mutable red : Cone.reduced option; (* built by the worker that first runs it *)
+  mutable state : int array; (* lane words per red.dffs, at the chunk boundary *)
+  mutable det_mask : int;
+}
+
+type det_scratch = {
+  values : int array;
+  am : int array;
+  om : int array;
+  cone : Cone.scratch;
+}
+
+let det_scratch circuit =
+  let n = Netlist.node_count circuit in
+  { values = Array.make n 0;
+    am = Array.make n (-1); (* all lanes pass-through *)
+    om = Array.make n 0;
+    cone = Cone.scratch circuit }
+
+let lane_mask nlanes = if nlanes >= Logic_sim.lanes then -1 else (1 lsl nlanes) - 1
+
+(* 0 -> all-zero word, 1 -> all-ones word (every lane carries the bit) *)
+let[@inline] broadcast byte = -byte
+
+let lsb_index w =
+  let i = ref 0 and w = ref w in
+  while !w land 1 = 0 do
+    incr i;
+    w := !w lsr 1
+  done;
+  !i
+
+let find_sorted arr x =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = arr.(mid) in
+    if v = x then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if v < x then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let make_batches idxs carries =
+  let total = Array.length idxs in
+  let per = Logic_sim.lanes in
+  let count = (total + per - 1) / per in
+  List.init count (fun b ->
+      let lo = b * per in
+      let len = min per (total - lo) in
+      { fault_idx = Array.sub idxs lo len;
+        carry = (if Array.length carries = 0 then [||] else Array.sub carries lo len);
+        red = None;
+        state = [||];
+        det_mask = 0 })
+
+(* Run one batch over cycles [c0, c1) against the good-table chunk [good]
+   (row 0 = cycle c0).  Writes newly detected faults into [detected] and
+   their first differing cycle into [first] — indices are disjoint across
+   batches, so concurrent batches never contend. *)
+let run_dbatch scratch circuit (faults : Fault.t array) ~succ ~obsv ~bus ~n ~good ~c0 ~c1
+    ~detected ~first batch =
+  let red =
+    match batch.red with
+    | Some r -> r
+    | None ->
+      let sources =
+        Array.fold_right (fun fi acc -> faults.(fi).Fault.node :: acc) batch.fault_idx []
+      in
+      let r = Cone.reduce circuit scratch.cone ~succ ~observable:obsv ~sources ~output:bus in
+      let ndff = Array.length r.Cone.dffs in
+      let st = Array.make ndff 0 in
+      if c0 > 0 then
+        for j = 0 to ndff - 1 do
+          let dff = r.Cone.dffs.(j) in
+          (* fault-free boundary state: the good machine's DFF value in the
+             chunk's first cycle is exactly its state (masks are identity) *)
+          let goodbit = Char.code (Bytes.unsafe_get good dff) in
+          let w = ref (broadcast goodbit) in
+          Array.iteri
+            (fun lane (ob, ol) ->
+              match ob.red with
+              | None -> assert false (* carry sources always ran a chunk *)
+              | Some ored ->
+                let oj = find_sorted ored.Cone.dffs dff in
+                if oj >= 0 then begin
+                  let bit = (ob.state.(oj) lsr ol) land 1 in
+                  if bit <> goodbit then
+                    if bit = 1 then w := !w lor (1 lsl lane)
+                    else w := !w land lnot (1 lsl lane)
+                end)
+            batch.carry;
+          st.(j) <- !w
+        done;
+      batch.red <- Some r;
+      batch.state <- st;
+      r
+  in
+  let values = scratch.values and am = scratch.am and om = scratch.om in
+  let fault_idx = batch.fault_idx in
+  let nlanes = Array.length fault_idx in
+  for lane = 0 to nlanes - 1 do
+    let f = faults.(fault_idx.(lane)) in
+    let bit = 1 lsl lane in
+    if f.Fault.stuck then om.(f.Fault.node) <- om.(f.Fault.node) lor bit
+    else am.(f.Fault.node) <- am.(f.Fault.node) land lnot bit
+  done;
+  let st = batch.state in
+  let boundary = red.Cone.boundary and inp = red.Cone.inputs in
+  let dffs = red.Cone.dffs and dff_d = red.Cone.dff_d and outs = red.Cone.outputs in
+  let live_full = lane_mask nlanes in
+  let det = ref batch.det_mask in
+  let cycle = ref c0 in
+  while !cycle < c1 && !det land live_full <> live_full do
+    let base = (!cycle - c0) * n in
+    for k = 0 to Array.length boundary - 1 do
+      let node = Array.unsafe_get boundary k in
+      Array.unsafe_set values node (broadcast (Char.code (Bytes.unsafe_get good (base + node))))
     done;
-    Logic_sim.tick sim;
+    for k = 0 to Array.length inp - 1 do
+      let node = Array.unsafe_get inp k in
+      let g = broadcast (Char.code (Bytes.unsafe_get good (base + node))) in
+      Array.unsafe_set values node
+        (g land Array.unsafe_get am node lor Array.unsafe_get om node)
+    done;
+    for j = 0 to Array.length dffs - 1 do
+      let node = Array.unsafe_get dffs j in
+      Array.unsafe_set values node
+        (Array.unsafe_get st j land Array.unsafe_get am node lor Array.unsafe_get om node)
+    done;
+    Cone.eval_program red ~values ~and_mask:am ~or_mask:om;
+    let diff = ref 0 in
+    for k = 0 to Array.length outs - 1 do
+      let node = Array.unsafe_get outs k in
+      diff :=
+        !diff
+        lor (Array.unsafe_get values node
+            lxor broadcast (Char.code (Bytes.unsafe_get good (base + node))))
+    done;
+    let fresh = !diff land live_full land lnot !det in
+    if fresh <> 0 then begin
+      det := !det lor fresh;
+      let f = ref fresh in
+      while !f <> 0 do
+        let lane = lsb_index !f in
+        let fi = fault_idx.(lane) in
+        detected.(fi) <- true;
+        first.(fi) <- !cycle;
+        f := !f land (!f - 1)
+      done
+    end;
+    for j = 0 to Array.length dffs - 1 do
+      Array.unsafe_set st j (Array.unsafe_get values (Array.unsafe_get dff_d j))
+    done;
     incr cycle
+  done;
+  batch.det_mask <- !det;
+  (* restore the scratch masks for the slot's next batch *)
+  for lane = 0 to nlanes - 1 do
+    let node = faults.(fault_idx.(lane)).Fault.node in
+    am.(node) <- -1;
+    om.(node) <- 0
   done
+
+let detect_engine ?pool circuit ~output ~drive ~samples ~faults ~first =
+  let nf = Array.length faults in
+  let detected = Array.make nf false in
+  if nf = 0 || samples <= 0 then detected
+  else begin
+    let n = Netlist.node_count circuit in
+    let bus = Netlist.find_output circuit output in
+    let succ = Netlist.successors circuit in
+    let obsv = Cone.observable circuit ~output:bus in
+    let eligible =
+      let acc = ref [] in
+      for fi = nf - 1 downto 0 do
+        if obsv.(faults.(fi).Fault.node) then acc := fi :: !acc
+      done;
+      Array.of_list !acc
+    in
+    let chunk = min det_chunk samples in
+    (* Double-buffered good table: while round r's batches read chunk r,
+       one extra work item fills chunk r+1 — only chunk 0 is sequential. *)
+    let good_a = Bytes.create (n * chunk) in
+    let good_b = Bytes.create (n * chunk) in
+    let gsim = Logic_sim.create circuit in
+    let fill_good buf c0 c1 =
+      for cycle = c0 to c1 - 1 do
+        drive gsim cycle;
+        Logic_sim.eval gsim;
+        Logic_sim.snapshot_bit0 gsim buf ~pos:((cycle - c0) * n);
+        Logic_sim.tick gsim
+      done
+    in
+    fill_good good_a 0 chunk;
+    let scratch_of =
+      match pool with
+      | Some p when Pool.size p > 1 -> Pool.per_slot p (fun () -> det_scratch circuit)
+      | _ ->
+        let s = det_scratch circuit in
+        fun _ -> s
+    in
+    let batches = ref (make_batches eligible [||]) in
+    let r = ref 0 in
+    let finished = ref (!batches = []) in
+    while not !finished do
+      let c0 = !r * chunk in
+      let c1 = min samples (c0 + chunk) in
+      let cur = if !r land 1 = 0 then good_a else good_b in
+      let nxt = if !r land 1 = 0 then good_b else good_a in
+      let arr = Array.of_list !batches in
+      let nb = Array.length arr in
+      let more = c1 < samples in
+      let nitems = nb + if more then 1 else 0 in
+      let item slot i =
+        if i < nb then
+          run_dbatch (scratch_of slot) circuit faults ~succ ~obsv ~bus ~n ~good:cur ~c0 ~c1
+            ~detected ~first arr.(i)
+        else fill_good nxt c1 (min samples (c1 + chunk))
+      in
+      (match pool with
+      | Some p when Pool.size p > 1 && nitems > 1 ->
+        Pool.parallel_iter_grained p ~n:nitems ~grain:1
+          ~f:(fun ~slot ~lo ~hi ->
+            for i = lo to hi - 1 do
+              item slot i
+            done)
+          ()
+      | _ ->
+        for i = 0 to nitems - 1 do
+          item 0 i
+        done);
+      (* Drop detected faults; repack survivors (ascending, 63 per batch).
+         When nothing dropped, batch compositions are unchanged and their
+         in-place state words already sit at the next chunk boundary. *)
+      let survivors = ref [] and carries = ref [] and dropped = ref 0 in
+      for b = nb - 1 downto 0 do
+        let batch = arr.(b) in
+        let idxs = batch.fault_idx in
+        for lane = Array.length idxs - 1 downto 0 do
+          if batch.det_mask land (1 lsl lane) <> 0 then incr dropped
+          else begin
+            survivors := idxs.(lane) :: !survivors;
+            carries := (batch, lane) :: !carries
+          end
+        done
+      done;
+      if (not more) || !survivors = [] then finished := true
+      else if !dropped > 0 then begin
+        Obs.count ~by:!dropped "fault_sim.dropped";
+        batches := make_batches (Array.of_list !survivors) (Array.of_list !carries)
+      end;
+      incr r
+    done;
+    detected
+  end
 
 let detect_exact ?pool circuit ~output ~drive ~samples ~faults =
   Obs.count "fault_sim.detects";
   Obs.count ~by:(Array.length faults) "fault_sim.faults";
   Obs.span "fault_sim.detect" @@ fun () ->
-  let detected = Array.make (Array.length faults) false in
-  (match pool with
-  | Some pool when Pool.size pool > 1 && Array.length faults > faults_per_batch ->
-    let batch_array = Array.of_list (batches faults) in
-    let offsets = batch_offsets batch_array in
-    let bus = Netlist.find_output circuit output in
-    let states = Array.make (Pool.size pool) None in
-    let slot_state slot =
-      match states.(slot) with
-      | Some st -> st
-      | None ->
-        let st = (Logic_sim.create circuit, Array.make Logic_sim.lanes 0) in
-        states.(slot) <- Some st;
-        st
-    in
-    Pool.parallel_iter_grained pool ~n:(Array.length batch_array) ~grain:1
-      ~f:(fun ~slot ~lo ~hi ->
-        let sim, lane_values = slot_state slot in
-        for b = lo to hi - 1 do
-          (* disjoint index ranges of [detected]: no write contention *)
-          detect_batch sim ~bus ~drive ~samples ~lane_values ~detected
-            ~batch_start:offsets.(b) batch_array.(b)
-        done)
-      ()
-  | Some _ | None ->
-    let bus = Netlist.find_output circuit output in
-    let sim = Logic_sim.create circuit in
-    let lane_values = Array.make Logic_sim.lanes 0 in
-    let batch_start = ref 0 in
-    List.iter
-      (fun batch ->
-        detect_batch sim ~bus ~drive ~samples ~lane_values ~detected ~batch_start:!batch_start
-          batch;
-        batch_start := !batch_start + Array.length batch)
-      (batches faults));
-  detected
+  let first = Array.make (Array.length faults) (-1) in
+  detect_engine ?pool circuit ~output ~drive ~samples ~faults ~first
+
+let detect_cycles ?pool circuit ~output ~drive ~samples ~faults =
+  Obs.count "fault_sim.detects";
+  Obs.count ~by:(Array.length faults) "fault_sim.faults";
+  Obs.span "fault_sim.detect" @@ fun () ->
+  let first = Array.make (Array.length faults) (-1) in
+  let (_ : bool array) =
+    detect_engine ?pool circuit ~output ~drive ~samples ~faults ~first
+  in
+  first

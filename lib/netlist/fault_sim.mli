@@ -72,6 +72,33 @@ val detect_exact :
   faults:Fault.t array ->
   bool array
 (** Cheap time-domain detection: a fault is detected as soon as its output
-    differs from the fault-free output in any cycle.  Batches stop early
-    once all their lanes have been detected.  With [pool], batches run
-    across domains; bit-identical to the serial path. *)
+    differs from the fault-free output in any cycle.
+
+    Unlike {!run}, detection does not replay full batches to the end: one
+    fault-free reference simulation records a per-cycle good-value table;
+    faults pack all {!Logic_sim.lanes} lanes of a batch and are compared
+    against that table over the reduced program of the batch's
+    cone-of-influence only; and between pattern chunks, detected faults
+    are {e dropped} and survivors repacked into fewer batches (faults
+    whose cone does not reach [output] are rejected without simulating a
+    cycle).  The repacking schedule is a pure function of the detection
+    prefix, and each fault's flag is a pure predicate of (circuit, drive,
+    samples, fault) — so the flags are bit-identical for every pool size,
+    serial included, and [drive] is only ever called on the single
+    reference sim (cycles 0..samples-1, in order).
+
+    Exposed telemetry: ["fault_sim.dropped"] counts faults dropped before
+    the end of the sweep. *)
+
+val detect_cycles :
+  ?pool:Msoc_util.Pool.t ->
+  Netlist.t ->
+  output:string ->
+  drive:(Logic_sim.t -> int -> unit) ->
+  samples:int ->
+  faults:Fault.t array ->
+  int array
+(** Like {!detect_exact} but returns, per fault, the first cycle whose
+    output differs from the fault-free machine, or [-1] if undetected —
+    the graded detection prefix that lets ATPG truncate a sweep to its
+    last useful pattern. *)

@@ -37,7 +37,26 @@ val drive_bus : t -> Netlist.node array -> int -> unit
 (** Broadcast an integer (two's complement, LSB-first bus) to all lanes. *)
 
 val eval : t -> unit
+(** Settle combinational logic.  Evaluation is event-driven: gates whose
+    fanin words are unchanged since the previous [eval] are skipped (their
+    held value is provably what recomputation would produce), with an
+    automatic fall-back to the dense levelized sweep when the workload
+    toggles nearly everything.  Both paths produce bit-identical values;
+    the choice depends only on simulated values, never on timing.  Mutation
+    escapes the dirty tracking ({!reset}, {!clear_faults}, {!inject}) force
+    the next [eval] to run dense. *)
+
 val tick : t -> unit
+
+val gates_skipped : t -> int
+(** Cumulative count of gate evaluations skipped by the event-driven path
+    over the lifetime of this sim (also exported as the
+    ["logic_sim.gates_skipped"] telemetry counter). *)
+
+val snapshot_bit0 : t -> Bytes.t -> pos:int -> unit
+(** Record bit 0 (lane 0) of every node's value as one byte per node into
+    [buf] at offset [pos] — the fault-free value table consumed by the
+    cone-reduced fault-simulation engine. *)
 
 val value : t -> Netlist.node -> int
 (** Lane word of a node after {!eval}. *)

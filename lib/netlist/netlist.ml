@@ -180,6 +180,34 @@ let fanin t i =
   | _ -> [| t.f0.(i); t.f1.(i) |]
 
 let fanout_count t i = t.fanouts.(i)
+
+(* Allocation-free fanin accessors for graph traversals: [-1] when the slot
+   does not exist for the node's arity. *)
+let fanin0 t i = if arity t.kinds.(i) >= 1 then t.f0.(i) else -1
+let fanin1 t i = if arity t.kinds.(i) >= 2 then t.f1.(i) else -1
+
+let successors t =
+  let n = Array.length t.kinds in
+  let counts = Array.make n 0 in
+  let bump src = if src >= 0 then counts.(src) <- counts.(src) + 1 in
+  for i = 0 to n - 1 do
+    bump (fanin0 t i);
+    bump (fanin1 t i)
+  done;
+  let succ = Array.init n (fun i -> Array.make counts.(i) 0) in
+  let fill = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let link src =
+      if src >= 0 then begin
+        succ.(src).(fill.(src)) <- i;
+        fill.(src) <- fill.(src) + 1
+      end
+    in
+    link (fanin0 t i);
+    link (fanin1 t i)
+  done;
+  succ
+
 let inputs t = t.ins
 let outputs t = t.outs
 

@@ -57,6 +57,20 @@ val node_count : t -> int
 val kind : t -> node -> kind
 val fanin : t -> node -> node array
 val fanout_count : t -> node -> int
+
+val fanin0 : t -> node -> node
+(** First fanin of the node, or [-1] when the node is a source.
+    Allocation-free (unlike {!fanin}), for graph traversals. *)
+
+val fanin1 : t -> node -> node
+(** Second fanin of the node, or [-1] when the node has arity < 2. *)
+
+val successors : t -> node array array
+(** Full forward adjacency: [(successors t).(i)] lists every node with [i]
+    as a fanin, {e including} DFFs reading [i] as their D input — so
+    transitive closure over this graph is the cone of influence across
+    clock cycles.  Built fresh on each call (O(nodes + edges)). *)
+
 val inputs : t -> (string * node) array
 val outputs : t -> (string * node array) array
 val find_output : t -> string -> node array

@@ -121,6 +121,19 @@ let create ?size:(requested = Domain.recommended_domain_count ()) () =
   end;
   pool
 
+(* Per-slot lazy state: a slot never runs two chunks concurrently and
+   always reads its own cell, so plain (non-atomic) cells at distinct
+   indices are race-free; the pool join publishes the writes. *)
+let per_slot t make =
+  let cells = Array.make t.size None in
+  fun slot ->
+    match cells.(slot) with
+    | Some v -> v
+    | None ->
+      let v = make () in
+      cells.(slot) <- Some v;
+      v
+
 let default_size () =
   match Sys.getenv_opt "MSOC_DOMAINS" with
   | Some s ->

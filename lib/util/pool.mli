@@ -66,6 +66,14 @@ val get_default : unit -> t
 
 val default_size : unit -> int
 
+val per_slot : t -> (unit -> 'a) -> int -> 'a
+(** [per_slot pool make] returns a lookup function building at most one
+    [make ()] per worker slot, on the slot's own domain at first use, and
+    reusing it for every later chunk the slot runs — the persistent
+    per-worker sim/scratch pattern shared by the pooled simulation engines.
+    The lookup must only be called with the [slot] handed to the running
+    task (a slot never runs two chunks concurrently). *)
+
 val run : t -> (int -> unit) -> unit
 (** [run pool f] executes [f slot] for every worker slot [0 .. size-1]
     concurrently and waits for all of them; the caller runs slot 0.  The

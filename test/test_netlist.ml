@@ -434,6 +434,64 @@ let test_run_fold_streaming_equivalence () =
   Alcotest.(check (array int)) "good stream" batch.Fault_sim.good_stream good;
   Alcotest.(check bool) "all callbacks fired" true (Array.for_all (fun x -> x) seen)
 
+let test_run_empty_faults () =
+  (* Regression: [run ~faults:[||]] used to skip the fault-free machine
+     entirely and return an all-zero good_stream. *)
+  let fir = small_fir () in
+  let circuit = fir.Fir_netlist.circuit in
+  let g = Prng.create 23 in
+  let stimulus = Array.init 48 (fun _ -> Prng.int g 63 - 31) in
+  let drive sim cycle = Fir_netlist.drive fir sim stimulus.(cycle) in
+  let empty = Fault_sim.run circuit ~output:"y" ~drive ~samples:48 ~faults:[||] in
+  Alcotest.(check int) "no fault streams" 0 (Array.length empty.Fault_sim.fault_streams);
+  Alcotest.(check (array int)) "good stream = behavioural response"
+    (Fir_netlist.response fir stimulus) empty.Fault_sim.good_stream;
+  let one_fault = Array.sub (Fault.universe circuit) 0 1 in
+  let one = Fault_sim.run circuit ~output:"y" ~drive ~samples:48 ~faults:one_fault in
+  Alcotest.(check (array int)) "good stream = 1-fault run's good stream"
+    one.Fault_sim.good_stream empty.Fault_sim.good_stream
+
+let test_detect_cycles_consistency () =
+  let fir = small_fir () in
+  let circuit = fir.Fir_netlist.circuit in
+  let g = Prng.create 29 in
+  let stimulus = Array.init 80 (fun _ -> Prng.int g 63 - 31) in
+  let faults = Fault.collapse circuit (Fault.universe circuit) in
+  let drive sim cycle = Fir_netlist.drive fir sim stimulus.(cycle) in
+  let flags = Fault_sim.detect_exact circuit ~output:"y" ~drive ~samples:80 ~faults in
+  let cycles = Fault_sim.detect_cycles circuit ~output:"y" ~drive ~samples:80 ~faults in
+  Array.iteri
+    (fun i c ->
+      if flags.(i) <> (c >= 0) then Alcotest.failf "flag/cycle disagree on fault %d" i;
+      if c >= 80 then Alcotest.failf "first cycle out of range on fault %d" i)
+    cycles;
+  (* Pattern compaction: truncating the sweep to the last useful cycle
+     detects exactly the same fault set. *)
+  let last_useful = 1 + Array.fold_left max (-1) cycles in
+  Alcotest.(check bool) "something detected" true (last_useful > 0);
+  let truncated =
+    Fault_sim.detect_exact circuit ~output:"y" ~drive ~samples:last_useful ~faults
+  in
+  Alcotest.(check (array bool)) "truncated sweep detects the same set" flags truncated
+
+let prop_dropped_faults_never_undetect =
+  (* Dropping is sound: a fault detected at a shorter sweep stays detected —
+     with the same first-detect cycle — at every longer sweep. *)
+  QCheck.Test.make ~name:"dropped faults never un-detect" ~count:8
+    (QCheck.pair (QCheck.int_range 1 1000) (QCheck.int_range 33 96))
+    (fun (seed, s2) ->
+      let s1 = s2 / 2 in
+      let fir = small_fir () in
+      let circuit = fir.Fir_netlist.circuit in
+      let g = Prng.create seed in
+      let stimulus = Array.init s2 (fun _ -> Prng.int g 63 - 31) in
+      let faults = Fault.collapse circuit (Fault.universe circuit) in
+      let drive sim cycle = Fir_netlist.drive fir sim stimulus.(cycle) in
+      let short = Fault_sim.detect_cycles circuit ~output:"y" ~drive ~samples:s1 ~faults in
+      let long = Fault_sim.detect_cycles circuit ~output:"y" ~drive ~samples:s2 ~faults in
+      Array.for_all (fun ok -> ok)
+        (Array.mapi (fun i c1 -> c1 < 0 || long.(i) = c1) short))
+
 (* ---- FIR datapath ---- *)
 
 let test_fir_netlist_exactness () =
@@ -680,6 +738,74 @@ let test_atpg_union () =
   let a = [| true; false; false |] and b = [| false; false; true |] in
   Alcotest.(check int) "union" 2 (Atpg_lite.union_coverage [ a; b ])
 
+let test_atpg_union_mismatch_raises () =
+  let a = [| true; false; false |] and b = [| false; true |] in
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument
+       "Atpg_lite.union_coverage: grading 1 has 2 flags, expected 3 (all gradings must \
+        come from the same fault array)") (fun () ->
+      ignore (Atpg_lite.union_coverage [ a; b ]))
+
+let test_atpg_prefix_stability () =
+  (* The stimulus table is prefix-stable, so a grading at p patterns must
+     agree with the first-detect cycles of a grading at 2p patterns — the
+     property grade_until's resume-from-remainder optimisation rests on. *)
+  let fir = small_fir () in
+  let circuit = fir.Fir_netlist.circuit in
+  let faults = Fault.collapse circuit (Fault.universe circuit) in
+  let small =
+    Atpg_lite.grade circuit ~output:"y" ~faults
+      { Atpg_lite.default_config with Atpg_lite.patterns = 64 }
+  in
+  let large =
+    Atpg_lite.grade circuit ~output:"y" ~faults
+      { Atpg_lite.default_config with Atpg_lite.patterns = 128 }
+  in
+  Array.iteri
+    (fun i f ->
+      if f && not large.Atpg_lite.detected_flags.(i) then
+        Alcotest.failf "fault %d detected at 64 patterns but not at 128" i)
+    small.Atpg_lite.detected_flags;
+  Alcotest.(check bool) "last useful pattern within sweep" true
+    (small.Atpg_lite.last_useful_pattern <= 64
+    && large.Atpg_lite.last_useful_pattern <= 128)
+
+let test_atpg_grade_until_resume_matches_full () =
+  (* grade_until resumes each doubling with only the undetected remainder;
+     the merged flags must equal a from-scratch grading at the final
+     pattern count. *)
+  let fir = small_fir () in
+  let circuit = fir.Fir_netlist.circuit in
+  let faults = Fault.collapse circuit (Fault.universe circuit) in
+  let base = { Atpg_lite.default_config with Atpg_lite.patterns = 16 } in
+  let resumed =
+    Atpg_lite.grade_until circuit ~output:"y" ~faults base ~target_coverage:2.0
+      ~max_patterns:256
+  in
+  let full =
+    Atpg_lite.grade circuit ~output:"y" ~faults
+      { base with Atpg_lite.patterns = resumed.Atpg_lite.patterns_used }
+  in
+  Alcotest.(check (array bool)) "resumed flags = full regrade"
+    full.Atpg_lite.detected_flags resumed.Atpg_lite.detected_flags;
+  Alcotest.(check int) "same detected count" full.Atpg_lite.detected
+    resumed.Atpg_lite.detected
+
+let test_atpg_last_useful_pattern_compacts () =
+  let fir = small_fir () in
+  let circuit = fir.Fir_netlist.circuit in
+  let faults = Fault.collapse circuit (Fault.universe circuit) in
+  let config = { Atpg_lite.default_config with Atpg_lite.patterns = 128 } in
+  let r = Atpg_lite.grade circuit ~output:"y" ~faults config in
+  Alcotest.(check bool) "prefix non-trivial" true
+    (r.Atpg_lite.last_useful_pattern > 0 && r.Atpg_lite.last_useful_pattern <= 128);
+  let compacted =
+    Atpg_lite.grade circuit ~output:"y" ~faults
+      { config with Atpg_lite.patterns = r.Atpg_lite.last_useful_pattern }
+  in
+  Alcotest.(check (array bool)) "compacted sweep detects the same set"
+    r.Atpg_lite.detected_flags compacted.Atpg_lite.detected_flags
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "msoc_netlist"
@@ -712,7 +838,12 @@ let () =
             test_parallel_fault_sim_matches_serial;
           Alcotest.test_case "good stream = golden" `Quick test_good_stream_matches_response;
           Alcotest.test_case "detect_exact consistency" `Quick test_detect_exact_subset_of_run;
-          Alcotest.test_case "run_fold streaming" `Quick test_run_fold_streaming_equivalence ] );
+          Alcotest.test_case "run_fold streaming" `Quick test_run_fold_streaming_equivalence;
+          Alcotest.test_case "empty fault list still simulates good machine" `Quick
+            test_run_empty_faults;
+          Alcotest.test_case "detect_cycles consistency + compaction" `Quick
+            test_detect_cycles_consistency ]
+        @ qcheck [ prop_dropped_faults_never_undetect ] );
       ( "fir-netlist",
         Alcotest.test_case "exactness vs golden" `Quick test_fir_netlist_exactness
         :: Alcotest.test_case "regions" `Quick test_fir_regions
@@ -733,4 +864,11 @@ let () =
         [ Alcotest.test_case "grading reasonable" `Quick test_atpg_grading_reasonable;
           Alcotest.test_case "deterministic" `Quick test_atpg_deterministic;
           Alcotest.test_case "grade_until monotone" `Quick test_atpg_grade_until_monotone;
-          Alcotest.test_case "union" `Quick test_atpg_union ] ) ]
+          Alcotest.test_case "union" `Quick test_atpg_union;
+          Alcotest.test_case "union length mismatch raises" `Quick
+            test_atpg_union_mismatch_raises;
+          Alcotest.test_case "stimulus prefix stability" `Quick test_atpg_prefix_stability;
+          Alcotest.test_case "grade_until resume = full regrade" `Quick
+            test_atpg_grade_until_resume_matches_full;
+          Alcotest.test_case "last useful pattern compacts" `Quick
+            test_atpg_last_useful_pattern_compacts ] ) ]

@@ -9,6 +9,7 @@ module Spectrum = Msoc_dsp.Spectrum
 module Fir_netlist = Msoc_netlist.Fir_netlist
 module Fault = Msoc_netlist.Fault
 module Fault_sim = Msoc_netlist.Fault_sim
+module Atpg_lite = Msoc_netlist.Atpg_lite
 module Digital_test = Msoc_synth.Digital_test
 
 (* 8 oversubscribes any CI box we use — stealing and uneven grain tails
@@ -251,6 +252,74 @@ let test_run_streams_not_aliased () =
       Alcotest.failf "stream %d aliases the good stream" i
   done
 
+let test_detect_cycles_pooled () =
+  (* the dropping/cone engine reports the same first-detect cycle for every
+     fault at every pool size — the re-batching schedule after each drop is
+     a pure function of the detection prefix, not of worker timing *)
+  let fir = small_fir () in
+  let faults = Fault.collapse fir.Fir_netlist.circuit (Fault.universe fir.Fir_netlist.circuit) in
+  let samples = 128 in
+  (* hold the input at zero across the first drop chunk so the
+     activity-dependent faults only detect in later rounds *)
+  let stim =
+    Array.init samples (fun i -> if i < 40 then 0 else ((i * 29) mod 256) - 128)
+  in
+  let drive sim cycle = Fir_netlist.drive fir sim stim.(cycle) in
+  let serial =
+    Fault_sim.detect_cycles fir.Fir_netlist.circuit ~output:"y" ~drive ~samples ~faults
+  in
+  Alcotest.(check bool)
+    "spans several drop rounds" true
+    (Array.exists (fun c -> c >= 32) serial && Array.exists (fun c -> c >= 0 && c < 32) serial);
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let pooled =
+            Fault_sim.detect_cycles ~pool fir.Fir_netlist.circuit ~output:"y" ~drive ~samples
+              ~faults
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "size %d first-detect cycles identical" size)
+            serial pooled))
+    pool_sizes
+
+(* ---- Pooled random-pattern grading ---- *)
+
+let test_atpg_pooled () =
+  let fir = small_fir () in
+  let faults = Fault.collapse fir.Fir_netlist.circuit (Fault.universe fir.Fir_netlist.circuit) in
+  let config = { Atpg_lite.default_config with patterns = 96; seed = 11 } in
+  let serial = Atpg_lite.grade fir.Fir_netlist.circuit ~output:"y" ~faults config in
+  let serial_until =
+    Atpg_lite.grade_until fir.Fir_netlist.circuit ~output:"y" ~faults
+      { config with patterns = 16 }
+      ~target_coverage:2.0 ~max_patterns:96
+  in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let pooled = Atpg_lite.grade ~pool fir.Fir_netlist.circuit ~output:"y" ~faults config in
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d grade flags identical" size)
+            true
+            (pooled.Atpg_lite.detected_flags = serial.Atpg_lite.detected_flags);
+          Alcotest.(check int)
+            (Printf.sprintf "size %d grade last_useful identical" size)
+            serial.Atpg_lite.last_useful_pattern pooled.Atpg_lite.last_useful_pattern;
+          let pooled_until =
+            Atpg_lite.grade_until ~pool fir.Fir_netlist.circuit ~output:"y" ~faults
+              { config with patterns = 16 }
+              ~target_coverage:2.0 ~max_patterns:96
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "size %d grade_until flags identical" size)
+            true
+            (pooled_until.Atpg_lite.detected_flags = serial_until.Atpg_lite.detected_flags);
+          Alcotest.(check int)
+            (Printf.sprintf "size %d grade_until patterns identical" size)
+            serial_until.Atpg_lite.patterns_used pooled_until.Atpg_lite.patterns_used))
+    pool_sizes
+
 (* ---- Pooled spectrum analysis ---- *)
 
 let test_analyze_many_pooled () =
@@ -328,7 +397,9 @@ let () =
           Alcotest.test_case "monte carlo pooled" `Quick test_monte_carlo_pooled ] );
       ( "fault sim",
         [ Alcotest.test_case "run/detect_exact pooled" `Quick test_fault_sim_pooled;
-          Alcotest.test_case "streams not aliased" `Quick test_run_streams_not_aliased ] );
+          Alcotest.test_case "streams not aliased" `Quick test_run_streams_not_aliased;
+          Alcotest.test_case "detect_cycles pooled" `Quick test_detect_cycles_pooled;
+          Alcotest.test_case "atpg grading pooled" `Quick test_atpg_pooled ] );
       ( "spectra",
         [ Alcotest.test_case "analyze_many pooled" `Quick test_analyze_many_pooled;
           Alcotest.test_case "spectral coverage pooled" `Quick test_spectral_coverage_pooled ] ) ]

@@ -93,6 +93,8 @@ let report =
   Report.create ~git_rev ~pool_size:(Pool.default_size ())
     ~mode:(if quick then "quick" else "full") ()
 
+let () = Obs.set_build_info ~git_rev
+
 (* ------------------------------------------------------------------ *)
 (* Figure 6: the experimental set-up, with the attribute propagation   *)
 (* trace of the standard two-tone stimulus.                            *)
@@ -1441,6 +1443,8 @@ let telemetry_overhead () =
      the chunk-size distribution the grain heuristic produced *)
   let steals = Obs.counter_total "pool.steals" in
   Report.add_scalar report ~section:"pool-balance" ~name:"steals" (float_of_int steals);
+  Report.add_scalar report ~section:"pool-balance" ~name:"fault_sim dropped"
+    (float_of_int (Obs.counter_total "fault_sim.dropped"));
   (match
      List.find_opt (fun h -> String.equal h.Obs.hist "pool.chunk.items") (Obs.snapshot_hists ())
    with

@@ -5,7 +5,9 @@
      plan        synthesise and print the system-level test plan
      coverage    FCL/YL threshold analysis for one propagated parameter
      faultsim    spectral stuck-at fault simulation of the digital filter
+     montecarlo  Monte-Carlo de-embedding error study (Figure 4 model)
      spectrum    simulate the receiver path and report SNR/SFDR/IM3
+     trace       analyse a saved telemetry trace offline
      bench-diff  compare two bench reports and gate on regressions
 
    Exit codes: 0 success; 1 runtime failure; 2 usage error; 3 bench-diff
@@ -20,14 +22,20 @@ module Tone = Msoc_dsp.Tone
 module Spectrum = Msoc_dsp.Spectrum
 module Metrics = Msoc_dsp.Metrics
 module Obs = Msoc_obs.Obs
+module Progress = Msoc_obs.Progress
+module Trace = Msoc_obs.Trace
+module Param = Msoc_analog.Param
+module Monte_carlo = Msoc_stat.Monte_carlo
 open Msoc_synth
 
 (* ---- telemetry flags (shared by every subcommand) ---- *)
 
 type metrics_format = Metrics_text | Metrics_prom
+type trace_format = Trace_chrome | Trace_folded | Trace_jsonl
 
 type telemetry = {
   trace : string option;
+  trace_format : trace_format;
   events : string option;
   metrics : bool;
   metrics_format : metrics_format option;
@@ -41,6 +49,27 @@ let telemetry_term =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"Record telemetry and write a Chrome trace_event profile \
                    (loadable in chrome://tracing or Perfetto) to $(docv).")
+  in
+  let trace_format =
+    let fmt =
+      Arg.conv
+        ( (function
+          | "chrome" -> Ok Trace_chrome
+          | "folded" -> Ok Trace_folded
+          | "jsonl" -> Ok Trace_jsonl
+          | s -> Error (`Msg (Printf.sprintf "unknown trace format %S (chrome|folded|jsonl)" s))),
+          fun ppf f ->
+            Format.pp_print_string ppf
+              (match f with
+              | Trace_chrome -> "chrome"
+              | Trace_folded -> "folded"
+              | Trace_jsonl -> "jsonl") )
+    in
+    Arg.(value & opt fmt Trace_chrome
+         & info [ "trace-format" ] ~docv:"FMT"
+             ~doc:"Format for $(b,--trace): $(b,chrome) (trace_event JSON, the default), \
+                   $(b,folded) (collapsed stacks for flamegraph.pl / inferno / speedscope) \
+                   or $(b,jsonl) (structured events).")
   in
   let events =
     Arg.(value & opt (some string) None
@@ -68,9 +97,20 @@ let telemetry_term =
              ~doc:"Metrics output format: $(b,text) (human summary, the default) or \
                    $(b,prom) (Prometheus text exposition).  Implies $(b,--metrics).")
   in
-  Term.(const (fun trace events metrics metrics_format ->
-            { trace; events; metrics; metrics_format })
-        $ trace $ events $ metrics $ metrics_format)
+  Term.(const (fun trace trace_format events metrics metrics_format ->
+            { trace; trace_format; events; metrics; metrics_format })
+        $ trace $ trace_format $ events $ metrics $ metrics_format)
+
+(* Stamp the Prometheus build-info gauge with the working tree's short
+   rev when one is discoverable (same probe the bench harness uses). *)
+let set_build_info () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> ()
+  | ic ->
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    (match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some rev when rev <> "" -> Obs.set_build_info ~git_rev:rev
+    | _ -> ())
 
 (* Run [f] under a root span when any telemetry output was requested;
    exporters run even if [f] raises, so a failing run still leaves a
@@ -81,12 +121,21 @@ let with_telemetry tel ~command f =
   else begin
     Obs.enable ();
     Obs.reset ();
+    if wants_metrics then set_build_info ();
     let finish () =
       Obs.disable ();
       Option.iter
         (fun file ->
-          Obs.write_chrome_trace file;
-          Format.eprintf "telemetry: trace written to %s@." file)
+          (match tel.trace_format with
+          | Trace_chrome -> Obs.write_chrome_trace file
+          | Trace_folded -> Obs.write_folded file
+          | Trace_jsonl -> Obs.write_jsonl file);
+          Format.eprintf "telemetry: %s trace written to %s@."
+            (match tel.trace_format with
+            | Trace_chrome -> "chrome"
+            | Trace_folded -> "folded"
+            | Trace_jsonl -> "jsonl")
+            file)
         tel.trace;
       Option.iter
         (fun file ->
@@ -258,7 +307,37 @@ let coverage_cmd =
 
 (* ---- faultsim ---- *)
 
-let run_faultsim tel taps input_bits coeff_bits samples tones seed =
+let progress_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Render a live progress heartbeat (work done, coverage so far, ETA) to \
+              stderr while the engines run.  The heartbeat polls atomic cells off the \
+              hot path, so it cannot change any result.")
+
+(* Heartbeat line for the fault-simulation pipeline: batch simulation,
+   then spectral judging.  Reads only the engines' published cells. *)
+let render_faultsim ~elapsed_s =
+  let v name = Progress.value (Progress.cell name) in
+  let batches = v "fault_sim.batches" and batches_total = v "fault_sim.batches_total" in
+  let judged = v "coverage.judged" and judged_total = v "coverage.judged_total" in
+  let detected = v "coverage.detected" in
+  let frac =
+    (* the two phases cost roughly the same per fault; weight them evenly *)
+    let part done_ total = if total > 0.0 then Float.min 1.0 (done_ /. total) else 0.0 in
+    0.5 *. (part batches batches_total +. part judged judged_total)
+  in
+  let eta =
+    match Progress.eta_s ~done_:frac ~total:1.0 ~elapsed_s with
+    | Some s -> " | eta " ^ Progress.pp_duration s
+    | None -> ""
+  in
+  let coverage = if judged > 0.0 then 100.0 *. detected /. judged else 0.0 in
+  Printf.sprintf "faultsim: sim %.0f/%.0f batches | judged %.0f/%.0f | coverage %.1f%% | %s%s"
+    batches batches_total judged judged_total coverage
+    (Progress.pp_duration elapsed_s) eta
+
+let run_faultsim tel progress taps input_bits coeff_bits samples tones seed =
   with_telemetry tel ~command:"faultsim" @@ fun () ->
   let config =
     { Digital_test.default_config with Digital_test.taps; input_bits; coeff_bits }
@@ -280,9 +359,13 @@ let run_faultsim tel taps input_bits coeff_bits samples tones seed =
   let codes =
     Digital_test.ideal_codes ?rng config ~sample_rate:fs ~samples ~freqs ~amplitude_fs
   in
+  let compute () =
+    (* pooled: bit-identical to the serial path at any MSOC_DOMAINS *)
+    Digital_test.spectral_coverage ~pool:(Msoc_util.Pool.get_default ()) config fir
+      ~sample_rate:fs ~input_codes:codes ~reference_codes:codes ~tone_freqs:freqs ~faults
+  in
   let det =
-    Digital_test.spectral_coverage config fir ~sample_rate:fs ~input_codes:codes
-      ~reference_codes:codes ~tone_freqs:freqs ~faults
+    if progress then Progress.with_ticker ~render:render_faultsim compute else compute ()
   in
   Format.printf "coverage: %.2f%% (%d/%d), floor %.1f dB@."
     (100.0 *. det.Digital_test.coverage)
@@ -302,8 +385,158 @@ let faultsim_cmd =
   in
   Cmd.v (Cmd.info "faultsim" ~doc:"Spectral stuck-at fault simulation of the FIR filter")
     (code0
-       Term.(const run_faultsim $ telemetry_term $ taps $ input_bits $ coeff_bits $ samples
-             $ tones $ seed))
+       Term.(const run_faultsim $ telemetry_term $ progress_arg $ taps $ input_bits
+             $ coeff_bits $ samples $ tones $ seed))
+
+(* ---- montecarlo ---- *)
+
+let render_montecarlo ~elapsed_s =
+  let v name = Progress.value (Progress.cell name) in
+  let done_ = v "monte_carlo.trials" and total = v "monte_carlo.trials_total" in
+  let eta =
+    match Progress.eta_s ~done_ ~total ~elapsed_s with
+    | Some s -> " | eta " ^ Progress.pp_duration s
+    | None -> ""
+  in
+  Printf.sprintf "montecarlo: %.0f/%.0f trials (%s) | %s%s" done_ total
+    (Texttable.cell_pct ~decimals:0 (if total > 0.0 then done_ /. total else 0.0))
+    (Progress.pp_duration elapsed_s) eta
+
+(* The Figure 4 error model at CLI scale: sample a part within its
+   tolerances, de-embed the mixer IIP3 from the cascade observable with
+   the chosen strategy and compare against the sampled truth.  Trials run
+   on the domain pool with one pre-split generator stream per trial, so
+   the distribution is bit-identical at every pool size. *)
+let run_montecarlo tel progress strategy trials seed =
+  with_telemetry tel ~command:"montecarlo" @@ fun () ->
+  if trials < 2 then failwith "montecarlo: --trials must be at least 2";
+  let path = Path.default_receiver () in
+  let param name1 name2 = Path.param path ~stage:name1 ~name:name2 in
+  let iip3 = param "Mixer" "iip3_dbm" in
+  let amp_gain = param "Amp" "gain_db" in
+  let mixer_gain = param "Mixer" "gain_db" in
+  let lpf_gain = param "LPF" "gain_db" in
+  let m = Propagate.mixer_iip3 path ~strategy in
+  let pool = Msoc_util.Pool.get_default () in
+  let compute () =
+    Monte_carlo.sample_array_pooled ~pool ~trials ~rng:(Prng.create seed)
+      ~f:(fun g _ ->
+        let actual_amp = Param.sample amp_gain g in
+        let actual_mixer = Param.sample mixer_gain g in
+        let actual_lpf = Param.sample lpf_gain g in
+        let true_iip3 = Param.sample iip3 g in
+        let observable = true_iip3 +. actual_mixer +. actual_lpf in
+        let estimate =
+          match strategy with
+          | Propagate.Nominal_gains ->
+            observable -. mixer_gain.Param.nominal -. lpf_gain.Param.nominal
+          | Propagate.Adaptive ->
+            (* path gain measured exactly; G_amp assumed nominal — only
+               the amp's tolerance survives in the error *)
+            let path_gain = actual_amp +. actual_mixer +. actual_lpf in
+            observable -. path_gain +. amp_gain.Param.nominal
+        in
+        estimate -. true_iip3)
+      ()
+  in
+  let errs =
+    if progress then Progress.with_ticker ~render:render_montecarlo compute else compute ()
+  in
+  let rms = Msoc_stat.Describe.rms errs in
+  let worst = Msoc_util.Floatx.max_abs errs in
+  Format.printf "IIP3 de-embedding error, %d trials (seed %d, pool %d):@." trials seed
+    (Msoc_util.Pool.size pool);
+  let t = Texttable.create ~headers:[ "Strategy"; "Budget (worst)"; "RMS err"; "Max err" ] in
+  Texttable.add_row t
+    [ Propagate.strategy_name strategy;
+      Printf.sprintf "%.3f dB" (Propagate.err m);
+      Printf.sprintf "%.3f dB" rms;
+      Printf.sprintf "%.3f dB" worst ];
+  Texttable.print t
+
+let montecarlo_cmd =
+  let open Cmdliner in
+  let trials =
+    Arg.(value & opt int 50_000 & info [ "trials" ] ~doc:"Monte-Carlo trial count.")
+  in
+  let seed = Arg.(value & opt int 31415 & info [ "seed" ] ~doc:"Generator seed.") in
+  Cmd.v
+    (Cmd.info "montecarlo"
+       ~doc:"Monte-Carlo de-embedding error study for the mixer IIP3 (Figure 4 model)")
+    (code0
+       Term.(const run_montecarlo $ telemetry_term $ progress_arg $ strategy_arg $ trials
+             $ seed))
+
+(* ---- trace: offline analysis of saved telemetry ---- *)
+
+type trace_action = Trace_summary | Trace_utilization | Trace_critical_path | Trace_flamegraph
+
+let trace_action_conv =
+  let parse = function
+    | "summary" -> Ok Trace_summary
+    | "utilization" -> Ok Trace_utilization
+    | "critical-path" -> Ok Trace_critical_path
+    | "flamegraph" -> Ok Trace_flamegraph
+    | s ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown trace action %S (summary|utilization|critical-path|flamegraph)" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Trace_summary -> "summary"
+      | Trace_utilization -> "utilization"
+      | Trace_critical_path -> "critical-path"
+      | Trace_flamegraph -> "flamegraph")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let run_trace action file width out_file =
+  let t =
+    match Trace.load file with Ok t -> t | Error msg -> failwith ("trace: " ^ msg)
+  in
+  let text =
+    match action with
+    | Trace_summary -> Trace.summary t
+    | Trace_utilization -> Trace.utilization ~width t
+    | Trace_critical_path -> Trace.critical_path t
+    | Trace_flamegraph -> Trace.to_folded t
+  in
+  match out_file with
+  | None -> print_string text
+  | Some out ->
+    let oc = open_out out in
+    output_string oc text;
+    close_out oc;
+    Format.eprintf "trace: output written to %s@." out
+
+let trace_cmd =
+  let open Cmdliner in
+  let action =
+    Arg.(required & pos 0 (some trace_action_conv) None
+         & info [] ~docv:"ACTION"
+             ~doc:"$(b,summary) (per-phase breakdown), $(b,utilization) (per-slot \
+                   occupancy and Gantt), $(b,critical-path) (hottest chain) or \
+                   $(b,flamegraph) (collapsed-stack conversion).")
+  in
+  let file =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Saved trace: a $(b,--events) JSONL file (richest: spans, worker \
+                   timelines, counters) or a $(b,--trace) Chrome profile (spans only).")
+  in
+  let width =
+    Arg.(value & opt int 60
+         & info [ "width" ] ~docv:"COLS" ~doc:"Gantt width for $(b,utilization).")
+  in
+  let out_file =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the result to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Analyse a saved telemetry trace offline")
+    (code0 Term.(const run_trace $ action $ file $ width $ out_file))
 
 (* ---- spectrum ---- *)
 
@@ -504,8 +737,8 @@ let () =
   in
   let group =
     Cmd.group (Cmd.info "msoc" ~doc ~exits)
-      [ plan_cmd; coverage_cmd; faultsim_cmd; spectrum_cmd; measure_cmd; netlist_cmd;
-        bench_diff_cmd ]
+      [ plan_cmd; coverage_cmd; faultsim_cmd; montecarlo_cmd; spectrum_cmd; measure_cmd;
+        netlist_cmd; trace_cmd; bench_diff_cmd ]
   in
   let code =
     match (try Ok (Cmd.eval_value ~catch:false group) with e -> Error e) with

@@ -5,6 +5,13 @@ module Fault_sim = Msoc_netlist.Fault_sim
 module Spectrum = Msoc_dsp.Spectrum
 module Window = Msoc_dsp.Window
 module Tone = Msoc_dsp.Tone
+module Progress = Msoc_obs.Progress
+
+(* Heartbeat cells for the spectral judging phase (one add per verdict —
+   a verdict is a full windowed FFT, so the cadence is coarse). *)
+let prog_judged = Progress.cell "coverage.judged"
+let prog_judged_total = Progress.cell "coverage.judged_total"
+let prog_hits = Progress.cell "coverage.detected"
 
 type config = {
   taps : int;
@@ -199,13 +206,20 @@ let spectral_coverage ?pool config fir ~sample_rate ~input_codes ~reference_code
   in
   let detected_flags = Array.make (Array.length faults) false in
   let undetected = ref [] and undetected_dev = ref [] in
+  Progress.set prog_judged_total (float_of_int (Array.length faults));
   let judge stream =
     let spectrum = output_spectrum config fir ~sample_rate stream in
-    if spectra_differ config ~floor_db ~excluded golden spectrum then (true, 0.0)
-    else begin
-      let dev = max_deviation good_actual_stream stream in
-      (false, float_of_int dev *. fir.Fir_netlist.scale)
-    end
+    let verdict =
+      if spectra_differ config ~floor_db ~excluded golden spectrum then (true, 0.0)
+      else begin
+        let dev = max_deviation good_actual_stream stream in
+        (false, float_of_int dev *. fir.Fir_netlist.scale)
+      end
+    in
+    (* heartbeat: atomic adds, safe from any judging domain *)
+    Progress.add prog_judged 1.0;
+    if fst verdict then Progress.add prog_hits 1.0;
+    verdict
   in
   let drive sim cycle = Fir_netlist.drive fir sim input_codes.(cycle) in
   (match pool with

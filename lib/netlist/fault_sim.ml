@@ -1,5 +1,16 @@
 module Pool = Msoc_util.Pool
 module Obs = Msoc_obs.Obs
+module Progress = Msoc_obs.Progress
+
+(* Heartbeat cells, written on coarse boundaries only (per batch, per
+   drop round — never per cycle).  Disabled writes cost one atomic load,
+   and no cell feeds back into results. *)
+let prog_batches = Progress.cell "fault_sim.batches"
+let prog_batches_total = Progress.cell "fault_sim.batches_total"
+let prog_cycles = Progress.cell "fault_sim.cycles"
+let prog_cycles_total = Progress.cell "fault_sim.cycles_total"
+let prog_detected = Progress.cell "fault_sim.detected"
+let prog_faults = Progress.cell "fault_sim.faults"
 
 type run = {
   faults : Fault.t array;
@@ -56,14 +67,18 @@ let run_fold circuit ~output ~drive ~samples ~faults ~on_fault =
   in
   let lane_values = Array.make Logic_sim.lanes 0 in
   let batch_start = ref 0 in
+  let batch_list = batches faults in
+  Progress.set prog_batches_total (float_of_int (List.length batch_list));
+  Progress.set prog_faults (float_of_int (Array.length faults));
   List.iter
     (fun batch ->
       simulate_batch sim ~bus ~drive ~samples ~lane_values ~good_stream ~batch_streams batch;
       Array.iteri
         (fun lane fault -> on_fault (!batch_start + lane) fault batch_streams.(lane))
         batch;
-      batch_start := !batch_start + Array.length batch)
-    (batches faults);
+      batch_start := !batch_start + Array.length batch;
+      Progress.add prog_batches 1.0)
+    batch_list;
   good_stream
 
 let batch_offsets batch_array =
@@ -90,6 +105,8 @@ let run ?pool circuit ~output ~drive ~samples ~faults =
        concurrently against distinct sims and must only mutate the sim it
        is handed.  Batches are expensive and few, hence [grain:1]. *)
     let batch_array = Array.of_list (batches faults) in
+    Progress.set prog_batches_total (float_of_int (Array.length batch_array));
+    Progress.set prog_faults (float_of_int (Array.length faults));
     let offsets = batch_offsets batch_array in
     let good_stream = Array.make samples 0 in
     let fault_streams = Array.init (Array.length faults) (fun _ -> [||]) in
@@ -113,7 +130,8 @@ let run ?pool circuit ~output ~drive ~samples ~faults =
             ~batch_streams batch;
           Array.iteri
             (fun lane _ -> fault_streams.(offsets.(b) + lane) <- batch_streams.(lane))
-            batch
+            batch;
+          Progress.add prog_batches 1.0
         done)
       ();
     { faults; good_stream; fault_streams }
@@ -353,6 +371,8 @@ let detect_engine ?pool circuit ~output ~drive ~samples ~faults ~first =
         let s = det_scratch circuit in
         fun _ -> s
     in
+    Progress.set prog_cycles_total (float_of_int samples);
+    Progress.set prog_faults (float_of_int nf);
     let batches = ref (make_batches eligible [||]) in
     let r = ref 0 in
     let finished = ref (!batches = []) in
@@ -398,6 +418,9 @@ let detect_engine ?pool circuit ~output ~drive ~samples ~faults ~first =
           end
         done
       done;
+      (* serial coordinator section: heartbeat once per round *)
+      Progress.set prog_cycles (float_of_int c1);
+      Progress.add prog_detected (float_of_int !dropped);
       if (not more) || !survivors = [] then finished := true
       else if !dropped > 0 then begin
         Obs.count ~by:!dropped "fault_sim.dropped";

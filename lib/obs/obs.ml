@@ -74,6 +74,32 @@ type event = {
   ev_dur : int64;
 }
 
+(* Worker-timeline track: a fixed-capacity ring of scheduler events
+   (chunk begin/end, steal, idle) per sink, each stamped with the clock
+   and the domain's GC minor/major words.  A ring — not a growing array —
+   because timelines are a diagnostic view: on overflow the oldest
+   entries are overwritten and the tail of the run (where imbalance shows
+   up) always survives.  Stored as parallel unboxed arrays so recording
+   an entry allocates nothing. *)
+
+type timeline_kind = Chunk_begin | Chunk_end | Steal | Idle
+
+let timeline_kind_name = function
+  | Chunk_begin -> "begin"
+  | Chunk_end -> "end"
+  | Steal -> "steal"
+  | Idle -> "idle"
+
+let int_of_timeline_kind = function Chunk_begin -> 0 | Chunk_end -> 1 | Steal -> 2 | Idle -> 3
+
+let timeline_kind_of_int = function
+  | 0 -> Chunk_begin
+  | 1 -> Chunk_end
+  | 2 -> Steal
+  | _ -> Idle
+
+let timeline_capacity = 1 lsl 16
+
 type sink = {
   domain_id : int;
   mutable events : event array;
@@ -82,9 +108,32 @@ type sink = {
   counters : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
   mutable stack : string list;  (* open span paths, innermost first *)
+  (* timeline ring; arrays allocated on first use, [tl_next] counts every
+     write so [tl_next - capacity] entries have been overwritten *)
+  mutable tl_kind : int array;
+  mutable tl_slot : int array;
+  mutable tl_ts : int array;  (* absolute monotonic ns (fits 62 bits) *)
+  mutable tl_minor : float array;
+  mutable tl_major : float array;
+  mutable tl_next : int;
 }
 
-let max_events = 1 lsl 20
+(* Per-sink span-event cap, configurable through MSOC_OBS_MAX_EVENTS for
+   long soak runs (raise it) or constrained hosts (shrink it).  The
+   parser is pure — unit tests feed it strings — and clamps to a floor so
+   a typo cannot silently reduce telemetry to nothing. *)
+let default_max_events = 1 lsl 20
+let min_max_events = 4096
+
+let events_cap_of_env = function
+  | None -> default_max_events
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+    | Some n when n >= min_max_events -> n
+    | Some n when n >= 1 -> min_max_events
+    | Some _ | None -> default_max_events)
+
+let max_events = events_cap_of_env (Sys.getenv_opt "MSOC_OBS_MAX_EVENTS")
 let dummy_event = { ev_path = ""; ev_name = ""; ev_args = []; ev_start = 0L; ev_dur = 0L }
 
 (* Sinks outlive their domains on purpose: a [Pool.with_pool] run shuts
@@ -101,7 +150,13 @@ let new_sink () =
       dropped = 0;
       counters = Hashtbl.create 16;
       hists = Hashtbl.create 16;
-      stack = [] }
+      stack = [];
+      tl_kind = [||];
+      tl_slot = [||];
+      tl_ts = [||];
+      tl_minor = [||];
+      tl_major = [||];
+      tl_next = 0 }
   in
   Mutex.lock registry_mutex;
   registry := s :: !registry;
@@ -123,6 +178,29 @@ let record_event s ev =
     end;
     s.events.(n) <- ev;
     s.n_events <- n + 1
+  end
+
+(* One timeline entry on the calling domain's own track.  GC words are
+   sampled here — at span/chunk boundaries — so a timeline also shows
+   which worker allocated between any two marks.  Disabled cost: one
+   atomic load (the same bound as every other probe). *)
+let track_event kind ~slot =
+  if Atomic.get enabled_flag then begin
+    let s = my_sink () in
+    if Array.length s.tl_kind = 0 then begin
+      s.tl_kind <- Array.make timeline_capacity 0;
+      s.tl_slot <- Array.make timeline_capacity 0;
+      s.tl_ts <- Array.make timeline_capacity 0;
+      s.tl_minor <- Array.make timeline_capacity 0.0;
+      s.tl_major <- Array.make timeline_capacity 0.0
+    end;
+    let i = s.tl_next land (timeline_capacity - 1) in
+    s.tl_kind.(i) <- int_of_timeline_kind kind;
+    s.tl_slot.(i) <- slot;
+    s.tl_ts.(i) <- Int64.to_int (now_ns ());
+    s.tl_minor.(i) <- Gc.minor_words ();
+    s.tl_major.(i) <- (Gc.quick_stat ()).Gc.major_words;
+    s.tl_next <- s.tl_next + 1
   end
 
 (* ------------------------------------------------------------------ *)
@@ -230,6 +308,7 @@ let reset () =
       s.n_events <- 0;
       s.dropped <- 0;
       s.stack <- [];
+      s.tl_next <- 0;
       Hashtbl.reset s.counters;
       Hashtbl.reset s.hists)
     !registry;
@@ -258,11 +337,19 @@ let () =
             count "pool.chunks";
             count ~by:(hi - lo) "pool.items";
             observe "pool.chunk.items" (float_of_int (hi - lo));
-            span ~args:[ ("slot", string_of_int slot) ] "pool.chunk" f
+            track_event Chunk_begin ~slot;
+            span ~args:[ ("slot", string_of_int slot) ] "pool.chunk" f;
+            track_event Chunk_end ~slot
           end);
       steal =
-        (fun ~size:_ ~thief:_ ~victim:_ ->
-          if Atomic.get enabled_flag then count "pool.steals") }
+        (fun ~size:_ ~thief ~victim:_ ->
+          if Atomic.get enabled_flag then begin
+            count "pool.steals";
+            track_event Steal ~slot:thief
+          end);
+      idle =
+        (fun ~size:_ ~slot ->
+          if Atomic.get enabled_flag then track_event Idle ~slot) }
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots: merge the per-domain sinks deterministically (sinks      *)
@@ -432,6 +519,47 @@ let snapshot_tracks () =
       end)
     (sinks_snapshot ())
 
+type timeline_event = {
+  tle_track : int;  (* domain id *)
+  tle_slot : int;  (* pool slot the event belongs to *)
+  tle_kind : timeline_kind;
+  tle_ts_ns : int64;  (* relative to epoch *)
+  tle_minor_words : float;
+  tle_major_words : float;
+}
+
+(* Ring entries oldest-first, merged across sinks (per-track order is
+   chronological; cross-track interleaving is by track id, not time —
+   consumers sort by timestamp when they need a global order). *)
+let snapshot_timeline () =
+  let base = Int64.to_int (Atomic.get epoch) in
+  List.concat_map
+    (fun s ->
+      let cap = Array.length s.tl_kind in
+      if cap = 0 || s.tl_next = 0 then []
+      else begin
+        let len = min s.tl_next cap in
+        let start = s.tl_next - len in
+        List.init len (fun j ->
+            let i = (start + j) land (cap - 1) in
+            { tle_track = s.domain_id;
+              tle_slot = s.tl_slot.(i);
+              tle_kind = timeline_kind_of_int s.tl_kind.(i);
+              tle_ts_ns = Int64.of_int (s.tl_ts.(i) - base);
+              tle_minor_words = s.tl_minor.(i);
+              tle_major_words = s.tl_major.(i) })
+      end)
+    (sinks_snapshot ())
+
+(* How many ring entries were overwritten (ring semantics: newest always
+   survive, so this is information loss at the START of the run). *)
+let timeline_overwritten () =
+  List.fold_left
+    (fun acc s ->
+      let cap = Array.length s.tl_kind in
+      if cap = 0 then acc else acc + max 0 (s.tl_next - cap))
+    0 (sinks_snapshot ())
+
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -580,6 +708,28 @@ let jsonl () =
             ("dur_ns", Json.int64 ev.ev_dur);
             ("args", Json.args_obj ev.ev_args) ]
       done;
+      (* per-slot worker timeline (scheduler begin/end/steal/idle marks
+         with GC words).  JSONL-only: the Chrome export stays complete-
+         span-only so trace viewers and the CI structure check see a
+         uniform phase set. *)
+      let tl_cap = Array.length s.tl_kind in
+      if tl_cap > 0 && s.tl_next > 0 then begin
+        let base_int = Int64.to_int base in
+        let len = min s.tl_next tl_cap in
+        let start = s.tl_next - len in
+        for j = 0 to len - 1 do
+          let i = (start + j) land (tl_cap - 1) in
+          line
+            [ ("type", Json.str "timeline");
+              ("track", Json.int s.domain_id);
+              ("slot", Json.int s.tl_slot.(i));
+              ("kind",
+                Json.str (timeline_kind_name (timeline_kind_of_int s.tl_kind.(i))));
+              ("ts_ns", Json.int (s.tl_ts.(i) - base_int));
+              ("minor_words", Json.num s.tl_minor.(i));
+              ("major_words", Json.num s.tl_major.(i)) ]
+        done
+      end;
       List.iter
         (fun (name, r) ->
           line
@@ -617,7 +767,11 @@ let jsonl () =
               ("max", Json.num h.h_max);
               ("buckets", buckets) ])
         (sorted_bindings s.hists);
-      if s.n_events > 0 || Hashtbl.length s.counters > 0 || Hashtbl.length s.hists > 0 then
+      if
+        s.n_events > 0 || s.tl_next > 0
+        || Hashtbl.length s.counters > 0
+        || Hashtbl.length s.hists > 0
+      then
         line
           [ ("type", Json.str "track");
             ("track", Json.int s.domain_id);
@@ -625,6 +779,45 @@ let jsonl () =
             ("dropped", Json.int s.dropped) ])
     (sinks_snapshot ());
   Buffer.contents buffer
+
+(* Collapsed-stack ("folded") export, the input format of flamegraph.pl,
+   inferno and speedscope: one line per unique span path, '/' nesting
+   separators rewritten to ';', weighted by SELF time in integer
+   microseconds.  Self time is the path's total minus the totals of its
+   direct children, clamped at zero (concurrent pooled children can sum
+   past their parent's wall time), so box widths in the rendered graph
+   add up instead of double-counting. *)
+let collapse_paths totals =
+  let agg = Hashtbl.create 32 in
+  List.iter
+    (fun (path, total) ->
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt agg path) in
+      Hashtbl.replace agg path (prev +. total))
+    totals;
+  let self = Hashtbl.copy agg in
+  Hashtbl.iter
+    (fun path total ->
+      match String.rindex_opt path '/' with
+      | None -> ()
+      | Some i ->
+        let parent = String.sub path 0 i in
+        (match Hashtbl.find_opt self parent with
+        | Some p -> Hashtbl.replace self parent (p -. total)
+        | None -> ()))
+    agg;
+  let b = Buffer.create 1024 in
+  Hashtbl.fold (fun path self_ns acc -> (path, self_ns) :: acc) self []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (path, self_ns) ->
+         let us = int_of_float (Float.round (Float.max 0.0 self_ns /. 1e3)) in
+         Buffer.add_string b (String.map (fun c -> if c = '/' then ';' else c) path);
+         Buffer.add_char b ' ';
+         Buffer.add_string b (string_of_int us);
+         Buffer.add_char b '\n');
+  Buffer.contents b
+
+let to_collapsed () =
+  collapse_paths (List.map (fun s -> (s.span_path, s.total_ns)) (snapshot_spans ()))
 
 (* Prometheus text exposition (version 0.0.4).  Counters become counters,
    log2 histograms become Prometheus histograms with cumulative buckets,
@@ -658,6 +851,13 @@ let prometheus_float v =
 
 let total_dropped () =
   List.fold_left (fun acc s -> acc + s.dropped) 0 (sinks_snapshot ())
+
+(* Build identity for the msoc_build_info gauge: the CLI and bench set the
+   git revision at startup; OCaml version and pool size come from the
+   process itself.  Scrapes join on these labels to tell which binary
+   produced which telemetry. *)
+let build_git_rev = Atomic.make "unknown"
+let set_build_info ~git_rev = Atomic.set build_git_rev git_rev
 
 let to_prometheus () =
   let b = Buffer.create 4096 in
@@ -702,6 +902,15 @@ let to_prometheus () =
   end;
   line "# TYPE msoc_dropped_span_events_total counter";
   line "msoc_dropped_span_events_total %d" (total_dropped ());
+  (* modern alias of the historical name above: scrape rules alarm on
+     either, both stay exported *)
+  line "# TYPE msoc_obs_dropped_events_total counter";
+  line "msoc_obs_dropped_events_total %d" (total_dropped ());
+  line "# TYPE msoc_build_info gauge";
+  line "msoc_build_info{git_rev=\"%s\",ocaml_version=\"%s\",pool_size=\"%d\"} 1"
+    (prometheus_label_value (Atomic.get build_git_rev))
+    (prometheus_label_value Sys.ocaml_version)
+    (Pool.default_size ());
   Buffer.contents b
 
 (* Exported data with silently missing spans is worse than no data: any
@@ -730,6 +939,10 @@ let write_chrome_trace file =
 let write_jsonl file =
   warn_if_dropped ();
   write_file file (jsonl ())
+
+let write_folded file =
+  warn_if_dropped ();
+  write_file file (to_collapsed ())
 
 let write_prometheus file =
   warn_if_dropped ();

@@ -41,7 +41,13 @@ val reset : unit -> unit
 val enabled : unit -> bool
 
 val max_events : int
-(** Per-sink span-event capacity (events beyond it are dropped). *)
+(** Per-sink span-event capacity (events beyond it are dropped).  Read
+    from the [MSOC_OBS_MAX_EVENTS] environment variable at startup;
+    defaults to [2^20] and clamps to a sane floor. *)
+
+val events_cap_of_env : string option -> int
+(** Pure parser behind {!max_events}: [None] and unparseable strings give
+    the default cap, positive values below the floor clamp up to it. *)
 
 (** {2 Probes} *)
 
@@ -70,6 +76,28 @@ val stop_span : ?args:(unit -> (string * string) list) -> timer -> unit
 val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()] inside a span; exception-safe.  Disabled
     path is one atomic load, then a tail call to [f]. *)
+
+(** {2 Worker timelines}
+
+    A per-domain ring buffer of scheduler events — chunk begin/end,
+    steal, idle — each stamped with the monotonic clock and the domain's
+    GC minor/major words.  The pool hooks record these automatically for
+    every grained run; [track_event] lets other schedulers mark their own
+    slots.  On overflow the oldest entries are overwritten (capacity
+    {!timeline_capacity} per sink), so the tail of a long run — where
+    imbalance lives — always survives. *)
+
+type timeline_kind = Chunk_begin | Chunk_end | Steal | Idle
+
+val timeline_kind_name : timeline_kind -> string
+(** ["begin"], ["end"], ["steal"], ["idle"] — the JSONL encoding. *)
+
+val timeline_capacity : int
+(** Ring capacity per sink (entries, power of two). *)
+
+val track_event : timeline_kind -> slot:int -> unit
+(** Record one timeline entry on this domain's track.  Disabled cost:
+    one atomic load. *)
 
 (** {2 Log2 histogram buckets} *)
 
@@ -128,6 +156,23 @@ val snapshot_tracks : unit -> track_stat list
 (** One entry per domain that recorded anything, sorted by domain id.
     Chunk counts/busy time expose pool balance. *)
 
+type timeline_event = {
+  tle_track : int;  (** domain id *)
+  tle_slot : int;  (** pool slot the event belongs to *)
+  tle_kind : timeline_kind;
+  tle_ts_ns : int64;  (** relative to the trace epoch *)
+  tle_minor_words : float;  (** [Gc.minor_words] on the recording domain *)
+  tle_major_words : float;
+}
+
+val snapshot_timeline : unit -> timeline_event list
+(** Surviving ring entries, oldest-first per track, tracks in domain-id
+    order.  Sort by [tle_ts_ns] for a global chronology. *)
+
+val timeline_overwritten : unit -> int
+(** Ring entries lost to overwriting across all sinks (always the oldest
+    entries of the run). *)
+
 (** {2 Exporters} *)
 
 val summary : unit -> string
@@ -145,15 +190,36 @@ val chrome_trace : unit -> string
 val write_chrome_trace : string -> unit
 
 val jsonl : unit -> string
-(** Structured events, one JSON object per line: ["span"], ["counter"],
-    ["histogram"] and ["track"] records, ordered by domain id. *)
+(** Structured events, one JSON object per line: ["span"], ["timeline"],
+    ["counter"], ["histogram"] and ["track"] records, ordered by domain
+    id. *)
 
 val write_jsonl : string -> unit
+
+val collapse_paths : (string * float) list -> string
+(** [collapse_paths totals] folds slash-nested [(path, total_ns)] pairs
+    into collapsed-stack ("folded") format: one ["a;b;c <weight>"] line
+    per path, weighted by self time (total minus direct children) in
+    integer microseconds, clamped at zero and sorted by stack.  Input
+    paths may repeat (totals are summed). *)
+
+val to_collapsed : unit -> string
+(** {!collapse_paths} over {!snapshot_spans} — the flamegraph.pl /
+    inferno / speedscope input for the recorded profile. *)
+
+val write_folded : string -> unit
 
 val to_prometheus : unit -> string
 (** Prometheus text exposition (0.0.4): counters as [msoc_<name>_total],
     histograms with cumulative log2 buckets, per-path span statistics as a
-    labelled summary family, and [msoc_dropped_span_events_total]. *)
+    labelled summary family, dropped-event counters
+    ([msoc_dropped_span_events_total] and its modern alias
+    [msoc_obs_dropped_events_total]) and the [msoc_build_info] gauge. *)
+
+val set_build_info : git_rev:string -> unit
+(** Set the [git_rev] label of the [msoc_build_info] gauge (defaults to
+    ["unknown"]); OCaml version and pool size are read from the
+    process. *)
 
 val write_prometheus : string -> unit
 

@@ -1,0 +1,392 @@
+(* Offline analysis of saved telemetry: load a JSONL event stream (the
+   [--events] export, the richer format: spans + worker timeline marks +
+   counters) or a Chrome trace ([--trace], spans only) and answer the
+   questions the live summary cannot — per-slot occupancy over the run's
+   wall clock, the critical chain of the span tree, and flamegraph
+   conversion.  Everything here is pure string/list processing over the
+   repo's own JSON reader; no telemetry needs to be live. *)
+
+module Texttable = Msoc_util.Texttable
+
+type span = {
+  sp_track : int;
+  sp_slot : int option;  (* pool slot, when the span carried a slot arg *)
+  sp_name : string;
+  sp_path : string;
+  sp_ts_ns : float;
+  sp_dur_ns : float;
+}
+
+type mark = {
+  mk_track : int;
+  mk_slot : int;
+  mk_kind : string;  (* "begin" | "end" | "steal" | "idle" *)
+  mk_ts_ns : float;
+}
+
+type t = {
+  spans : span list;
+  marks : mark list;
+  counters : (string * float) list;  (* merged totals, sorted by name *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let slot_of_args j =
+  match Json.member "args" j with
+  | Some args ->
+    (match Json.member "slot" args with
+    | Some (Json.String s) -> int_of_string_opt s
+    | Some (Json.Number v) -> Some (int_of_float v)
+    | _ -> None)
+  | None -> None
+
+let of_chrome json =
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.Array evs) -> evs
+    | _ -> raise (Json.Parse_error "traceEvents array missing")
+  in
+  let spans =
+    List.filter_map
+      (fun e ->
+        match Json.member "ph" e with
+        | Some (Json.String "X") ->
+          let name = Json.string_exn "name" e in
+          let path =
+            match Json.member "args" e with
+            | Some args ->
+              (match Json.member "path" args with Some (Json.String p) -> p | _ -> name)
+            | None -> name
+          in
+          Some
+            { sp_track = Json.int_exn "tid" e;
+              sp_slot = slot_of_args e;
+              sp_name = name;
+              sp_path = path;
+              (* chrome timestamps are microseconds *)
+              sp_ts_ns = Json.number_exn "ts" e *. 1e3;
+              sp_dur_ns = Json.number_exn "dur" e *. 1e3 }
+        | _ -> None)
+      events
+  in
+  { spans; marks = []; counters = [] }
+
+let of_jsonl text =
+  let spans = ref [] and marks = ref [] in
+  let counters : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  String.split_on_char '\n' text
+  |> List.iteri (fun lineno line ->
+         if String.trim line <> "" then begin
+           try
+           let j = Json.parse line in
+           match Json.string_exn "type" j with
+           | "span" ->
+             spans :=
+               { sp_track = Json.int_exn "track" j;
+                 sp_slot = slot_of_args j;
+                 sp_name = Json.string_exn "name" j;
+                 sp_path = Json.string_exn "path" j;
+                 sp_ts_ns = Json.number_exn "ts_ns" j;
+                 sp_dur_ns = Json.number_exn "dur_ns" j }
+               :: !spans
+           | "timeline" ->
+             marks :=
+               { mk_track = Json.int_exn "track" j;
+                 mk_slot = Json.int_exn "slot" j;
+                 mk_kind = Json.string_exn "kind" j;
+                 mk_ts_ns = Json.number_exn "ts_ns" j }
+               :: !marks
+           | "counter" ->
+             let name = Json.string_exn "name" j in
+             let prev = Option.value ~default:0.0 (Hashtbl.find_opt counters name) in
+             Hashtbl.replace counters name (prev +. Json.number_exn "value" j)
+           | _ -> () (* histogram/track summaries: not needed here *)
+           with Json.Parse_error msg ->
+             raise (Json.Parse_error (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+         end);
+  { spans = List.rev !spans;
+    marks = List.rev !marks;
+    counters =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
+      |> List.sort (fun (a, _) (b, _) -> compare a b) }
+
+(* Sniff the format: a Chrome trace is one JSON object wrapping
+   "traceEvents"; everything else is treated as JSONL. *)
+let load file =
+  match read_file file with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    let trimmed = String.trim text in
+    if trimmed = "" then Error (file ^ ": empty trace")
+    else begin
+      let chrome =
+        trimmed.[0] = '{'
+        && (match Json.parse_result trimmed with
+           | Ok j -> ( match Json.member "traceEvents" j with Some _ -> true | None -> false)
+           | Error _ -> false)
+      in
+      try
+        if chrome then Ok (of_chrome (Json.parse trimmed)) else Ok (of_jsonl text)
+      with Json.Parse_error msg -> Error (file ^ ": " ^ msg)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Shared aggregation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let by_path spans =
+  let table : (string, int ref * float ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun sp ->
+      match Hashtbl.find_opt table sp.sp_path with
+      | Some (n, total, mx) ->
+        incr n;
+        total := !total +. sp.sp_dur_ns;
+        if sp.sp_dur_ns > !mx then mx := sp.sp_dur_ns
+      | None -> Hashtbl.add table sp.sp_path (ref 1, ref sp.sp_dur_ns, ref sp.sp_dur_ns))
+    spans;
+  Hashtbl.fold (fun path (n, total, mx) acc -> (path, !n, !total, !mx) :: acc) table []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+let wall_window spans =
+  match spans with
+  | [] -> (0.0, 0.0)
+  | sp :: rest ->
+    List.fold_left
+      (fun (lo, hi) sp ->
+        (Float.min lo sp.sp_ts_ns, Float.max hi (sp.sp_ts_ns +. sp.sp_dur_ns)))
+      (sp.sp_ts_ns, sp.sp_ts_ns +. sp.sp_dur_ns)
+      rest
+
+let tracks t =
+  List.sort_uniq compare
+    (List.map (fun sp -> sp.sp_track) t.spans @ List.map (fun m -> m.mk_track) t.marks)
+
+(* ------------------------------------------------------------------ *)
+(* summary: per-phase breakdown                                        *)
+(* ------------------------------------------------------------------ *)
+
+let summary t =
+  let b = Buffer.create 1024 in
+  if t.spans = [] then Buffer.add_string b "trace: no span events\n"
+  else begin
+    let lo, hi = wall_window t.spans in
+    let wall_ns = hi -. lo in
+    Buffer.add_string b
+      (Printf.sprintf "%d span event(s) on %d track(s), wall %.3f ms\n\n"
+         (List.length t.spans) (List.length (tracks t)) (wall_ns /. 1e6));
+    (* top-level phases: paths with no '/' — the command's major stages *)
+    let aggregated = by_path t.spans in
+    let top = List.filter (fun (path, _, _, _) -> not (String.contains path '/')) aggregated in
+    if top <> [] then begin
+      Buffer.add_string b "Phases (top-level spans)\n";
+      let tt = Texttable.create ~headers:[ "Phase"; "Count"; "Total (ms)"; "Wall share" ] in
+      List.iter
+        (fun (path, n, total, _) ->
+          Texttable.add_row tt
+            [ path;
+              string_of_int n;
+              Printf.sprintf "%.3f" (total /. 1e6);
+              Texttable.cell_pct (total /. Float.max wall_ns 1.0) ])
+        (List.sort (fun (_, _, a, _) (_, _, b, _) -> compare b a) top);
+      Buffer.add_string b (Texttable.render tt);
+      Buffer.add_char b '\n'
+    end;
+    Buffer.add_string b "Spans\n";
+    let tt = Texttable.create ~headers:[ "Span"; "Count"; "Total (ms)"; "Mean (us)"; "Max (us)" ] in
+    List.iter
+      (fun (path, n, total, mx) ->
+        let depth =
+          String.fold_left (fun acc c -> if c = '/' then acc + 1 else acc) 0 path
+        in
+        let name =
+          match String.rindex_opt path '/' with
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+          | None -> path
+        in
+        Texttable.add_row tt
+          [ String.concat "" (List.init depth (fun _ -> "  ")) ^ name;
+            string_of_int n;
+            Printf.sprintf "%.3f" (total /. 1e6);
+            Printf.sprintf "%.1f" (total /. float_of_int n /. 1e3);
+            Printf.sprintf "%.1f" (mx /. 1e3) ])
+      aggregated;
+    Buffer.add_string b (Texttable.render tt);
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "counter %-28s %.0f\n" name v))
+      t.counters
+  end;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* utilization: per-slot occupancy + text Gantt                        *)
+(* ------------------------------------------------------------------ *)
+
+let chunk_spans t = List.filter (fun sp -> String.equal sp.sp_name "pool.chunk") t.spans
+
+(* A chunk span belongs to the slot its arg names; Chrome traces without
+   slot args fall back to the recording track. *)
+let slot_of sp = match sp.sp_slot with Some s -> s | None -> sp.sp_track
+
+let gantt_row ~lo ~wall_ns ~width spans =
+  let busy = Array.make width 0.0 in
+  let bucket_ns = wall_ns /. float_of_int width in
+  List.iter
+    (fun sp ->
+      let t0 = sp.sp_ts_ns -. lo and t1 = sp.sp_ts_ns -. lo +. sp.sp_dur_ns in
+      let b0 = max 0 (int_of_float (t0 /. bucket_ns)) in
+      let b1 = min (width - 1) (int_of_float (t1 /. bucket_ns)) in
+      for k = b0 to b1 do
+        let k_lo = float_of_int k *. bucket_ns and k_hi = float_of_int (k + 1) *. bucket_ns in
+        let overlap = Float.min t1 k_hi -. Float.max t0 k_lo in
+        if overlap > 0.0 then busy.(k) <- busy.(k) +. overlap
+      done)
+    spans;
+  String.concat ""
+    (Array.to_list
+       (Array.map
+          (fun b ->
+            let f = b /. Float.max bucket_ns 1.0 in
+            if f <= 0.001 then "\xc2\xb7" (* · *)
+            else if f <= 0.25 then "\xe2\x96\x91" (* ░ *)
+            else if f <= 0.5 then "\xe2\x96\x92" (* ▒ *)
+            else if f <= 0.75 then "\xe2\x96\x93" (* ▓ *)
+            else "\xe2\x96\x88" (* █ *))
+          busy))
+
+let utilization ?(width = 60) t =
+  let b = Buffer.create 1024 in
+  let chunks = chunk_spans t in
+  if chunks = [] then
+    Buffer.add_string b
+      "trace: no pool.chunk spans — the run had no pooled work (or the pool had size 1 \
+       and recorded no chunks)\n"
+  else begin
+    let lo, hi = wall_window chunks in
+    let wall_ns = Float.max (hi -. lo) 1.0 in
+    (* timeline marks too: a slot whose items were all stolen ran no chunk
+       but still reported idle — it belongs in the table with zero busy *)
+    let slots =
+      List.sort_uniq compare
+        (List.map slot_of chunks @ List.map (fun m -> m.mk_slot) t.marks)
+    in
+    let per_slot slot = List.filter (fun sp -> slot_of sp = slot) chunks in
+    let steals slot =
+      List.length
+        (List.filter (fun m -> String.equal m.mk_kind "steal" && m.mk_slot = slot) t.marks)
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "Worker occupancy over the pooled window: %d slot(s), wall %.3f ms\n\n"
+         (List.length slots) (wall_ns /. 1e6));
+    let tt =
+      Texttable.create
+        ~headers:[ "Slot"; "Chunks"; "Busy (ms)"; "Busy"; "Steals"; "Idle (ms)" ]
+    in
+    let total_busy = ref 0.0 in
+    List.iter
+      (fun slot ->
+        let spans = per_slot slot in
+        let busy = List.fold_left (fun acc sp -> acc +. sp.sp_dur_ns) 0.0 spans in
+        total_busy := !total_busy +. busy;
+        Texttable.add_row tt
+          [ string_of_int slot;
+            string_of_int (List.length spans);
+            Printf.sprintf "%.3f" (busy /. 1e6);
+            Texttable.cell_pct (busy /. wall_ns);
+            string_of_int (steals slot);
+            Printf.sprintf "%.3f" (Float.max 0.0 (wall_ns -. busy) /. 1e6) ])
+      slots;
+    Buffer.add_string b (Texttable.render tt);
+    let n_slots = float_of_int (List.length slots) in
+    Buffer.add_string b
+      (Printf.sprintf
+         "\nparallel efficiency: %s of %d slot(s) busy over the window (1.00 = perfectly \
+          parallel, 1/slots = serialized)\n"
+         (Texttable.cell_pct (!total_busy /. (wall_ns *. n_slots)))
+         (List.length slots));
+    Buffer.add_string b "\nGantt (one row per slot; \xe2\x96\x88 busy, \xc2\xb7 idle)\n";
+    List.iter
+      (fun slot ->
+        Buffer.add_string b
+          (Printf.sprintf "slot %d %s\n" slot (gantt_row ~lo ~wall_ns ~width (per_slot slot))))
+      slots
+  end;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* critical path: hot-chain descent through the span tree              *)
+(* ------------------------------------------------------------------ *)
+
+let critical_path t =
+  let b = Buffer.create 1024 in
+  if t.spans = [] then Buffer.add_string b "trace: no span events\n"
+  else begin
+    let aggregated = by_path t.spans in
+    let children path =
+      let prefix = path ^ "/" in
+      let plen = String.length prefix in
+      List.filter
+        (fun (p, _, _, _) ->
+          String.length p > plen
+          && String.equal (String.sub p 0 plen) prefix
+          && not (String.contains_from p plen '/'))
+        aggregated
+    in
+    let hottest candidates =
+      List.fold_left
+        (fun best (p, _, total, _) ->
+          match best with
+          | Some (_, bt) when bt >= total -> best
+          | _ -> Some (p, total))
+        None candidates
+    in
+    let roots = List.filter (fun (p, _, _, _) -> not (String.contains p '/')) aggregated in
+    match hottest roots with
+    | None -> Buffer.add_string b "trace: no top-level span\n"
+    | Some (root, root_total) ->
+      Buffer.add_string b "Critical chain (hottest child at each level)\n";
+      let tt =
+        Texttable.create ~headers:[ "Span"; "Count"; "Total (ms)"; "Of parent"; "Of root" ]
+      in
+      let rec descend path total parent_total depth =
+        let name =
+          match String.rindex_opt path '/' with
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+          | None -> path
+        in
+        let count =
+          match List.find_opt (fun (p, _, _, _) -> String.equal p path) aggregated with
+          | Some (_, n, _, _) -> n
+          | None -> 0
+        in
+        Texttable.add_row tt
+          [ String.concat "" (List.init depth (fun _ -> "  ")) ^ name;
+            string_of_int count;
+            Printf.sprintf "%.3f" (total /. 1e6);
+            Texttable.cell_pct (total /. Float.max parent_total 1.0);
+            Texttable.cell_pct (total /. Float.max root_total 1.0) ];
+        match hottest (children path) with
+        | Some (child, child_total) -> descend child child_total total (depth + 1)
+        | None -> ()
+      in
+      descend root root_total root_total 0;
+      Buffer.add_string b (Texttable.render tt)
+  end;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* flamegraph conversion                                               *)
+(* ------------------------------------------------------------------ *)
+
+let to_folded t =
+  Obs.collapse_paths (List.map (fun sp -> (sp.sp_path, sp.sp_dur_ns)) t.spans)

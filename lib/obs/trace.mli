@@ -1,0 +1,52 @@
+(** Offline analysis of saved telemetry traces.
+
+    Loads either the JSONL event stream ([--events], the richer format:
+    spans, worker-timeline marks and counters) or a Chrome trace
+    ([--trace], spans only) and answers questions the live summary
+    cannot: per-slot occupancy over the run's wall clock, the critical
+    chain through the span tree, flamegraph conversion. *)
+
+type span = {
+  sp_track : int;  (** recording domain id *)
+  sp_slot : int option;  (** pool slot, when the span carried a slot arg *)
+  sp_name : string;
+  sp_path : string;  (** slash-joined nesting path *)
+  sp_ts_ns : float;
+  sp_dur_ns : float;
+}
+
+type mark = {
+  mk_track : int;
+  mk_slot : int;
+  mk_kind : string;  (** ["begin"], ["end"], ["steal"], ["idle"] *)
+  mk_ts_ns : float;
+}
+
+type t = {
+  spans : span list;
+  marks : mark list;
+  counters : (string * float) list;  (** merged totals, sorted by name *)
+}
+
+val load : string -> (t, string) result
+(** Read a trace file, sniffing the format: one JSON object with a
+    ["traceEvents"] member is a Chrome trace (timestamps converted from
+    microseconds), anything else is parsed line-by-line as JSONL. *)
+
+val summary : t -> string
+(** Wall-clock window, per-phase (top-level span) wall share, and the
+    full per-path span table with counter totals. *)
+
+val utilization : ?width:int -> t -> string
+(** Per-slot occupancy over the pooled window: chunk counts, busy time
+    and share, steals, idle time, parallel-efficiency figure, and a
+    [width]-column text Gantt (default 60). *)
+
+val critical_path : t -> string
+(** Descend from the hottest root span through the hottest child at each
+    nesting level, reporting each hop's share of its parent and of the
+    root. *)
+
+val to_folded : t -> string
+(** Collapsed-stack (flamegraph.pl) conversion of the span tree,
+    weighted by self time in integer microseconds. *)

@@ -1,4 +1,10 @@
 module Obs = Msoc_obs.Obs
+module Progress = Msoc_obs.Progress
+
+(* Heartbeat cells for the pooled trial loops: one atomic add per trial
+   (a disabled add is one atomic load), never touching the samples. *)
+let prog_trials = Progress.cell "monte_carlo.trials"
+let prog_trials_total = Progress.cell "monte_carlo.trials_total"
 
 type probability_estimate = {
   trials : int;
@@ -53,6 +59,12 @@ let sample_array_pooled ?pool ~trials ~rng ~f () =
   assert (trials > 0);
   Obs.count ~by:trials "monte_carlo.trials";
   Obs.span "monte_carlo.sample_array" @@ fun () ->
+  Progress.set prog_trials_total (float_of_int trials);
+  let f stream i =
+    let v = f stream i in
+    Progress.add prog_trials 1.0;
+    v
+  in
   match pool with
   | Some pool ->
     Msoc_util.Pool.parallel_floats_rng pool ~rng trials (fun stream i -> f stream i)

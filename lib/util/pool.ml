@@ -31,6 +31,7 @@ module Hooks = struct
     run : size:int -> serialized:bool -> unit;
     chunk : size:int -> slot:int -> lo:int -> hi:int -> (unit -> unit) -> unit;
     steal : size:int -> thief:int -> victim:int -> unit;
+    idle : size:int -> slot:int -> unit;
   }
 
   let installed : t option Atomic.t = Atomic.make None
@@ -51,6 +52,11 @@ module Hooks = struct
     match Atomic.get installed with
     | None -> ()
     | Some h -> h.steal ~size ~thief ~victim
+
+  let note_idle ~size ~slot =
+    match Atomic.get installed with
+    | None -> ()
+    | Some h -> h.idle ~size ~slot
 end
 
 (* Each worker domain owns a fixed slot (1 .. size-1); the caller of [run]
@@ -238,7 +244,10 @@ let parallel_iter_grained pool ~n ?grain ~f () =
         drain slot;
         for d = 1 to workers - 1 do
           drain ((slot + d) mod workers)
-        done)
+        done;
+        (* every cursor (including the other workers') is drained: from
+           here until the join this slot only waits *)
+        Hooks.note_idle ~size:workers ~slot)
   end
 
 (* Compatibility entry point: one maximal grain per worker reproduces the

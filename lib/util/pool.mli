@@ -37,6 +37,12 @@ module Hooks : sig
     steal : size:int -> thief:int -> victim:int -> unit;
         (** Called when worker [thief] claims a grain from [victim]'s
             share, immediately before the corresponding [chunk] call. *)
+    idle : size:int -> slot:int -> unit;
+        (** Called once per worker slot per grained run, on the slot's own
+            domain, when the slot has drained every cursor (its own share
+            and all stealing victims) — from this point until the join the
+            slot only waits.  Marks the start of the slot's tail idle time
+            on a worker timeline. *)
   }
 
   val install : t -> unit

@@ -389,6 +389,175 @@ let test_dropped_events_warned () =
         (contains_sub warning needle))
     [ "WARNING"; "dropped"; string_of_int Obs.max_events ]
 
+(* ---- worker timelines ---- *)
+
+let test_timeline_events () =
+  with_recording @@ fun () ->
+  Pool.with_pool ~size:2 (fun pool ->
+      ignore (Pool.parallel_floats pool 256 float_of_int));
+  let events = Obs.snapshot_timeline () in
+  Alcotest.(check bool) "pooled run recorded timeline marks" true (List.length events > 0);
+  let kinds = List.map (fun e -> e.Obs.tle_kind) events in
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Printf.sprintf "recorded a %s mark" (Obs.timeline_kind_name kind))
+        true (List.mem kind kinds))
+    [ Obs.Chunk_begin; Obs.Chunk_end; Obs.Idle ];
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "epoch-relative timestamp is non-negative" true
+        (e.Obs.tle_ts_ns >= 0L);
+      Alcotest.(check bool) "gc words sampled" true (e.Obs.tle_minor_words >= 0.0))
+    events;
+  (* per track the ring is chronological, and GC words never decrease *)
+  let by_track = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_track e.Obs.tle_track) in
+      Hashtbl.replace by_track e.Obs.tle_track (e :: prev))
+    events;
+  Hashtbl.iter
+    (fun _track rev_events ->
+      ignore
+        (List.fold_left
+           (fun (prev_ts, prev_minor) e ->
+             Alcotest.(check bool) "track is chronological" true (e.Obs.tle_ts_ns >= prev_ts);
+             Alcotest.(check bool) "minor words monotone" true
+               (e.Obs.tle_minor_words >= prev_minor);
+             (e.Obs.tle_ts_ns, e.Obs.tle_minor_words))
+           (Int64.min_int, neg_infinity)
+           (List.rev rev_events)))
+    by_track;
+  Alcotest.(check int) "nothing overwritten in a short run" 0 (Obs.timeline_overwritten ());
+  (* the JSONL export carries the same marks *)
+  let timeline_lines =
+    String.split_on_char '\n' (Obs.jsonl ())
+    |> List.filter (fun l -> l <> "")
+    |> List.filter (fun l ->
+           String.equal (Mini_json.str_exn "type" (Mini_json.parse l)) "timeline")
+  in
+  Alcotest.(check int) "jsonl timeline lines match the snapshot" (List.length events)
+    (List.length timeline_lines);
+  List.iter
+    (fun l ->
+      let j = Mini_json.parse l in
+      let kind = Mini_json.str_exn "kind" j in
+      Alcotest.(check bool) (Printf.sprintf "valid kind %S" kind) true
+        (List.mem kind [ "begin"; "end"; "steal"; "idle" ]);
+      ignore (Mini_json.num_exn "slot" j);
+      ignore (Mini_json.num_exn "ts_ns" j);
+      ignore (Mini_json.num_exn "minor_words" j);
+      ignore (Mini_json.num_exn "major_words" j))
+    timeline_lines
+
+(* Timelines on vs off must not change fault-detection results — the
+   per-domain ring writes carry no result data.  Checked at every pool
+   size, including oversubscribed (8). *)
+let test_faultsim_timeline_determinism () =
+  let config =
+    { Msoc_synth.Digital_test.default_config with
+      Msoc_synth.Digital_test.taps = 5;
+      input_bits = 8;
+      coeff_bits = 6 }
+  in
+  let fir = Msoc_synth.Digital_test.build config in
+  let faults = Msoc_synth.Digital_test.collapsed_faults fir in
+  let samples = 128 in
+  let stim i = (i * 37) land 0xff in
+  let drive sim cycle =
+    Msoc_netlist.Fir_netlist.drive fir sim (stim cycle)
+  in
+  let detect pool =
+    Msoc_netlist.Fault_sim.detect_exact ?pool fir.Msoc_netlist.Fir_netlist.circuit
+      ~output:Msoc_netlist.Fir_netlist.output_bus_name ~drive ~samples ~faults
+  in
+  Obs.disable ();
+  Obs.reset ();
+  let reference = detect None in
+  Alcotest.(check bool) "some faults detected" true (Array.exists Fun.id reference);
+  List.iter
+    (fun size ->
+      (* telemetry (timelines) off *)
+      let off = Pool.with_pool ~size (fun p -> detect (Some p)) in
+      Alcotest.(check (array bool))
+        (Printf.sprintf "timelines off, size %d" size)
+        reference off;
+      (* telemetry + progress heartbeats on *)
+      with_recording (fun () ->
+          Msoc_obs.Progress.enable ();
+          Fun.protect ~finally:Msoc_obs.Progress.disable @@ fun () ->
+          let on = Pool.with_pool ~size (fun p -> detect (Some p)) in
+          Alcotest.(check (array bool))
+            (Printf.sprintf "timelines on, size %d" size)
+            reference on))
+    [ 1; 2; 4; 8 ]
+
+(* ---- collapsed stacks ---- *)
+
+let test_collapse_paths () =
+  let folded =
+    Obs.collapse_paths
+      [ ("a", 10_000_000.0);
+        ("a/b", 4_000_000.0);
+        ("a/b", 2_000_000.0);  (* duplicate paths are summed *)
+        ("a/c", 3_000_000.0);
+        ("d", 1_000_000.0) ]
+  in
+  (* self(a) = 10 - (4+2) - 3 = 1 ms; leaves keep their totals *)
+  Alcotest.(check string) "self-time folding"
+    "a 1000\na;b 6000\na;c 3000\nd 1000\n" folded;
+  (* concurrent children can exceed the parent wall time: clamp at zero *)
+  let clamped = Obs.collapse_paths [ ("p", 1_000_000.0); ("p/q", 5_000_000.0) ] in
+  Alcotest.(check string) "negative self clamps to zero" "p 0\np;q 5000\n" clamped;
+  Alcotest.(check string) "empty profile folds to nothing" "" (Obs.collapse_paths [])
+
+let test_to_collapsed_matches_spans () =
+  with_recording @@ fun () ->
+  Obs.span "outer" (fun () -> Obs.span "inner" (fun () -> ()));
+  let folded = Obs.to_collapsed () in
+  Alcotest.(check bool) "outer stack present" true (contains_sub folded "outer ");
+  Alcotest.(check bool) "nested stack uses semicolons" true
+    (contains_sub folded "outer;inner ")
+
+(* ---- configurable event cap ---- *)
+
+let test_events_cap_of_env () =
+  let default = Obs.events_cap_of_env None in
+  Alcotest.(check int) "default is 2^20" (1 lsl 20) default;
+  Alcotest.(check int) "explicit value wins" 65536 (Obs.events_cap_of_env (Some "65536"));
+  Alcotest.(check int) "whitespace tolerated" 65536 (Obs.events_cap_of_env (Some " 65536 "));
+  Alcotest.(check int) "tiny positive values clamp up to the floor" 4096
+    (Obs.events_cap_of_env (Some "12"));
+  Alcotest.(check int) "zero falls back to the default" default
+    (Obs.events_cap_of_env (Some "0"));
+  Alcotest.(check int) "negative falls back to the default" default
+    (Obs.events_cap_of_env (Some "-5"));
+  Alcotest.(check int) "garbage falls back to the default" default
+    (Obs.events_cap_of_env (Some "lots"))
+
+(* ---- build info and dropped-event alias ---- *)
+
+let test_prometheus_build_info () =
+  with_recording @@ fun () ->
+  Obs.count "build.probe";
+  Obs.set_build_info ~git_rev:"cafe123";
+  let text = Obs.to_prometheus () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle) true
+        (contains_sub text needle))
+    [ "# TYPE msoc_obs_dropped_events_total counter";
+      "msoc_obs_dropped_events_total 0";
+      "# TYPE msoc_build_info gauge";
+      "git_rev=\"cafe123\"";
+      "ocaml_version=\"";
+      "pool_size=\"" ];
+  Alcotest.(check bool) "build info is a 1-valued gauge" true
+    (List.exists
+       (fun l -> contains_sub l "msoc_build_info{" && contains_sub l "} 1")
+       (String.split_on_char '\n' text))
+
 let () =
   Alcotest.run "msoc_obs"
     [ ( "spans",
@@ -401,7 +570,17 @@ let () =
       ( "determinism",
         [ Alcotest.test_case "merge across pool sizes" `Quick test_merge_determinism;
           Alcotest.test_case "telemetry does not perturb results" `Quick
-            test_monte_carlo_identical_with_telemetry ] );
+            test_monte_carlo_identical_with_telemetry;
+          Alcotest.test_case "timelines do not perturb fault detection" `Quick
+            test_faultsim_timeline_determinism ] );
+      ( "timelines",
+        [ Alcotest.test_case "pooled runs record slot marks" `Quick test_timeline_events ] );
+      ( "flamegraph",
+        [ Alcotest.test_case "collapse_paths folds self time" `Quick test_collapse_paths;
+          Alcotest.test_case "to_collapsed reflects recorded spans" `Quick
+            test_to_collapsed_matches_spans ] );
+      ( "config",
+        [ Alcotest.test_case "MSOC_OBS_MAX_EVENTS parsing" `Quick test_events_cap_of_env ] );
       ( "disabled",
         [ Alcotest.test_case "probes are no-ops" `Quick test_disabled_noop ] );
       ( "exporters",
@@ -409,5 +588,7 @@ let () =
           Alcotest.test_case "jsonl structure" `Quick test_jsonl_valid;
           Alcotest.test_case "text summary" `Quick test_summary_renders;
           Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+          Alcotest.test_case "prometheus build info and drop alias" `Quick
+            test_prometheus_build_info;
           Alcotest.test_case "dropped events are warned about" `Quick
             test_dropped_events_warned ] ) ]

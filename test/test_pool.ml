@@ -73,6 +73,7 @@ let test_grained_hooks () =
      steal is always cross-slot (a worker never "steals" from itself) *)
   let items = Atomic.make 0 and chunks = Atomic.make 0 in
   let steals = Atomic.make 0 and bad_steal = Atomic.make false in
+  let idles = Atomic.make 0 in
   Pool.Hooks.install
     { run = (fun ~size:_ ~serialized:_ -> ());
       chunk =
@@ -83,7 +84,8 @@ let test_grained_hooks () =
       steal =
         (fun ~size:_ ~thief ~victim ->
           if thief = victim then Atomic.set bad_steal true;
-          Atomic.incr steals) };
+          Atomic.incr steals);
+      idle = (fun ~size:_ ~slot:_ -> Atomic.incr idles) };
   Fun.protect ~finally:Pool.Hooks.uninstall (fun () ->
       Pool.with_pool ~size:4 (fun pool ->
           let n = 64 in
@@ -100,7 +102,8 @@ let test_grained_hooks () =
           Alcotest.(check bool) "no self-steal" false (Atomic.get bad_steal);
           Alcotest.(check bool)
             "every steal precedes a chunk" true
-            (Atomic.get steals <= Atomic.get chunks)))
+            (Atomic.get steals <= Atomic.get chunks);
+          Alcotest.(check int) "one idle notification per slot" 4 (Atomic.get idles)))
 
 let test_parallel_init () =
   let expected = Array.init 1000 (fun i -> (i * i) mod 97) in

@@ -1,0 +1,186 @@
+(* Offline trace analysis: round-trip the committed golden fixture (a
+   hand-written two-slot run with known durations) through every [msoc
+   trace] analysis, validate the folded (collapsed-stack) exporter's
+   format, and load a Chrome trace produced by the live exporter. *)
+
+module Obs = Msoc_obs.Obs
+module Trace = Msoc_obs.Trace
+module Pool = Msoc_util.Pool
+
+let fixture = Filename.concat "golden" "trace_fixture.jsonl"
+
+let contains_sub text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec scan i =
+    i + nl <= tl && (String.equal (String.sub text i nl) needle || scan (i + 1))
+  in
+  scan 0
+
+let check_contains text needles =
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "output contains %S" needle) true
+        (contains_sub text needle))
+    needles
+
+let load_fixture () =
+  match Trace.load fixture with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "fixture load failed: %s" msg
+
+(* ---- loading ---- *)
+
+let test_load_fixture () =
+  let t = load_fixture () in
+  Alcotest.(check int) "spans" 5 (List.length t.Trace.spans);
+  Alcotest.(check int) "timeline marks" 9 (List.length t.Trace.marks);
+  Alcotest.(check int) "counters" 2 (List.length t.Trace.counters);
+  let chunk_slots =
+    List.filter_map
+      (fun sp -> if String.equal sp.Trace.sp_name "pool.chunk" then sp.Trace.sp_slot else None)
+      t.Trace.spans
+  in
+  Alcotest.(check (list int)) "slot args parsed" [ 0; 0; 1 ] chunk_slots
+
+let test_load_errors () =
+  (match Trace.load "golden/definitely_missing.jsonl" with
+  | Ok _ -> Alcotest.fail "expected load error for a missing file"
+  | Error _ -> ());
+  let bad = Filename.temp_file "msoc_trace" ".jsonl" in
+  let oc = open_out bad in
+  output_string oc "{\"type\":\"span\",\"track\":0}\nnot json at all\n";
+  close_out oc;
+  (match Trace.load bad with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg ->
+    Alcotest.(check bool) "error names the offending line" true (contains_sub msg "line"));
+  Sys.remove bad
+
+(* ---- summary ---- *)
+
+let test_summary () =
+  let text = Trace.summary (load_fixture ()) in
+  check_contains text
+    [ "5 span event(s) on 2 track(s), wall 10.000 ms";
+      "msoc";
+      "fault_sim.run";
+      "pool.chunk";
+      (* pool.chunk total is 8 ms across both slots *)
+      "8.000";
+      "counter fault_sim.faults";
+      "counter pool.steals" ]
+
+(* ---- utilization ---- *)
+
+let test_utilization () =
+  let text = Trace.utilization ~width:20 (load_fixture ()) in
+  (* the pooled window is [1 ms, 8 ms): slot 0 is busy 6/7, slot 1 is
+     busy 2/7, and slot 1 recorded the single steal *)
+  check_contains text
+    [ "2 slot(s), wall 7.000 ms"; "85.7%"; "28.6%"; "Gantt"; "slot 0"; "slot 1" ]
+
+let test_utilization_steals () =
+  let text = Trace.utilization (load_fixture ()) in
+  (* per-slot rows: "1  1  2.000  28.6%  1  5.000" — slot 1 stole once *)
+  let slot1_row =
+    List.find_opt
+      (fun l -> String.length l > 0 && l.[0] = '1' && contains_sub l "28.6%")
+      (String.split_on_char '\n' text)
+  in
+  match slot1_row with
+  | None -> Alcotest.fail "slot 1 occupancy row missing"
+  | Some row -> check_contains row [ "2.000"; "28.6%"; "1"; "5.000" ]
+
+(* ---- critical path ---- *)
+
+let test_critical_path () =
+  let text = Trace.critical_path (load_fixture ()) in
+  (* msoc (10 ms) -> fault_sim.run (8 ms, 80% of parent) -> pool.chunk
+     (8 ms, 100% of parent, 80% of root) *)
+  check_contains text [ "msoc"; "fault_sim.run"; "pool.chunk"; "80.0%"; "100.0%" ]
+
+(* ---- flamegraph conversion ---- *)
+
+let test_folded_exact () =
+  let folded = Trace.to_folded (load_fixture ()) in
+  (* self times: msoc 10-8 = 2 ms, fault_sim.run 8-8 = 0, chunks 8 ms *)
+  Alcotest.(check string) "collapsed stacks"
+    "msoc 2000\nmsoc;fault_sim.run 0\nmsoc;fault_sim.run;pool.chunk 8000\n" folded
+
+let folded_line_valid line =
+  match String.rindex_opt line ' ' with
+  | None -> false
+  | Some i ->
+    let stack = String.sub line 0 i in
+    let weight = String.sub line (i + 1) (String.length line - i - 1) in
+    String.length stack > 0
+    && (not (String.contains stack ' '))
+    && (match int_of_string_opt weight with Some w -> w >= 0 | None -> false)
+
+let test_folded_format_from_live_profile () =
+  Obs.enable ();
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      Obs.span "root" (fun () ->
+          Obs.span "child" (fun () -> ignore (Sys.opaque_identity 42));
+          Obs.span "child" (fun () -> ()));
+      Pool.with_pool ~size:2 (fun pool ->
+          Pool.parallel_iter_grained pool ~n:64 ~grain:8
+            ~f:(fun ~slot:_ ~lo:_ ~hi:_ -> ())
+            ());
+      let folded = Obs.to_collapsed () in
+      let lines =
+        String.split_on_char '\n' folded |> List.filter (fun l -> l <> "")
+      in
+      Alcotest.(check bool) "some stacks" true (List.length lines > 0);
+      List.iter
+        (fun line ->
+          Alcotest.(check bool)
+            (Printf.sprintf "well-formed folded line %S" line)
+            true (folded_line_valid line))
+        lines;
+      Alcotest.(check bool) "root stack present" true
+        (List.exists (fun l -> contains_sub l "root") lines))
+
+(* ---- chrome round trip ---- *)
+
+let test_chrome_round_trip () =
+  Obs.enable ();
+  Obs.reset ();
+  let file = Filename.temp_file "msoc_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      Sys.remove file)
+    (fun () ->
+      Obs.span "alpha" (fun () -> Obs.span "beta" (fun () -> ()));
+      Obs.disable ();
+      Obs.write_chrome_trace file;
+      match Trace.load file with
+      | Error msg -> Alcotest.failf "chrome load failed: %s" msg
+      | Ok t ->
+        Alcotest.(check int) "both spans survive" 2 (List.length t.Trace.spans);
+        check_contains (Trace.summary t) [ "alpha"; "beta" ];
+        check_contains (Trace.critical_path t) [ "alpha" ])
+
+let () =
+  Alcotest.run "msoc_trace"
+    [ ( "load",
+        [ Alcotest.test_case "golden fixture" `Quick test_load_fixture;
+          Alcotest.test_case "errors are reported" `Quick test_load_errors ] );
+      ( "analyses",
+        [ Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "utilization occupancy" `Quick test_utilization;
+          Alcotest.test_case "utilization steals row" `Quick test_utilization_steals;
+          Alcotest.test_case "critical path" `Quick test_critical_path ] );
+      ( "flamegraph",
+        [ Alcotest.test_case "fixture folds exactly" `Quick test_folded_exact;
+          Alcotest.test_case "live profile folds to valid lines" `Quick
+            test_folded_format_from_live_profile ] );
+      ( "chrome",
+        [ Alcotest.test_case "round trip" `Quick test_chrome_round_trip ] ) ]

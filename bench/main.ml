@@ -1490,6 +1490,98 @@ let telemetry_overhead () =
   end;
   Obs.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Service latency under load: an in-process daemon, several client    *)
+(* domains firing a mixed verb workload, client-observed latency       *)
+(* percentiles (p50/p99, nearest rank) into the v3 report so           *)
+(* bench-diff gates the service path alongside the kernels.            *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Msoc_serve.Server
+module Serve_client = Msoc_serve.Client
+module Serve_protocol = Msoc_serve.Protocol
+
+let nearest_rank sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let serve_load () =
+  section "Service latency — msoc serve under concurrent clients";
+  let socket_path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "msoc-bench-%d.sock" (Unix.getpid ()))
+  in
+  let handle = Serve.start (Serve.config ~queue_capacity:64 socket_path) in
+  let rounds = if quick then 12 else 40 in
+  let clients = 3 in
+  (* the faultsim verb is scaled down so the quick-mode bench stays quick;
+     it still exercises the whole build-simulate-analyze service path *)
+  let mix =
+    [ ("serve-ping", Serve_protocol.request Serve_protocol.Ping);
+      ("serve-plan", Serve_protocol.request Serve_protocol.Plan);
+      ("serve-metrics", Serve_protocol.request Serve_protocol.Metrics);
+      ("serve-faultsim",
+       Serve_protocol.request ~taps:5 ~samples:128 Serve_protocol.Faultsim) ]
+  in
+  let t0 = Obs.now_ns () in
+  let worker () =
+    Serve_client.with_connection ~socket_path (fun c ->
+        let lats = List.map (fun (name, _) -> (name, ref [])) mix in
+        for _ = 1 to rounds do
+          List.iter
+            (fun (name, req) ->
+              let s = Obs.now_ns () in
+              match Serve_client.request c req with
+              | Ok resp when resp.Serve_protocol.status = Serve_protocol.Ok_ ->
+                let e = Obs.now_ns () in
+                let l = List.assoc name lats in
+                l := Int64.to_float (Int64.sub e s) :: !l
+              | Ok _ | Error _ -> ())
+            mix
+        done;
+        List.map (fun (name, l) -> (name, !l)) lats)
+  in
+  let domains = List.init clients (fun _ -> Domain.spawn worker) in
+  let results = List.map Domain.join domains in
+  let wall_s = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+  Serve.stop handle;
+  let total = ref 0 in
+  let t =
+    Texttable.create
+      ~headers:[ "Request"; "n"; "mean (us)"; "p50 (us)"; "p99 (us)" ]
+  in
+  List.iter
+    (fun (name, _) ->
+      let samples =
+        Array.of_list (List.concat_map (fun per_client -> List.assoc name per_client) results)
+      in
+      Array.sort compare samples;
+      total := !total + Array.length samples;
+      if Array.length samples > 0 then begin
+        let s = Msoc_stat.Describe.summarize samples in
+        let p50 = nearest_rank samples 50.0 and p99 = nearest_rank samples 99.0 in
+        Texttable.add_row t
+          [ name;
+            string_of_int (Array.length samples);
+            Printf.sprintf "%.1f" (s.Msoc_stat.Describe.mean /. 1e3);
+            Printf.sprintf "%.1f" (p50 /. 1e3);
+            Printf.sprintf "%.1f" (p99 /. 1e3) ];
+        Report.add_timing report ~section:"serve" ~name
+          ~mean_ns:s.Msoc_stat.Describe.mean ~stddev_ns:s.Msoc_stat.Describe.stddev
+          ~samples:s.Msoc_stat.Describe.count ~p50_ns:p50 ~p99_ns:p99 ()
+      end)
+    mix;
+  Texttable.print t;
+  let throughput = float_of_int !total /. Float.max wall_s 1e-9 in
+  Report.add_scalar report ~section:"serve" ~name:"throughput" ~unit_label:"req/s" throughput;
+  Format.printf
+    "%d requests over %d client connection(s) in %.2f s — %.0f req/s; latency is@.\
+     client-observed (connect-to-response, queue wait included).@."
+    !total clients wall_s throughput
+
 let () =
   Format.printf "Mixed-signal SOC path test synthesis — evaluation reproduction%s@."
     (if quick then " (quick mode)" else "");
@@ -1508,6 +1600,7 @@ let () =
   kernels ();
   parallel_speedup ();
   telemetry_overhead ();
+  serve_load ();
   let r = Report.finalize report in
   let rev_file = Printf.sprintf "BENCH_%s.json" git_rev in
   Report.write rev_file r;

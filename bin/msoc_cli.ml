@@ -9,6 +9,8 @@
      spectrum    simulate the receiver path and report SNR/SFDR/IM3
      trace       analyse a saved telemetry trace offline
      bench-diff  compare two bench reports and gate on regressions
+     serve       long-running synthesis daemon over a Unix socket
+     client      send one request to a running daemon
 
    Exit codes: 0 success; 1 runtime failure; 2 usage error; 3 bench-diff
    regression (or missing section). *)
@@ -721,6 +723,186 @@ let bench_diff_cmd =
        ~doc:"Compare two bench reports ($(b,BENCH_*.json)) and gate on regressions")
     Term.(const run_bench_diff $ telemetry_term $ old_file $ new_file $ tolerance)
 
+(* ---- serve: the long-running synthesis daemon ---- *)
+
+module Serve_protocol = Msoc_serve.Protocol
+module Serve_server = Msoc_serve.Server
+module Serve_client = Msoc_serve.Client
+
+let socket_arg =
+  Cmdliner.Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon.")
+
+let run_serve socket queue_capacity access_log metrics_out =
+  if queue_capacity < 1 then failwith "serve: --queue must be at least 1";
+  set_build_info ();
+  let cfg =
+    Serve_server.config ~queue_capacity ?access_log ?metrics_out socket
+  in
+  let server = Serve_server.create cfg in
+  let on_signal _ = Serve_server.request_stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Format.eprintf "serve: listening on %s (queue capacity %d, pool %d)@." socket
+    queue_capacity
+    (Msoc_util.Pool.default_size ());
+  Serve_server.run server
+
+let serve_cmd =
+  let open Cmdliner in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Bounded work-queue capacity; requests beyond it are rejected with a \
+                   structured $(b,overloaded) response instead of waiting.")
+  in
+  let access_log =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:"Stream one JSON line per request (trace id, verb, status, queue-wait \
+                   ns, service ns, pool size) to $(docv).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the final Prometheus metrics snapshot to $(docv) during clean \
+                   shutdown (SIGTERM/SIGINT).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the synthesis daemon: plan/measure/faultsim over a Unix socket, with \
+             per-request traces, Prometheus metrics and a structured access log")
+    (code0 Term.(const run_serve $ socket_arg $ queue $ access_log $ metrics_out))
+
+(* ---- client: one request against a running daemon ---- *)
+
+let verb_conv =
+  let parse s =
+    match Serve_protocol.verb_of_name s with
+    | Some v -> Ok v
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown verb %S (known: %s)" s
+              (String.concat ", "
+                 (List.map Serve_protocol.verb_name Serve_protocol.all_verbs))))
+  in
+  Cmdliner.Arg.conv
+    (parse, fun ppf v -> Format.pp_print_string ppf (Serve_protocol.verb_name v))
+
+let run_client verb socket topology strategy seed taps input_bits coeff_bits samples
+    tones sleep_ms trace_format trace_out =
+  let strategy =
+    match strategy with
+    | Propagate.Nominal_gains -> "nominal"
+    | Propagate.Adaptive -> "adaptive"
+  in
+  (* a per-request trace export is only requested when there is a file
+     to put it in *)
+  let trace =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+      Some
+        (match trace_format with
+        | Trace_chrome -> Serve_protocol.Trace_chrome
+        | Trace_folded -> Serve_protocol.Trace_folded
+        | Trace_jsonl -> Serve_protocol.Trace_jsonl)
+  in
+  let req =
+    Serve_protocol.request ~topology ~strategy ~seed ~taps ~input_bits ~coeff_bits
+      ~samples ~tones ~sleep_ms ?trace verb
+  in
+  let answer =
+    try Serve_client.with_connection ~socket_path:socket (fun c -> Serve_client.request c req)
+    with Unix.Unix_error (e, _, _) ->
+      failwith
+        (Printf.sprintf "client: cannot reach daemon at %s: %s" socket
+           (Unix.error_message e))
+  in
+  match answer with
+  | Error msg -> failwith ("client: " ^ msg)
+  | Ok resp ->
+    (match (resp.Serve_protocol.trace_export, trace_out) with
+    | Some text, Some file ->
+      let oc = open_out file in
+      output_string oc text;
+      close_out oc;
+      Format.eprintf "client: per-request trace (%s) written to %s@."
+        resp.Serve_protocol.trace_id file
+    | _ -> ());
+    (match resp.Serve_protocol.status with
+    | Serve_protocol.Ok_ ->
+      print_string resp.Serve_protocol.body;
+      0
+    | Serve_protocol.Overloaded ->
+      Format.eprintf "msoc client: overloaded: %s@." resp.Serve_protocol.body;
+      1
+    | Serve_protocol.Failed ->
+      Format.eprintf "msoc client: error: %s@." resp.Serve_protocol.body;
+      1)
+
+let client_cmd =
+  let open Cmdliner in
+  let verb =
+    Arg.(required & pos 0 (some verb_conv) None
+         & info [] ~docv:"VERB"
+             ~doc:"$(b,plan), $(b,measure), $(b,faultsim), $(b,metrics), $(b,ping) or \
+                   $(b,sleep).")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Request seed (verb-dependent).")
+  in
+  let taps = Arg.(value & opt int 9 & info [ "taps" ] ~doc:"faultsim: FIR tap count.") in
+  let input_bits =
+    Arg.(value & opt int 10 & info [ "input-bits" ] ~doc:"faultsim: input bus width.")
+  in
+  let coeff_bits =
+    Arg.(value & opt int 8 & info [ "coeff-bits" ] ~doc:"faultsim: coefficient width.")
+  in
+  let samples =
+    Arg.(value & opt int 1024 & info [ "samples" ] ~doc:"faultsim: test pattern count.")
+  in
+  let tones =
+    Arg.(value & opt int 2 & info [ "tones" ] ~doc:"faultsim: stimulus tone count (1 or 2).")
+  in
+  let sleep_ms =
+    Arg.(value & opt int 50 & info [ "sleep-ms" ] ~doc:"sleep: executor hold time.")
+  in
+  let trace_format =
+    let fmt =
+      Arg.conv
+        ( (function
+          | "chrome" -> Ok Trace_chrome
+          | "folded" -> Ok Trace_folded
+          | "jsonl" -> Ok Trace_jsonl
+          | s -> Error (`Msg (Printf.sprintf "unknown trace format %S (chrome|folded|jsonl)" s))),
+          fun ppf f ->
+            Format.pp_print_string ppf
+              (match f with
+              | Trace_chrome -> "chrome"
+              | Trace_folded -> "folded"
+              | Trace_jsonl -> "jsonl") )
+    in
+    Arg.(value & opt fmt Trace_jsonl
+         & info [ "trace-format" ] ~docv:"FMT"
+             ~doc:"Format of the per-request trace export: $(b,jsonl) (default; richest, \
+                   analysable with $(b,msoc trace)), $(b,chrome) or $(b,folded).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Ask the daemon for this request's span tree and write it to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running msoc daemon and print the response body")
+    Term.(const run_client $ verb $ socket_arg $ topology_arg $ strategy_arg $ seed
+          $ taps $ input_bits $ coeff_bits $ samples $ tones $ sleep_ms $ trace_format
+          $ trace_out)
+
 (* ---- entry point: exit-code discipline ---- *)
 
 (* Cmdliner's stock numbering (124/125) is replaced by the documented
@@ -738,7 +920,7 @@ let () =
   let group =
     Cmd.group (Cmd.info "msoc" ~doc ~exits)
       [ plan_cmd; coverage_cmd; faultsim_cmd; montecarlo_cmd; spectrum_cmd; measure_cmd;
-        netlist_cmd; trace_cmd; bench_diff_cmd ]
+        netlist_cmd; trace_cmd; bench_diff_cmd; serve_cmd; client_cmd ]
   in
   let code =
     match (try Ok (Cmd.eval_value ~catch:false group) with e -> Error e) with

@@ -276,6 +276,25 @@ let stop_span ?args t =
           ev_dur = Int64.sub t1 r.t0 }
     end
 
+(* A completed span with caller-supplied timestamps, nested under
+   whatever span is currently open on this domain.  This exists for
+   intervals that are only known after the fact — a server recording a
+   request's queue wait can only do so once it has dequeued the request,
+   at which point the interval [enqueue, dequeue] has already elapsed.
+   Both stamps must come from [now_ns] (any domain: the clock is
+   global), and a negative interval clamps to zero. *)
+let record_span ?(args = []) name ~start_ns ~stop_ns =
+  if Atomic.get enabled_flag then begin
+    let s = my_sink () in
+    let path = match s.stack with [] -> name | parent :: _ -> parent ^ "/" ^ name in
+    record_event s
+      { ev_path = path;
+        ev_name = name;
+        ev_args = args;
+        ev_start = start_ns;
+        ev_dur = (let d = Int64.sub stop_ns start_ns in if Int64.compare d 0L < 0 then 0L else d) }
+  end
+
 let span ?args name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
@@ -906,6 +925,10 @@ let to_prometheus () =
      either, both stay exported *)
   line "# TYPE msoc_obs_dropped_events_total counter";
   line "msoc_obs_dropped_events_total %d" (total_dropped ());
+  (* ring-buffer data loss is a first-class signal: a scraper watching
+     this counter knows when worker timelines stopped being complete *)
+  line "# TYPE msoc_obs_timeline_overwritten_total counter";
+  line "msoc_obs_timeline_overwritten_total %d" (timeline_overwritten ());
   line "# TYPE msoc_build_info gauge";
   line "msoc_build_info{git_rev=\"%s\",ocaml_version=\"%s\",pool_size=\"%d\"} 1"
     (prometheus_label_value (Atomic.get build_git_rev))

@@ -77,6 +77,14 @@ val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()] inside a span; exception-safe.  Disabled
     path is one atomic load, then a tail call to [f]. *)
 
+val record_span :
+  ?args:(string * string) list -> string -> start_ns:int64 -> stop_ns:int64 -> unit
+(** Record an already-elapsed interval as a completed span, nested under
+    this domain's innermost open span.  For intervals only known after
+    the fact — e.g. a server can only attribute a request's queue wait
+    once it has dequeued the request.  Both stamps must come from
+    {!now_ns}; a negative interval clamps to zero duration. *)
+
 (** {2 Worker timelines}
 
     A per-domain ring buffer of scheduler events — chunk begin/end,
@@ -214,7 +222,9 @@ val to_prometheus : unit -> string
     histograms with cumulative log2 buckets, per-path span statistics as a
     labelled summary family, dropped-event counters
     ([msoc_dropped_span_events_total] and its modern alias
-    [msoc_obs_dropped_events_total]) and the [msoc_build_info] gauge. *)
+    [msoc_obs_dropped_events_total]), timeline-ring loss
+    ([msoc_obs_timeline_overwritten_total]) and the [msoc_build_info]
+    gauge. *)
 
 val set_build_info : git_rev:string -> unit
 (** Set the [git_rev] label of the [msoc_build_info] gauge (defaults to

@@ -19,9 +19,10 @@
     [of_json (to_json r) = Ok r] holds structurally. *)
 
 val schema_version : int
-(** Current schema version (2).  [of_json] accepts every version up to this
-    one — v1 files (no per-kernel GC fields) read with those fields at 0.0
-    — and rejects newer ones. *)
+(** Current schema version (3).  [of_json] accepts every version up to this
+    one — v1 files (no per-kernel GC fields) and v2 files (no latency
+    percentiles) read with the missing fields at 0.0 — and rejects newer
+    ones. *)
 
 type timing = {
   t_name : string;
@@ -31,6 +32,8 @@ type timing = {
   minor_words : float;       (** Mean minor words allocated per iteration. *)
   major_words : float;       (** Mean major words allocated per iteration. *)
   major_collections : float; (** Mean major collections per iteration. *)
+  p50_ns : float;            (** Median latency (schema v3); 0.0 when absent. *)
+  p99_ns : float;            (** Tail latency (schema v3); 0.0 when absent. *)
 }
 
 type scalar = { s_name : string; value : float; unit_label : string }
@@ -69,9 +72,10 @@ val create :
 val add_timing :
   builder -> section:string -> name:string -> mean_ns:float ->
   stddev_ns:float -> samples:int -> ?minor_words:float ->
-  ?major_words:float -> ?major_collections:float -> unit -> unit
-(** The GC fields default to 0.0 (callers without allocation
-    instrumentation). *)
+  ?major_words:float -> ?major_collections:float ->
+  ?p50_ns:float -> ?p99_ns:float -> unit -> unit
+(** The GC fields and latency percentiles default to 0.0 (callers
+    without allocation instrumentation / per-sample latencies). *)
 
 val add_scalar :
   builder -> section:string -> name:string -> ?unit_label:string -> float -> unit

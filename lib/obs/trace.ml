@@ -80,9 +80,16 @@ let of_chrome json =
   in
   { spans; marks = []; counters = [] }
 
+(* Unparseable lines are skipped with a stderr warning rather than
+   failing the whole load: a daemon killed mid-write leaves a truncated
+   final line, and concatenated exports can carry each other's framing
+   debris.  Only a file with no salvageable record at all is an error
+   (the first per-line message is re-raised so the caller still learns
+   which line broke). *)
 let of_jsonl text =
   let spans = ref [] and marks = ref [] in
   let counters : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let skipped = ref 0 and first_error = ref None in
   String.split_on_char '\n' text
   |> List.iteri (fun lineno line ->
          if String.trim line <> "" then begin
@@ -111,8 +118,21 @@ let of_jsonl text =
              Hashtbl.replace counters name (prev +. Json.number_exn "value" j)
            | _ -> () (* histogram/track summaries: not needed here *)
            with Json.Parse_error msg ->
-             raise (Json.Parse_error (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+             incr skipped;
+             if !first_error = None then
+               first_error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg)
          end);
+  let salvaged =
+    !spans <> [] || !marks <> [] || Hashtbl.length counters > 0
+  in
+  (match (!skipped, !first_error) with
+  | 0, _ -> ()
+  | _, None -> ()
+  | n, Some msg when salvaged ->
+    Printf.eprintf
+      "trace: warning: skipped %d unparseable line(s) (first: %s) — truncated or concatenated export?\n%!"
+      n msg
+  | _, Some msg -> raise (Json.Parse_error msg));
   { spans = List.rev !spans;
     marks = List.rev !marks;
     counters =

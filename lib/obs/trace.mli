@@ -31,7 +31,13 @@ type t = {
 val load : string -> (t, string) result
 (** Read a trace file, sniffing the format: one JSON object with a
     ["traceEvents"] member is a Chrome trace (timestamps converted from
-    microseconds), anything else is parsed line-by-line as JSONL. *)
+    microseconds), anything else is parsed line-by-line as JSONL.
+
+    JSONL loading is resilient to the debris interrupted daemons leave
+    behind: unparseable lines (a truncated final line, framing junk from
+    concatenated exports) are skipped with a stderr warning as long as at
+    least one record survives; only a file with nothing salvageable is an
+    [Error]. *)
 
 val summary : t -> string
 (** Wall-clock window, per-phase (top-level span) wall share, and the

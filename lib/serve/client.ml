@@ -1,0 +1,64 @@
+(* Minimal synchronous client for the msoc daemon: one blocking
+   connection, newline-delimited JSON request/response.  Used by the
+   [msoc client] subcommand, the smoke tests and the bench load
+   driver. *)
+
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect ~socket_path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> ()
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e);
+  { fd; buf = Buffer.create 4096 }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then
+      match Unix.write fd bytes off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Read the next response line, buffering whatever trails it (the
+   protocol allows pipelining). *)
+let read_line t =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let data = Buffer.contents t.buf in
+    match String.index_opt data '\n' with
+    | Some i ->
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf data (i + 1) (String.length data - i - 1);
+      Some (String.sub data 0 i)
+    | None ->
+      (match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> None
+      | n ->
+        Buffer.add_subbytes t.buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let request t req =
+  match write_all t.fd (Protocol.request_to_json req ^ "\n") with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("write failed: " ^ Unix.error_message e)
+  | () ->
+    (match read_line t with
+    | None -> Error "connection closed by server before a response arrived"
+    | Some line -> Protocol.response_of_json line
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("read failed: " ^ Unix.error_message e))
+
+let with_connection ~socket_path f =
+  let t = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,16 @@
+(** Synchronous client for the msoc daemon (one blocking Unix-domain
+    connection, newline-delimited JSON). *)
+
+type t
+
+val connect : socket_path:string -> t
+(** Raises [Unix.Unix_error] when the daemon is not listening. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** Send one request and block for its response.  [Error] covers
+    transport failures and malformed response lines; a served rejection
+    comes back as [Ok] with [status = Overloaded] or [Failed]. *)
+
+val with_connection : socket_path:string -> (t -> 'a) -> 'a

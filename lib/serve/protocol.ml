@@ -1,0 +1,181 @@
+(* Wire protocol of the msoc daemon: newline-delimited JSON, one request
+   object in, one response object out, over a Unix-domain socket.
+
+   Requests name a verb and carry only the parameters that verb reads;
+   everything has a default, so [{"verb":"plan"}] is a complete request.
+   Responses always carry the status, the server-assigned trace id and
+   the timing attribution (queue wait vs service), so every client sees
+   the observability plane even when it asked for nothing special. *)
+
+module Json = Msoc_obs.Json
+
+type verb = Plan | Measure | Faultsim | Metrics | Ping | Sleep
+
+let verb_name = function
+  | Plan -> "plan"
+  | Measure -> "measure"
+  | Faultsim -> "faultsim"
+  | Metrics -> "metrics"
+  | Ping -> "ping"
+  | Sleep -> "sleep"
+
+let verb_of_name = function
+  | "plan" -> Some Plan
+  | "measure" -> Some Measure
+  | "faultsim" -> Some Faultsim
+  | "metrics" -> Some Metrics
+  | "ping" -> Some Ping
+  | "sleep" -> Some Sleep
+  | _ -> None
+
+let all_verbs = [ Plan; Measure; Faultsim; Metrics; Ping; Sleep ]
+
+type trace_format = Trace_jsonl | Trace_chrome | Trace_folded
+
+let trace_format_name = function
+  | Trace_jsonl -> "jsonl"
+  | Trace_chrome -> "chrome"
+  | Trace_folded -> "folded"
+
+let trace_format_of_name = function
+  | "jsonl" -> Some Trace_jsonl
+  | "chrome" -> Some Trace_chrome
+  | "folded" -> Some Trace_folded
+  | _ -> None
+
+type request = {
+  verb : verb;
+  (* plan / measure *)
+  topology : string;
+  strategy : string;  (* "nominal" | "adaptive" *)
+  seed : int;
+  (* faultsim *)
+  taps : int;
+  input_bits : int;
+  coeff_bits : int;
+  samples : int;
+  tones : int;
+  (* sleep (diagnostic: occupy the executor to exercise backpressure) *)
+  sleep_ms : int;
+  (* per-request trace export, echoed back in the response *)
+  trace : trace_format option;
+}
+
+(* Defaults match the msoc CLI flag defaults, so a bare daemon request
+   and a bare CLI invocation describe the same computation. *)
+let request ?(topology = "default") ?(strategy = "adaptive") ?(seed = 0) ?(taps = 9)
+    ?(input_bits = 10) ?(coeff_bits = 8) ?(samples = 1024) ?(tones = 2)
+    ?(sleep_ms = 50) ?trace verb =
+  { verb; topology; strategy; seed; taps; input_bits; coeff_bits; samples; tones;
+    sleep_ms; trace }
+
+let request_to_json r =
+  let b = Buffer.create 256 in
+  Json.obj_to b
+    ([ ("verb", Json.str (verb_name r.verb));
+       ("topology", Json.str r.topology);
+       ("strategy", Json.str r.strategy);
+       ("seed", Json.int r.seed);
+       ("taps", Json.int r.taps);
+       ("input_bits", Json.int r.input_bits);
+       ("coeff_bits", Json.int r.coeff_bits);
+       ("samples", Json.int r.samples);
+       ("tones", Json.int r.tones);
+       ("sleep_ms", Json.int r.sleep_ms) ]
+    @
+    match r.trace with
+    | None -> []
+    | Some f -> [ ("trace", Json.str (trace_format_name f)) ]);
+  Buffer.contents b
+
+let member_string key j = Option.bind (Json.member key j) Json.to_string
+
+let member_int ~default key j =
+  match Option.bind (Json.member key j) Json.to_number with
+  | Some v -> int_of_float v
+  | None -> default
+
+let request_of_json line =
+  match Json.parse_result line with
+  | Error msg -> Error ("invalid request JSON: " ^ msg)
+  | Ok j ->
+    (match member_string "verb" j with
+    | None -> Error "request is missing the \"verb\" field"
+    | Some name ->
+      (match verb_of_name name with
+      | None ->
+        Error
+          (Printf.sprintf "unknown verb %S (known: %s)" name
+             (String.concat ", " (List.map verb_name all_verbs)))
+      | Some verb ->
+        let d = request verb in
+        (match member_string "trace" j with
+        | Some t when trace_format_of_name t = None ->
+          Error (Printf.sprintf "unknown trace format %S (jsonl|chrome|folded)" t)
+        | trace_field ->
+          Ok
+            { verb;
+              topology = Option.value ~default:d.topology (member_string "topology" j);
+              strategy = Option.value ~default:d.strategy (member_string "strategy" j);
+              seed = member_int ~default:d.seed "seed" j;
+              taps = member_int ~default:d.taps "taps" j;
+              input_bits = member_int ~default:d.input_bits "input_bits" j;
+              coeff_bits = member_int ~default:d.coeff_bits "coeff_bits" j;
+              samples = member_int ~default:d.samples "samples" j;
+              tones = member_int ~default:d.tones "tones" j;
+              sleep_ms = member_int ~default:d.sleep_ms "sleep_ms" j;
+              trace = Option.bind trace_field trace_format_of_name })))
+
+type status = Ok_ | Overloaded | Failed
+
+let status_name = function Ok_ -> "ok" | Overloaded -> "overloaded" | Failed -> "error"
+
+let status_of_name = function
+  | "ok" -> Some Ok_
+  | "overloaded" -> Some Overloaded
+  | "error" -> Some Failed
+  | _ -> None
+
+type response = {
+  status : status;
+  trace_id : string;
+  verb : string;
+  body : string;  (* rendered result text, or the error message *)
+  queue_ns : int;
+  service_ns : int;
+  pool_size : int;
+  trace_export : string option;
+}
+
+let response_to_json r =
+  let b = Buffer.create (String.length r.body + 256) in
+  Json.obj_to b
+    ([ ("status", Json.str (status_name r.status));
+       ("trace_id", Json.str r.trace_id);
+       ("verb", Json.str r.verb);
+       ("body", Json.str r.body);
+       ("queue_ns", Json.int r.queue_ns);
+       ("service_ns", Json.int r.service_ns);
+       ("pool_size", Json.int r.pool_size) ]
+    @
+    match r.trace_export with
+    | None -> []
+    | Some text -> [ ("trace", Json.str text) ]);
+  Buffer.contents b
+
+let response_of_json line =
+  match Json.parse_result line with
+  | Error msg -> Error ("invalid response JSON: " ^ msg)
+  | Ok j ->
+    (match Option.bind (member_string "status" j) status_of_name with
+    | None -> Error "response is missing a valid \"status\" field"
+    | Some status ->
+      Ok
+        { status;
+          trace_id = Option.value ~default:"" (member_string "trace_id" j);
+          verb = Option.value ~default:"" (member_string "verb" j);
+          body = Option.value ~default:"" (member_string "body" j);
+          queue_ns = member_int ~default:0 "queue_ns" j;
+          service_ns = member_int ~default:0 "service_ns" j;
+          pool_size = member_int ~default:0 "pool_size" j;
+          trace_export = member_string "trace" j })

@@ -1,0 +1,72 @@
+(** Wire protocol of the msoc daemon: newline-delimited JSON over a
+    Unix-domain socket, one request object per line in, one response
+    object per line out.
+
+    Every request parameter has a default matching the msoc CLI flag
+    defaults, so [{"verb":"plan"}] is a complete request describing the
+    same computation as a bare [msoc plan]. *)
+
+type verb = Plan | Measure | Faultsim | Metrics | Ping | Sleep
+(** [Metrics] returns the Prometheus exposition ("GET /metrics" in spirit);
+    [Ping] is a liveness probe; [Sleep] occupies the executor for a
+    client-chosen time — a diagnostic for exercising queue backpressure. *)
+
+val verb_name : verb -> string
+val verb_of_name : string -> verb option
+val all_verbs : verb list
+
+type trace_format = Trace_jsonl | Trace_chrome | Trace_folded
+
+val trace_format_name : trace_format -> string
+val trace_format_of_name : string -> trace_format option
+
+type request = {
+  verb : verb;
+  topology : string;
+  strategy : string;
+  seed : int;
+  taps : int;
+  input_bits : int;
+  coeff_bits : int;
+  samples : int;
+  tones : int;
+  sleep_ms : int;
+  trace : trace_format option;
+      (** When set, the response carries this request's span tree exported
+          in the chosen format. *)
+}
+
+val request :
+  ?topology:string -> ?strategy:string -> ?seed:int -> ?taps:int ->
+  ?input_bits:int -> ?coeff_bits:int -> ?samples:int -> ?tones:int ->
+  ?sleep_ms:int -> ?trace:trace_format -> verb -> request
+(** A request with every unspecified field at its CLI default. *)
+
+val request_to_json : request -> string
+(** One line, no trailing newline. *)
+
+val request_of_json : string -> (request, string) result
+(** Missing fields take their defaults; an unknown verb or trace format
+    is an [Error]. *)
+
+type status =
+  | Ok_         (** executed; [body] is the rendered result *)
+  | Overloaded  (** bounded queue full: rejected without executing *)
+  | Failed      (** executed or parsed with an error; [body] explains *)
+
+val status_name : status -> string
+val status_of_name : string -> status option
+
+type response = {
+  status : status;
+  trace_id : string;
+  verb : string;
+  body : string;
+  queue_ns : int;    (** time spent waiting in the bounded queue *)
+  service_ns : int;  (** dequeue-to-response-built execution time *)
+  pool_size : int;
+  trace_export : string option;
+}
+
+val response_to_json : response -> string
+val response_of_json : string -> (response, string) result

@@ -1,0 +1,635 @@
+(* The msoc daemon: a Unix-domain-socket service that executes plan /
+   measure / faultsim requests on the shared domain pool, behind a
+   bounded queue with explicit backpressure, with a request
+   observability plane threaded through Msoc_obs.
+
+   Threading model — two domains plus the pool:
+
+   - the {e acceptor} (the domain calling [run]) owns every socket.  It
+     multiplexes accept + reads + response writes through one select
+     loop, parses request lines, and either enqueues a job or answers
+     ["overloaded"] on the spot when the queue is full.  It never
+     computes, so admission control stays responsive no matter what the
+     executor is chewing on.
+   - the {e executor} (spawned by [run]) pops jobs one at a time and
+     runs them on the shared [Pool] — requests serialize against each
+     other exactly like cores sharing ATE bandwidth, which is the
+     regime the queue-depth gauge and queue-wait histogram describe.
+     Being a persistent domain, its FFT plans and DLS scratch arenas
+     stay warm across requests.  Finished responses travel back over a
+     mutex-guarded queue; a self-pipe byte wakes the select loop.
+
+   Observability per request: the per-domain Obs sinks are reset at
+   dequeue, the request runs under a [serve.request] root span (with
+   [serve.queue_wait] recorded from the enqueue stamp, then
+   [serve.execute] and [serve.serialize] children, plus whatever the
+   pool records), so a requested trace export contains exactly that
+   request's span tree.  Service-level metrics must survive the
+   per-request reset, so they accumulate in a registry owned by the
+   server (counters by verb and status, log2-bucket latency and
+   queue-wait histograms, in-flight / queue-depth gauges) and are
+   appended to [Obs.to_prometheus] output by the [metrics] verb. *)
+
+module Pool = Msoc_util.Pool
+module Workq = Msoc_util.Workq
+module Prng = Msoc_util.Prng
+module Texttable = Msoc_util.Texttable
+module Obs = Msoc_obs.Obs
+module Json = Msoc_obs.Json
+module Path = Msoc_analog.Path
+module Topology = Msoc_analog.Topology
+open Msoc_synth
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;
+  access_log : string option;
+  metrics_out : string option;
+  pool : Pool.t option;  (* [None] means [Pool.get_default ()] *)
+}
+
+let config ?(queue_capacity = 64) ?access_log ?metrics_out ?pool socket_path =
+  { socket_path; queue_capacity; access_log; metrics_out; pool }
+
+(* ------------------------------------------------------------------ *)
+(* Service-level metrics registry (survives the per-request Obs reset) *)
+(* ------------------------------------------------------------------ *)
+
+type lat_hist = { buckets : int array; mutable sum : float; mutable count : int }
+
+let new_lat_hist () = { buckets = Array.make Obs.bucket_count 0; sum = 0.0; count = 0 }
+
+let lat_observe h ns =
+  let v = float_of_int ns in
+  h.buckets.(Obs.bucket_index v) <- h.buckets.(Obs.bucket_index v) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+type metrics = {
+  mm : Mutex.t;
+  requests : (string * string, int ref) Hashtbl.t;  (* (verb, status) -> count *)
+  latency : (string, lat_hist) Hashtbl.t;           (* per verb, service time *)
+  queue_wait : lat_hist;
+  inflight : int Atomic.t;
+}
+
+let new_metrics () =
+  { mm = Mutex.create ();
+    requests = Hashtbl.create 16;
+    latency = Hashtbl.create 16;
+    queue_wait = new_lat_hist ();
+    inflight = Atomic.make 0 }
+
+let record_request m ~verb ~status ~queue_ns ~service_ns =
+  Mutex.lock m.mm;
+  (match Hashtbl.find_opt m.requests (verb, status) with
+  | Some r -> incr r
+  | None -> Hashtbl.add m.requests (verb, status) (ref 1));
+  (* rejected requests never ran: only executed ones shape the latency
+     and queue-wait distributions *)
+  if String.equal status "ok" || String.equal status "error" then begin
+    (match Hashtbl.find_opt m.latency verb with
+    | Some h -> lat_observe h service_ns
+    | None ->
+      let h = new_lat_hist () in
+      lat_observe h service_ns;
+      Hashtbl.add m.latency verb h);
+    lat_observe m.queue_wait queue_ns
+  end;
+  Mutex.unlock m.mm
+
+(* Prometheus rendering for the registry: cumulative log2 buckets (only
+   occupied ones — "le" stays increasing, scrape size stays small). *)
+let prometheus_of_metrics m ~queue_depth ~queue_capacity ~pool_size =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let float_label v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.17g" v
+  in
+  Mutex.lock m.mm;
+  line "# TYPE msoc_serve_requests_total counter";
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) m.requests []
+  |> List.sort compare
+  |> List.iter (fun ((verb, status), n) ->
+         line "msoc_serve_requests_total{verb=\"%s\",status=\"%s\"} %d" verb status n);
+  let emit_hist name ~labels h =
+    let label_set items =
+      match items with [] -> "" | _ -> "{" ^ String.concat "," items ^ "}"
+    in
+    let with_le le = label_set (labels @ [ Printf.sprintf "le=\"%s\"" le ]) in
+    let cumulative = ref 0 in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          cumulative := !cumulative + c;
+          let _, hi = Obs.bucket_bounds i in
+          let le = if hi = infinity then "+Inf" else float_label hi in
+          line "%s_bucket%s %d" name (with_le le) !cumulative
+        end)
+      h.buckets;
+    (match
+       Array.exists (fun i -> i > 0) h.buckets
+       && snd (Obs.bucket_bounds (Obs.bucket_count - 1)) = infinity
+       &&
+       let last_nonzero = ref (-1) in
+       Array.iteri (fun i c -> if c > 0 then last_nonzero := i) h.buckets;
+       !last_nonzero = Obs.bucket_count - 1
+     with
+    | true -> () (* the occupied tail bucket was already +Inf *)
+    | false -> line "%s_bucket%s %d" name (with_le "+Inf") h.count);
+    line "%s_sum%s %s" name (label_set labels) (float_label h.sum);
+    line "%s_count%s %d" name (label_set labels) h.count
+  in
+  if Hashtbl.length m.latency > 0 then begin
+    line "# TYPE msoc_serve_latency_ns histogram";
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.latency []
+    |> List.sort compare
+    |> List.iter (fun (verb, h) ->
+           emit_hist "msoc_serve_latency_ns" ~labels:[ Printf.sprintf "verb=\"%s\"" verb ] h)
+  end;
+  if m.queue_wait.count > 0 then begin
+    line "# TYPE msoc_serve_queue_wait_ns histogram";
+    emit_hist "msoc_serve_queue_wait_ns" ~labels:[] m.queue_wait
+  end;
+  line "# TYPE msoc_serve_inflight gauge";
+  line "msoc_serve_inflight %d" (Atomic.get m.inflight);
+  line "# TYPE msoc_serve_queue_depth gauge";
+  line "msoc_serve_queue_depth %d" queue_depth;
+  line "# TYPE msoc_serve_queue_capacity gauge";
+  line "msoc_serve_queue_capacity %d" queue_capacity;
+  line "# TYPE msoc_serve_pool_size gauge";
+  line "msoc_serve_pool_size %d" pool_size;
+  Mutex.unlock m.mm;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  j_conn : int;
+  j_req : Protocol.request;
+  j_trace_id : string;
+  j_enqueued_ns : int64;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stop : bool Atomic.t;
+  queue : job Workq.t;
+  metrics : metrics;
+  responses : (int * string) Queue.t;
+  responses_mutex : Mutex.t;
+  access : out_channel option;
+  access_mutex : Mutex.t;
+  next_trace : int Atomic.t;
+  served : int Atomic.t;
+  session : string;
+  pool : Pool.t;
+}
+
+let create cfg =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  { cfg;
+    listen_fd;
+    wake_r;
+    wake_w;
+    stop = Atomic.make false;
+    queue = Workq.create ~capacity:cfg.queue_capacity;
+    metrics = new_metrics ();
+    responses = Queue.create ();
+    responses_mutex = Mutex.create ();
+    access =
+      Option.map
+        (fun file -> open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 file)
+        cfg.access_log;
+    access_mutex = Mutex.create ();
+    next_trace = Atomic.make 0;
+    served = Atomic.make 0;
+    session =
+      Printf.sprintf "%x%04x" (Unix.getpid ())
+        (int_of_float (Float.rem (Unix.gettimeofday () *. 1e3) 65536.0));
+    pool = (match cfg.pool with Some p -> p | None -> Pool.get_default ()) }
+
+let fresh_trace_id t =
+  Printf.sprintf "%s-%06d" t.session (Atomic.fetch_and_add t.next_trace 1)
+
+(* Async-signal-safe enough for an OCaml [Signal_handle] (handlers run at
+   safe points, not in real signal context) and callable from any
+   domain: flip the flag, then poke the self-pipe so a sleeping select
+   returns immediately. *)
+let request_stop t =
+  Atomic.set t.stop true;
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let log_access t ~trace_id ~verb ~status ~queue_ns ~service_ns =
+  match t.access with
+  | None -> ()
+  | Some oc ->
+    let b = Buffer.create 192 in
+    Json.obj_to b
+      [ ("ts", Json.num_exact (Unix.gettimeofday ()));
+        ("trace_id", Json.str trace_id);
+        ("verb", Json.str verb);
+        ("status", Json.str status);
+        ("queue_wait_ns", Json.int queue_ns);
+        ("service_ns", Json.int service_ns);
+        ("pool_size", Json.int (Pool.size t.pool)) ];
+    Mutex.lock t.access_mutex;
+    output_string oc (Buffer.contents b);
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock t.access_mutex
+
+let metrics_payload t =
+  Obs.to_prometheus ()
+  ^ prometheus_of_metrics t.metrics ~queue_depth:(Workq.length t.queue)
+      ~queue_capacity:(Workq.capacity t.queue) ~pool_size:(Pool.size t.pool)
+
+(* ------------------------------------------------------------------ *)
+(* Verb dispatch (executor domain).  Each verb runs its computation     *)
+(* under [serve.execute] and its rendering under [serve.serialize];     *)
+(* the rendered text matches the corresponding CLI output byte for      *)
+(* byte, so daemon answers diff clean against offline runs.             *)
+(* ------------------------------------------------------------------ *)
+
+let strategy_of (req : Protocol.request) =
+  match req.strategy with
+  | "nominal" -> Propagate.Nominal_gains
+  | "adaptive" -> Propagate.Adaptive
+  | s -> failwith (Printf.sprintf "unknown strategy %S (nominal|adaptive)" s)
+
+let topology_path (req : Protocol.request) =
+  match Topology.build req.topology with
+  | Some p -> p
+  | None ->
+    failwith
+      (Printf.sprintf "unknown topology %S (known: %s)" req.topology
+         (String.concat ", " Topology.names))
+
+let dispatch t (req : Protocol.request) =
+  match req.verb with
+  | Protocol.Ping ->
+    Printf.sprintf "pong: pool=%d queue=%d/%d\n" (Pool.size t.pool)
+      (Workq.length t.queue) (Workq.capacity t.queue)
+  | Protocol.Sleep ->
+    Obs.span "serve.execute" (fun () ->
+        Unix.sleepf (float_of_int (max 0 req.sleep_ms) /. 1e3));
+    Printf.sprintf "slept %d ms\n" (max 0 req.sleep_ms)
+  | Protocol.Metrics ->
+    let text = Obs.span "serve.execute" (fun () -> metrics_payload t) in
+    Obs.span "serve.serialize" (fun () -> text)
+  | Protocol.Plan ->
+    let path = topology_path req in
+    let strategy = strategy_of req in
+    let plan = Obs.span "serve.execute" (fun () -> Plan.synthesize ~strategy path) in
+    Obs.span "serve.serialize" (fun () -> Format.asprintf "%a@." Plan.pp_summary plan)
+  | Protocol.Measure ->
+    let path = topology_path req in
+    let strategy = strategy_of req in
+    let validations =
+      Obs.span "serve.execute" (fun () ->
+          let part =
+            if req.seed = 0 then Path.nominal_part path
+            else Path.sample_part path (Prng.create req.seed)
+          in
+          Measure.validate_part path part ~strategy)
+    in
+    Obs.span "serve.serialize" (fun () ->
+        let tbl =
+          Texttable.create
+            ~headers:[ "Parameter"; "True"; "Measured"; "Error"; "Budget" ]
+        in
+        List.iter
+          (fun v ->
+            Texttable.add_row tbl
+              [ v.Measure.parameter;
+                Printf.sprintf "%.5g" v.Measure.true_value;
+                Printf.sprintf "%.5g" v.Measure.measured;
+                Printf.sprintf "%+.3g" v.Measure.error;
+                Printf.sprintf "±%.3g" v.Measure.budget ])
+          validations;
+        Printf.sprintf "part: %s (seed %d)\n\n"
+          (if req.seed = 0 then "nominal" else "sampled within tolerances")
+          req.seed
+        ^ Texttable.render tbl)
+  | Protocol.Faultsim ->
+    let config =
+      { Digital_test.default_config with
+        Digital_test.taps = req.taps;
+        input_bits = req.input_bits;
+        coeff_bits = req.coeff_bits }
+    in
+    let fir, faults, det =
+      Obs.span "serve.execute" (fun () ->
+          let fir = Digital_test.build config in
+          let faults = Digital_test.collapsed_faults fir in
+          let fs = 1e6 in
+          let f1 =
+            Digital_test.coherent_tone ~sample_rate:fs ~samples:req.samples ~target:90e3
+          in
+          let freqs =
+            if req.tones <= 1 then [ f1 ]
+            else
+              [ f1;
+                Digital_test.coherent_tone ~sample_rate:fs ~samples:req.samples
+                  ~target:110e3 ]
+          in
+          let amplitude_fs = 0.9 /. float_of_int (max 1 req.tones) in
+          let rng = if req.seed = 0 then None else Some (Prng.create req.seed) in
+          let codes =
+            Digital_test.ideal_codes ?rng config ~sample_rate:fs ~samples:req.samples
+              ~freqs ~amplitude_fs
+          in
+          let det =
+            Digital_test.spectral_coverage ~pool:t.pool config fir ~sample_rate:fs
+              ~input_codes:codes ~reference_codes:codes ~tone_freqs:freqs ~faults
+          in
+          (fir, faults, det))
+    in
+    Obs.span "serve.serialize" (fun () ->
+        Format.asprintf "filter: %a@.faults: %d@.coverage: %.2f%% (%d/%d), floor %.1f dB@."
+          Msoc_netlist.Netlist.pp_stats fir.Msoc_netlist.Fir_netlist.circuit
+          (Array.length faults)
+          (100.0 *. det.Digital_test.coverage)
+          det.Digital_test.detected det.Digital_test.total det.Digital_test.noise_floor_db)
+
+(* ------------------------------------------------------------------ *)
+(* Executor domain                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let push_response t conn_id line =
+  Mutex.lock t.responses_mutex;
+  Queue.add (conn_id, line) t.responses;
+  Mutex.unlock t.responses_mutex;
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '.') 0 1) with Unix.Unix_error _ -> ()
+
+let executor_loop t =
+  let rec loop () =
+    match Workq.pop t.queue with
+    | None -> ()
+    | Some job ->
+      Atomic.set t.metrics.inflight 1;
+      let t_deq = Obs.now_ns () in
+      let queue_ns = Int64.to_int (Int64.sub t_deq job.j_enqueued_ns) in
+      (* fresh sinks per request: the span tree recorded during this job
+         — and a trace export, if one was asked for — covers exactly
+         this request, and daemon memory stays bounded *)
+      Obs.reset ();
+      let root =
+        Obs.start_span "serve.request"
+          ~args:
+            [ ("verb", Protocol.verb_name job.j_req.Protocol.verb);
+              ("trace_id", job.j_trace_id) ]
+      in
+      Obs.record_span "serve.queue_wait" ~start_ns:job.j_enqueued_ns ~stop_ns:t_deq;
+      let status, body =
+        match dispatch t job.j_req with
+        | body -> (Protocol.Ok_, body)
+        | exception e -> (Protocol.Failed, Printexc.to_string e)
+      in
+      Obs.stop_span root;
+      let service_ns = Int64.to_int (Int64.sub (Obs.now_ns ()) t_deq) in
+      let trace_export =
+        match job.j_req.Protocol.trace with
+        | None -> None
+        | Some Protocol.Trace_jsonl -> Some (Obs.jsonl ())
+        | Some Protocol.Trace_chrome -> Some (Obs.chrome_trace ())
+        | Some Protocol.Trace_folded -> Some (Obs.to_collapsed ())
+      in
+      let verb = Protocol.verb_name job.j_req.Protocol.verb in
+      let status_name = Protocol.status_name status in
+      record_request t.metrics ~verb ~status:status_name ~queue_ns ~service_ns;
+      log_access t ~trace_id:job.j_trace_id ~verb ~status:status_name ~queue_ns
+        ~service_ns;
+      Atomic.incr t.served;
+      let response =
+        { Protocol.status;
+          trace_id = job.j_trace_id;
+          verb;
+          body;
+          queue_ns;
+          service_ns;
+          pool_size = Pool.size t.pool;
+          trace_export }
+      in
+      push_response t job.j_conn (Protocol.response_to_json response);
+      Atomic.set t.metrics.inflight 0;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor: select loop over listen socket, connections, self-pipe     *)
+(* ------------------------------------------------------------------ *)
+
+type conn = { c_fd : Unix.file_descr; c_buf : Buffer.t }
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then begin
+      let w =
+        try Unix.write fd bytes off (n - off)
+        with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> 0
+      in
+      go (off + w)
+    end
+  in
+  go 0
+
+(* Responses are written blocking (framing is a handful of KB; a trace
+   export some hundreds): the fd's nonblocking flag is dropped for the
+   write and restored after, so reads keep multiplexing. *)
+let write_response conns conn_id line =
+  match Hashtbl.find_opt conns conn_id with
+  | None -> () (* client hung up before its answer was ready *)
+  | Some c ->
+    (try
+       Unix.clear_nonblock c.c_fd;
+       write_all c.c_fd (line ^ "\n");
+       Unix.set_nonblock c.c_fd
+     with Unix.Unix_error _ ->
+       (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+       Hashtbl.remove conns conn_id)
+
+let flush_responses t conns =
+  let rec go () =
+    let next =
+      Mutex.lock t.responses_mutex;
+      let r = if Queue.is_empty t.responses then None else Some (Queue.pop t.responses) in
+      Mutex.unlock t.responses_mutex;
+      r
+    in
+    match next with
+    | None -> ()
+    | Some (conn_id, line) ->
+      write_response conns conn_id line;
+      go ()
+  in
+  go ()
+
+(* A request answered without ever reaching the executor: a parse error,
+   or the bounded queue pushing back.  Still logged, still counted. *)
+let respond_immediately t conns conn_id ~status ~verb ~body =
+  let trace_id = fresh_trace_id t in
+  let status_name = Protocol.status_name status in
+  record_request t.metrics ~verb ~status:status_name ~queue_ns:0 ~service_ns:0;
+  log_access t ~trace_id ~verb ~status:status_name ~queue_ns:0 ~service_ns:0;
+  Atomic.incr t.served;
+  let response =
+    { Protocol.status;
+      trace_id;
+      verb;
+      body;
+      queue_ns = 0;
+      service_ns = 0;
+      pool_size = Pool.size t.pool;
+      trace_export = None }
+  in
+  write_response conns conn_id (Protocol.response_to_json response)
+
+let handle_line t conns conn_id line =
+  if String.trim line <> "" then begin
+    match Protocol.request_of_json line with
+    | Error msg ->
+      respond_immediately t conns conn_id ~status:Protocol.Failed ~verb:"invalid"
+        ~body:msg
+    | Ok req ->
+      let job =
+        { j_conn = conn_id;
+          j_req = req;
+          j_trace_id = fresh_trace_id t;
+          j_enqueued_ns = Obs.now_ns () }
+      in
+      if not (Workq.try_push t.queue job) then
+        respond_immediately t conns conn_id ~status:Protocol.Overloaded
+          ~verb:(Protocol.verb_name req.Protocol.verb)
+          ~body:
+            (Printf.sprintf "server overloaded: work queue full (capacity %d)"
+               (Workq.capacity t.queue))
+  end
+
+let handle_readable t conns conn_id c =
+  let chunk = Bytes.create 65536 in
+  let n =
+    try Unix.read c.c_fd chunk 0 (Bytes.length chunk)
+    with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> -1
+    | Unix.Unix_error _ -> 0
+  in
+  if n = 0 then begin
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove conns conn_id
+  end
+  else if n > 0 then begin
+    Buffer.add_subbytes c.c_buf chunk 0 n;
+    let data = Buffer.contents c.c_buf in
+    let rec split start =
+      match String.index_from_opt data start '\n' with
+      | Some i ->
+        handle_line t conns conn_id (String.sub data start (i - start));
+        split (i + 1)
+      | None ->
+        Buffer.clear c.c_buf;
+        Buffer.add_substring c.c_buf data start (String.length data - start)
+    in
+    split 0
+  end
+
+let accept_all t conns next_conn =
+  let rec go () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      incr next_conn;
+      Hashtbl.add conns !next_conn { c_fd = fd; c_buf = Buffer.create 512 };
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  in
+  go ()
+
+let drain_wake t =
+  let junk = Bytes.create 256 in
+  let rec go () =
+    match Unix.read t.wake_r junk 0 (Bytes.length junk) with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  in
+  go ()
+
+let run t =
+  (* a client closing mid-response must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Obs.enable ();
+  Obs.reset ();
+  let executor = Domain.spawn (fun () -> executor_loop t) in
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_conn = ref 0 in
+  while not (Atomic.get t.stop) do
+    let conn_fds = Hashtbl.fold (fun _ c acc -> c.c_fd :: acc) conns [] in
+    let readable =
+      match Unix.select (t.listen_fd :: t.wake_r :: conn_fds) [] [] 0.25 with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    if List.memq t.wake_r readable then drain_wake t;
+    flush_responses t conns;
+    if List.memq t.listen_fd readable then accept_all t conns next_conn;
+    Hashtbl.fold (fun id c acc -> if List.memq c.c_fd readable then (id, c) :: acc else acc)
+      conns []
+    |> List.iter (fun (id, c) -> handle_readable t conns id c)
+  done;
+  (* clean shutdown: stop admitting, drain the queue (close is
+     end-of-stream, so already-admitted jobs still execute), deliver the
+     remaining responses, flush the final metrics snapshot *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Workq.close t.queue;
+  Domain.join executor;
+  flush_responses t conns;
+  Hashtbl.iter (fun _ c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) conns;
+  Hashtbl.reset conns;
+  (match t.cfg.metrics_out with
+  | None -> ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (metrics_payload t);
+    close_out oc);
+  Option.iter close_out t.access;
+  Printf.eprintf "serve: shutdown after %d request(s)\n%!" (Atomic.get t.served);
+  Obs.disable ();
+  Obs.reset ();
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+let served t = Atomic.get t.served
+
+(* ---- in-process harness (tests, bench load driver) ---- *)
+
+type handle = { server : t; domain : unit Domain.t }
+
+let start cfg =
+  let server = create cfg in
+  (* [create] has already bound and listened: clients may connect as
+     soon as [start] returns, even if the loop hasn't scheduled yet *)
+  { server; domain = Domain.spawn (fun () -> run server) }
+
+let stop h =
+  request_stop h.server;
+  Domain.join h.domain

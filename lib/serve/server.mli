@@ -1,0 +1,71 @@
+(** The msoc daemon: plan / measure / faultsim requests over a
+    Unix-domain socket, executed one at a time on the shared domain pool
+    behind a bounded queue with backpressure.
+
+    Two domains: the {e acceptor} (the caller of {!run}) multiplexes
+    accept/read/write through one select loop and answers ["overloaded"]
+    immediately when the queue is full; the {e executor} pops jobs and
+    runs them on the pool, so FFT plans and per-domain scratch stay warm
+    across requests.
+
+    Observability: every request gets a trace id; it runs under a
+    [serve.request] span with [serve.queue_wait] / [serve.execute] /
+    [serve.serialize] children (the Obs sinks are reset at dequeue, so a
+    requested trace export covers exactly that request); service-level
+    counters, log2-bucket latency histograms and gauges accumulate in a
+    server-owned registry that the [metrics] verb appends to
+    [Obs.to_prometheus] output; one JSON access-log line is written per
+    request.
+
+    While a server is running it owns the global [Obs] state (enabled,
+    reset per request); {!run} restores disabled-and-reset on return. *)
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;
+  access_log : string option;   (** JSON lines, one per request *)
+  metrics_out : string option;  (** final metrics flush on shutdown *)
+  pool : Msoc_util.Pool.t option;  (** [None] means [Pool.get_default ()] *)
+}
+
+val config :
+  ?queue_capacity:int -> ?access_log:string -> ?metrics_out:string ->
+  ?pool:Msoc_util.Pool.t -> string -> config
+(** [config socket_path] with queue capacity 64 and no logs. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen on the socket (an existing socket file is replaced)
+    and open the access log.  Clients may connect from this point on. *)
+
+val run : t -> unit
+(** Serve until {!request_stop}: blocks the calling domain.  Installs a
+    SIGPIPE-ignore handler; on return the queue has drained, pending
+    responses are delivered, the final metrics snapshot is written to
+    [metrics_out], and the socket file is unlinked. *)
+
+val request_stop : t -> unit
+(** Ask a running server to shut down cleanly.  Callable from any
+    domain and from an OCaml signal handler. *)
+
+val served : t -> int
+(** Requests answered so far (any status, including rejections). *)
+
+val metrics_payload : t -> string
+(** The [metrics] verb's body: [Obs.to_prometheus ()] followed by the
+    server registry (request counters by verb/status, latency and
+    queue-wait histograms, in-flight / queue-depth / capacity / pool
+    gauges). *)
+
+(** {2 In-process harness} — tests and the bench load driver run the
+    daemon on a spawned domain instead of a separate process. *)
+
+type handle
+
+val start : config -> handle
+(** {!create} then {!run} on a fresh domain.  The socket is already
+    accepting when [start] returns. *)
+
+val stop : handle -> unit
+(** {!request_stop} and join. *)

@@ -15,7 +15,8 @@ open Msoc_synth
 let reference_report () =
   let b = Report.create ~git_rev:"deadbee" ~pool_size:4 ~mode:"full" () in
   Report.add_timing b ~section:"kernels" ~name:"fft-4096" ~mean_ns:123.456789012345678
-    ~stddev_ns:0.125 ~samples:321 ~minor_words:512.0 ~major_words:16.5 ();
+    ~stddev_ns:0.125 ~samples:321 ~minor_words:512.0 ~major_words:16.5
+    ~p50_ns:118.25 ~p99_ns:301.125 ();
   Report.add_timing b ~section:"kernels" ~name:"fault-sim" ~mean_ns:1e9 ~stddev_ns:2.5e7
     ~samples:12 ();
   (* names that exercise the string escaper *)
@@ -110,6 +111,40 @@ let test_v1_document_parses () =
       Alcotest.(check (float 0.0)) "major_words defaults" 0.0 t.Report.major_words;
       Alcotest.(check (float 0.0)) "major_collections defaults" 0.0
         t.Report.major_collections
+    | _ -> Alcotest.fail "expected one section with one timing")
+
+let test_v2_document_parses () =
+  (* a schema-v2 report (GC fields present, no latency percentiles) stays
+     accepted: p50/p99 default to 0.0 and the file's version is kept *)
+  let v2 =
+    Printf.sprintf
+      {|{"schema_version":2,%s,"sections":[{"name":"kernels","timings":[{"name":"fft","mean_ns":10.5,"stddev_ns":1.25,"samples":9,"minor_words":64,"major_words":2,"major_collections":0.5}],"scalars":[],"comparisons":[]}]}|}
+      minimal_meta
+  in
+  match Report.of_json v2 with
+  | Error e -> Alcotest.failf "v2 report rejected: %s" e
+  | Ok r ->
+    Alcotest.(check int) "file version preserved" 2 r.Report.meta.Report.version;
+    (match r.Report.sections with
+    | [ { Report.timings = [ t ]; _ } ] ->
+      Alcotest.(check (float 0.0)) "minor_words kept" 64.0 t.Report.minor_words;
+      Alcotest.(check (float 0.0)) "p50 defaults" 0.0 t.Report.p50_ns;
+      Alcotest.(check (float 0.0)) "p99 defaults" 0.0 t.Report.p99_ns
+    | _ -> Alcotest.fail "expected one section with one timing")
+
+let test_v3_percentiles_roundtrip () =
+  let b = Report.create ~git_rev:"r" ~pool_size:1 ~mode:"quick" () in
+  Report.add_timing b ~section:"serve" ~name:"serve-plan" ~mean_ns:2.5e6
+    ~stddev_ns:1e5 ~samples:40 ~p50_ns:2.25e6 ~p99_ns:9.75e6 ();
+  let r = Report.finalize b in
+  Alcotest.(check int) "current schema is v3" 3 r.Report.meta.Report.version;
+  match Report.of_json (Report.to_json r) with
+  | Error e -> Alcotest.failf "v3 round trip failed: %s" e
+  | Ok r' ->
+    (match r'.Report.sections with
+    | [ { Report.timings = [ t ]; _ } ] ->
+      Alcotest.(check (float 0.0)) "p50 exact" 2.25e6 t.Report.p50_ns;
+      Alcotest.(check (float 0.0)) "p99 exact" 9.75e6 t.Report.p99_ns
     | _ -> Alcotest.fail "expected one section with one timing")
 
 (* ---- bench-diff verdicts ---- *)
@@ -333,7 +368,10 @@ let () =
           Alcotest.test_case "order preserved" `Quick test_roundtrip_preserves_order;
           Alcotest.test_case "invalid documents rejected" `Quick test_rejects_invalid;
           Alcotest.test_case "parser escape handling" `Quick test_json_parser_escapes;
-          Alcotest.test_case "schema v1 still parses" `Quick test_v1_document_parses ] );
+          Alcotest.test_case "schema v1 still parses" `Quick test_v1_document_parses;
+          Alcotest.test_case "schema v2 still parses" `Quick test_v2_document_parses;
+          Alcotest.test_case "v3 percentiles round trip" `Quick
+            test_v3_percentiles_roundtrip ] );
       ( "bench-diff",
         [ Alcotest.test_case "verdicts on a fixture pair" `Quick test_verdicts;
           Alcotest.test_case "noisy rows warned" `Quick test_noisy_rows_warned;

@@ -1,0 +1,279 @@
+(* Daemon tests: the bounded work queue's semantics, the wire-protocol
+   round trip, queue-full backpressure (a structured "overloaded"
+   response, never a dropped connection), byte-identity of daemon
+   answers with the offline CLI across pool sizes, the metrics verb's
+   Prometheus families, and the per-request trace export round-tripping
+   through the offline trace analyses. *)
+
+module Workq = Msoc_util.Workq
+module Pool = Msoc_util.Pool
+module Trace = Msoc_obs.Trace
+module Protocol = Msoc_serve.Protocol
+module Server = Msoc_serve.Server
+module Client = Msoc_serve.Client
+module Topology = Msoc_analog.Topology
+open Msoc_synth
+
+let contains_sub text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec scan i =
+    i + nl <= tl && (String.equal (String.sub text i nl) needle || scan (i + 1))
+  in
+  scan 0
+
+let check_contains text needles =
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "output contains %S" needle) true
+        (contains_sub text needle))
+    needles
+
+let socket_counter = ref 0
+
+let temp_socket () =
+  incr socket_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "msoc-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+
+(* ---- bounded work queue ---- *)
+
+let test_workq_bounds () =
+  (match Workq.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected");
+  let q = Workq.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Workq.capacity q);
+  Alcotest.(check bool) "push 1" true (Workq.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Workq.try_push q 2);
+  Alcotest.(check int) "length" 2 (Workq.length q);
+  Alcotest.(check bool) "push to a full queue refused" false (Workq.try_push q 3);
+  Alcotest.(check (option int)) "fifo head" (Some 1) (Workq.pop_opt q);
+  Alcotest.(check bool) "pop frees the slot" true (Workq.try_push q 3);
+  Alcotest.(check (option int)) "fifo order kept" (Some 2) (Workq.pop_opt q);
+  Alcotest.(check (option int)) "late push delivered" (Some 3) (Workq.pop_opt q);
+  Alcotest.(check (option int)) "empty" None (Workq.pop_opt q)
+
+let test_workq_close () =
+  let q = Workq.create ~capacity:4 in
+  Alcotest.(check bool) "push before close" true (Workq.try_push q 7);
+  Workq.close q;
+  Workq.close q (* idempotent *);
+  Alcotest.(check bool) "closed" true (Workq.is_closed q);
+  Alcotest.(check bool) "push after close refused" false (Workq.try_push q 8);
+  (* close is end-of-stream, not abort: queued work still drains *)
+  Alcotest.(check (option int)) "drains after close" (Some 7) (Workq.pop q);
+  Alcotest.(check (option int)) "then end of stream" None (Workq.pop q)
+
+let test_workq_cross_domain () =
+  (* a blocked consumer is woken by a push from another domain, and by
+     close when no more work is coming *)
+  let q = Workq.create ~capacity:2 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let rec drain acc =
+          match Workq.pop q with Some v -> drain (v :: acc) | None -> List.rev acc
+        in
+        drain [])
+  in
+  List.iter
+    (fun v ->
+      let rec push () = if not (Workq.try_push q v) then push () in
+      push ())
+    [ 1; 2; 3; 4; 5 ];
+  Workq.close q;
+  Alcotest.(check (list int)) "all items in order" [ 1; 2; 3; 4; 5 ]
+    (Domain.join consumer)
+
+(* ---- wire protocol ---- *)
+
+let test_protocol_roundtrip () =
+  let req =
+    Protocol.request ~topology:"default" ~strategy:"nominal" ~seed:3 ~taps:5
+      ~samples:128 ~trace:Protocol.Trace_chrome Protocol.Faultsim
+  in
+  (match Protocol.request_of_json (Protocol.request_to_json req) with
+  | Ok req' -> Alcotest.(check bool) "request round trips" true (req = req')
+  | Error e -> Alcotest.failf "request rejected: %s" e);
+  (* a bare verb is a complete request at the CLI defaults *)
+  (match Protocol.request_of_json {|{"verb":"plan"}|} with
+  | Ok req' ->
+    Alcotest.(check bool) "bare plan equals the defaults" true
+      (req' = Protocol.request Protocol.Plan)
+  | Error e -> Alcotest.failf "minimal request rejected: %s" e);
+  (match Protocol.request_of_json {|{"verb":"frobnicate"}|} with
+  | Ok _ -> Alcotest.fail "unknown verb must be rejected"
+  | Error _ -> ());
+  (match Protocol.request_of_json {|{"verb":"plan","trace":"interpretive-dance"}|} with
+  | Ok _ -> Alcotest.fail "unknown trace format must be rejected"
+  | Error _ -> ());
+  let resp =
+    { Protocol.status = Protocol.Overloaded;
+      trace_id = "s-000001";
+      verb = "plan";
+      body = "server overloaded";
+      queue_ns = 0;
+      service_ns = 0;
+      pool_size = 2;
+      trace_export = None }
+  in
+  match Protocol.response_of_json (Protocol.response_to_json resp) with
+  | Ok resp' -> Alcotest.(check bool) "response round trips" true (resp = resp')
+  | Error e -> Alcotest.failf "response rejected: %s" e
+
+(* ---- backpressure ---- *)
+
+let read_lines fd want =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let count () =
+    String.fold_left (fun a c -> if c = '\n' then a + 1 else a) 0 (Buffer.contents buf)
+  in
+  let rec go () =
+    if count () < want then
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  List.filter (fun s -> String.length s > 0) (String.split_on_char '\n' (Buffer.contents buf))
+
+let test_backpressure () =
+  (* capacity 1 and three pipelined sleep requests: the executor can hold
+     at most one running and one queued, so at least one (deterministically
+     the third) is rejected with a structured "overloaded" response while
+     the connection stays up and the accepted requests still complete *)
+  let socket_path = temp_socket () in
+  let handle = Server.start (Server.config ~queue_capacity:1 socket_path) in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let line = Protocol.request_to_json (Protocol.request ~sleep_ms:300 Protocol.Sleep) ^ "\n" in
+  let payload = line ^ line ^ line in
+  let n = Unix.write_substring fd payload 0 (String.length payload) in
+  Alcotest.(check int) "whole pipeline written at once" (String.length payload) n;
+  let responses =
+    List.map
+      (fun l ->
+        match Protocol.response_of_json l with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "bad response line: %s" e)
+      (read_lines fd 3)
+  in
+  Alcotest.(check int) "every request answered" 3 (List.length responses);
+  let by_status st = List.filter (fun r -> r.Protocol.status = st) responses in
+  Alcotest.(check bool) "at least one executed" true (List.length (by_status Protocol.Ok_) >= 1);
+  let rejected = by_status Protocol.Overloaded in
+  Alcotest.(check bool) "at least one rejected" true (List.length rejected >= 1);
+  List.iter
+    (fun r ->
+      check_contains r.Protocol.body [ "overloaded"; "capacity 1" ];
+      Alcotest.(check string) "rejection names the verb" "sleep" r.Protocol.verb;
+      Alcotest.(check int) "rejected without executing" 0 r.Protocol.service_ns)
+    rejected
+
+(* ---- byte-identity with the offline CLI ---- *)
+
+let expected_plan () =
+  let path = match Topology.build "default" with Some p -> p | None -> assert false in
+  Format.asprintf "%a@." Plan.pp_summary (Plan.synthesize ~strategy:Propagate.Adaptive path)
+
+let test_plan_byte_identity () =
+  let expected = expected_plan () in
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let socket_path = temp_socket () in
+          let handle = Server.start (Server.config ~pool socket_path) in
+          Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+          Client.with_connection ~socket_path (fun c ->
+              match Client.request c (Protocol.request Protocol.Plan) with
+              | Error e -> Alcotest.failf "pool %d: %s" size e
+              | Ok resp ->
+                Alcotest.(check string)
+                  (Printf.sprintf "status at pool %d" size)
+                  "ok"
+                  (Protocol.status_name resp.Protocol.status);
+                Alcotest.(check string)
+                  (Printf.sprintf "plan body byte-identical at pool %d" size)
+                  expected resp.Protocol.body;
+                Alcotest.(check int) "pool size reported" size resp.Protocol.pool_size)))
+    [ 1; 2; 4 ]
+
+(* ---- metrics verb ---- *)
+
+let test_metrics_families () =
+  let socket_path = temp_socket () in
+  let handle = Server.start (Server.config socket_path) in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  Client.with_connection ~socket_path (fun c ->
+      (match Client.request c (Protocol.request Protocol.Ping) with
+      | Ok r -> check_contains r.Protocol.body [ "pong" ]
+      | Error e -> Alcotest.failf "ping failed: %s" e);
+      match Client.request c (Protocol.request Protocol.Metrics) with
+      | Error e -> Alcotest.failf "metrics failed: %s" e
+      | Ok r ->
+        check_contains r.Protocol.body
+          [ "msoc_serve_requests_total{verb=\"ping\",status=\"ok\"} 1";
+            "msoc_serve_latency_ns_bucket";
+            "msoc_serve_queue_wait_ns";
+            "msoc_serve_inflight";
+            "msoc_serve_queue_capacity";
+            "msoc_obs_timeline_overwritten_total";
+            "msoc_build_info" ])
+
+(* ---- per-request trace export round trip ---- *)
+
+let test_trace_roundtrip () =
+  let socket_path = temp_socket () in
+  let handle = Server.start (Server.config socket_path) in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  Client.with_connection ~socket_path (fun c ->
+      let req =
+        Protocol.request ~taps:5 ~samples:128 ~trace:Protocol.Trace_jsonl
+          Protocol.Faultsim
+      in
+      match Client.request c req with
+      | Error e -> Alcotest.failf "faultsim failed: %s" e
+      | Ok resp ->
+        let export =
+          match resp.Protocol.trace_export with
+          | Some e -> e
+          | None -> Alcotest.fail "response carries no trace export"
+        in
+        let file = Filename.temp_file "msoc_serve_trace" ".jsonl" in
+        Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+        let oc = open_out file in
+        output_string oc export;
+        close_out oc;
+        (match Trace.load file with
+        | Error e -> Alcotest.failf "daemon export does not load: %s" e
+        | Ok t ->
+          let names = List.map (fun sp -> sp.Trace.sp_name) t.Trace.spans in
+          List.iter
+            (fun n ->
+              Alcotest.(check bool) (Printf.sprintf "span %s exported" n) true
+                (List.mem n names))
+            [ "serve.request"; "serve.queue_wait"; "serve.execute"; "serve.serialize" ];
+          (* the offline analyses accept the daemon's export as-is *)
+          check_contains (Trace.summary t) [ "serve.request"; "serve.execute" ];
+          check_contains (Trace.to_folded t) [ "serve.request" ]))
+
+let () =
+  Alcotest.run "msoc_serve"
+    [ ( "workq",
+        [ Alcotest.test_case "bounded fifo" `Quick test_workq_bounds;
+          Alcotest.test_case "close drains then ends" `Quick test_workq_close;
+          Alcotest.test_case "cross-domain hand-off" `Quick test_workq_cross_domain ] );
+      ( "protocol",
+        [ Alcotest.test_case "request/response round trip" `Quick test_protocol_roundtrip ] );
+      ( "daemon",
+        [ Alcotest.test_case "queue-full backpressure" `Quick test_backpressure;
+          Alcotest.test_case "plan byte-identity across pool sizes" `Quick
+            test_plan_byte_identity;
+          Alcotest.test_case "metrics families" `Quick test_metrics_families;
+          Alcotest.test_case "trace export round trip" `Quick test_trace_roundtrip ] ) ]

@@ -56,6 +56,42 @@ let test_load_errors () =
     Alcotest.(check bool) "error names the offending line" true (contains_sub msg "line"));
   Sys.remove bad
 
+let good_span name path ts =
+  Printf.sprintf
+    {|{"type":"span","track":0,"name":"%s","path":"%s","ts_ns":%d,"dur_ns":100,"args":{}}|}
+    name path ts
+
+let test_load_truncated_tail () =
+  (* an export cut off mid-line (crashed writer, partial copy) still
+     yields every record before the cut *)
+  let file = Filename.temp_file "msoc_trace" ".jsonl" in
+  let oc = open_out file in
+  output_string oc (good_span "a" "a" 0 ^ "\n" ^ good_span "b" "a/b" 10 ^ "\n");
+  output_string oc {|{"type":"span","track":0,"na|};
+  close_out oc;
+  (match Trace.load file with
+  | Error msg -> Alcotest.failf "truncated file should salvage: %s" msg
+  | Ok t -> Alcotest.(check int) "records before the cut kept" 2 (List.length t.Trace.spans));
+  Sys.remove file
+
+let test_load_garbage_mid_file () =
+  (* concatenated exports interleave garbage between valid lines: the bad
+     lines are skipped with a warning, the good ones load *)
+  let file = Filename.temp_file "msoc_trace" ".jsonl" in
+  let oc = open_out file in
+  output_string oc
+    (good_span "a" "a" 0 ^ "\n" ^ "%%% not json at all %%%\n" ^ good_span "b" "a/b" 10
+   ^ "\n" ^ {|{"type":"span","track":"zero"}|} ^ "\n" ^ good_span "c" "a/c" 20 ^ "\n");
+  close_out oc;
+  (match Trace.load file with
+  | Error msg -> Alcotest.failf "mid-file garbage should be skipped: %s" msg
+  | Ok t ->
+    Alcotest.(check int) "good lines survive" 3 (List.length t.Trace.spans);
+    Alcotest.(check (list string)) "in order"
+      [ "a"; "b"; "c" ]
+      (List.map (fun sp -> sp.Trace.sp_name) t.Trace.spans));
+  Sys.remove file
+
 (* ---- summary ---- *)
 
 let test_summary () =
@@ -172,7 +208,9 @@ let () =
   Alcotest.run "msoc_trace"
     [ ( "load",
         [ Alcotest.test_case "golden fixture" `Quick test_load_fixture;
-          Alcotest.test_case "errors are reported" `Quick test_load_errors ] );
+          Alcotest.test_case "errors are reported" `Quick test_load_errors;
+          Alcotest.test_case "truncated tail salvaged" `Quick test_load_truncated_tail;
+          Alcotest.test_case "mid-file garbage skipped" `Quick test_load_garbage_mid_file ] );
       ( "analyses",
         [ Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "utilization occupancy" `Quick test_utilization;

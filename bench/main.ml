@@ -32,6 +32,8 @@ module Logic_sim = Msoc_netlist.Logic_sim
 module Atpg_lite = Msoc_netlist.Atpg_lite
 module Attr = Msoc_signal.Attr
 module Obs = Msoc_obs.Obs
+module Soc = Msoc_soc.Soc
+module Soc_schedule = Msoc_soc.Schedule
 open Msoc_synth
 
 let quick =
@@ -1038,6 +1040,59 @@ let ablations () =
   ablation_interface ()
 
 (* ------------------------------------------------------------------ *)
+(* SOC test schedule: greedy vs annealed makespan on the shipped SOC   *)
+(* fixtures.  The annealed/greedy ratio ships with a Le 1.0 bound, so  *)
+(* bench-diff gates the scheduler's never-worse-than-greedy contract.  *)
+(* ------------------------------------------------------------------ *)
+
+let soc_schedule () =
+  section "SOC schedule — test-time minimization under bus and power constraints";
+  let restarts = if quick then 4 else 8 in
+  let iters = if quick then 200 else 400 in
+  let t =
+    Texttable.create
+      ~headers:
+        [ "SOC"; "Tests"; "Serial"; "Greedy"; "Annealed"; "Ratio"; "Greedy ms";
+          "Annealed ms" ]
+  in
+  List.iter
+    (fun name ->
+      let soc = Option.get (Soc.find name) in
+      let problem = Soc_schedule.problem_of_soc soc in
+      let greedy = Soc_schedule.greedy problem in
+      let annealed, _stats = Soc_schedule.anneal ~restarts ~iters problem in
+      (match Soc_schedule.check problem annealed with
+      | Ok () -> ()
+      | Error msg -> failwith ("soc-schedule: invalid annealed schedule: " ^ msg));
+      let serial =
+        Array.fold_left
+          (fun acc (test : Soc_schedule.test) -> acc + test.Soc_schedule.cycles)
+          0 problem.Soc_schedule.tests
+      in
+      let g = greedy.Soc_schedule.makespan and a = annealed.Soc_schedule.makespan in
+      let ratio = float_of_int a /. float_of_int g in
+      Texttable.add_row t
+        [ name;
+          string_of_int (Array.length problem.Soc_schedule.tests);
+          string_of_int serial; string_of_int g; string_of_int a;
+          Printf.sprintf "%.4f" ratio;
+          Printf.sprintf "%.1f" (1000.0 *. Soc_schedule.seconds problem g);
+          Printf.sprintf "%.1f" (1000.0 *. Soc_schedule.seconds problem a) ];
+      Report.add_scalar report ~section:"soc-schedule"
+        ~name:(name ^ " greedy makespan") ~unit_label:"cycles" (float_of_int g);
+      Report.add_scalar report ~section:"soc-schedule"
+        ~name:(name ^ " annealed makespan") ~unit_label:"cycles" (float_of_int a);
+      Report.add_scalar report ~section:"soc-schedule" ~name:(name ^ " annealed/greedy")
+        ~unit_label:"ratio" ~bound:(Report.Le 1.0) ratio)
+    Soc.names;
+  Texttable.print t;
+  Format.printf
+    "Serial is the sum of every priced test (application + wrapper load + fixture);@.\
+     the makespans pack them under the SOC's test-bus and power constraints.  The@.\
+     ratio row carries a <= 1.0 bound into the report: bench-diff fails if annealing@.\
+     ever loses to the greedy baseline.@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing of the computational kernels.                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1176,6 +1231,16 @@ let kernels () =
             (Msoc_analog.Topology.build name))
       Msoc_analog.Topology.names
   in
+  (* SOC schedule search over the reference problem: greedy decode plus a
+     short annealing walk.  The problem is built once outside the kernel —
+     per-core synthesis is already timed by the plan kernels. *)
+  let soc_problem = Soc_schedule.problem_of_soc (Soc.reference ()) in
+  let soc_schedule_test =
+    Test.make ~name:"soc-schedule"
+      (Staged.stage (fun () ->
+           ignore (Soc_schedule.greedy soc_problem);
+           ignore (Soc_schedule.anneal ~restarts:2 ~iters:50 soc_problem)))
+  in
   (* Every kernel is also measured for GC load (minor/major words per run
      from Bechamel's allocation instances, major collections from a
      [Gc.quick_stat] bracket around the whole run), and the quick-mode
@@ -1269,7 +1334,7 @@ let kernels () =
     ([ fft_test; fft_cold_test; rfft_test; fft_bluestein_test; fft_bluestein_cold_test;
        rfft_bluestein_test; mc_arena_test; fsim_test; fsim_serial_test; fsim_pooled_test;
        fsim_drop_test; path_test; coverage_test; plan_test ]
-    @ topology_plan_tests);
+    @ topology_plan_tests @ [ soc_schedule_test ]);
   Texttable.print t
 
 (* ------------------------------------------------------------------ *)
@@ -1597,6 +1662,7 @@ let () =
   coverage_ideal ();
   coverage_noisy ();
   ablations ();
+  soc_schedule ();
   kernels ();
   parallel_speedup ();
   telemetry_overhead ();

@@ -7,10 +7,16 @@
      faultsim    spectral stuck-at fault simulation of the digital filter
      montecarlo  Monte-Carlo de-embedding error study (Figure 4 model)
      spectrum    simulate the receiver path and report SNR/SFDR/IM3
+     measure     run the virtual tester against a manufactured part
+     schedule    pack a whole SOC's tests under bus and power constraints
      trace       analyse a saved telemetry trace offline
      bench-diff  compare two bench reports and gate on regressions
      serve       long-running synthesis daemon over a Unix socket
      client      send one request to a running daemon
+
+   The compute verbs (plan, measure, faultsim, schedule) call the same
+   Msoc_serve.Verbs bodies the daemon executes, so offline output diffs
+   clean against daemon responses.
 
    Exit codes: 0 success; 1 runtime failure; 2 usage error; 3 bench-diff
    regression (or missing section). *)
@@ -28,6 +34,11 @@ module Progress = Msoc_obs.Progress
 module Trace = Msoc_obs.Trace
 module Param = Msoc_analog.Param
 module Monte_carlo = Msoc_stat.Monte_carlo
+module Soc = Msoc_soc.Soc
+module Serve_protocol = Msoc_serve.Protocol
+module Serve_verbs = Msoc_serve.Verbs
+module Serve_server = Msoc_serve.Server
+module Serve_client = Msoc_serve.Client
 open Msoc_synth
 
 (* ---- telemetry flags (shared by every subcommand) ---- *)
@@ -201,10 +212,6 @@ let topology_conv =
   in
   Cmdliner.Arg.conv (parse, Format.pp_print_string)
 
-(* the conv above has already validated the name *)
-let build_topology name =
-  match Topology.build name with Some p -> p | None -> assert false
-
 let topology_arg =
   Cmdliner.Arg.(
     value
@@ -228,13 +235,15 @@ let run_plan tel strategy topology list_topologies audit_file =
   with_telemetry tel ~command:"plan" @@ fun () ->
   if list_topologies then print_topologies ()
   else begin
-  let path = build_topology topology in
   if audit_file <> None then begin
     Audit.enable ();
     Audit.reset ()
   end;
-  let plan = Plan.synthesize ~strategy path in
-  Format.printf "%a@." Plan.pp_summary plan;
+  let req =
+    Serve_protocol.request ~topology ~strategy:(Propagate.strategy_name strategy)
+      Serve_protocol.Plan
+  in
+  print_string (Serve_verbs.run ~pool:(Msoc_util.Pool.get_default ()) req);
   match audit_file with
   | None -> ()
   | Some file ->
@@ -341,37 +350,16 @@ let render_faultsim ~elapsed_s =
 
 let run_faultsim tel progress taps input_bits coeff_bits samples tones seed =
   with_telemetry tel ~command:"faultsim" @@ fun () ->
-  let config =
-    { Digital_test.default_config with Digital_test.taps; input_bits; coeff_bits }
+  let req =
+    Serve_protocol.request ~taps ~input_bits ~coeff_bits ~samples ~tones ~seed
+      Serve_protocol.Faultsim
   in
-  let fir = Digital_test.build config in
-  let faults = Digital_test.collapsed_faults fir in
-  Format.printf "filter: %a@.faults: %d@." Msoc_netlist.Netlist.pp_stats
-    fir.Msoc_netlist.Fir_netlist.circuit (Array.length faults);
-  let fs = 1e6 in
-  let f1 = Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:90e3 in
-  let freqs =
-    if tones <= 1 then [ f1 ]
-    else [ f1; Digital_test.coherent_tone ~sample_rate:fs ~samples ~target:110e3 ]
-  in
-  let amplitude_fs = 0.9 /. float_of_int (max 1 tones) in
-  (* seed 0 keeps the historical zero-phase stimulus; any other seed draws
-     reproducible random tone phases *)
-  let rng = if seed = 0 then None else Some (Prng.create seed) in
-  let codes =
-    Digital_test.ideal_codes ?rng config ~sample_rate:fs ~samples ~freqs ~amplitude_fs
-  in
-  let compute () =
-    (* pooled: bit-identical to the serial path at any MSOC_DOMAINS *)
-    Digital_test.spectral_coverage ~pool:(Msoc_util.Pool.get_default ()) config fir
-      ~sample_rate:fs ~input_codes:codes ~reference_codes:codes ~tone_freqs:freqs ~faults
-  in
-  let det =
+  (* pooled: bit-identical to the serial path at any MSOC_DOMAINS *)
+  let compute () = Serve_verbs.run ~pool:(Msoc_util.Pool.get_default ()) req in
+  let body =
     if progress then Progress.with_ticker ~render:render_faultsim compute else compute ()
   in
-  Format.printf "coverage: %.2f%% (%d/%d), floor %.1f dB@."
-    (100.0 *. det.Digital_test.coverage)
-    det.Digital_test.detected det.Digital_test.total det.Digital_test.noise_floor_db
+  print_string body
 
 let faultsim_cmd =
   let open Cmdliner in
@@ -609,27 +597,11 @@ let spectrum_cmd =
 
 let run_measure tel strategy topology seed =
   with_telemetry tel ~command:"measure" @@ fun () ->
-  let path = build_topology topology in
-  let part =
-    if seed = 0 then Path.nominal_part path
-    else Path.sample_part path (Prng.create seed)
+  let req =
+    Serve_protocol.request ~topology ~strategy:(Propagate.strategy_name strategy) ~seed
+      Serve_protocol.Measure
   in
-  Format.printf "part: %s (seed %d)@.@."
-    (if seed = 0 then "nominal" else "sampled within tolerances")
-    seed;
-  let t =
-    Texttable.create ~headers:[ "Parameter"; "True"; "Measured"; "Error"; "Budget" ]
-  in
-  List.iter
-    (fun v ->
-      Texttable.add_row t
-        [ v.Measure.parameter;
-          Printf.sprintf "%.5g" v.Measure.true_value;
-          Printf.sprintf "%.5g" v.Measure.measured;
-          Printf.sprintf "%+.3g" v.Measure.error;
-          Printf.sprintf "±%.3g" v.Measure.budget ])
-    (Measure.validate_part path part ~strategy);
-  Texttable.print t
+  print_string (Serve_verbs.run ~pool:(Msoc_util.Pool.get_default ()) req)
 
 let measure_cmd =
   let open Cmdliner in
@@ -638,6 +610,94 @@ let measure_cmd =
   in
   Cmd.v (Cmd.info "measure" ~doc:"Run the virtual tester against a manufactured part")
     (code0 Term.(const run_measure $ telemetry_term $ strategy_arg $ topology_arg $ seed))
+
+(* ---- schedule: whole-SOC test-time minimization ---- *)
+
+let soc_conv =
+  let parse name =
+    match Soc.find name with
+    | Some _ -> Ok name
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown SOC %S (known: %s)" name
+              (String.concat ", " Soc.names)))
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_string)
+
+let soc_arg =
+  Cmdliner.Arg.(
+    value
+    & opt soc_conv "reference"
+    & info [ "soc" ] ~docv:"NAME"
+        ~doc:"SOC fixture to schedule; see $(b,--list-socs).")
+
+let list_socs_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "list-socs" ] ~doc:"List the registered SOC fixtures and exit.")
+
+let print_socs () =
+  let t = Texttable.create ~headers:[ "SOC"; "Cores" ] in
+  List.iter (fun (name, summary) -> Texttable.add_row t [ name; summary ]) Soc.summaries;
+  Texttable.print t
+
+let run_schedule tel soc restarts iters seed list_socs audit_file =
+  with_telemetry tel ~command:"schedule" @@ fun () ->
+  if list_socs then print_socs ()
+  else begin
+  if audit_file <> None then begin
+    Audit.enable ();
+    Audit.reset ()
+  end;
+  let req =
+    Serve_protocol.request ~soc ~restarts ~iters ~seed Serve_protocol.Schedule
+  in
+  print_string (Serve_verbs.run ~pool:(Msoc_util.Pool.get_default ()) req);
+  match audit_file with
+  | None -> ()
+  | Some file ->
+    Audit.disable ();
+    Format.printf "@.%s" (Audit.to_text ());
+    Audit.write_json file;
+    Format.eprintf "audit: %d provenance records written to %s@."
+      (List.length (Audit.records ()))
+      file;
+    Audit.reset ()
+  end
+
+let schedule_cmd =
+  let open Cmdliner in
+  let restarts =
+    Arg.(value & opt int 8
+         & info [ "restarts" ] ~docv:"N"
+             ~doc:"Simulated-annealing restarts, fanned out over the domain pool; the \
+                   chosen schedule is bit-identical at every pool size.")
+  in
+  let iters =
+    Arg.(value & opt int 400
+         & info [ "iters" ] ~docv:"N" ~doc:"Annealing moves per restart.")
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ]
+             ~doc:"Annealing seed; 0 (default) means the canonical seed.")
+  in
+  let audit =
+    Arg.(value & opt (some string) None
+         & info [ "audit" ] ~docv:"FILE"
+             ~doc:"Record the per-core synthesis audit trail (per-parameter provenance \
+                   including the derived application cost), write it as JSON to $(docv) \
+                   and print the text report.")
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Pack a whole SOC's synthesized tests under its test-bus and power \
+             constraints and minimize the total test time (greedy baseline plus \
+             pooled simulated-annealing refinement)")
+    (code0
+       Term.(const run_schedule $ telemetry_term $ soc_arg $ restarts $ iters $ seed
+             $ list_socs_arg $ audit))
 
 (* ---- netlist ---- *)
 
@@ -725,10 +785,6 @@ let bench_diff_cmd =
 
 (* ---- serve: the long-running synthesis daemon ---- *)
 
-module Serve_protocol = Msoc_serve.Protocol
-module Serve_server = Msoc_serve.Server
-module Serve_client = Msoc_serve.Client
-
 let socket_arg =
   Cmdliner.Arg.(
     required
@@ -772,8 +828,9 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the synthesis daemon: plan/measure/faultsim over a Unix socket, with \
-             per-request traces, Prometheus metrics and a structured access log")
+       ~doc:"Run the synthesis daemon: plan/measure/faultsim/schedule over a Unix \
+             socket, with per-request traces, Prometheus metrics and a structured \
+             access log")
     (code0 Term.(const run_serve $ socket_arg $ queue $ access_log $ metrics_out))
 
 (* ---- client: one request against a running daemon ---- *)
@@ -793,7 +850,7 @@ let verb_conv =
     (parse, fun ppf v -> Format.pp_print_string ppf (Serve_protocol.verb_name v))
 
 let run_client verb socket topology strategy seed taps input_bits coeff_bits samples
-    tones sleep_ms trace_format trace_out =
+    tones soc restarts iters sleep_ms trace_format trace_out =
   let strategy =
     match strategy with
     | Propagate.Nominal_gains -> "nominal"
@@ -813,7 +870,7 @@ let run_client verb socket topology strategy seed taps input_bits coeff_bits sam
   in
   let req =
     Serve_protocol.request ~topology ~strategy ~seed ~taps ~input_bits ~coeff_bits
-      ~samples ~tones ~sleep_ms ?trace verb
+      ~samples ~tones ~soc ~restarts ~iters ~sleep_ms ?trace verb
   in
   let answer =
     try Serve_client.with_connection ~socket_path:socket (fun c -> Serve_client.request c req)
@@ -849,8 +906,8 @@ let client_cmd =
   let verb =
     Arg.(required & pos 0 (some verb_conv) None
          & info [] ~docv:"VERB"
-             ~doc:"$(b,plan), $(b,measure), $(b,faultsim), $(b,metrics), $(b,ping) or \
-                   $(b,sleep).")
+             ~doc:"$(b,plan), $(b,measure), $(b,faultsim), $(b,schedule), $(b,metrics), \
+                   $(b,ping) or $(b,sleep).")
   in
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Request seed (verb-dependent).")
@@ -867,6 +924,17 @@ let client_cmd =
   in
   let tones =
     Arg.(value & opt int 2 & info [ "tones" ] ~doc:"faultsim: stimulus tone count (1 or 2).")
+  in
+  let soc =
+    Arg.(value & opt soc_conv "reference"
+         & info [ "soc" ] ~doc:"schedule: SOC fixture name.")
+  in
+  let restarts =
+    Arg.(value & opt int 8 & info [ "restarts" ] ~doc:"schedule: annealing restarts.")
+  in
+  let iters =
+    Arg.(value & opt int 400
+         & info [ "iters" ] ~doc:"schedule: annealing moves per restart.")
   in
   let sleep_ms =
     Arg.(value & opt int 50 & info [ "sleep-ms" ] ~doc:"sleep: executor hold time.")
@@ -900,8 +968,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Send one request to a running msoc daemon and print the response body")
     Term.(const run_client $ verb $ socket_arg $ topology_arg $ strategy_arg $ seed
-          $ taps $ input_bits $ coeff_bits $ samples $ tones $ sleep_ms $ trace_format
-          $ trace_out)
+          $ taps $ input_bits $ coeff_bits $ samples $ tones $ soc $ restarts $ iters
+          $ sleep_ms $ trace_format $ trace_out)
 
 (* ---- entry point: exit-code discipline ---- *)
 
@@ -920,7 +988,7 @@ let () =
   let group =
     Cmd.group (Cmd.info "msoc" ~doc ~exits)
       [ plan_cmd; coverage_cmd; faultsim_cmd; montecarlo_cmd; spectrum_cmd; measure_cmd;
-        netlist_cmd; trace_cmd; bench_diff_cmd; serve_cmd; client_cmd ]
+        schedule_cmd; netlist_cmd; trace_cmd; bench_diff_cmd; serve_cmd; client_cmd ]
   in
   let code =
     match (try Ok (Cmd.eval_value ~catch:false group) with e -> Error e) with

@@ -67,6 +67,9 @@ let decimation t =
   match Stage.decimation (digitizer t) with Some d -> d | None -> 1
 
 let adc_rate_hz t = t.ctx.Context.sim_rate_hz /. float_of_int (decimation t)
+
+let settle_cycles t =
+  Int.max 1 (List.fold_left (fun acc s -> acc + Stage.settle_cycles s) 0 t.stages)
 let find_stage t id = List.find_opt (fun s -> String.equal s.Stage.id id) t.stages
 
 let first_mixer t =

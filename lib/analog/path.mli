@@ -33,6 +33,11 @@ val default_receiver : unit -> t
 val digitizer : t -> Stage.t
 val decimation : t -> int
 val adc_rate_hz : t -> float
+
+(** Output-rate cycles before a capture is trustworthy after a stimulus
+    change: the sum of every stage's {!Stage.settle_cycles}, at least 1.
+    The default receiver settles in 48 cycles. *)
+val settle_cycles : t -> int
 val find_stage : t -> string -> Stage.t option
 val first_mixer : t -> Stage.t option
 val lo_freq_hz : t -> float option

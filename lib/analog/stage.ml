@@ -56,6 +56,19 @@ let block_name t =
   | Adc _ -> "adc"
   | Sd_adc _ -> "sigma-delta"
 
+(* Output-rate cycles for the block's transient to die out after a
+   stimulus change, before a capture is trustworthy.  Wideband blocks
+   settle in a few cycles; the channel filter dominates; a sigma-delta
+   must flush its decimation chain (third-order CIC: three decimation
+   periods). *)
+let settle_cycles t =
+  match t.block with
+  | Amp _ -> 4
+  | Mix _ -> 8
+  | Lpf _ -> 32
+  | Adc _ -> 4
+  | Sd_adc { decimation; _ } -> 3 * decimation
+
 (* ---- toleranced parameters, by conventional name ---- *)
 
 let params t =

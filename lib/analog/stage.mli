@@ -57,6 +57,11 @@ val block_name : t -> string
 (** Lower-case class name: ["amplifier"], ["mixer"], ["lpf"], ["adc"],
     ["sigma-delta"]. *)
 
+val settle_cycles : t -> int
+(** Output-rate cycles for this block's transient to settle after a
+    stimulus change (the channel filter dominates an ordinary path; a
+    sigma-delta flushes three decimation periods of CIC state). *)
+
 (** {1 Toleranced parameters} *)
 
 val params : t -> (string * Param.t) list

@@ -18,16 +18,21 @@ let amp_bypass_receiver () =
       Stage.lpf (Lpf.default_params ~clock_hz:3.3e6);
       Stage.adc ~decimation:8 Adc.default_params ]
 
+(* Kept sorted by name so every listing (CLI --list-topologies, serve,
+   golden fixtures) sees one stable order regardless of registration
+   history. *)
 let registry =
-  [ { name = "default";
-      summary = "paper Fig. 6 receiver: Amp -> Mixer(LO) -> LPF -> ADC";
-      build = Path.default_receiver };
-    { name = "sigma-delta";
-      summary = "receiver with a 2nd-order sigma-delta digitizer instead of the Nyquist ADC";
-      build = sigma_delta_receiver };
-    { name = "amp-bypass";
-      summary = "low-gain mode with the front-end amplifier bypassed: Mixer(LO) -> LPF -> ADC";
-      build = amp_bypass_receiver } ]
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    [ { name = "default";
+        summary = "paper Fig. 6 receiver: Amp -> Mixer(LO) -> LPF -> ADC";
+        build = Path.default_receiver };
+      { name = "sigma-delta";
+        summary = "receiver with a 2nd-order sigma-delta digitizer instead of the Nyquist ADC";
+        build = sigma_delta_receiver };
+      { name = "amp-bypass";
+        summary = "low-gain mode with the front-end amplifier bypassed: Mixer(LO) -> LPF -> ADC";
+        build = amp_bypass_receiver } ]
 
 let names = List.map (fun e -> e.name) registry
 let find name = List.find_opt (fun e -> String.equal e.name name) registry

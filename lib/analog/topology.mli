@@ -6,7 +6,11 @@
 type entry = { name : string; summary : string; build : unit -> Path.t }
 
 val registry : entry list
+(** Sorted by name — listings and golden fixtures rely on the stable
+    order. *)
+
 val names : string list
+(** Registry names, in the registry's sorted order. *)
 
 val find : string -> entry option
 val build : string -> Path.t option

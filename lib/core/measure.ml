@@ -318,12 +318,25 @@ type validation = {
   measured : float;
   error : float;
   budget : float;
+  cost : Cost.t;
 }
 
 let validate_part ?pool ?seed path part ~strategy =
   let t = create ?seed path part in
-  let entry parameter ~true_value ~measured ~budget =
-    { parameter; true_value; measured; error = measured -. true_value; budget }
+  (* Static application cost per procedure: capture count from the
+     measurement class (sweeps pay per point), record length and settling
+     from this tester session's path. *)
+  let cost_of ~captures =
+    Cost.create ~captures ~record_samples:t.capture_samples
+      ~settle_cycles:(Path.settle_cycles path) ~sample_rate_hz:(Path.adc_rate_hz path) ()
+  in
+  let entry parameter ~captures ~true_value ~measured ~budget =
+    { parameter;
+      true_value;
+      measured;
+      error = measured -. true_value;
+      budget;
+      cost = cost_of ~captures }
   in
   let true_path_gain =
     List.fold_left
@@ -345,7 +358,7 @@ let validate_part ?pool ?seed path part ~strategy =
     Array.of_list
       (List.concat
          [ [ (fun () ->
-               entry "path gain (dB)" ~true_value:true_path_gain
+               entry "path gain (dB)" ~captures:1 ~true_value:true_path_gain
                  ~measured:(path_gain_db t ~level_dbm:Propagate.standard_test_level_dbm)
                  ~budget:0.5) ];
            (match mixer with
@@ -353,13 +366,13 @@ let validate_part ?pool ?seed path part ~strategy =
              [ (fun () ->
                  entry
                    (id mx ^ " IIP3 (dBm)")
-                   ~true_value:(Path.part_value path part ~stage:mx.Stage.id ~name:"iip3_dbm")
+                   ~captures:1 ~true_value:(Path.part_value path part ~stage:mx.Stage.id ~name:"iip3_dbm")
                    ~measured:(mixer_iip3_dbm t ~strategy)
                    ~budget:(Propagate.err (Propagate.mixer_iip3 path ~strategy)));
                (fun () ->
                  entry
                    (id mx ^ " P1dB (dBm)")
-                   ~true_value:(Path.part_value path part ~stage:mx.Stage.id ~name:"p1db_dbm")
+                   ~captures:14 ~true_value:(Path.part_value path part ~stage:mx.Stage.id ~name:"p1db_dbm")
                    ~measured:(mixer_p1db_dbm t ~strategy)
                    ~budget:(Propagate.err (Propagate.mixer_p1db path ~strategy))) ]
            | None -> []);
@@ -368,7 +381,7 @@ let validate_part ?pool ?seed path part ~strategy =
              [ (fun () ->
                  entry
                    (String.uppercase_ascii (id lp) ^ " cutoff (Hz)")
-                   ~true_value:(Path.part_value path part ~stage:lp.Stage.id ~name:"cutoff_hz")
+                   ~captures:14 ~true_value:(Path.part_value path part ~stage:lp.Stage.id ~name:"cutoff_hz")
                    ~measured:(lpf_cutoff_hz t ~strategy)
                    ~budget:(Propagate.err (Propagate.lpf_cutoff path ~strategy))) ]
            | _ -> []);
@@ -379,7 +392,7 @@ let validate_part ?pool ?seed path part ~strategy =
              in
              [ (fun () ->
                  entry (lo_id ^ " frequency error (Hz)")
-                   ~true_value:(Path.part_value path part ~stage:lo_id ~name:"freq_error_hz")
+                   ~captures:1 ~true_value:(Path.part_value path part ~stage:lo_id ~name:"freq_error_hz")
                    ~measured:
                      (lo_frequency_hz t ~level_dbm:Propagate.standard_test_level_dbm
                      -. lo_nominal t)

@@ -66,6 +66,9 @@ type validation = {
   measured : float;
   error : float;
   budget : float;    (** Worst-case prediction from {!Propagate}. *)
+  cost : Cost.t;     (** Static application cost of the procedure run
+                         (captures from the measurement class, record
+                         length and settling from this session's path). *)
 }
 
 val validate_part :

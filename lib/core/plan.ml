@@ -58,7 +58,40 @@ let audit_composed (c : Compose.t) =
         prerequisites = [];
         required_tol = Some c.Compose.tolerance;
         fcl = None;
-        yl = None }
+        yl = None;
+        cost = None }
+
+(* Capture-count heuristics per measurement kind: single-point reads take
+   one capture; sweeps take one per point. *)
+let captures_for_entry = function
+  | Composed c ->
+    (match c.Compose.name with
+    | "path gain" -> 1
+    | "cascade noise figure" -> 2 (* hot/cold style: signal and no-signal *)
+    | "dynamic range" -> 2
+    | _ -> 1)
+  | Propagated { measurement; _ } ->
+    (match measurement.Propagate.spec.Spec.kind with
+    | Spec.P1db -> 14 (* level sweep *)
+    | Spec.Cutoff_freq -> 14 (* frequency sweep with bisection *)
+    | Spec.Iip3 | Spec.Lo_isolation | Spec.Freq_error | Spec.Inl | Spec.Dnl | Spec.Offset_error
+    | Spec.Gain | Spec.Dc_offset | Spec.Harmonic3 | Spec.Noise_figure | Spec.Phase_noise
+    | Spec.Passband_gain | Spec.Stopband_gain | Spec.Dynamic_range
+    | Spec.Stuck_at_coverage -> 1)
+  | Digital_filter_test _ -> 3 (* two-tone capture, golden replay, margin check *)
+
+let default_capture_samples = 4096
+
+let application_cost ?(capture_samples = default_capture_samples) path entry =
+  Cost.create ~captures:(captures_for_entry entry) ~record_samples:capture_samples
+    ~settle_cycles:(Path.settle_cycles path) ~sample_rate_hz:(Path.adc_rate_hz path) ()
+
+let audit_cost c =
+  { Audit.captures = c.Cost.captures;
+    record_samples = c.Cost.record_samples;
+    settle_cycles = c.Cost.settle_cycles;
+    setup_cycles = c.Cost.setup_cycles;
+    ate_cycles = Cost.ate_cycles c }
 
 let synthesize ?(strategy = Propagate.Adaptive) path =
   Msoc_obs.Obs.span "plan.synthesize"
@@ -69,15 +102,22 @@ let synthesize ?(strategy = Propagate.Adaptive) path =
     List.map
       (fun c ->
         audit_composed c;
-        Composed c)
+        let entry = Composed c in
+        if Audit.recording () then
+          Audit.annotate ~parameter:c.Compose.name
+            ~cost:(audit_cost (application_cost path entry))
+            ();
+        entry)
       [ Compose.path_gain path; Compose.noise_figure path; Compose.dynamic_range path ]
   in
   let propagated =
     List.map
       (fun m ->
         let losses = losses_for path m in
+        let entry = Propagated { measurement = m; losses } in
         (* enrich the provenance record Propagate just deposited with the
-           requirement this test must resolve and its predicted losses *)
+           requirement this test must resolve, its predicted losses, and
+           its derived application cost *)
         if Audit.recording () then
           Audit.annotate
             ~parameter:(Propagate.parameter_name m)
@@ -85,8 +125,10 @@ let synthesize ?(strategy = Propagate.Adaptive) path =
               (Option.map
                  (fun p -> p.Param.tol)
                  (param_of_spec path m.Propagate.spec))
-            ~fcl:losses.Coverage.fcl ~yl:losses.Coverage.yl ();
-        Propagated { measurement = m; losses })
+            ~fcl:losses.Coverage.fcl ~yl:losses.Coverage.yl
+            ~cost:(audit_cost (application_cost path entry))
+            ();
+        entry)
       (Propagate.all_for_path path ~strategy)
   in
   let digital =
@@ -123,27 +165,9 @@ type step = {
   name : string;
   prerequisites : string list;
   captures : int;
+  cost : Cost.t;
   seconds : float;
 }
-
-(* Capture-count heuristics per measurement kind: single-point reads take
-   one capture; sweeps take one per point. *)
-let captures_for_entry = function
-  | Composed c ->
-    (match c.Compose.name with
-    | "path gain" -> 1
-    | "cascade noise figure" -> 2 (* hot/cold style: signal and no-signal *)
-    | "dynamic range" -> 2
-    | _ -> 1)
-  | Propagated { measurement; _ } ->
-    (match measurement.Propagate.spec.Spec.kind with
-    | Spec.P1db -> 14 (* level sweep *)
-    | Spec.Cutoff_freq -> 14 (* frequency sweep with bisection *)
-    | Spec.Iip3 | Spec.Lo_isolation | Spec.Freq_error | Spec.Inl | Spec.Dnl | Spec.Offset_error
-    | Spec.Gain | Spec.Dc_offset | Spec.Harmonic3 | Spec.Noise_figure | Spec.Phase_noise
-    | Spec.Passband_gain | Spec.Stopband_gain | Spec.Dynamic_range
-    | Spec.Stuck_at_coverage -> 1)
-  | Digital_filter_test _ -> 3 (* two-tone capture, golden replay, margin check *)
 
 let entry_name = function
   | Composed c -> c.Compose.name
@@ -161,7 +185,7 @@ let entry_prerequisites = function
     List.map String.lowercase_ascii measurement.Propagate.prerequisites
   | Digital_filter_test _ -> [ "path gain" ]
 
-let schedule ?(capture_seconds = 6e-3) t =
+let schedule ?capture_samples t =
   let entries = Array.of_list t.entries in
   let n = Array.length entries in
   let names = Array.map entry_name entries in
@@ -204,12 +228,13 @@ let schedule ?(capture_seconds = 6e-3) t =
   if !remaining > 0 then invalid_arg "Plan.schedule: prerequisite cycle";
   List.rev !order
   |> List.mapi (fun position i ->
-         let captures = captures_for_entry entries.(i) in
+         let cost = application_cost ?capture_samples t.path entries.(i) in
          { position = position + 1;
            name = names.(i);
            prerequisites = entry_prerequisites entries.(i);
-           captures;
-           seconds = float_of_int captures *. capture_seconds })
+           captures = cost.Cost.captures;
+           cost;
+           seconds = Cost.seconds cost })
 
 let total_test_time steps = List.fold_left (fun acc s -> acc +. s.seconds) 0.0 steps
 

@@ -43,24 +43,35 @@ val table1 : t -> (string * string list) list
 val entry_count : t -> int
 val pp_summary : Format.formatter -> t -> unit
 
-(** {2 Test-program scheduling}
+(** {2 Test-program scheduling and application cost}
 
     The adaptive strategy imposes an order: composites (path gain, LO
     frequency) must be measured before the measurements that substitute
     them.  {!schedule} topologically sorts the plan by its prerequisite
-    names and attaches a tester-time estimate per step. *)
+    names and attaches each step's derived {!Cost.t}. *)
+
+val default_capture_samples : int
+(** 4096 — the virtual tester's default record length. *)
+
+val application_cost : ?capture_samples:int -> Path.t -> entry -> Cost.t
+(** Derived application cost of one entry: capture count from the
+    measurement kind, record length from the tester, settling from the
+    path's stages, clocked at the path's digitizer rate.  This is the
+    pure pricing function the SOC scheduler consumes. *)
 
 type step = {
   position : int;                 (** 1-based program order. *)
   name : string;
   prerequisites : string list;
-  captures : int;                 (** Estimated spectrum captures needed. *)
-  seconds : float;                (** Estimated tester time. *)
+  captures : int;                 (** [cost.captures], kept for callers. *)
+  cost : Cost.t;                  (** Full derived application cost. *)
+  seconds : float;                (** [Cost.seconds cost]. *)
 }
 
-val schedule : ?capture_seconds:float -> t -> step list
-(** Raises [Invalid_argument] on a prerequisite cycle.  Default capture
-    cost 6 ms (4096 samples at 1 MHz plus retrigger overhead). *)
+val schedule : ?capture_samples:int -> t -> step list
+(** Raises [Invalid_argument] on a prerequisite cycle.  Default record
+    length {!default_capture_samples} (4.2 ms per capture on the default
+    receiver: 48 settle + 4096 record cycles at 1 MHz). *)
 
 val total_test_time : step list -> float
 

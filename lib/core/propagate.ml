@@ -63,7 +63,8 @@ let audit_record (m : t) =
         prerequisites = m.prerequisites;
         required_tol = None;
         fcl = None;
-        yl = None }
+        yl = None;
+        cost = None }
 
 (* One span per translated parameter, tagged with the achieved worst-case
    accuracy; the tag closure only runs when telemetry is recording.  The

@@ -2,6 +2,14 @@ module Texttable = Msoc_util.Texttable
 
 type contribution = { source : string; err : float }
 
+type cost = {
+  captures : int;
+  record_samples : int;
+  settle_cycles : int;
+  setup_cycles : int;
+  ate_cycles : int;
+}
+
 type record = {
   parameter : string;
   origin : string;
@@ -16,6 +24,7 @@ type record = {
   required_tol : float option;
   fcl : float option;
   yl : float option;
+  cost : cost option;
 }
 
 (* Synthesis is a caller-domain activity; a plain mutable list under the
@@ -30,7 +39,7 @@ let reset () = trail := []
 
 let record r = if Atomic.get enabled then trail := r :: !trail
 
-let annotate ~parameter ?required_tol ?fcl ?yl () =
+let annotate ~parameter ?required_tol ?fcl ?yl ?cost () =
   if Atomic.get enabled then begin
     let rec update = function
       | [] -> []
@@ -38,7 +47,8 @@ let annotate ~parameter ?required_tol ?fcl ?yl () =
         { r with
           required_tol = (match required_tol with Some _ -> required_tol | None -> r.required_tol);
           fcl = (match fcl with Some _ -> fcl | None -> r.fcl);
-          yl = (match yl with Some _ -> yl | None -> r.yl) }
+          yl = (match yl with Some _ -> yl | None -> r.yl);
+          cost = (match cost with Some _ -> cost | None -> r.cost) }
         :: rest
       | r :: rest -> r :: update rest
     in
@@ -73,7 +83,18 @@ let record_fields r =
     ("prerequisites", fun b -> Json.arr_to b (List.map Json.str r.prerequisites));
     ("required_tol", opt_num r.required_tol);
     ("fcl", opt_num r.fcl);
-    ("yl", opt_num r.yl) ]
+    ("yl", opt_num r.yl);
+    ( "cost",
+      fun b ->
+        match r.cost with
+        | None -> Buffer.add_string b "null"
+        | Some c ->
+          Json.obj_to b
+            [ ("captures", Json.int c.captures);
+              ("record_samples", Json.int c.record_samples);
+              ("settle_cycles", Json.int c.settle_cycles);
+              ("setup_cycles", Json.int c.setup_cycles);
+              ("ate_cycles", Json.int c.ate_cycles) ] ) ]
 
 let to_json () =
   let buffer = Buffer.create 4096 in
@@ -102,7 +123,7 @@ let to_text () =
       Texttable.create
         ~headers:
           [ "Parameter"; "Origin"; "Strategy"; "Required tol"; "Achieved err"; "RSS err";
-            "FCL"; "YL"; "Prerequisites" ]
+            "FCL"; "YL"; "ATE cycles"; "Prerequisites" ]
     in
     let opt fmt = function Some v -> fmt v | None -> "-" in
     List.iter
@@ -116,6 +137,7 @@ let to_text () =
             Printf.sprintf "±%.3g" r.rss_err;
             opt (fun v -> Texttable.cell_pct v) r.fcl;
             opt (fun v -> Texttable.cell_pct v) r.yl;
+            opt (fun c -> string_of_int c.ate_cycles) r.cost;
             (match r.prerequisites with [] -> "-" | l -> String.concat ", " l) ])
       rs;
     Buffer.add_string buffer (Texttable.render t);

@@ -13,6 +13,17 @@
 
 type contribution = { source : string; err : float }
 
+(** Derived application cost of the synthesized procedure, in ATE clock
+    cycles at the path's digitizer rate; filled by [Plan.synthesize] via
+    {!annotate}. *)
+type cost = {
+  captures : int;
+  record_samples : int;
+  settle_cycles : int;
+  setup_cycles : int;
+  ate_cycles : int;
+}
+
 type record = {
   parameter : string;       (** e.g. ["Mixer IIP3"]. *)
   origin : string;          (** ["propagated"] or ["composed"]. *)
@@ -31,6 +42,7 @@ type record = {
           [Plan.synthesize] via {!annotate}. *)
   fcl : float option;       (** Predicted fault-coverage loss at Thr = Tol. *)
   yl : float option;        (** Predicted yield loss at Thr = Tol. *)
+  cost : cost option;       (** Derived application cost; see {!cost}. *)
 }
 
 val recording : unit -> bool
@@ -42,7 +54,13 @@ val record : record -> unit
 (** No-op while disabled. *)
 
 val annotate :
-  parameter:string -> ?required_tol:float -> ?fcl:float -> ?yl:float -> unit -> unit
+  parameter:string ->
+  ?required_tol:float ->
+  ?fcl:float ->
+  ?yl:float ->
+  ?cost:cost ->
+  unit ->
+  unit
 (** Fill the optional fields of the most recent record for [parameter];
     no-op while disabled or when the parameter was never recorded. *)
 

@@ -1,4 +1,4 @@
-let schema_version = 3
+let schema_version = 4
 
 type timing = {
   t_name : string;
@@ -17,7 +17,17 @@ type timing = {
   p99_ns : float;
 }
 
-type scalar = { s_name : string; value : float; unit_label : string }
+(* acceptance bound on a scalar (schema v4): bench-diff regresses a
+   report whose scalar violates its own declared bound.  v1..v3 reports
+   parse with no bound. *)
+type bound = Le of float | Ge of float
+
+type scalar = {
+  s_name : string;
+  value : float;
+  unit_label : string;
+  bound : bound option;
+}
 type comparison = { c_name : string; paper : string; measured : string }
 
 type section = {
@@ -84,9 +94,9 @@ let add_timing b ~section ~name ~mean_ns ~stddev_ns ~samples ?(minor_words = 0.0
       major_collections; p50_ns; p99_ns }
     :: p.p_timings
 
-let add_scalar b ~section ~name ?(unit_label = "") value =
+let add_scalar b ~section ~name ?(unit_label = "") ?bound value =
   let p = partial_of b section in
-  p.p_scalars <- { s_name = name; value; unit_label } :: p.p_scalars
+  p.p_scalars <- { s_name = name; value; unit_label; bound } :: p.p_scalars
 
 let add_comparison b ~section ~name ~paper ~measured =
   let p = partial_of b section in
@@ -123,6 +133,11 @@ let scalar_fields s =
   [ ("name", Json.str s.s_name);
     ("value", Json.num_exact s.value);
     ("unit", Json.str s.unit_label) ]
+  @
+  match s.bound with
+  | None -> []
+  | Some (Le x) -> [ ("bound_le", Json.num_exact x) ]
+  | Some (Ge x) -> [ ("bound_ge", Json.num_exact x) ]
 
 let comparison_fields c =
   [ ("name", Json.str c.c_name);
@@ -205,9 +220,21 @@ let of_json text =
                  scalars =
                    List.map
                      (fun v ->
+                       let bound =
+                         (* bounds arrived in schema v4; older rows read None *)
+                         match Option.bind (Json.member "bound_le" v) Json.to_number with
+                         | Some x -> Some (Le x)
+                         | None ->
+                           (match
+                              Option.bind (Json.member "bound_ge" v) Json.to_number
+                            with
+                           | Some x -> Some (Ge x)
+                           | None -> None)
+                       in
                        { s_name = Json.string_exn "name" v;
                          value = Json.number_exn "value" v;
-                         unit_label = Json.string_exn "unit" v })
+                         unit_label = Json.string_exn "unit" v;
+                         bound })
                      (Json.list_exn "scalars" s);
                  comparisons =
                    List.map

@@ -19,10 +19,10 @@
     [of_json (to_json r) = Ok r] holds structurally. *)
 
 val schema_version : int
-(** Current schema version (3).  [of_json] accepts every version up to this
+(** Current schema version (4).  [of_json] accepts every version up to this
     one — v1 files (no per-kernel GC fields) and v2 files (no latency
-    percentiles) read with the missing fields at 0.0 — and rejects newer
-    ones. *)
+    percentiles) read with the missing fields at 0.0, v3 files (no scalar
+    bounds) read with [bound = None] — and rejects newer ones. *)
 
 type timing = {
   t_name : string;
@@ -36,7 +36,18 @@ type timing = {
   p99_ns : float;            (** Tail latency (schema v3); 0.0 when absent. *)
 }
 
-type scalar = { s_name : string; value : float; unit_label : string }
+type bound = Le of float | Ge of float
+(** Acceptance bound a scalar declares on itself (schema v4).  The
+    [bench-diff] gate regresses a candidate report whose scalar violates
+    its own bound — e.g. an annealed/greedy makespan ratio bounded
+    [Le 1.0].  Serialized as ["bound_le"] / ["bound_ge"]. *)
+
+type scalar = {
+  s_name : string;
+  value : float;
+  unit_label : string;
+  bound : bound option;  (** [None] on rows from v1..v3 reports. *)
+}
 type comparison = { c_name : string; paper : string; measured : string }
 
 type section = {
@@ -78,7 +89,8 @@ val add_timing :
     without allocation instrumentation / per-sample latencies). *)
 
 val add_scalar :
-  builder -> section:string -> name:string -> ?unit_label:string -> float -> unit
+  builder -> section:string -> name:string -> ?unit_label:string ->
+  ?bound:bound -> float -> unit
 
 val add_comparison :
   builder -> section:string -> name:string -> paper:string -> measured:string -> unit

@@ -9,12 +9,13 @@
 
 module Json = Msoc_obs.Json
 
-type verb = Plan | Measure | Faultsim | Metrics | Ping | Sleep
+type verb = Plan | Measure | Faultsim | Schedule | Metrics | Ping | Sleep
 
 let verb_name = function
   | Plan -> "plan"
   | Measure -> "measure"
   | Faultsim -> "faultsim"
+  | Schedule -> "schedule"
   | Metrics -> "metrics"
   | Ping -> "ping"
   | Sleep -> "sleep"
@@ -23,12 +24,13 @@ let verb_of_name = function
   | "plan" -> Some Plan
   | "measure" -> Some Measure
   | "faultsim" -> Some Faultsim
+  | "schedule" -> Some Schedule
   | "metrics" -> Some Metrics
   | "ping" -> Some Ping
   | "sleep" -> Some Sleep
   | _ -> None
 
-let all_verbs = [ Plan; Measure; Faultsim; Metrics; Ping; Sleep ]
+let all_verbs = [ Plan; Measure; Faultsim; Schedule; Metrics; Ping; Sleep ]
 
 type trace_format = Trace_jsonl | Trace_chrome | Trace_folded
 
@@ -55,6 +57,10 @@ type request = {
   coeff_bits : int;
   samples : int;
   tones : int;
+  (* schedule *)
+  soc : string;
+  restarts : int;
+  iters : int;
   (* sleep (diagnostic: occupy the executor to exercise backpressure) *)
   sleep_ms : int;
   (* per-request trace export, echoed back in the response *)
@@ -65,9 +71,9 @@ type request = {
    and a bare CLI invocation describe the same computation. *)
 let request ?(topology = "default") ?(strategy = "adaptive") ?(seed = 0) ?(taps = 9)
     ?(input_bits = 10) ?(coeff_bits = 8) ?(samples = 1024) ?(tones = 2)
-    ?(sleep_ms = 50) ?trace verb =
+    ?(soc = "reference") ?(restarts = 8) ?(iters = 400) ?(sleep_ms = 50) ?trace verb =
   { verb; topology; strategy; seed; taps; input_bits; coeff_bits; samples; tones;
-    sleep_ms; trace }
+    soc; restarts; iters; sleep_ms; trace }
 
 let request_to_json r =
   let b = Buffer.create 256 in
@@ -81,6 +87,9 @@ let request_to_json r =
        ("coeff_bits", Json.int r.coeff_bits);
        ("samples", Json.int r.samples);
        ("tones", Json.int r.tones);
+       ("soc", Json.str r.soc);
+       ("restarts", Json.int r.restarts);
+       ("iters", Json.int r.iters);
        ("sleep_ms", Json.int r.sleep_ms) ]
     @
     match r.trace with
@@ -123,6 +132,9 @@ let request_of_json line =
               coeff_bits = member_int ~default:d.coeff_bits "coeff_bits" j;
               samples = member_int ~default:d.samples "samples" j;
               tones = member_int ~default:d.tones "tones" j;
+              soc = Option.value ~default:d.soc (member_string "soc" j);
+              restarts = member_int ~default:d.restarts "restarts" j;
+              iters = member_int ~default:d.iters "iters" j;
               sleep_ms = member_int ~default:d.sleep_ms "sleep_ms" j;
               trace = Option.bind trace_field trace_format_of_name })))
 

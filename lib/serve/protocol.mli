@@ -6,8 +6,9 @@
     defaults, so [{"verb":"plan"}] is a complete request describing the
     same computation as a bare [msoc plan]. *)
 
-type verb = Plan | Measure | Faultsim | Metrics | Ping | Sleep
-(** [Metrics] returns the Prometheus exposition ("GET /metrics" in spirit);
+type verb = Plan | Measure | Faultsim | Schedule | Metrics | Ping | Sleep
+(** [Schedule] solves an SOC test schedule ([soc]/[restarts]/[iters]);
+    [Metrics] returns the Prometheus exposition ("GET /metrics" in spirit);
     [Ping] is a liveness probe; [Sleep] occupies the executor for a
     client-chosen time — a diagnostic for exercising queue backpressure. *)
 
@@ -30,6 +31,9 @@ type request = {
   coeff_bits : int;
   samples : int;
   tones : int;
+  soc : string;
+  restarts : int;
+  iters : int;
   sleep_ms : int;
   trace : trace_format option;
       (** When set, the response carries this request's span tree exported
@@ -39,6 +43,7 @@ type request = {
 val request :
   ?topology:string -> ?strategy:string -> ?seed:int -> ?taps:int ->
   ?input_bits:int -> ?coeff_bits:int -> ?samples:int -> ?tones:int ->
+  ?soc:string -> ?restarts:int -> ?iters:int ->
   ?sleep_ms:int -> ?trace:trace_format -> verb -> request
 (** A request with every unspecified field at its CLI default. *)
 

@@ -32,13 +32,8 @@
 
 module Pool = Msoc_util.Pool
 module Workq = Msoc_util.Workq
-module Prng = Msoc_util.Prng
-module Texttable = Msoc_util.Texttable
 module Obs = Msoc_obs.Obs
 module Json = Msoc_obs.Json
-module Path = Msoc_analog.Path
-module Topology = Msoc_analog.Topology
-open Msoc_synth
 
 type config = {
   socket_path : string;
@@ -258,25 +253,10 @@ let metrics_payload t =
       ~queue_capacity:(Workq.capacity t.queue) ~pool_size:(Pool.size t.pool)
 
 (* ------------------------------------------------------------------ *)
-(* Verb dispatch (executor domain).  Each verb runs its computation     *)
-(* under [serve.execute] and its rendering under [serve.serialize];     *)
-(* the rendered text matches the corresponding CLI output byte for      *)
-(* byte, so daemon answers diff clean against offline runs.             *)
+(* Verb dispatch (executor domain).  Compute verbs live in [Verbs] —    *)
+(* shared with the CLI, so daemon answers diff clean against offline    *)
+(* runs; only the verbs that read daemon state are handled here.        *)
 (* ------------------------------------------------------------------ *)
-
-let strategy_of (req : Protocol.request) =
-  match req.strategy with
-  | "nominal" -> Propagate.Nominal_gains
-  | "adaptive" -> Propagate.Adaptive
-  | s -> failwith (Printf.sprintf "unknown strategy %S (nominal|adaptive)" s)
-
-let topology_path (req : Protocol.request) =
-  match Topology.build req.topology with
-  | Some p -> p
-  | None ->
-    failwith
-      (Printf.sprintf "unknown topology %S (known: %s)" req.topology
-         (String.concat ", " Topology.names))
 
 let dispatch t (req : Protocol.request) =
   match req.verb with
@@ -290,80 +270,8 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Metrics ->
     let text = Obs.span "serve.execute" (fun () -> metrics_payload t) in
     Obs.span "serve.serialize" (fun () -> text)
-  | Protocol.Plan ->
-    let path = topology_path req in
-    let strategy = strategy_of req in
-    let plan = Obs.span "serve.execute" (fun () -> Plan.synthesize ~strategy path) in
-    Obs.span "serve.serialize" (fun () -> Format.asprintf "%a@." Plan.pp_summary plan)
-  | Protocol.Measure ->
-    let path = topology_path req in
-    let strategy = strategy_of req in
-    let validations =
-      Obs.span "serve.execute" (fun () ->
-          let part =
-            if req.seed = 0 then Path.nominal_part path
-            else Path.sample_part path (Prng.create req.seed)
-          in
-          Measure.validate_part path part ~strategy)
-    in
-    Obs.span "serve.serialize" (fun () ->
-        let tbl =
-          Texttable.create
-            ~headers:[ "Parameter"; "True"; "Measured"; "Error"; "Budget" ]
-        in
-        List.iter
-          (fun v ->
-            Texttable.add_row tbl
-              [ v.Measure.parameter;
-                Printf.sprintf "%.5g" v.Measure.true_value;
-                Printf.sprintf "%.5g" v.Measure.measured;
-                Printf.sprintf "%+.3g" v.Measure.error;
-                Printf.sprintf "±%.3g" v.Measure.budget ])
-          validations;
-        Printf.sprintf "part: %s (seed %d)\n\n"
-          (if req.seed = 0 then "nominal" else "sampled within tolerances")
-          req.seed
-        ^ Texttable.render tbl)
-  | Protocol.Faultsim ->
-    let config =
-      { Digital_test.default_config with
-        Digital_test.taps = req.taps;
-        input_bits = req.input_bits;
-        coeff_bits = req.coeff_bits }
-    in
-    let fir, faults, det =
-      Obs.span "serve.execute" (fun () ->
-          let fir = Digital_test.build config in
-          let faults = Digital_test.collapsed_faults fir in
-          let fs = 1e6 in
-          let f1 =
-            Digital_test.coherent_tone ~sample_rate:fs ~samples:req.samples ~target:90e3
-          in
-          let freqs =
-            if req.tones <= 1 then [ f1 ]
-            else
-              [ f1;
-                Digital_test.coherent_tone ~sample_rate:fs ~samples:req.samples
-                  ~target:110e3 ]
-          in
-          let amplitude_fs = 0.9 /. float_of_int (max 1 req.tones) in
-          let rng = if req.seed = 0 then None else Some (Prng.create req.seed) in
-          let codes =
-            Digital_test.ideal_codes ?rng config ~sample_rate:fs ~samples:req.samples
-              ~freqs ~amplitude_fs
-          in
-          let det =
-            Digital_test.spectral_coverage ~pool:t.pool config fir ~sample_rate:fs
-              ~input_codes:codes ~reference_codes:codes ~tone_freqs:freqs ~faults
-          in
-          (fir, faults, det))
-    in
-    Obs.span "serve.serialize" (fun () ->
-        Format.asprintf "filter: %a@.faults: %d@.coverage: %.2f%% (%d/%d), floor %.1f dB@."
-          Msoc_netlist.Netlist.pp_stats fir.Msoc_netlist.Fir_netlist.circuit
-          (Array.length faults)
-          (100.0 *. det.Digital_test.coverage)
-          det.Digital_test.detected det.Digital_test.total det.Digital_test.noise_floor_db)
+  | Protocol.Plan | Protocol.Measure | Protocol.Faultsim | Protocol.Schedule ->
+    Verbs.run ~pool:t.pool req
 
 (* ------------------------------------------------------------------ *)
 (* Executor domain                                                     *)

@@ -72,6 +72,16 @@ let timing_row ~tolerance_pct section (o : Report.timing) (n : Report.timing) =
     new_minor_words = n.Report.minor_words;
     noisy = ci > 0.0 && ci >= Float.abs delta }
 
+(* A scalar violating the bound it declares on itself (schema v4) is a
+   hard regression regardless of the baseline side: the bound encodes an
+   invariant of the kernel (e.g. annealed/greedy makespan ratio <= 1),
+   not a comparison. *)
+let bound_violated (s : Report.scalar) =
+  match s.Report.bound with
+  | None -> false
+  | Some (Report.Le limit) -> s.Report.value > limit
+  | Some (Report.Ge limit) -> s.Report.value < limit
+
 let scalar_row section (o : Report.scalar) (n : Report.scalar) =
   { section;
     metric = o.Report.s_name;
@@ -79,7 +89,7 @@ let scalar_row section (o : Report.scalar) (n : Report.scalar) =
     new_value = n.Report.value;
     delta_pct = delta_pct ~old_:o.Report.value ~new_:n.Report.value;
     ci_pct = 0.0;
-    verdict = Info;
+    verdict = (if bound_violated n then Regressed else Info);
     old_minor_words = 0.0;
     new_minor_words = 0.0;
     noisy = false }
@@ -123,10 +133,23 @@ let diff_section ~tolerance_pct sec_name (o : Report.section option)
     ~name_of:(fun (t : Report.timing) -> t.Report.t_name)
     ~value_of:(fun (t : Report.timing) -> t.Report.mean_ns)
     ~paired:(timing_row ~tolerance_pct) (timings o) (timings n) sec_name
-  @ pair
-      ~name_of:(fun (s : Report.scalar) -> s.Report.s_name)
-      ~value_of:(fun (s : Report.scalar) -> s.Report.value)
-      ~paired:scalar_row (scalars o) (scalars n) sec_name
+  @ List.map
+      (* a brand-new bounded scalar must not dodge its own bound just
+         because the baseline predates the section *)
+        (fun r ->
+        if r.verdict <> Missing_old then r
+        else
+          match
+            List.find_opt
+              (fun (s : Report.scalar) -> String.equal s.Report.s_name r.metric)
+              (scalars n)
+          with
+          | Some s when bound_violated s -> { r with verdict = Regressed }
+          | Some _ | None -> r)
+      (pair
+         ~name_of:(fun (s : Report.scalar) -> s.Report.s_name)
+         ~value_of:(fun (s : Report.scalar) -> s.Report.value)
+         ~paired:scalar_row (scalars o) (scalars n) sec_name)
 
 let diff ?(tolerance_pct = 5.0) ~old_report ~new_report () =
   let names =

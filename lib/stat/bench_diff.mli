@@ -12,8 +12,12 @@
     dropped bench section can never pass for "no regression".
 
     Scalar rows (coverage fractions, speedups) are compared informationally
-    — their delta is reported but they never trip the gate, because their
-    good direction is metric-specific. *)
+    — their delta is reported but it never trips the gate, because their
+    good direction is metric-specific.  A scalar that declares its own
+    {!Msoc_obs.Report.bound} (schema v4) is the exception: when the
+    candidate side violates the bound the row is [Regressed], because the
+    bound encodes a kernel invariant (e.g. annealed/greedy makespan
+    ratio [<= 1]), not a baseline comparison. *)
 
 type verdict =
   | Improved
@@ -21,7 +25,8 @@ type verdict =
   | Regressed
   | Missing_new  (** In the old report, absent from the new one. *)
   | Missing_old  (** New row with no baseline — informational. *)
-  | Info         (** Scalar row: delta reported, never gated. *)
+  | Info         (** Scalar row: delta reported, only gated on a violated
+                     self-declared bound (then [Regressed] instead). *)
 
 val verdict_name : verdict -> string
 
@@ -41,7 +46,7 @@ type row = {
 
 type t = {
   rows : row list;
-  regressed : int;     (** [Regressed] timing rows. *)
+  regressed : int;     (** [Regressed] timing and bound-violating scalar rows. *)
   missing : int;       (** [Missing_new] rows (sections or timings). *)
   improved : int;
 }

@@ -508,6 +508,15 @@ let test_topology_registry_builds () =
     Topology.names;
   Alcotest.(check (option pass)) "unknown name rejected" None (Topology.build "no-such")
 
+let test_topology_registry_sorted () =
+  (* pinned: the registry lists in sorted order, so --list-topologies and
+     every iteration over it is stable regardless of registration order *)
+  Alcotest.(check (list string)) "names sorted and pinned"
+    [ "amp-bypass"; "default"; "sigma-delta" ]
+    Topology.names;
+  Alcotest.(check (list string)) "summaries mirror names" Topology.names
+    (List.map fst Topology.summaries)
+
 (* Property: for every registered topology the interval arithmetic of
    [Path.path_gain_interval_db] bounds the pass-band gain of each of 1000
    Monte-Carlo manufactured parts. *)
@@ -588,5 +597,6 @@ let () =
           Alcotest.test_case "sampled parts" `Quick test_sampled_parts_differ_but_within_tolerance ] );
       ( "topology",
         [ Alcotest.test_case "registry builds" `Quick test_topology_registry_builds;
+          Alcotest.test_case "registry sorted" `Quick test_topology_registry_sorted;
           Alcotest.test_case "MC gain within interval" `Quick
             test_topology_mc_gain_within_interval ] ) ]

@@ -1,8 +1,11 @@
-(* Golden-output tests pinning the default receiver's observable behaviour:
-   the synthesized plan text (both strategies), the adaptive audit trail, and
-   the virtual tester's ADC codes.  The fixtures under golden/ were captured
+(* Golden-output tests pinning observable behaviour: the default receiver's
+   synthesized plan text (both strategies), the adaptive audit trail, the
+   virtual tester's ADC codes, and the reference SOC's schedule table,
+   per-core application-time breakdown, and audit JSON at the canonical
+   annealing parameters.  The receiver fixtures under golden/ were captured
    before the stage-graph refactor; byte-identity here is the proof that the
-   generic core reproduces the historical five-block receiver exactly. *)
+   generic core reproduces the historical five-block receiver exactly.
+   Regenerate with: dune exec test/golden_gen/golden_gen.exe -- test/golden *)
 
 module Path = Msoc_analog.Path
 module Context = Msoc_analog.Context
@@ -10,6 +13,8 @@ module Tone = Msoc_dsp.Tone
 module Units = Msoc_util.Units
 module Prng = Msoc_util.Prng
 module Audit = Msoc_obs.Audit
+module Soc = Msoc_soc.Soc
+module Schedule = Msoc_soc.Schedule
 open Msoc_synth
 
 let read_fixture name =
@@ -89,10 +94,41 @@ let test_tester_codes () =
   emit "sampled" (Path.sample_part path (Prng.create 7));
   check_bytes "tester_codes.txt" (Buffer.contents buffer)
 
+(* ---- reference SOC: schedule, breakdown, audit ---- *)
+
+let reference_problem = lazy (Schedule.problem_of_soc (Soc.reference ()))
+
+let test_soc_schedule () =
+  let problem = Lazy.force reference_problem in
+  let greedy = Schedule.greedy problem in
+  let annealed = Schedule.anneal problem in
+  check_bytes "soc_schedule.txt" (Schedule.render problem ~greedy ~annealed)
+
+let test_soc_breakdown () =
+  check_bytes "soc_breakdown.txt" (Schedule.breakdown (Lazy.force reference_problem))
+
+let test_soc_audit () =
+  Audit.enable ();
+  Audit.reset ();
+  let json =
+    Fun.protect
+      ~finally:(fun () ->
+        Audit.disable ();
+        Audit.reset ())
+      (fun () ->
+        ignore (Schedule.problem_of_soc (Soc.reference ()));
+        Audit.to_json ())
+  in
+  check_bytes "soc_audit.json" (json ^ "\n")
+
 let () =
   Alcotest.run "golden"
     [ ( "default-receiver",
         [ Alcotest.test_case "plan text (adaptive)" `Quick test_plan_adaptive;
           Alcotest.test_case "plan text (nominal-gains)" `Quick test_plan_nominal;
           Alcotest.test_case "audit JSON (adaptive)" `Quick test_audit_adaptive;
-          Alcotest.test_case "virtual-tester ADC codes" `Quick test_tester_codes ] ) ]
+          Alcotest.test_case "virtual-tester ADC codes" `Quick test_tester_codes ] );
+      ( "reference-soc",
+        [ Alcotest.test_case "schedule table" `Quick test_soc_schedule;
+          Alcotest.test_case "per-core breakdown" `Quick test_soc_breakdown;
+          Alcotest.test_case "audit JSON" `Quick test_soc_audit ] ) ]

@@ -23,6 +23,11 @@ let reference_report () =
   Report.add_scalar b ~section:"kernels" ~name:"speed \"quoted\"\tand\nsplit"
     ~unit_label:"x" 1.5;
   Report.add_scalar b ~section:"overhead" ~name:"plain" 2.0;
+  (* bounded scalars (schema v4), one of each direction *)
+  Report.add_scalar b ~section:"overhead" ~name:"ratio" ~unit_label:"ratio"
+    ~bound:(Report.Le 1.0) 0.98;
+  Report.add_scalar b ~section:"overhead" ~name:"floor" ~unit_label:"dB"
+    ~bound:(Report.Ge 60.0) 72.5;
   Report.add_comparison b ~section:"overhead" ~name:"coverage" ~paper:"89.6%"
     ~measured:"91.2%";
   Report.finalize b
@@ -137,15 +142,65 @@ let test_v3_percentiles_roundtrip () =
   Report.add_timing b ~section:"serve" ~name:"serve-plan" ~mean_ns:2.5e6
     ~stddev_ns:1e5 ~samples:40 ~p50_ns:2.25e6 ~p99_ns:9.75e6 ();
   let r = Report.finalize b in
-  Alcotest.(check int) "current schema is v3" 3 r.Report.meta.Report.version;
+  Alcotest.(check int) "current schema is v4" 4 r.Report.meta.Report.version;
   match Report.of_json (Report.to_json r) with
-  | Error e -> Alcotest.failf "v3 round trip failed: %s" e
+  | Error e -> Alcotest.failf "percentile round trip failed: %s" e
   | Ok r' ->
     (match r'.Report.sections with
     | [ { Report.timings = [ t ]; _ } ] ->
       Alcotest.(check (float 0.0)) "p50 exact" 2.25e6 t.Report.p50_ns;
       Alcotest.(check (float 0.0)) "p99 exact" 9.75e6 t.Report.p99_ns
     | _ -> Alcotest.fail "expected one section with one timing")
+
+let test_v3_document_parses () =
+  (* a schema-v3 report (scalars without bounds) stays accepted: the bound
+     defaults to None and the file's version is kept *)
+  let v3 =
+    Printf.sprintf
+      {|{"schema_version":3,%s,"sections":[{"name":"kernels","timings":[],"scalars":[{"name":"speedup","value":3.5,"unit":"x"}],"comparisons":[]}]}|}
+      minimal_meta
+  in
+  match Report.of_json v3 with
+  | Error e -> Alcotest.failf "v3 report rejected: %s" e
+  | Ok r ->
+    Alcotest.(check int) "file version preserved" 3 r.Report.meta.Report.version;
+    (match r.Report.sections with
+    | [ { Report.scalars = [ s ]; _ } ] ->
+      Alcotest.(check (float 0.0)) "value kept" 3.5 s.Report.value;
+      Alcotest.(check bool) "bound defaults to None" true (s.Report.bound = None)
+    | _ -> Alcotest.fail "expected one section with one scalar")
+
+let test_v4_bounds_roundtrip () =
+  let r = reference_report () in
+  let json = Report.to_json r in
+  let contains needle =
+    let nl = String.length needle and tl = String.length json in
+    let rec scan i =
+      i + nl <= tl && (String.equal (String.sub json i nl) needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "bound_le emitted" true (contains {|"bound_le"|});
+  Alcotest.(check bool) "bound_ge emitted" true (contains {|"bound_ge"|});
+  match Report.of_json json with
+  | Error e -> Alcotest.failf "v4 round trip failed: %s" e
+  | Ok r' ->
+    let scalar name =
+      match Report.section r' "overhead" with
+      | None -> Alcotest.fail "overhead section missing"
+      | Some s ->
+        (match
+           List.find_opt (fun v -> String.equal v.Report.s_name name) s.Report.scalars
+         with
+        | Some v -> v
+        | None -> Alcotest.failf "scalar %s missing" name)
+    in
+    Alcotest.(check bool) "Le bound preserved" true
+      ((scalar "ratio").Report.bound = Some (Report.Le 1.0));
+    Alcotest.(check bool) "Ge bound preserved" true
+      ((scalar "floor").Report.bound = Some (Report.Ge 60.0));
+    Alcotest.(check bool) "unbounded scalar stays unbounded" true
+      ((scalar "plain").Report.bound = None)
 
 (* ---- bench-diff verdicts ---- *)
 
@@ -282,6 +337,53 @@ let test_noisy_rows_warned () =
      in
      scan 0)
 
+let scalar_report rows =
+  let b = Report.create ~git_rev:"r" ~pool_size:1 ~mode:"quick" () in
+  List.iter
+    (fun (name, value, bound) ->
+      Report.add_scalar b ~section:"soc-schedule" ~name ?bound value)
+    rows;
+  Report.finalize b
+
+let test_scalar_bound_gates () =
+  (* a paired scalar violating its self-declared bound regresses and gates *)
+  let old_report = scalar_report [ ("ratio", 0.98, Some (Report.Le 1.0)) ] in
+  let bad = scalar_report [ ("ratio", 1.02, Some (Report.Le 1.0)) ] in
+  let d = Bench_diff.diff ~old_report ~new_report:bad () in
+  check_verdict d "soc-schedule" "ratio" Bench_diff.Regressed;
+  Alcotest.(check bool) "violated Le bound gates" true (Bench_diff.gate_failed d);
+  (* a satisfied bound stays informational *)
+  let good = scalar_report [ ("ratio", 0.95, Some (Report.Le 1.0)) ] in
+  let d' = Bench_diff.diff ~old_report ~new_report:good () in
+  check_verdict d' "soc-schedule" "ratio" Bench_diff.Info;
+  Alcotest.(check bool) "satisfied bound passes" false (Bench_diff.gate_failed d');
+  (* Ge bounds gate in the other direction *)
+  let d'' =
+    Bench_diff.diff
+      ~old_report:(scalar_report [ ("floor", 72.0, Some (Report.Ge 60.0)) ])
+      ~new_report:(scalar_report [ ("floor", 55.0, Some (Report.Ge 60.0)) ])
+      ()
+  in
+  check_verdict d'' "soc-schedule" "floor" Bench_diff.Regressed;
+  Alcotest.(check bool) "violated Ge bound gates" true (Bench_diff.gate_failed d'')
+
+let test_new_bounded_scalar_gates () =
+  (* a brand-new bounded scalar — whole section absent from the baseline —
+     cannot dodge its own bound; without a bound it stays informational *)
+  let empty = report_of [] in
+  let violating = scalar_report [ ("ratio", 1.5, Some (Report.Le 1.0)) ] in
+  let d = Bench_diff.diff ~old_report:empty ~new_report:violating () in
+  check_verdict d "soc-schedule" "ratio" Bench_diff.Regressed;
+  Alcotest.(check bool) "new violating scalar gates" true (Bench_diff.gate_failed d);
+  let within = scalar_report [ ("ratio", 0.99, Some (Report.Le 1.0)) ] in
+  let d' = Bench_diff.diff ~old_report:empty ~new_report:within () in
+  check_verdict d' "soc-schedule" "ratio" Bench_diff.Missing_old;
+  Alcotest.(check bool) "new satisfied scalar passes" false (Bench_diff.gate_failed d');
+  let unbounded = scalar_report [ ("ratio", 42.0, None) ] in
+  let d'' = Bench_diff.diff ~old_report:empty ~new_report:unbounded () in
+  check_verdict d'' "soc-schedule" "ratio" Bench_diff.Missing_old;
+  Alcotest.(check bool) "new unbounded scalar passes" false (Bench_diff.gate_failed d'')
+
 (* ---- synthesis audit trail ---- *)
 
 let with_audit f =
@@ -371,12 +473,18 @@ let () =
           Alcotest.test_case "schema v1 still parses" `Quick test_v1_document_parses;
           Alcotest.test_case "schema v2 still parses" `Quick test_v2_document_parses;
           Alcotest.test_case "v3 percentiles round trip" `Quick
-            test_v3_percentiles_roundtrip ] );
+            test_v3_percentiles_roundtrip;
+          Alcotest.test_case "schema v3 still parses" `Quick test_v3_document_parses;
+          Alcotest.test_case "v4 scalar bounds round trip" `Quick
+            test_v4_bounds_roundtrip ] );
       ( "bench-diff",
         [ Alcotest.test_case "verdicts on a fixture pair" `Quick test_verdicts;
           Alcotest.test_case "noisy rows warned" `Quick test_noisy_rows_warned;
           Alcotest.test_case "improvement alone passes" `Quick test_improvement_only_passes;
           Alcotest.test_case "missing section gates" `Quick test_missing_section_gates;
+          Alcotest.test_case "scalar bound gates" `Quick test_scalar_bound_gates;
+          Alcotest.test_case "new bounded scalar gates" `Quick
+            test_new_bounded_scalar_gates;
           Alcotest.test_case "rendered table" `Quick test_render_mentions_verdicts ] );
       ( "audit-trail",
         [ Alcotest.test_case "record completeness" `Quick test_audit_completeness;

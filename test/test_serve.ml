@@ -100,6 +100,18 @@ let test_protocol_roundtrip () =
     Alcotest.(check bool) "bare plan equals the defaults" true
       (req' = Protocol.request Protocol.Plan)
   | Error e -> Alcotest.failf "minimal request rejected: %s" e);
+  (* schedule carries its own fields through the wire *)
+  let sched =
+    Protocol.request ~soc:"narrow" ~restarts:3 ~iters:77 ~seed:9 Protocol.Schedule
+  in
+  (match Protocol.request_of_json (Protocol.request_to_json sched) with
+  | Ok req' -> Alcotest.(check bool) "schedule request round trips" true (sched = req')
+  | Error e -> Alcotest.failf "schedule request rejected: %s" e);
+  (match Protocol.request_of_json {|{"verb":"schedule"}|} with
+  | Ok req' ->
+    Alcotest.(check bool) "bare schedule equals the defaults" true
+      (req' = Protocol.request Protocol.Schedule)
+  | Error e -> Alcotest.failf "minimal schedule request rejected: %s" e);
   (match Protocol.request_of_json {|{"verb":"frobnicate"}|} with
   | Ok _ -> Alcotest.fail "unknown verb must be rejected"
   | Error _ -> ());

@@ -401,12 +401,25 @@ let test_schedule_composites_first () =
   | [] -> Alcotest.fail "empty schedule"
 
 let test_schedule_time_estimate () =
-  let steps = Plan.schedule ~capture_seconds:10e-3 (Plan.synthesize path) in
+  let steps = Plan.schedule (Plan.synthesize path) in
   let total = Plan.total_test_time steps in
-  Alcotest.(check bool) "positive and sane" true (total > 0.1 && total < 10.0);
+  Alcotest.(check bool) "positive and sane" true (total > 0.05 && total < 10.0);
   (* sweeps dominate *)
   let p1db = List.find (fun s -> s.Plan.name = "mixer p1db") steps in
-  Alcotest.(check bool) "sweep costs more than a read" true (p1db.Plan.captures > 5)
+  Alcotest.(check bool) "sweep costs more than a read" true (p1db.Plan.captures > 5);
+  (* each step's seconds is the pure cycle count at the digitizer rate *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "captures mirror the cost" s.Plan.cost.Cost.captures
+        s.Plan.captures;
+      Alcotest.(check (float 1e-12)) "seconds derived from cycles"
+        (float_of_int (Cost.ate_cycles s.Plan.cost) /. s.Plan.cost.Cost.sample_rate_hz)
+        s.Plan.seconds)
+    steps;
+  (* the default receiver settles in 48 cycles; the p1db sweep pays them
+     on each of its 14 captures *)
+  Alcotest.(check int) "p1db ate cycles" (64 + (14 * (48 + 4096)))
+    (Cost.ate_cycles p1db.Plan.cost)
 
 (* ---- Linearity (code-density test) ---- *)
 

@@ -1573,79 +1573,209 @@ let nearest_rank sorted p =
     let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
 
+(* One observation per request: client-observed latency plus the GC
+   words allocated across the process during the round trip — the daemon
+   runs in-process, so the delta covers request encode, service compute
+   and response parse together.  [Gc.quick_stat] is cheap; the delta is
+   sampled immediately around the call so the bench's own bookkeeping
+   stays out of it. *)
+type serve_sample = { lat_ns : float; minor_w : float; major_w : float }
+
+let serve_request_sample c req =
+  let g0 = Gc.quick_stat () in
+  let s = Obs.now_ns () in
+  match Serve_client.request c req with
+  | Ok resp when resp.Serve_protocol.status = Serve_protocol.Ok_ ->
+    let e = Obs.now_ns () in
+    let g1 = Gc.quick_stat () in
+    Some
+      { lat_ns = Int64.to_float (Int64.sub e s);
+        minor_w = g1.Gc.minor_words -. g0.Gc.minor_words;
+        major_w = g1.Gc.major_words -. g0.Gc.major_words }
+  | Ok _ | Error _ -> None
+
+(* Run [rounds] of [mix] from [clients] concurrent connections against
+   the daemon at [socket_path]; returns per-kernel samples (merged over
+   clients) and the wall-clock of the whole run.  [req_of] lets a kernel
+   vary its request by round (fresh coalescing keys, cache-busting
+   seeds). *)
+let serve_drive ~socket_path ~clients ~rounds mix =
+  let t0 = Obs.now_ns () in
+  let worker () =
+    Serve_client.with_connection ~socket_path (fun c ->
+        let samples = List.map (fun (name, _) -> (name, ref [])) mix in
+        for round = 1 to rounds do
+          List.iter
+            (fun (name, req_of) ->
+              match serve_request_sample c (req_of round) with
+              | Some sample ->
+                let l = List.assoc name samples in
+                l := sample :: !l
+              | None -> ())
+            mix
+        done;
+        List.map (fun (name, l) -> (name, !l)) samples)
+  in
+  let domains = List.init clients (fun _ -> Domain.spawn worker) in
+  let results = List.map Domain.join domains in
+  let wall_s = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+  let merged =
+    List.map
+      (fun (name, _) ->
+        (name, List.concat_map (fun per_client -> List.assoc name per_client) results))
+      mix
+  in
+  (merged, wall_s)
+
+(* Render one phase's table, record its timings, return the total request
+   count and the per-kernel p50s (for cross-phase speedup scalars). *)
+let serve_record_phase merged =
+  let t =
+    Texttable.create
+      ~headers:
+        [ "Request"; "n"; "mean (us)"; "p50 (us)"; "p99 (us)"; "mWords/req" ]
+  in
+  let total = ref 0 in
+  let p50s =
+    List.filter_map
+      (fun (name, samples) ->
+        let lats = Array.of_list (List.map (fun s -> s.lat_ns) samples) in
+        Array.sort compare lats;
+        total := !total + Array.length lats;
+        if Array.length lats = 0 then None
+        else begin
+          let n = float_of_int (Array.length lats) in
+          let mean_of f = List.fold_left (fun a s -> a +. f s) 0.0 samples /. n in
+          let s = Msoc_stat.Describe.summarize lats in
+          let p50 = nearest_rank lats 50.0 and p99 = nearest_rank lats 99.0 in
+          let minor_words = mean_of (fun s -> s.minor_w) in
+          let major_words = mean_of (fun s -> s.major_w) in
+          Texttable.add_row t
+            [ name;
+              string_of_int (Array.length lats);
+              Printf.sprintf "%.1f" (s.Msoc_stat.Describe.mean /. 1e3);
+              Printf.sprintf "%.1f" (p50 /. 1e3);
+              Printf.sprintf "%.1f" (p99 /. 1e3);
+              Printf.sprintf "%.0f" minor_words ];
+          Report.add_timing report ~section:"serve" ~name
+            ~mean_ns:s.Msoc_stat.Describe.mean ~stddev_ns:s.Msoc_stat.Describe.stddev
+            ~samples:s.Msoc_stat.Describe.count ~minor_words ~major_words ~p50_ns:p50
+            ~p99_ns:p99 ();
+          Some (name, p50)
+        end)
+      merged
+  in
+  Texttable.print t;
+  (!total, p50s)
+
+(* Scrape one counter out of a Prometheus metrics body. *)
+let serve_metric_value body name =
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line 0 i = name ->
+           float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+         | _ -> None)
+
 let serve_load () =
   section "Service latency — msoc serve under concurrent clients";
   let socket_path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "msoc-bench-%d.sock" (Unix.getpid ()))
   in
-  let handle = Serve.start (Serve.config ~queue_capacity:64 socket_path) in
   let rounds = if quick then 12 else 40 in
   let clients = 3 in
-  (* the faultsim verb is scaled down so the quick-mode bench stays quick;
-     it still exercises the whole build-simulate-analyze service path *)
-  let mix =
-    [ ("serve-ping", Serve_protocol.request Serve_protocol.Ping);
-      ("serve-plan", Serve_protocol.request Serve_protocol.Plan);
-      ("serve-metrics", Serve_protocol.request Serve_protocol.Metrics);
+  (* ---- phase A: the cold plane — one executor, no cache, every
+     request computed from scratch.  This is the baseline the historical
+     serve kernels describe, and the cold p50s the speedup scalars are
+     measured against.  The faultsim verb is scaled down so the
+     quick-mode bench stays quick; it still exercises the whole
+     build-simulate-analyze service path. *)
+  let handle =
+    Serve.start
+      (Serve.config ~queue_capacity:64 ~executors:1 ~cache_size:0 socket_path)
+  in
+  let const req _round = req in
+  let cold_mix =
+    [ ("serve-ping", const (Serve_protocol.request Serve_protocol.Ping));
+      ("serve-plan", const (Serve_protocol.request Serve_protocol.Plan));
+      ("serve-metrics", const (Serve_protocol.request Serve_protocol.Metrics));
       ("serve-faultsim",
-       Serve_protocol.request ~taps:5 ~samples:128 Serve_protocol.Faultsim) ]
+       const (Serve_protocol.request ~taps:5 ~samples:128 Serve_protocol.Faultsim)) ]
   in
-  let t0 = Obs.now_ns () in
-  let worker () =
-    Serve_client.with_connection ~socket_path (fun c ->
-        let lats = List.map (fun (name, _) -> (name, ref [])) mix in
-        for _ = 1 to rounds do
-          List.iter
-            (fun (name, req) ->
-              let s = Obs.now_ns () in
-              match Serve_client.request c req with
-              | Ok resp when resp.Serve_protocol.status = Serve_protocol.Ok_ ->
-                let e = Obs.now_ns () in
-                let l = List.assoc name lats in
-                l := Int64.to_float (Int64.sub e s) :: !l
-              | Ok _ | Error _ -> ())
-            mix
-        done;
-        List.map (fun (name, l) -> (name, !l)) lats)
-  in
-  let domains = List.init clients (fun _ -> Domain.spawn worker) in
-  let results = List.map Domain.join domains in
-  let wall_s = Int64.to_float (Int64.sub (Obs.now_ns ()) t0) /. 1e9 in
+  let cold, cold_wall_s = serve_drive ~socket_path ~clients ~rounds cold_mix in
   Serve.stop handle;
-  let total = ref 0 in
-  let t =
-    Texttable.create
-      ~headers:[ "Request"; "n"; "mean (us)"; "p50 (us)"; "p99 (us)" ]
-  in
-  List.iter
-    (fun (name, _) ->
-      let samples =
-        Array.of_list (List.concat_map (fun per_client -> List.assoc name per_client) results)
-      in
-      Array.sort compare samples;
-      total := !total + Array.length samples;
-      if Array.length samples > 0 then begin
-        let s = Msoc_stat.Describe.summarize samples in
-        let p50 = nearest_rank samples 50.0 and p99 = nearest_rank samples 99.0 in
-        Texttable.add_row t
-          [ name;
-            string_of_int (Array.length samples);
-            Printf.sprintf "%.1f" (s.Msoc_stat.Describe.mean /. 1e3);
-            Printf.sprintf "%.1f" (p50 /. 1e3);
-            Printf.sprintf "%.1f" (p99 /. 1e3) ];
-        Report.add_timing report ~section:"serve" ~name
-          ~mean_ns:s.Msoc_stat.Describe.mean ~stddev_ns:s.Msoc_stat.Describe.stddev
-          ~samples:s.Msoc_stat.Describe.count ~p50_ns:p50 ~p99_ns:p99 ()
-      end)
-    mix;
-  Texttable.print t;
-  let throughput = float_of_int !total /. Float.max wall_s 1e-9 in
-  Report.add_scalar report ~section:"serve" ~name:"throughput" ~unit_label:"req/s" throughput;
+  let cold_total, cold_p50s = serve_record_phase cold in
+  let cold_throughput = float_of_int cold_total /. Float.max cold_wall_s 1e-9 in
+  Report.add_scalar report ~section:"serve" ~name:"cold throughput"
+    ~unit_label:"req/s" cold_throughput;
   Format.printf
-    "%d requests over %d client connection(s) in %.2f s — %.0f req/s; latency is@.\
-     client-observed (connect-to-response, queue wait included).@."
-    !total clients wall_s throughput
+    "cold: %d requests over %d client connection(s) in %.2f s — %.0f req/s@."
+    cold_total clients cold_wall_s cold_throughput;
+  (* ---- phase B: the throughput plane — two executors, result cache
+     on, a short coalescing window.  serve-plan repeats the same model
+     every round (cache hits from round 2), serve-faultsim changes its
+     seed per round (cache-busting) but all clients share each round's
+     seed, so concurrent duplicates coalesce into pooled batches. *)
+  let handle =
+    Serve.start
+      (Serve.config ~queue_capacity:64 ~executors:2 ~cache_size:256
+         ~batch_window_ms:20 socket_path)
+  in
+  let plane_mix =
+    [ ("serve-ping-plane", const (Serve_protocol.request Serve_protocol.Ping));
+      ("serve-plan-hit", const (Serve_protocol.request Serve_protocol.Plan));
+      ("serve-metrics-plane", const (Serve_protocol.request Serve_protocol.Metrics));
+      ("serve-faultsim-coalesced",
+       fun round ->
+         Serve_protocol.request ~taps:5 ~samples:128 ~seed:(100 + round)
+           Serve_protocol.Faultsim) ]
+  in
+  let plane, plane_wall_s = serve_drive ~socket_path ~clients ~rounds plane_mix in
+  let coalesce_stats =
+    Serve_client.with_connection ~socket_path (fun c ->
+        match Serve_client.request c (Serve_protocol.request Serve_protocol.Metrics) with
+        | Ok resp when resp.Serve_protocol.status = Serve_protocol.Ok_ ->
+          let v name =
+            Option.value ~default:0.0 (serve_metric_value resp.Serve_protocol.body name)
+          in
+          Some
+            ( v "msoc_serve_coalesced_batches_total",
+              v "msoc_serve_batched_total",
+              v "msoc_serve_cache_hits_total" )
+        | Ok _ | Error _ -> None)
+  in
+  Serve.stop handle;
+  let plane_total, plane_p50s = serve_record_phase plane in
+  let plane_throughput = float_of_int plane_total /. Float.max plane_wall_s 1e-9 in
+  (* the bound sits above the ~29 req/s the single-executor cold plane
+     measures on the reference host: the throughput plane must beat the
+     old serial daemon even on a single-core runner, where the win comes
+     from the cache and coalescing rather than parallel executors *)
+  Report.add_scalar report ~section:"serve" ~name:"throughput" ~unit_label:"req/s"
+    ~bound:(Report.Ge 40.0) plane_throughput;
+  (match (List.assoc_opt "serve-plan" cold_p50s, List.assoc_opt "serve-plan-hit" plane_p50s)
+   with
+  | Some cold_p50, Some hit_p50 when hit_p50 > 0.0 ->
+    let speedup = cold_p50 /. hit_p50 in
+    Format.printf "plan cache-hit p50 speedup: %.1fx (cold %.1f us -> hit %.1f us)@."
+      speedup (cold_p50 /. 1e3) (hit_p50 /. 1e3);
+    Report.add_scalar report ~section:"serve" ~name:"plan cache-hit speedup p50"
+      ~unit_label:"x" ~bound:(Report.Ge 5.0) speedup
+  | _ -> ());
+  (match coalesce_stats with
+  | Some (batches, batched, cache_hits) ->
+    Format.printf "coalescing: %.0f batch(es) covering %.0f request(s); %.0f cache hit(s)@."
+      batches batched cache_hits;
+    Report.add_scalar report ~section:"serve" ~name:"coalesced batches" batches;
+    Report.add_scalar report ~section:"serve" ~name:"coalesced requests" batched;
+    Report.add_scalar report ~section:"serve" ~name:"cache hits" cache_hits
+  | None -> ());
+  Format.printf
+    "plane: %d requests over %d client connection(s) in %.2f s — %.0f req/s; latency@.\
+     is client-observed (connect-to-response, queue wait and coalescing window@.\
+     included); mWords/req is process-wide allocation (the daemon is in-process).@."
+    plane_total clients plane_wall_s plane_throughput
 
 let () =
   Format.printf "Mixed-signal SOC path test synthesis — evaluation reproduction%s@."

@@ -191,6 +191,13 @@ let strategy_arg =
     & opt strategy_conv Propagate.Adaptive
     & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"De-embedding strategy: nominal or adaptive.")
 
+(* The request-field spelling of a strategy.  [Propagate.strategy_name]
+   renders "nominal-gains" for display, but the wire protocol and the
+   shared verbs layer speak the flag vocabulary ("nominal"|"adaptive"). *)
+let strategy_field = function
+  | Propagate.Nominal_gains -> "nominal"
+  | Propagate.Adaptive -> "adaptive"
+
 (* Every command evaluates to its exit code; the plain reporting commands
    succeed with 0 whenever they return at all. *)
 let code0 term = Cmdliner.Term.(const (fun () -> 0) $ term)
@@ -240,7 +247,7 @@ let run_plan tel strategy topology list_topologies audit_file =
     Audit.reset ()
   end;
   let req =
-    Serve_protocol.request ~topology ~strategy:(Propagate.strategy_name strategy)
+    Serve_protocol.request ~topology ~strategy:(strategy_field strategy)
       Serve_protocol.Plan
   in
   print_string (Serve_verbs.run ~pool:(Msoc_util.Pool.get_default ()) req);
@@ -392,64 +399,35 @@ let render_montecarlo ~elapsed_s =
     (Texttable.cell_pct ~decimals:0 (if total > 0.0 then done_ /. total else 0.0))
     (Progress.pp_duration elapsed_s) eta
 
-(* The Figure 4 error model at CLI scale: sample a part within its
-   tolerances, de-embed the mixer IIP3 from the cascade observable with
-   the chosen strategy and compare against the sampled truth.  Trials run
-   on the domain pool with one pre-split generator stream per trial, so
-   the distribution is bit-identical at every pool size. *)
+(* The Figure 4 error model at CLI scale.  The computation and rendering
+   live in [Msoc_serve.Verbs] (shared with the daemon executor), so this
+   subcommand and a daemon montecarlo request answer byte-identically.
+   Trials run on the domain pool with one pre-split generator stream per
+   trial, so the distribution is bit-identical at every pool size. *)
 let run_montecarlo tel progress strategy trials seed =
   with_telemetry tel ~command:"montecarlo" @@ fun () ->
-  if trials < 2 then failwith "montecarlo: --trials must be at least 2";
-  let path = Path.default_receiver () in
-  let param name1 name2 = Path.param path ~stage:name1 ~name:name2 in
-  let iip3 = param "Mixer" "iip3_dbm" in
-  let amp_gain = param "Amp" "gain_db" in
-  let mixer_gain = param "Mixer" "gain_db" in
-  let lpf_gain = param "LPF" "gain_db" in
-  let m = Propagate.mixer_iip3 path ~strategy in
-  let pool = Msoc_util.Pool.get_default () in
-  let compute () =
-    Monte_carlo.sample_array_pooled ~pool ~trials ~rng:(Prng.create seed)
-      ~f:(fun g _ ->
-        let actual_amp = Param.sample amp_gain g in
-        let actual_mixer = Param.sample mixer_gain g in
-        let actual_lpf = Param.sample lpf_gain g in
-        let true_iip3 = Param.sample iip3 g in
-        let observable = true_iip3 +. actual_mixer +. actual_lpf in
-        let estimate =
-          match strategy with
-          | Propagate.Nominal_gains ->
-            observable -. mixer_gain.Param.nominal -. lpf_gain.Param.nominal
-          | Propagate.Adaptive ->
-            (* path gain measured exactly; G_amp assumed nominal — only
-               the amp's tolerance survives in the error *)
-            let path_gain = actual_amp +. actual_mixer +. actual_lpf in
-            observable -. path_gain +. amp_gain.Param.nominal
-        in
-        estimate -. true_iip3)
-      ()
+  let req =
+    Msoc_serve.Protocol.request ~strategy:(strategy_field strategy) ~trials ~seed
+      Msoc_serve.Protocol.Montecarlo
   in
-  let errs =
+  let pool = Msoc_util.Pool.get_default () in
+  let compute () = Msoc_serve.Verbs.run ~pool req in
+  let body =
     if progress then Progress.with_ticker ~render:render_montecarlo compute else compute ()
   in
-  let rms = Msoc_stat.Describe.rms errs in
-  let worst = Msoc_util.Floatx.max_abs errs in
-  Format.printf "IIP3 de-embedding error, %d trials (seed %d, pool %d):@." trials seed
-    (Msoc_util.Pool.size pool);
-  let t = Texttable.create ~headers:[ "Strategy"; "Budget (worst)"; "RMS err"; "Max err" ] in
-  Texttable.add_row t
-    [ Propagate.strategy_name strategy;
-      Printf.sprintf "%.3f dB" (Propagate.err m);
-      Printf.sprintf "%.3f dB" rms;
-      Printf.sprintf "%.3f dB" worst ];
-  Texttable.print t
+  print_string body
 
 let montecarlo_cmd =
   let open Cmdliner in
   let trials =
     Arg.(value & opt int 50_000 & info [ "trials" ] ~doc:"Monte-Carlo trial count.")
   in
-  let seed = Arg.(value & opt int 31415 & info [ "seed" ] ~doc:"Generator seed.") in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ]
+          ~doc:"Generator seed; 0 (the default) means the canonical study seed.")
+  in
   Cmd.v
     (Cmd.info "montecarlo"
        ~doc:"Monte-Carlo de-embedding error study for the mixer IIP3 (Figure 4 model)")
@@ -598,7 +576,7 @@ let spectrum_cmd =
 let run_measure tel strategy topology seed =
   with_telemetry tel ~command:"measure" @@ fun () ->
   let req =
-    Serve_protocol.request ~topology ~strategy:(Propagate.strategy_name strategy) ~seed
+    Serve_protocol.request ~topology ~strategy:(strategy_field strategy) ~seed
       Serve_protocol.Measure
   in
   print_string (Serve_verbs.run ~pool:(Msoc_util.Pool.get_default ()) req)
@@ -791,18 +769,31 @@ let socket_arg =
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon.")
 
-let run_serve socket queue_capacity access_log metrics_out =
+let run_serve socket queue_capacity executors cache_size batch_window_ms heavy_cap
+    access_log metrics_out =
   if queue_capacity < 1 then failwith "serve: --queue must be at least 1";
+  (match executors with
+  | Some k when k < 1 -> failwith "serve: --executors must be at least 1"
+  | _ -> ());
+  (match heavy_cap with
+  | Some c when c < 1 -> failwith "serve: --heavy-cap must be at least 1"
+  | _ -> ());
+  if cache_size < 0 then failwith "serve: --cache-size must be at least 0";
+  if batch_window_ms < 0 then failwith "serve: --batch-window-ms must be at least 0";
   set_build_info ();
   let cfg =
-    Serve_server.config ~queue_capacity ?access_log ?metrics_out socket
+    Serve_server.config ~queue_capacity ?executors ~cache_size ~batch_window_ms
+      ?heavy_cap ?access_log ?metrics_out socket
   in
   let server = Serve_server.create cfg in
   let on_signal _ = Serve_server.request_stop server in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-  Format.eprintf "serve: listening on %s (queue capacity %d, pool %d)@." socket
-    queue_capacity
+  Format.eprintf
+    "serve: listening on %s (queue capacity %d, executors %d, cache %d, pool %d)@."
+    socket queue_capacity
+    (Serve_server.executors server)
+    cache_size
     (Msoc_util.Pool.default_size ());
   Serve_server.run server
 
@@ -814,11 +805,40 @@ let serve_cmd =
              ~doc:"Bounded work-queue capacity; requests beyond it are rejected with a \
                    structured $(b,overloaded) response instead of waiting.")
   in
+  let executors =
+    Arg.(value & opt (some int) None
+         & info [ "executors" ] ~docv:"K"
+             ~doc:"Executor domains popping the shared work queue concurrently. \
+                   Defaults to the domain pool size.  Responses are byte-identical \
+                   at every executor count.")
+  in
+  let cache_size =
+    Arg.(value & opt int 256
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"Synthesis result cache capacity (LRU entries keyed by the \
+                   canonical request identity); $(b,0) disables the cache.  Cached \
+                   replies are byte-identical to cold ones.")
+  in
+  let batch_window =
+    Arg.(value & opt int 0
+         & info [ "batch-window-ms" ] ~docv:"MS"
+             ~doc:"Coalescing window: a claimed faultsim/montecarlo batch stays open \
+                   to identical-model joiners for $(docv) milliseconds before \
+                   executing once for all of them.  $(b,0) coalesces only while a \
+                   batch is still queued.")
+  in
+  let heavy_cap =
+    Arg.(value & opt (some int) None
+         & info [ "heavy-cap" ] ~docv:"N"
+             ~doc:"Admission cap on queued heavy (compute) jobs, below the queue \
+                   capacity so cheap ping/metrics probes always find space.  \
+                   Defaults to 3/4 of the queue capacity.")
+  in
   let access_log =
     Arg.(value & opt (some string) None
          & info [ "access-log" ] ~docv:"FILE"
              ~doc:"Stream one JSON line per request (trace id, verb, status, queue-wait \
-                   ns, service ns, pool size) to $(docv).")
+                   ns, service ns, pool size, executor slot) to $(docv).")
   in
   let metrics_out =
     Arg.(value & opt (some string) None
@@ -828,10 +848,13 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the synthesis daemon: plan/measure/faultsim/schedule over a Unix \
-             socket, with per-request traces, Prometheus metrics and a structured \
-             access log")
-    (code0 Term.(const run_serve $ socket_arg $ queue $ access_log $ metrics_out))
+       ~doc:"Run the synthesis daemon: plan/measure/faultsim/montecarlo/schedule over \
+             a Unix socket, with multi-executor scheduling, request coalescing, a \
+             synthesis result cache, per-request traces, Prometheus metrics and a \
+             structured access log")
+    (code0
+       Term.(const run_serve $ socket_arg $ queue $ executors $ cache_size
+             $ batch_window $ heavy_cap $ access_log $ metrics_out))
 
 (* ---- client: one request against a running daemon ---- *)
 
@@ -849,65 +872,132 @@ let verb_conv =
   Cmdliner.Arg.conv
     (parse, fun ppf v -> Format.pp_print_string ppf (Serve_protocol.verb_name v))
 
-let run_client verb socket topology strategy seed taps input_bits coeff_bits samples
-    tones soc restarts iters sleep_ms trace_format trace_out =
-  let strategy =
-    match strategy with
-    | Propagate.Nominal_gains -> "nominal"
-    | Propagate.Adaptive -> "adaptive"
+(* Load mode ([--repeat]/[--concurrency] beyond 1): every worker domain
+   opens its own connection and sends its [repeat] requests back to
+   back, so C workers keep C requests in flight — enough to exercise the
+   daemon's multi-executor scheduling, coalescing and cache from one
+   client process.  Per-request latency is measured client-side
+   (request sent -> response parsed) and summarized with the same
+   nearest-rank percentiles the bench harness uses. *)
+let run_client_load ~socket ~req ~repeat ~concurrency =
+  let total = repeat * concurrency in
+  let t0 = Unix.gettimeofday () in
+  let worker () =
+    Serve_client.with_connection ~socket_path:socket (fun c ->
+        List.init repeat (fun _ ->
+            let s0 = Unix.gettimeofday () in
+            let answer = Serve_client.request c req in
+            let elapsed_ms = (Unix.gettimeofday () -. s0) *. 1e3 in
+            (answer, elapsed_ms)))
   in
+  let per_worker =
+    if concurrency = 1 then [ worker () ]
+    else
+      List.init (concurrency - 1) (fun _ -> Domain.spawn worker)
+      |> fun spawned -> worker () :: List.map Domain.join spawned
+  in
+  let outcomes = List.concat per_worker in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let count pred = List.length (List.filter pred outcomes) in
+  let ok = count (fun (a, _) -> match a with Ok r -> r.Serve_protocol.status = Serve_protocol.Ok_ | _ -> false) in
+  let overloaded =
+    count (fun (a, _) ->
+        match a with Ok r -> r.Serve_protocol.status = Serve_protocol.Overloaded | _ -> false)
+  in
+  let failed =
+    count (fun (a, _) ->
+        match a with Ok r -> r.Serve_protocol.status = Serve_protocol.Failed | _ -> false)
+  in
+  let transport = count (fun (a, _) -> match a with Error _ -> true | _ -> false) in
+  let lats = List.map snd outcomes |> Array.of_list in
+  Array.sort compare lats;
+  let nearest_rank p =
+    if Array.length lats = 0 then 0.0
+    else
+      let n = Array.length lats in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+      lats.(max 0 (min (n - 1) (rank - 1)))
+  in
+  let mean =
+    if Array.length lats = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 lats /. float_of_int (Array.length lats)
+  in
+  Format.printf "%d request(s), %d worker(s) x %d@." total concurrency repeat;
+  Format.printf "status: %d ok, %d overloaded, %d error, %d transport@." ok overloaded
+    failed transport;
+  Format.printf "latency ms: mean %.2f | p50 %.2f | p99 %.2f@." mean (nearest_rank 50.0)
+    (nearest_rank 99.0);
+  Format.printf "wall: %.2f s | throughput %.1f req/s@." wall_s
+    (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
+  (* rejections under deliberate load are data, not failure; only a
+     broken transport makes the load run itself fail *)
+  if transport > 0 then 1 else 0
+
+let run_client verb socket topology strategy seed taps input_bits coeff_bits samples
+    tones soc restarts iters trials sleep_ms repeat concurrency trace_format trace_out =
+  if repeat < 1 then failwith "client: --repeat must be at least 1";
+  if concurrency < 1 then failwith "client: --concurrency must be at least 1";
+  let strategy = strategy_field strategy in
   (* a per-request trace export is only requested when there is a file
-     to put it in *)
+     to put it in (and never in load mode: one file, many requests) *)
+  let load_mode = repeat > 1 || concurrency > 1 in
   let trace =
     match trace_out with
-    | None -> None
-    | Some _ ->
+    | Some _ when not load_mode ->
       Some
         (match trace_format with
         | Trace_chrome -> Serve_protocol.Trace_chrome
         | Trace_folded -> Serve_protocol.Trace_folded
         | Trace_jsonl -> Serve_protocol.Trace_jsonl)
+    | _ -> None
   in
   let req =
     Serve_protocol.request ~topology ~strategy ~seed ~taps ~input_bits ~coeff_bits
-      ~samples ~tones ~soc ~restarts ~iters ~sleep_ms ?trace verb
+      ~samples ~tones ~soc ~restarts ~iters ~trials ~sleep_ms ?trace verb
   in
-  let answer =
-    try Serve_client.with_connection ~socket_path:socket (fun c -> Serve_client.request c req)
-    with Unix.Unix_error (e, _, _) ->
-      failwith
-        (Printf.sprintf "client: cannot reach daemon at %s: %s" socket
-           (Unix.error_message e))
+  let unreachable e =
+    failwith
+      (Printf.sprintf "client: cannot reach daemon at %s: %s" socket
+         (Unix.error_message e))
   in
-  match answer with
-  | Error msg -> failwith ("client: " ^ msg)
-  | Ok resp ->
-    (match (resp.Serve_protocol.trace_export, trace_out) with
-    | Some text, Some file ->
-      let oc = open_out file in
-      output_string oc text;
-      close_out oc;
-      Format.eprintf "client: per-request trace (%s) written to %s@."
-        resp.Serve_protocol.trace_id file
-    | _ -> ());
-    (match resp.Serve_protocol.status with
-    | Serve_protocol.Ok_ ->
-      print_string resp.Serve_protocol.body;
-      0
-    | Serve_protocol.Overloaded ->
-      Format.eprintf "msoc client: overloaded: %s@." resp.Serve_protocol.body;
-      1
-    | Serve_protocol.Failed ->
-      Format.eprintf "msoc client: error: %s@." resp.Serve_protocol.body;
-      1)
+  if load_mode then
+    try run_client_load ~socket ~req ~repeat ~concurrency
+    with Unix.Unix_error (e, _, _) -> unreachable e
+  else begin
+    let answer =
+      try Serve_client.with_connection ~socket_path:socket (fun c -> Serve_client.request c req)
+      with Unix.Unix_error (e, _, _) -> unreachable e
+    in
+    match answer with
+    | Error msg -> failwith ("client: " ^ msg)
+    | Ok resp ->
+      (match (resp.Serve_protocol.trace_export, trace_out) with
+      | Some text, Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Format.eprintf "client: per-request trace (%s) written to %s@."
+          resp.Serve_protocol.trace_id file
+      | _ -> ());
+      (match resp.Serve_protocol.status with
+      | Serve_protocol.Ok_ ->
+        print_string resp.Serve_protocol.body;
+        0
+      | Serve_protocol.Overloaded ->
+        Format.eprintf "msoc client: overloaded: %s@." resp.Serve_protocol.body;
+        1
+      | Serve_protocol.Failed ->
+        Format.eprintf "msoc client: error: %s@." resp.Serve_protocol.body;
+        1)
+  end
 
 let client_cmd =
   let open Cmdliner in
   let verb =
     Arg.(required & pos 0 (some verb_conv) None
          & info [] ~docv:"VERB"
-             ~doc:"$(b,plan), $(b,measure), $(b,faultsim), $(b,schedule), $(b,metrics), \
-                   $(b,ping) or $(b,sleep).")
+             ~doc:"$(b,plan), $(b,measure), $(b,faultsim), $(b,montecarlo), \
+                   $(b,schedule), $(b,metrics), $(b,ping) or $(b,sleep).")
   in
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Request seed (verb-dependent).")
@@ -936,8 +1026,23 @@ let client_cmd =
     Arg.(value & opt int 400
          & info [ "iters" ] ~doc:"schedule: annealing moves per restart.")
   in
+  let trials =
+    Arg.(value & opt int 50_000 & info [ "trials" ] ~doc:"montecarlo: trial count.")
+  in
   let sleep_ms =
     Arg.(value & opt int 50 & info [ "sleep-ms" ] ~doc:"sleep: executor hold time.")
+  in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~docv:"N"
+             ~doc:"Load mode: send the request $(docv) times per worker and print a \
+                   latency/status summary instead of the body.")
+  in
+  let concurrency =
+    Arg.(value & opt int 1
+         & info [ "concurrency" ] ~docv:"C"
+             ~doc:"Load mode: $(docv) worker domains, each with its own connection \
+                   sending its $(b,--repeat) share concurrently.")
   in
   let trace_format =
     let fmt =
@@ -969,7 +1074,7 @@ let client_cmd =
        ~doc:"Send one request to a running msoc daemon and print the response body")
     Term.(const run_client $ verb $ socket_arg $ topology_arg $ strategy_arg $ seed
           $ taps $ input_bits $ coeff_bits $ samples $ tones $ soc $ restarts $ iters
-          $ sleep_ms $ trace_format $ trace_out)
+          $ trials $ sleep_ms $ repeat $ concurrency $ trace_format $ trace_out)
 
 (* ---- entry point: exit-code discipline ---- *)
 

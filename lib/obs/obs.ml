@@ -320,19 +320,29 @@ let enable () =
 
 let disable () = Atomic.set enabled_flag false
 
+let reset_sink s =
+  s.n_events <- 0;
+  s.dropped <- 0;
+  s.stack <- [];
+  s.tl_next <- 0;
+  Hashtbl.reset s.counters;
+  Hashtbl.reset s.hists
+
 let reset () =
   Mutex.lock registry_mutex;
-  List.iter
-    (fun s ->
-      s.n_events <- 0;
-      s.dropped <- 0;
-      s.stack <- [];
-      s.tl_next <- 0;
-      Hashtbl.reset s.counters;
-      Hashtbl.reset s.hists)
-    !registry;
+  List.iter reset_sink !registry;
   Mutex.unlock registry_mutex;
   Atomic.set epoch (now_ns ())
+
+(* Per-request reset for a multi-executor server: clear only the calling
+   domain's sink, leave sibling executors' in-flight data and the epoch
+   alone.  The registry mutex keeps the clear atomic with respect to a
+   concurrent exporter walking the sinks. *)
+let reset_domain () =
+  let s = my_sink () in
+  Mutex.lock registry_mutex;
+  reset_sink s;
+  Mutex.unlock registry_mutex
 
 (* ------------------------------------------------------------------ *)
 (* Pool instrumentation.  The hooks live in Msoc_util.Pool (below this *)
@@ -409,7 +419,16 @@ let sinks_snapshot () =
   Mutex.unlock registry_mutex;
   List.sort (fun a b -> compare a.domain_id b.domain_id) sinks
 
-let snapshot_spans () =
+(* Exporter scope: everything (the default — deterministic merged view)
+   or just the calling domain's sink (the per-request view on a server
+   with several executor domains writing concurrently). *)
+type scope = All_domains | This_domain
+
+let sinks_of_scope = function
+  | All_domains -> sinks_snapshot ()
+  | This_domain -> [ my_sink () ]
+
+let snapshot_spans ?(scope = All_domains) () =
   let table : (string, float list ref) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun s ->
@@ -425,7 +444,7 @@ let snapshot_spans () =
         in
         durs := Int64.to_float ev.ev_dur :: !durs
       done)
-    (sinks_snapshot ());
+    (sinks_of_scope scope);
   Hashtbl.fold
     (fun path durs acc ->
       let a = Array.of_list !durs in
@@ -664,7 +683,7 @@ let summary () =
 (* Chrome trace-event format (the JSON Array Format wrapped in an object),
    loadable by chrome://tracing and Perfetto: one thread track per domain,
    complete ("X") events, timestamps in microseconds relative to [epoch]. *)
-let chrome_trace () =
+let chrome_trace ?(scope = All_domains) () =
   let buffer = Buffer.create 4096 in
   let base = Atomic.get epoch in
   let us_of ns = Int64.to_float (Int64.sub ns base) /. 1e3 in
@@ -696,7 +715,7 @@ let chrome_trace () =
             ("dur", Json.num (Int64.to_float ev.ev_dur /. 1e3));
             ("args", Json.args_obj (("path", ev.ev_path) :: ev.ev_args)) ]
       done)
-    (sinks_snapshot ());
+    (sinks_of_scope scope);
   Buffer.add_string buffer "]}";
   Buffer.contents buffer
 
@@ -707,7 +726,7 @@ let sorted_bindings table =
 (* JSONL structured-event sink: one JSON object per line — spans in their
    recording order per track, then counters and histograms, then a track
    summary line.  Sinks are ordered by domain id. *)
-let jsonl () =
+let jsonl ?(scope = All_domains) () =
   let buffer = Buffer.create 4096 in
   let base = Atomic.get epoch in
   let line fields =
@@ -796,7 +815,7 @@ let jsonl () =
             ("track", Json.int s.domain_id);
             ("events", Json.int s.n_events);
             ("dropped", Json.int s.dropped) ])
-    (sinks_snapshot ());
+    (sinks_of_scope scope);
   Buffer.contents buffer
 
 (* Collapsed-stack ("folded") export, the input format of flamegraph.pl,
@@ -835,8 +854,9 @@ let collapse_paths totals =
          Buffer.add_char b '\n');
   Buffer.contents b
 
-let to_collapsed () =
-  collapse_paths (List.map (fun s -> (s.span_path, s.total_ns)) (snapshot_spans ()))
+let to_collapsed ?(scope = All_domains) () =
+  collapse_paths
+    (List.map (fun s -> (s.span_path, s.total_ns)) (snapshot_spans ~scope ()))
 
 (* Prometheus text exposition (version 0.0.4).  Counters become counters,
    log2 histograms become Prometheus histograms with cumulative buckets,

@@ -38,6 +38,12 @@ val disable : unit -> unit
 val reset : unit -> unit
 (** Drop all recorded data in every sink and re-stamp the trace epoch. *)
 
+val reset_domain : unit -> unit
+(** Drop the calling domain's sink only; other domains' data and the
+    trace epoch are untouched.  This is the per-request reset for a
+    multi-executor server: each executor clears its own span tree at
+    dequeue without wiping requests in flight on sibling executors. *)
+
 val enabled : unit -> bool
 
 val max_events : int
@@ -148,8 +154,13 @@ type track_stat = {
   track_dropped : int;
 }
 
-val snapshot_spans : unit -> span_stat list
-(** Per-path aggregates, sorted by path. *)
+type scope = All_domains | This_domain
+
+val snapshot_spans : ?scope:scope -> unit -> span_stat list
+(** Per-path aggregates, sorted by path.  [~scope:This_domain] reads
+    only the calling domain's sink (default [All_domains] merges every
+    sink) — the per-request view of a multi-executor server, where each
+    request's span tree lives in its executor's sink. *)
 
 val snapshot_counters : unit -> counter_stat list
 (** Merged counter totals, sorted by name. *)
@@ -189,18 +200,19 @@ val summary : unit -> string
 
 val print_summary : unit -> unit
 
-val chrome_trace : unit -> string
+val chrome_trace : ?scope:scope -> unit -> string
 (** Chrome [trace_event] JSON ({["{\"traceEvents\":[...]}"]}), loadable
     by chrome://tracing or Perfetto: complete ("X") events, one thread
     track per domain, timestamps in microseconds since the epoch stamped
-    at {!enable}/{!reset}. *)
+    at {!enable}/{!reset}.  [~scope:This_domain] exports only the
+    calling domain's track. *)
 
 val write_chrome_trace : string -> unit
 
-val jsonl : unit -> string
+val jsonl : ?scope:scope -> unit -> string
 (** Structured events, one JSON object per line: ["span"], ["timeline"],
     ["counter"], ["histogram"] and ["track"] records, ordered by domain
-    id. *)
+    id.  [~scope:This_domain] exports only the calling domain's sink. *)
 
 val write_jsonl : string -> unit
 
@@ -211,7 +223,7 @@ val collapse_paths : (string * float) list -> string
     integer microseconds, clamped at zero and sorted by stack.  Input
     paths may repeat (totals are summed). *)
 
-val to_collapsed : unit -> string
+val to_collapsed : ?scope:scope -> unit -> string
 (** {!collapse_paths} over {!snapshot_spans} — the flamegraph.pl /
     inferno / speedscope input for the recorded profile. *)
 

@@ -9,12 +9,13 @@
 
 module Json = Msoc_obs.Json
 
-type verb = Plan | Measure | Faultsim | Schedule | Metrics | Ping | Sleep
+type verb = Plan | Measure | Faultsim | Montecarlo | Schedule | Metrics | Ping | Sleep
 
 let verb_name = function
   | Plan -> "plan"
   | Measure -> "measure"
   | Faultsim -> "faultsim"
+  | Montecarlo -> "montecarlo"
   | Schedule -> "schedule"
   | Metrics -> "metrics"
   | Ping -> "ping"
@@ -24,13 +25,14 @@ let verb_of_name = function
   | "plan" -> Some Plan
   | "measure" -> Some Measure
   | "faultsim" -> Some Faultsim
+  | "montecarlo" -> Some Montecarlo
   | "schedule" -> Some Schedule
   | "metrics" -> Some Metrics
   | "ping" -> Some Ping
   | "sleep" -> Some Sleep
   | _ -> None
 
-let all_verbs = [ Plan; Measure; Faultsim; Schedule; Metrics; Ping; Sleep ]
+let all_verbs = [ Plan; Measure; Faultsim; Montecarlo; Schedule; Metrics; Ping; Sleep ]
 
 type trace_format = Trace_jsonl | Trace_chrome | Trace_folded
 
@@ -61,7 +63,9 @@ type request = {
   soc : string;
   restarts : int;
   iters : int;
-  (* sleep (diagnostic: occupy the executor to exercise backpressure) *)
+  (* montecarlo *)
+  trials : int;
+  (* sleep (diagnostic: occupy an executor to exercise backpressure) *)
   sleep_ms : int;
   (* per-request trace export, echoed back in the response *)
   trace : trace_format option;
@@ -71,9 +75,30 @@ type request = {
    and a bare CLI invocation describe the same computation. *)
 let request ?(topology = "default") ?(strategy = "adaptive") ?(seed = 0) ?(taps = 9)
     ?(input_bits = 10) ?(coeff_bits = 8) ?(samples = 1024) ?(tones = 2)
-    ?(soc = "reference") ?(restarts = 8) ?(iters = 400) ?(sleep_ms = 50) ?trace verb =
+    ?(soc = "reference") ?(restarts = 8) ?(iters = 400) ?(trials = 50_000)
+    ?(sleep_ms = 50) ?trace verb =
   { verb; topology; strategy; seed; taps; input_bits; coeff_bits; samples; tones;
-    soc; restarts; iters; sleep_ms; trace }
+    soc; restarts; iters; trials; sleep_ms; trace }
+
+(* The canonical computation identity behind a request: the verb plus
+   exactly the fields that verb reads.  Projecting down to the read set
+   makes the key total over equivalent requests — a faultsim request with
+   an exotic [soc] field coalesces with one that left it defaulted. *)
+let cache_key r =
+  match r.verb with
+  | Plan -> Some (Printf.sprintf "plan|%s|%s" r.topology r.strategy)
+  | Measure -> Some (Printf.sprintf "measure|%s|%s|%d" r.topology r.strategy r.seed)
+  | Faultsim ->
+    Some
+      (Printf.sprintf "faultsim|%d|%d|%d|%d|%d|%d" r.taps r.input_bits r.coeff_bits
+         r.samples r.tones r.seed)
+  | Montecarlo -> Some (Printf.sprintf "montecarlo|%s|%d|%d" r.strategy r.trials r.seed)
+  | Schedule ->
+    Some (Printf.sprintf "schedule|%s|%d|%d|%d" r.soc r.restarts r.iters r.seed)
+  | Metrics | Ping | Sleep -> None
+
+let coalesce_key r =
+  match r.verb with Faultsim | Montecarlo -> cache_key r | _ -> None
 
 let request_to_json r =
   let b = Buffer.create 256 in
@@ -90,6 +115,7 @@ let request_to_json r =
        ("soc", Json.str r.soc);
        ("restarts", Json.int r.restarts);
        ("iters", Json.int r.iters);
+       ("trials", Json.int r.trials);
        ("sleep_ms", Json.int r.sleep_ms) ]
     @
     match r.trace with
@@ -135,6 +161,7 @@ let request_of_json line =
               soc = Option.value ~default:d.soc (member_string "soc" j);
               restarts = member_int ~default:d.restarts "restarts" j;
               iters = member_int ~default:d.iters "iters" j;
+              trials = member_int ~default:d.trials "trials" j;
               sleep_ms = member_int ~default:d.sleep_ms "sleep_ms" j;
               trace = Option.bind trace_field trace_format_of_name })))
 

@@ -6,11 +6,13 @@
     defaults, so [{"verb":"plan"}] is a complete request describing the
     same computation as a bare [msoc plan]. *)
 
-type verb = Plan | Measure | Faultsim | Schedule | Metrics | Ping | Sleep
-(** [Schedule] solves an SOC test schedule ([soc]/[restarts]/[iters]);
-    [Metrics] returns the Prometheus exposition ("GET /metrics" in spirit);
-    [Ping] is a liveness probe; [Sleep] occupies the executor for a
-    client-chosen time — a diagnostic for exercising queue backpressure. *)
+type verb = Plan | Measure | Faultsim | Montecarlo | Schedule | Metrics | Ping | Sleep
+(** [Montecarlo] runs the IIP3 de-embedding error study
+    ([strategy]/[trials]/[seed]); [Schedule] solves an SOC test schedule
+    ([soc]/[restarts]/[iters]); [Metrics] returns the Prometheus
+    exposition ("GET /metrics" in spirit); [Ping] is a liveness probe;
+    [Sleep] occupies an executor for a client-chosen time — a diagnostic
+    for exercising queue backpressure. *)
 
 val verb_name : verb -> string
 val verb_of_name : string -> verb option
@@ -34,6 +36,7 @@ type request = {
   soc : string;
   restarts : int;
   iters : int;
+  trials : int;
   sleep_ms : int;
   trace : trace_format option;
       (** When set, the response carries this request's span tree exported
@@ -43,9 +46,24 @@ type request = {
 val request :
   ?topology:string -> ?strategy:string -> ?seed:int -> ?taps:int ->
   ?input_bits:int -> ?coeff_bits:int -> ?samples:int -> ?tones:int ->
-  ?soc:string -> ?restarts:int -> ?iters:int ->
+  ?soc:string -> ?restarts:int -> ?iters:int -> ?trials:int ->
   ?sleep_ms:int -> ?trace:trace_format -> verb -> request
 (** A request with every unspecified field at its CLI default. *)
+
+val cache_key : request -> string option
+(** Canonical identity of the computation a request describes: the verb
+    plus exactly the fields that verb reads, normalized (two requests
+    differing only in fields the verb ignores share a key).  [None] for
+    the verbs that read daemon state or wall-clock time
+    (Metrics/Ping/Sleep) — those are never cacheable.  This key indexes
+    the synthesis result cache. *)
+
+val coalesce_key : request -> string option
+(** Like {!cache_key} but only for the heavy sweep verbs worth merging
+    (Faultsim/Montecarlo): concurrent identical-model requests can be
+    served by one pooled execution fanned back to every waiter, because
+    their result is a pure, per-request-deterministic function of the
+    key. *)
 
 val request_to_json : request -> string
 (** One line, no trailing newline. *)

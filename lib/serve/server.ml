@@ -1,34 +1,51 @@
 (* The msoc daemon: a Unix-domain-socket service that executes plan /
-   measure / faultsim requests on the shared domain pool, behind a
-   bounded queue with explicit backpressure, with a request
+   measure / faultsim / montecarlo / schedule requests on the shared
+   domain pool, behind a bounded queue with explicit backpressure, a
+   synthesis result cache, a request-coalescing stage and a request
    observability plane threaded through Msoc_obs.
 
-   Threading model — two domains plus the pool:
+   Threading model — one acceptor, K executors, plus the pool:
 
    - the {e acceptor} (the domain calling [run]) owns every socket.  It
      multiplexes accept + reads + response writes through one select
-     loop, parses request lines, and either enqueues a job or answers
-     ["overloaded"] on the spot when the queue is full.  It never
-     computes, so admission control stays responsive no matter what the
-     executor is chewing on.
-   - the {e executor} (spawned by [run]) pops jobs one at a time and
-     runs them on the shared [Pool] — requests serialize against each
-     other exactly like cores sharing ATE bandwidth, which is the
-     regime the queue-depth gauge and queue-wait histogram describe.
-     Being a persistent domain, its FFT plans and DLS scratch arenas
-     stay warm across requests.  Finished responses travel back over a
-     mutex-guarded queue; a self-pipe byte wakes the select loop.
+     loop, parses request lines, and admits, rejects or answers each
+     one on the spot.  Admission control is class-aware: ping/metrics
+     are {e cheap}, everything that computes is {e heavy}, and the
+     heavy class has its own queued-jobs cap below the queue capacity,
+     so a burst of sweeps can never occupy every slot — a cheap probe
+     always finds queue space.  The acceptor also probes the result
+     cache (pure verbs only) and answers hits directly, without
+     touching the queue.
+   - {e K executors} ([--executors], default = pool size) pop the one
+     shared [Workq].  Requests no longer serialize behind a single
+     domain: a heavy sweep occupies one executor while cheap requests
+     flow through the others.  Concurrent pool use is safe by the
+     pool's own contract — the owner runs grained-parallel, everyone
+     else degrades to serial in their own domain — and both modes are
+     bit-identical, so answers do not depend on which executor served
+     them.  Finished responses travel back over a mutex-guarded queue;
+     a self-pipe byte wakes the select loop; the access-log writer is
+     mutex-guarded so lines never interleave.
+   - {e coalescing}: identical-model Monte-Carlo/faultsim requests
+     (same [Protocol.coalesce_key]) merge into one batch.  An admitted
+     batch stays joinable in a pending table until an executor claims
+     it; with [--batch-window-ms] the claiming executor first holds the
+     batch open for the window so concurrent duplicates can attach.
+     The one pooled execution is fanned back to every waiter — the
+     result is a pure, per-request-deterministic function of the key,
+     so each waiter receives bytes identical to a private run.
 
-   Observability per request: the per-domain Obs sinks are reset at
-   dequeue, the request runs under a [serve.request] root span (with
-   [serve.queue_wait] recorded from the enqueue stamp, then
-   [serve.execute] and [serve.serialize] children, plus whatever the
-   pool records), so a requested trace export contains exactly that
-   request's span tree.  Service-level metrics must survive the
-   per-request reset, so they accumulate in a registry owned by the
-   server (counters by verb and status, log2-bucket latency and
-   queue-wait histograms, in-flight / queue-depth gauges) and are
-   appended to [Obs.to_prometheus] output by the [metrics] verb. *)
+   Observability per request: with one executor the sinks are reset at
+   dequeue and exports merge every domain (the PR-8 behaviour, pool
+   workers included); with several executors each resets and exports
+   only its own sink ([Obs.reset_domain] / [~scope:This_domain]), so
+   concurrent requests cannot wipe or pollute each other's span trees.
+   Service-level metrics survive the per-request reset in a registry
+   owned by the server (counters by verb and status, log2-bucket
+   latency and queue-wait histograms, coalescing counters and batch
+   sizes, gauges) and are appended to [Obs.to_prometheus] output by the
+   [metrics] verb, together with the cache hit/miss/eviction counters
+   and the work queue's accept/reject accounting. *)
 
 module Pool = Msoc_util.Pool
 module Workq = Msoc_util.Workq
@@ -38,13 +55,34 @@ module Json = Msoc_obs.Json
 type config = {
   socket_path : string;
   queue_capacity : int;
+  executors : int option;  (* [None] means the pool size *)
+  cache_size : int;        (* 0 disables the result cache *)
+  batch_window_ms : int;   (* 0: coalesce only while queued *)
+  heavy_cap : int option;  (* [None] means 3/4 of the queue capacity *)
   access_log : string option;
   metrics_out : string option;
   pool : Pool.t option;  (* [None] means [Pool.get_default ()] *)
 }
 
-let config ?(queue_capacity = 64) ?access_log ?metrics_out ?pool socket_path =
-  { socket_path; queue_capacity; access_log; metrics_out; pool }
+let config ?(queue_capacity = 64) ?executors ?(cache_size = 256) ?(batch_window_ms = 0)
+    ?heavy_cap ?access_log ?metrics_out ?pool socket_path =
+  { socket_path; queue_capacity; executors; cache_size; batch_window_ms; heavy_cap;
+    access_log; metrics_out; pool }
+
+(* ------------------------------------------------------------------ *)
+(* Weight classes: admission control keeps the heavy sweeps from       *)
+(* starving the cheap probes.                                          *)
+(* ------------------------------------------------------------------ *)
+
+type weight = Cheap | Heavy
+
+let weight_of_verb = function
+  | Protocol.Ping | Protocol.Metrics -> Cheap
+  | Protocol.Plan | Protocol.Measure | Protocol.Faultsim | Protocol.Montecarlo
+  | Protocol.Schedule | Protocol.Sleep ->
+    Heavy
+
+let weight_name = function Cheap -> "cheap" | Heavy -> "heavy"
 
 (* ------------------------------------------------------------------ *)
 (* Service-level metrics registry (survives the per-request Obs reset) *)
@@ -66,6 +104,9 @@ type metrics = {
   latency : (string, lat_hist) Hashtbl.t;           (* per verb, service time *)
   queue_wait : lat_hist;
   inflight : int Atomic.t;
+  batched : int ref;    (* requests answered from a coalesced execution *)
+  batches : int ref;    (* coalesced executions (>= 2 waiters) *)
+  batch_size : lat_hist;  (* waiters per coalescable execution *)
 }
 
 let new_metrics () =
@@ -73,7 +114,10 @@ let new_metrics () =
     requests = Hashtbl.create 16;
     latency = Hashtbl.create 16;
     queue_wait = new_lat_hist ();
-    inflight = Atomic.make 0 }
+    inflight = Atomic.make 0;
+    batched = ref 0;
+    batches = ref 0;
+    batch_size = new_lat_hist () }
 
 let record_request m ~verb ~status ~queue_ns ~service_ns =
   Mutex.lock m.mm;
@@ -90,6 +134,15 @@ let record_request m ~verb ~status ~queue_ns ~service_ns =
       lat_observe h service_ns;
       Hashtbl.add m.latency verb h);
     lat_observe m.queue_wait queue_ns
+  end;
+  Mutex.unlock m.mm
+
+let record_batch m ~size =
+  Mutex.lock m.mm;
+  lat_observe m.batch_size size;
+  if size > 1 then begin
+    m.batches := !(m.batches) + 1;
+    m.batched := !(m.batched) + size
   end;
   Mutex.unlock m.mm
 
@@ -147,6 +200,14 @@ let prometheus_of_metrics m ~queue_depth ~queue_capacity ~pool_size =
     line "# TYPE msoc_serve_queue_wait_ns histogram";
     emit_hist "msoc_serve_queue_wait_ns" ~labels:[] m.queue_wait
   end;
+  line "# TYPE msoc_serve_batched_total counter";
+  line "msoc_serve_batched_total %d" !(m.batched);
+  line "# TYPE msoc_serve_coalesced_batches_total counter";
+  line "msoc_serve_coalesced_batches_total %d" !(m.batches);
+  if m.batch_size.count > 0 then begin
+    line "# TYPE msoc_serve_batch_size histogram";
+    emit_hist "msoc_serve_batch_size" ~labels:[] m.batch_size
+  end;
   line "# TYPE msoc_serve_inflight gauge";
   line "msoc_serve_inflight %d" (Atomic.get m.inflight);
   line "# TYPE msoc_serve_queue_depth gauge";
@@ -162,11 +223,23 @@ let prometheus_of_metrics m ~queue_depth ~queue_capacity ~pool_size =
 (* Server state                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* One admitted client request waiting for a result.  A job starts with
+   its leader as the only waiter; coalescable jobs may accumulate more
+   while pending. *)
+type waiter = {
+  w_conn : int;
+  w_trace_id : string;
+  w_enqueued_ns : int64;
+  w_trace : Protocol.trace_format option;
+}
+
 type job = {
-  j_conn : int;
-  j_req : Protocol.request;
-  j_trace_id : string;
-  j_enqueued_ns : int64;
+  j_req : Protocol.request;  (* the leader's request *)
+  j_key : string option;     (* [Protocol.coalesce_key]; [Some] = joinable *)
+  j_class : weight;
+  j_created_ns : int64;
+  mutable j_waiters : waiter list;  (* reverse arrival order; batch_mutex *)
+  mutable j_closed : bool;          (* claimed by an executor *)
 }
 
 type t = {
@@ -176,6 +249,17 @@ type t = {
   wake_w : Unix.file_descr;
   stop : bool Atomic.t;
   queue : job Workq.t;
+  executors : int;
+  cache : Verbs.cache option;
+  heavy_cap : int;
+  (* queued jobs per class: incremented at admission, decremented at
+     dequeue — the admission-control view of queue occupancy *)
+  heavy_queued : int Atomic.t;
+  cheap_queued : int Atomic.t;
+  (* pending coalescable batches by key; guarded by [batch_mutex]
+     together with every [j_waiters]/[j_closed] mutation *)
+  pending : (string, job) Hashtbl.t;
+  batch_mutex : Mutex.t;
   metrics : metrics;
   responses : (int * string) Queue.t;
   responses_mutex : Mutex.t;
@@ -195,12 +279,32 @@ let create cfg =
   Unix.set_nonblock listen_fd;
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
+  let pool = match cfg.pool with Some p -> p | None -> Pool.get_default () in
+  let executors =
+    match cfg.executors with
+    | Some k ->
+      if k < 1 then invalid_arg "Server.create: executors must be at least 1";
+      k
+    | None -> Pool.size pool
+  in
   { cfg;
     listen_fd;
     wake_r;
     wake_w;
     stop = Atomic.make false;
     queue = Workq.create ~capacity:cfg.queue_capacity;
+    executors;
+    cache = Verbs.create_cache ~size:cfg.cache_size;
+    heavy_cap =
+      (match cfg.heavy_cap with
+      | Some cap ->
+        if cap < 1 then invalid_arg "Server.create: heavy cap must be at least 1";
+        cap
+      | None -> max 1 (cfg.queue_capacity * 3 / 4));
+    heavy_queued = Atomic.make 0;
+    cheap_queued = Atomic.make 0;
+    pending = Hashtbl.create 16;
+    batch_mutex = Mutex.create ();
     metrics = new_metrics ();
     responses = Queue.create ();
     responses_mutex = Mutex.create ();
@@ -214,7 +318,7 @@ let create cfg =
     session =
       Printf.sprintf "%x%04x" (Unix.getpid ())
         (int_of_float (Float.rem (Unix.gettimeofday () *. 1e3) 65536.0));
-    pool = (match cfg.pool with Some p -> p | None -> Pool.get_default ()) }
+    pool }
 
 let fresh_trace_id t =
   Printf.sprintf "%s-%06d" t.session (Atomic.fetch_and_add t.next_trace 1)
@@ -228,7 +332,9 @@ let request_stop t =
   try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
   with Unix.Unix_error _ -> ()
 
-let log_access t ~trace_id ~verb ~status ~queue_ns ~service_ns =
+(* [executor]: the executor slot that served the request, [-1] for
+   requests the acceptor answered itself (rejections, cache hits). *)
+let log_access t ~trace_id ~verb ~status ~queue_ns ~service_ns ~executor =
   match t.access with
   | None -> ()
   | Some oc ->
@@ -240,7 +346,8 @@ let log_access t ~trace_id ~verb ~status ~queue_ns ~service_ns =
         ("status", Json.str status);
         ("queue_wait_ns", Json.int queue_ns);
         ("service_ns", Json.int service_ns);
-        ("pool_size", Json.int (Pool.size t.pool)) ];
+        ("pool_size", Json.int (Pool.size t.pool));
+        ("executor", Json.int executor) ];
     Mutex.lock t.access_mutex;
     output_string oc (Buffer.contents b);
     output_char oc '\n';
@@ -248,21 +355,48 @@ let log_access t ~trace_id ~verb ~status ~queue_ns ~service_ns =
     Mutex.unlock t.access_mutex
 
 let metrics_payload t =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let hits, misses, evictions =
+    match t.cache with Some c -> Verbs.cache_stats c | None -> (0, 0, 0)
+  in
+  line "# TYPE msoc_serve_cache_hits_total counter";
+  line "msoc_serve_cache_hits_total %d" hits;
+  line "# TYPE msoc_serve_cache_misses_total counter";
+  line "msoc_serve_cache_misses_total %d" misses;
+  line "# TYPE msoc_serve_cache_evictions_total counter";
+  line "msoc_serve_cache_evictions_total %d" evictions;
+  line "# TYPE msoc_serve_cache_size gauge";
+  line "msoc_serve_cache_size %d" t.cfg.cache_size;
+  line "# TYPE msoc_serve_executors gauge";
+  line "msoc_serve_executors %d" t.executors;
+  line "# TYPE msoc_serve_queue_accepted_total counter";
+  line "msoc_serve_queue_accepted_total %d" (Workq.accepted t.queue);
+  line "# TYPE msoc_serve_queue_rejected_total counter";
+  line "msoc_serve_queue_rejected_total %d" (Workq.rejected t.queue);
+  line "# TYPE msoc_serve_class_queued gauge";
+  line "msoc_serve_class_queued{class=\"cheap\"} %d" (Atomic.get t.cheap_queued);
+  line "msoc_serve_class_queued{class=\"heavy\"} %d" (Atomic.get t.heavy_queued);
+  line "# TYPE msoc_serve_heavy_cap gauge";
+  line "msoc_serve_heavy_cap %d" t.heavy_cap;
   Obs.to_prometheus ()
   ^ prometheus_of_metrics t.metrics ~queue_depth:(Workq.length t.queue)
       ~queue_capacity:(Workq.capacity t.queue) ~pool_size:(Pool.size t.pool)
+  ^ Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
-(* Verb dispatch (executor domain).  Compute verbs live in [Verbs] —    *)
+(* Verb dispatch (executor domains).  Compute verbs live in [Verbs] —   *)
 (* shared with the CLI, so daemon answers diff clean against offline    *)
-(* runs; only the verbs that read daemon state are handled here.        *)
+(* runs; only the verbs that read daemon state are handled here.  A     *)
+(* successful compute result fills the cache (keyed by the canonical    *)
+(* request identity) for the acceptor's admission-time probe.           *)
 (* ------------------------------------------------------------------ *)
 
 let dispatch t (req : Protocol.request) =
   match req.verb with
   | Protocol.Ping ->
-    Printf.sprintf "pong: pool=%d queue=%d/%d\n" (Pool.size t.pool)
-      (Workq.length t.queue) (Workq.capacity t.queue)
+    Printf.sprintf "pong: pool=%d executors=%d queue=%d/%d\n" (Pool.size t.pool)
+      t.executors (Workq.length t.queue) (Workq.capacity t.queue)
   | Protocol.Sleep ->
     Obs.span "serve.execute" (fun () ->
         Unix.sleepf (float_of_int (max 0 req.sleep_ms) /. 1e3));
@@ -270,11 +404,14 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Metrics ->
     let text = Obs.span "serve.execute" (fun () -> metrics_payload t) in
     Obs.span "serve.serialize" (fun () -> text)
-  | Protocol.Plan | Protocol.Measure | Protocol.Faultsim | Protocol.Schedule ->
-    Verbs.run ~pool:t.pool req
+  | Protocol.Plan | Protocol.Measure | Protocol.Faultsim | Protocol.Montecarlo
+  | Protocol.Schedule ->
+    let body = Verbs.run ~pool:t.pool req in
+    (match t.cache with Some c -> Verbs.cache_add c req body | None -> ());
+    body
 
 (* ------------------------------------------------------------------ *)
-(* Executor domain                                                     *)
+(* Executor domains                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let push_response t conn_id line =
@@ -283,57 +420,129 @@ let push_response t conn_id line =
   Mutex.unlock t.responses_mutex;
   try ignore (Unix.write t.wake_w (Bytes.make 1 '.') 0 1) with Unix.Unix_error _ -> ()
 
-let executor_loop t =
+(* Hold a joinable batch open until the coalescing window closes (or the
+   server is stopping).  Sliced sleep so shutdown is never delayed by a
+   full window. *)
+let hold_batch_window t job =
+  let deadline =
+    Int64.add job.j_created_ns (Int64.of_int (t.cfg.batch_window_ms * 1_000_000))
+  in
+  let rec wait () =
+    if not (Atomic.get t.stop) then begin
+      let remaining_ns = Int64.sub deadline (Obs.now_ns ()) in
+      if Int64.compare remaining_ns 0L > 0 then begin
+        Unix.sleepf (Float.min 0.01 (Int64.to_float remaining_ns /. 1e9));
+        wait ()
+      end
+    end
+  in
+  if t.cfg.batch_window_ms > 0 then wait ()
+
+(* Claim a popped job: close it to joiners and take its waiter list in
+   arrival order.  Unkeyed jobs have exactly their leader (the waiter
+   list was sealed before the push published the job). *)
+let claim_job t job =
+  match job.j_key with
+  | None -> job.j_waiters
+  | Some key ->
+    Mutex.lock t.batch_mutex;
+    job.j_closed <- true;
+    (match Hashtbl.find_opt t.pending key with
+    | Some j when j == job -> Hashtbl.remove t.pending key
+    | Some _ | None -> ());
+    let ws = List.rev job.j_waiters in
+    Mutex.unlock t.batch_mutex;
+    ws
+
+let executor_loop t slot =
   let rec loop () =
     match Workq.pop t.queue with
     | None -> ()
     | Some job ->
-      Atomic.set t.metrics.inflight 1;
+      (match job.j_class with
+      | Heavy -> Atomic.decr t.heavy_queued
+      | Cheap -> Atomic.decr t.cheap_queued);
+      Atomic.incr t.metrics.inflight;
       let t_deq = Obs.now_ns () in
-      let queue_ns = Int64.to_int (Int64.sub t_deq job.j_enqueued_ns) in
-      (* fresh sinks per request: the span tree recorded during this job
-         — and a trace export, if one was asked for — covers exactly
-         this request, and daemon memory stays bounded *)
-      Obs.reset ();
+      (* fresh sink(s) per request so the exported span tree covers
+         exactly this request and daemon memory stays bounded.  One
+         executor: reset and export everything, pool workers included
+         (no concurrent writer exists).  Several: strictly this
+         domain's sink, so siblings' in-flight requests are untouched. *)
+      let scope = if t.executors = 1 then Obs.All_domains else Obs.This_domain in
+      if t.executors = 1 then Obs.reset () else Obs.reset_domain ();
       let root =
         Obs.start_span "serve.request"
           ~args:
             [ ("verb", Protocol.verb_name job.j_req.Protocol.verb);
-              ("trace_id", job.j_trace_id) ]
+              ("trace_id",
+               match job.j_waiters with
+               | [ w ] -> w.w_trace_id
+               | ws -> (match List.rev ws with w :: _ -> w.w_trace_id | [] -> "")) ]
       in
-      Obs.record_span "serve.queue_wait" ~start_ns:job.j_enqueued_ns ~stop_ns:t_deq;
+      (match job.j_waiters with
+      | [ w ] | w :: _ ->
+        Obs.record_span "serve.queue_wait" ~start_ns:w.w_enqueued_ns ~stop_ns:t_deq
+      | [] -> ());
+      (* coalescing: keep the batch joinable for the window, then seal
+         it.  The span carries the final batch size. *)
+      let waiters =
+        match job.j_key with
+        | None -> claim_job t job
+        | Some _ ->
+          let timer = Obs.start_span "serve.coalesce" in
+          hold_batch_window t job;
+          let ws = claim_job t job in
+          Obs.stop_span timer
+            ~args:(fun () -> [ ("batch", string_of_int (List.length ws)) ]);
+          ws
+      in
+      let n_waiters = List.length waiters in
+      let t_claim = Obs.now_ns () in
       let status, body =
         match dispatch t job.j_req with
         | body -> (Protocol.Ok_, body)
         | exception e -> (Protocol.Failed, Printexc.to_string e)
       in
       Obs.stop_span root;
-      let service_ns = Int64.to_int (Int64.sub (Obs.now_ns ()) t_deq) in
-      let trace_export =
-        match job.j_req.Protocol.trace with
-        | None -> None
-        | Some Protocol.Trace_jsonl -> Some (Obs.jsonl ())
-        | Some Protocol.Trace_chrome -> Some (Obs.chrome_trace ())
-        | Some Protocol.Trace_folded -> Some (Obs.to_collapsed ())
+      (* service time excludes the deliberate window hold — that wait is
+         queue-side policy and lands in each waiter's queue_ns *)
+      let service_ns = Int64.to_int (Int64.sub (Obs.now_ns ()) t_claim) in
+      if job.j_key <> None then record_batch t.metrics ~size:n_waiters;
+      (* one export per requested format, shared by every waiter that
+         asked for it: the execution is genuinely theirs *)
+      let exports =
+        List.filter_map (fun w -> w.w_trace) waiters
+        |> List.sort_uniq compare
+        |> List.map (fun fmt ->
+               ( fmt,
+                 match fmt with
+                 | Protocol.Trace_jsonl -> Obs.jsonl ~scope ()
+                 | Protocol.Trace_chrome -> Obs.chrome_trace ~scope ()
+                 | Protocol.Trace_folded -> Obs.to_collapsed ~scope () ))
       in
       let verb = Protocol.verb_name job.j_req.Protocol.verb in
       let status_name = Protocol.status_name status in
-      record_request t.metrics ~verb ~status:status_name ~queue_ns ~service_ns;
-      log_access t ~trace_id:job.j_trace_id ~verb ~status:status_name ~queue_ns
-        ~service_ns;
-      Atomic.incr t.served;
-      let response =
-        { Protocol.status;
-          trace_id = job.j_trace_id;
-          verb;
-          body;
-          queue_ns;
-          service_ns;
-          pool_size = Pool.size t.pool;
-          trace_export }
-      in
-      push_response t job.j_conn (Protocol.response_to_json response);
-      Atomic.set t.metrics.inflight 0;
+      List.iter
+        (fun w ->
+          let queue_ns = Int64.to_int (Int64.sub t_claim w.w_enqueued_ns) in
+          record_request t.metrics ~verb ~status:status_name ~queue_ns ~service_ns;
+          log_access t ~trace_id:w.w_trace_id ~verb ~status:status_name ~queue_ns
+            ~service_ns ~executor:slot;
+          Atomic.incr t.served;
+          let response =
+            { Protocol.status;
+              trace_id = w.w_trace_id;
+              verb;
+              body;
+              queue_ns;
+              service_ns;
+              pool_size = Pool.size t.pool;
+              trace_export = Option.bind w.w_trace (fun f -> List.assoc_opt f exports) }
+          in
+          push_response t w.w_conn (Protocol.response_to_json response))
+        waiters;
+      Atomic.decr t.metrics.inflight;
       loop ()
   in
   loop ()
@@ -389,13 +598,15 @@ let flush_responses t conns =
   in
   go ()
 
-(* A request answered without ever reaching the executor: a parse error,
-   or the bounded queue pushing back.  Still logged, still counted. *)
-let respond_immediately t conns conn_id ~status ~verb ~body =
+(* A request answered without ever reaching an executor: a parse error,
+   the admission control pushing back, or a result-cache hit.  Still
+   logged, still counted. *)
+let respond_immediately t conns conn_id ~status ~verb ?(service_ns = 0) ~body () =
   let trace_id = fresh_trace_id t in
   let status_name = Protocol.status_name status in
-  record_request t.metrics ~verb ~status:status_name ~queue_ns:0 ~service_ns:0;
-  log_access t ~trace_id ~verb ~status:status_name ~queue_ns:0 ~service_ns:0;
+  record_request t.metrics ~verb ~status:status_name ~queue_ns:0 ~service_ns;
+  log_access t ~trace_id ~verb ~status:status_name ~queue_ns:0 ~service_ns
+    ~executor:(-1);
   Atomic.incr t.served;
   let response =
     { Protocol.status;
@@ -403,31 +614,103 @@ let respond_immediately t conns conn_id ~status ~verb ~body =
       verb;
       body;
       queue_ns = 0;
-      service_ns = 0;
+      service_ns;
       pool_size = Pool.size t.pool;
       trace_export = None }
   in
   write_response conns conn_id (Protocol.response_to_json response)
+
+(* Admission of a parsed request, in order:
+   1. result cache (pure verbs, no trace asked): answer the hit on the
+      spot — a cached body is byte-identical to a cold run by the cache
+      layer's contract, and it never occupies a queue slot;
+   2. coalesce: attach to a pending batch with the same canonical key;
+   3. class cap, then queue push; either refusal is a structured
+      [overloaded] reply naming what was exhausted. *)
+let admit t conns conn_id (req : Protocol.request) =
+  let verb = Protocol.verb_name req.Protocol.verb in
+  let cache_hit =
+    match t.cache with
+    | Some cache when req.Protocol.trace = None ->
+      let t0 = Obs.now_ns () in
+      (match Verbs.cache_find cache req with
+      | Some body ->
+        let service_ns = Int64.to_int (Int64.sub (Obs.now_ns ()) t0) in
+        respond_immediately t conns conn_id ~status:Protocol.Ok_ ~verb ~service_ns
+          ~body ();
+        true
+      | None -> false)
+    | Some _ | None -> false
+  in
+  if not cache_hit then begin
+    let now = Obs.now_ns () in
+    let waiter =
+      { w_conn = conn_id;
+        w_trace_id = fresh_trace_id t;
+        w_enqueued_ns = now;
+        w_trace = req.Protocol.trace }
+    in
+    let wclass = weight_of_verb req.Protocol.verb in
+    let class_queued =
+      match wclass with Heavy -> t.heavy_queued | Cheap -> t.cheap_queued
+    in
+    let class_cap =
+      match wclass with Heavy -> t.heavy_cap | Cheap -> t.cfg.queue_capacity
+    in
+    let reject body =
+      respond_immediately t conns conn_id ~status:Protocol.Overloaded ~verb ~body ()
+    in
+    (* the whole join-or-create step is atomic under batch_mutex, so two
+       identical requests racing through admission cannot both lead *)
+    Mutex.lock t.batch_mutex;
+    let key = Protocol.coalesce_key req in
+    let joined =
+      match Option.bind key (Hashtbl.find_opt t.pending) with
+      | Some job when not job.j_closed ->
+        job.j_waiters <- waiter :: job.j_waiters;
+        true
+      | Some _ | None -> false
+    in
+    if joined then Mutex.unlock t.batch_mutex
+    else if Atomic.get class_queued >= class_cap then begin
+      Mutex.unlock t.batch_mutex;
+      reject
+        (Printf.sprintf
+           "server overloaded: %d %s request(s) queued (class cap %d, queue capacity %d)"
+           (Atomic.get class_queued) (weight_name wclass) class_cap
+           t.cfg.queue_capacity)
+    end
+    else begin
+      let job =
+        { j_req = req;
+          j_key = key;
+          j_class = wclass;
+          j_created_ns = now;
+          j_waiters = [ waiter ];
+          j_closed = false }
+      in
+      Atomic.incr class_queued;
+      if Workq.try_push t.queue job then begin
+        (match key with Some k -> Hashtbl.replace t.pending k job | None -> ());
+        Mutex.unlock t.batch_mutex
+      end
+      else begin
+        Atomic.decr class_queued;
+        Mutex.unlock t.batch_mutex;
+        reject
+          (Printf.sprintf "server overloaded: work queue full (capacity %d)"
+             (Workq.capacity t.queue))
+      end
+    end
+  end
 
 let handle_line t conns conn_id line =
   if String.trim line <> "" then begin
     match Protocol.request_of_json line with
     | Error msg ->
       respond_immediately t conns conn_id ~status:Protocol.Failed ~verb:"invalid"
-        ~body:msg
-    | Ok req ->
-      let job =
-        { j_conn = conn_id;
-          j_req = req;
-          j_trace_id = fresh_trace_id t;
-          j_enqueued_ns = Obs.now_ns () }
-      in
-      if not (Workq.try_push t.queue job) then
-        respond_immediately t conns conn_id ~status:Protocol.Overloaded
-          ~verb:(Protocol.verb_name req.Protocol.verb)
-          ~body:
-            (Printf.sprintf "server overloaded: work queue full (capacity %d)"
-               (Workq.capacity t.queue))
+        ~body:msg ()
+    | Ok req -> admit t conns conn_id req
   end
 
 let handle_readable t conns conn_id c =
@@ -486,7 +769,9 @@ let run t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Obs.enable ();
   Obs.reset ();
-  let executor = Domain.spawn (fun () -> executor_loop t) in
+  let executors =
+    List.init t.executors (fun slot -> Domain.spawn (fun () -> executor_loop t slot))
+  in
   let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
   let next_conn = ref 0 in
   while not (Atomic.get t.stop) do
@@ -504,11 +789,12 @@ let run t =
     |> List.iter (fun (id, c) -> handle_readable t conns id c)
   done;
   (* clean shutdown: stop admitting, drain the queue (close is
-     end-of-stream, so already-admitted jobs still execute), deliver the
+     end-of-stream, so already-admitted jobs still execute — pending
+     batch windows are cut short by the stop flag), deliver the
      remaining responses, flush the final metrics snapshot *)
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   Workq.close t.queue;
-  Domain.join executor;
+  List.iter Domain.join executors;
   flush_responses t conns;
   Hashtbl.iter (fun _ c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ()) conns;
   Hashtbl.reset conns;
@@ -527,6 +813,7 @@ let run t =
   try Unix.close t.wake_w with Unix.Unix_error _ -> ()
 
 let served t = Atomic.get t.served
+let executors t = t.executors
 
 (* ---- in-process harness (tests, bench load driver) ---- *)
 

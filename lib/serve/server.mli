@@ -1,21 +1,33 @@
-(** The msoc daemon: plan / measure / faultsim requests over a
-    Unix-domain socket, executed one at a time on the shared domain pool
-    behind a bounded queue with backpressure.
+(** The msoc daemon: plan / measure / faultsim / montecarlo / schedule
+    requests over a Unix-domain socket, executed on the shared domain
+    pool behind a bounded queue with class-aware backpressure, a
+    synthesis result cache and a request-coalescing stage.
 
-    Two domains: the {e acceptor} (the caller of {!run}) multiplexes
-    accept/read/write through one select loop and answers ["overloaded"]
-    immediately when the queue is full; the {e executor} pops jobs and
-    runs them on the pool, so FFT plans and per-domain scratch stay warm
-    across requests.
+    One {e acceptor} (the caller of {!run}) multiplexes
+    accept/read/write through one select loop; it classifies each
+    request (ping/metrics are {e cheap}, compute verbs are {e heavy}),
+    rejects with a structured ["overloaded"] reply when the class cap or
+    the queue is exhausted, probes the result cache (answering hits on
+    the spot), and attaches identical-model faultsim/montecarlo requests
+    to a pending batch instead of queueing duplicates.  {e K executors}
+    ([executors], default = pool size) pop the shared queue
+    concurrently; a claimed coalescable batch is held open for
+    [batch_window_ms] so concurrent duplicates can still join, then one
+    pooled execution is fanned back to every waiter.  All answers are
+    byte-identical regardless of executor count, cache state or batch
+    membership — the compute verbs are deterministic functions of their
+    canonical key.
 
     Observability: every request gets a trace id; it runs under a
-    [serve.request] span with [serve.queue_wait] / [serve.execute] /
-    [serve.serialize] children (the Obs sinks are reset at dequeue, so a
-    requested trace export covers exactly that request); service-level
-    counters, log2-bucket latency histograms and gauges accumulate in a
-    server-owned registry that the [metrics] verb appends to
-    [Obs.to_prometheus] output; one JSON access-log line is written per
-    request.
+    [serve.request] span with [serve.queue_wait] / [serve.coalesce] /
+    [serve.execute] / [serve.serialize] children.  With one executor the
+    Obs sinks are fully reset per request (pool workers included); with
+    several, each executor resets and exports only its own domain's
+    sink, so concurrent traces stay disjoint.  Service-level counters,
+    log2-bucket latency histograms, coalescing and cache counters and
+    gauges accumulate in a server-owned registry that the [metrics] verb
+    appends to [Obs.to_prometheus] output; one JSON access-log line is
+    written per request (mutex-guarded — lines never interleave).
 
     While a server is running it owns the global [Obs] state (enabled,
     reset per request); {!run} restores disabled-and-reset on return. *)
@@ -23,25 +35,40 @@
 type config = {
   socket_path : string;
   queue_capacity : int;
+  executors : int option;
+      (** executor domains popping the shared queue; [None] = pool size *)
+  cache_size : int;  (** result-cache entries; [0] disables the cache *)
+  batch_window_ms : int;
+      (** how long a claimed coalescable batch stays open to joiners;
+          [0] coalesces only while a batch is still queued *)
+  heavy_cap : int option;
+      (** max queued heavy (compute) jobs; [None] = 3/4 of the queue
+          capacity, so cheap probes always find queue space *)
   access_log : string option;   (** JSON lines, one per request *)
   metrics_out : string option;  (** final metrics flush on shutdown *)
   pool : Msoc_util.Pool.t option;  (** [None] means [Pool.get_default ()] *)
 }
 
 val config :
-  ?queue_capacity:int -> ?access_log:string -> ?metrics_out:string ->
-  ?pool:Msoc_util.Pool.t -> string -> config
-(** [config socket_path] with queue capacity 64 and no logs. *)
+  ?queue_capacity:int -> ?executors:int -> ?cache_size:int ->
+  ?batch_window_ms:int -> ?heavy_cap:int -> ?access_log:string ->
+  ?metrics_out:string -> ?pool:Msoc_util.Pool.t -> string -> config
+(** [config socket_path] with queue capacity 64, executors = pool size,
+    a 256-entry cache, no batch window, heavy cap 3/4 of the queue, and
+    no logs. *)
 
 type t
 
 val create : config -> t
 (** Bind and listen on the socket (an existing socket file is replaced)
-    and open the access log.  Clients may connect from this point on. *)
+    and open the access log.  Clients may connect from this point on.
+
+    @raise Invalid_argument when [executors] or [heavy_cap] is below 1. *)
 
 val run : t -> unit
 (** Serve until {!request_stop}: blocks the calling domain.  Installs a
-    SIGPIPE-ignore handler; on return the queue has drained, pending
+    SIGPIPE-ignore handler; on return the queue has drained (admitted
+    jobs still execute; open batch windows are cut short), pending
     responses are delivered, the final metrics snapshot is written to
     [metrics_out], and the socket file is unlinked. *)
 
@@ -50,13 +77,18 @@ val request_stop : t -> unit
     domain and from an OCaml signal handler. *)
 
 val served : t -> int
-(** Requests answered so far (any status, including rejections). *)
+(** Requests answered so far (any status, including rejections and
+    cache hits). *)
+
+val executors : t -> int
+(** The resolved executor count. *)
 
 val metrics_payload : t -> string
 (** The [metrics] verb's body: [Obs.to_prometheus ()] followed by the
     server registry (request counters by verb/status, latency and
-    queue-wait histograms, in-flight / queue-depth / capacity / pool
-    gauges). *)
+    queue-wait histograms, coalescing counters and batch-size histogram,
+    in-flight / queue-depth / capacity / pool gauges) and the cache,
+    executor, queue-accounting and class-occupancy series. *)
 
 (** {2 In-process harness} — tests and the bench load driver run the
     daemon on a spawned domain instead of a separate process. *)

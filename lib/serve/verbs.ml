@@ -6,10 +6,13 @@
 
 module Pool = Msoc_util.Pool
 module Prng = Msoc_util.Prng
+module Lru = Msoc_util.Lru
 module Texttable = Msoc_util.Texttable
+module Param = Msoc_analog.Param
 module Obs = Msoc_obs.Obs
 module Path = Msoc_analog.Path
 module Topology = Msoc_analog.Topology
+module Monte_carlo = Msoc_stat.Monte_carlo
 module Soc = Msoc_soc.Soc
 module Schedule = Msoc_soc.Schedule
 open Msoc_synth
@@ -115,6 +118,62 @@ let faultsim ~pool (req : Protocol.request) =
         (100.0 *. det.Digital_test.coverage)
         det.Digital_test.detected det.Digital_test.total det.Digital_test.noise_floor_db)
 
+(* The Figure 4 error model: sample a part within its tolerances,
+   de-embed the mixer IIP3 from the cascade observable with the chosen
+   strategy, compare against the sampled truth.  Trials run on the
+   domain pool with one pre-split generator stream per trial, so the
+   distribution is bit-identical at every pool size.  Seed 0 (the shared
+   request default) means the canonical study seed, like seed 0 means
+   the nominal part elsewhere. *)
+let montecarlo_canonical_seed = 31415
+
+let montecarlo ~pool (req : Protocol.request) =
+  if req.trials < 2 then failwith "montecarlo: trials must be at least 2";
+  let strategy = strategy_of req in
+  let seed = if req.seed = 0 then montecarlo_canonical_seed else req.seed in
+  let path = Path.default_receiver () in
+  let param name1 name2 = Path.param path ~stage:name1 ~name:name2 in
+  let iip3 = param "Mixer" "iip3_dbm" in
+  let amp_gain = param "Amp" "gain_db" in
+  let mixer_gain = param "Mixer" "gain_db" in
+  let lpf_gain = param "LPF" "gain_db" in
+  let m = Propagate.mixer_iip3 path ~strategy in
+  let errs =
+    Obs.span "serve.execute" (fun () ->
+        Monte_carlo.sample_array_pooled ~pool ~trials:req.trials ~rng:(Prng.create seed)
+          ~f:(fun g _ ->
+            let actual_amp = Param.sample amp_gain g in
+            let actual_mixer = Param.sample mixer_gain g in
+            let actual_lpf = Param.sample lpf_gain g in
+            let true_iip3 = Param.sample iip3 g in
+            let observable = true_iip3 +. actual_mixer +. actual_lpf in
+            let estimate =
+              match strategy with
+              | Propagate.Nominal_gains ->
+                observable -. mixer_gain.Param.nominal -. lpf_gain.Param.nominal
+              | Propagate.Adaptive ->
+                (* path gain measured exactly; G_amp assumed nominal — only
+                   the amp's tolerance survives in the error *)
+                let path_gain = actual_amp +. actual_mixer +. actual_lpf in
+                observable -. path_gain +. amp_gain.Param.nominal
+            in
+            estimate -. true_iip3)
+          ())
+  in
+  Obs.span "serve.serialize" (fun () ->
+      let rms = Msoc_stat.Describe.rms errs in
+      let worst = Msoc_util.Floatx.max_abs errs in
+      let t =
+        Texttable.create ~headers:[ "Strategy"; "Budget (worst)"; "RMS err"; "Max err" ]
+      in
+      Texttable.add_row t
+        [ Propagate.strategy_name strategy;
+          Printf.sprintf "%.3f dB" (Propagate.err m);
+          Printf.sprintf "%.3f dB" rms;
+          Printf.sprintf "%.3f dB" worst ];
+      Printf.sprintf "IIP3 de-embedding error, %d trials (seed %d):\n" req.trials seed
+      ^ Texttable.render t)
+
 let schedule ~pool (req : Protocol.request) =
   let soc = soc_of req in
   (* seed 0 (the shared request default) means the canonical annealing
@@ -139,6 +198,7 @@ let handlers =
   [ (Protocol.Plan, plan);
     (Protocol.Measure, measure);
     (Protocol.Faultsim, faultsim);
+    (Protocol.Montecarlo, montecarlo);
     (Protocol.Schedule, schedule) ]
 
 let find verb = List.assoc_opt verb handlers
@@ -150,3 +210,46 @@ let run ~pool (req : Protocol.request) =
     invalid_arg
       (Printf.sprintf "Verbs.run: %S is not a compute verb"
          (Protocol.verb_name req.verb))
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis result cache.  Compute verbs are pure functions of their   *)
+(* canonical key (Protocol.cache_key), so the rendered body can be      *)
+(* reused outright — both front ends share this layer, which is what    *)
+(* keeps a cached daemon reply byte-identical to a cold CLI run.        *)
+(* ------------------------------------------------------------------ *)
+
+type cache = string Lru.t
+
+let create_cache ~size = if size <= 0 then None else Some (Lru.create ~capacity:size)
+
+let cache_stats cache = (Lru.hits cache, Lru.misses cache, Lru.evictions cache)
+
+let cache_find cache (req : Protocol.request) =
+  match Protocol.cache_key req with
+  | None -> None
+  | Some key ->
+    let r = Lru.find cache key in
+    Obs.count (if r = None then "serve.cache.miss" else "serve.cache.hit");
+    r
+
+(* Fill without probing: the daemon acceptor already counted the miss at
+   admission time, so the executor's fill must not touch the hit/miss
+   counters.  No-op for uncacheable verbs. *)
+let cache_add cache (req : Protocol.request) body =
+  match Protocol.cache_key req with
+  | None -> ()
+  | Some key -> Lru.add cache key body
+
+let run_cached ?cache ~pool (req : Protocol.request) =
+  match (cache, Protocol.cache_key req) with
+  | None, _ | _, None -> (run ~pool req, false)
+  | Some cache, Some key ->
+    (match Lru.find cache key with
+    | Some body ->
+      Obs.count "serve.cache.hit";
+      (body, true)
+    | None ->
+      Obs.count "serve.cache.miss";
+      let body = run ~pool req in
+      Lru.add cache key body;
+      (body, false))

@@ -1,8 +1,9 @@
 (** Shared bodies of the compute verbs (plan, measure, faultsim,
-    schedule): each verb's computation and rendering is implemented once
-    here and reused by both the msoc CLI subcommands and the daemon
-    executor, so the two front ends answer byte-identically and a new
-    verb is registered in one dispatch table, not two.
+    montecarlo, schedule): each verb's computation and rendering is
+    implemented once here and reused by both the msoc CLI subcommands
+    and the daemon executor, so the two front ends answer
+    byte-identically and a new verb is registered in one dispatch table,
+    not two.
 
     Every body runs its computation under a [serve.execute] span and its
     rendering under [serve.serialize], so request traces attribute time
@@ -22,3 +23,42 @@ val find :
   Protocol.verb -> (pool:Msoc_util.Pool.t -> Protocol.request -> string) option
 (** The dispatch table entry for a verb, or [None] for the daemon-state
     verbs. *)
+
+val montecarlo_canonical_seed : int
+(** The study seed that request seed 0 stands for (seed 0 is "the
+    canonical run" across verbs, like the nominal part in [measure]). *)
+
+(** {2 Synthesis result cache}
+
+    Compute verbs are pure functions of their canonical request key
+    ({!Protocol.cache_key}), so rendered bodies can be reused outright.
+    The cache layer lives here — below both front ends — which is what
+    keeps a cached reply byte-identical to a cold one. *)
+
+type cache
+(** A bounded LRU from canonical request keys to rendered bodies, safe
+    to probe and fill from any mix of domains. *)
+
+val create_cache : size:int -> cache option
+(** [None] when [size <= 0]: a disabled cache is no cache. *)
+
+val cache_find : cache -> Protocol.request -> string option
+(** Probe without computing (the admission-time fast path); counts a
+    [serve.cache.hit] / [serve.cache.miss] Obs event and the LRU's own
+    counters.  Always [None] for non-cacheable verbs. *)
+
+val cache_add : cache -> Protocol.request -> string -> unit
+(** Fill the cache with a freshly rendered body, without touching the
+    hit/miss counters (the probe already counted the miss).  No-op for
+    non-cacheable verbs. *)
+
+val cache_stats : cache -> int * int * int
+(** [(hits, misses, evictions)] since creation, for the
+    [msoc_serve_cache_*_total] metric family. *)
+
+val run_cached :
+  ?cache:cache -> pool:Msoc_util.Pool.t -> Protocol.request -> string * bool
+(** Like {!run} but consulting (and filling) the cache when one is given
+    and the verb is cacheable.  Returns the body and whether it was a
+    cache hit — the hit body is byte-identical to what a cold run would
+    have rendered. *)

@@ -33,7 +33,17 @@ type row = {
      surfaced so a "pass" from 2-3 wild samples is not mistaken for
      evidence. *)
   noisy : bool;
+  (* either side of a paired timing has fewer than [min_samples]
+     iterations: the Welch interval is built on too little data for its
+     coverage to mean much.  Never gates, but tagged in the render. *)
+  low_samples : bool;
 }
+
+(* Below this many iterations per side a t-interval is mostly prior:
+   with n = 8 the 97.5% t quantile is already ~2.4x the normal one's
+   worth of slop on a 7-df estimate of a possibly skewed latency
+   distribution. *)
+let min_samples = 8
 
 type t = {
   rows : row list;
@@ -70,7 +80,8 @@ let timing_row ~tolerance_pct section (o : Report.timing) (n : Report.timing) =
     verdict;
     old_minor_words = o.Report.minor_words;
     new_minor_words = n.Report.minor_words;
-    noisy = ci > 0.0 && ci >= Float.abs delta }
+    noisy = ci > 0.0 && ci >= Float.abs delta;
+    low_samples = o.Report.samples < min_samples || n.Report.samples < min_samples }
 
 (* A scalar violating the bound it declares on itself (schema v4) is a
    hard regression regardless of the baseline side: the bound encodes an
@@ -92,18 +103,19 @@ let scalar_row section (o : Report.scalar) (n : Report.scalar) =
     verdict = (if bound_violated n then Regressed else Info);
     old_minor_words = 0.0;
     new_minor_words = 0.0;
-    noisy = false }
+    noisy = false;
+    low_samples = false }
 
 let unpaired section metric ~side value =
   match side with
   | `Old ->
     { section; metric; old_value = value; new_value = nan; delta_pct = nan;
       ci_pct = nan; verdict = Missing_new; old_minor_words = 0.0;
-      new_minor_words = 0.0; noisy = false }
+      new_minor_words = 0.0; noisy = false; low_samples = false }
   | `New ->
     { section; metric; old_value = nan; new_value = value; delta_pct = nan;
       ci_pct = nan; verdict = Missing_old; old_minor_words = 0.0;
-      new_minor_words = 0.0; noisy = false }
+      new_minor_words = 0.0; noisy = false; low_samples = false }
 
 (* Pair two row lists by name, preserving the old report's order; rows
    unique to the new report trail in their own order. *)
@@ -178,6 +190,9 @@ let gate_failed t = t.regressed > 0 || t.missing > 0
 let noisy_count t =
   List.length (List.filter (fun r -> r.noisy) t.rows)
 
+let low_samples_count t =
+  List.length (List.filter (fun r -> r.low_samples) t.rows)
+
 let render t =
   let module T = Msoc_util.Texttable in
   let table =
@@ -193,7 +208,9 @@ let render t =
       T.add_row table
         [ r.section; r.metric; cell r.old_value; cell r.new_value; cell r.delta_pct;
           cell r.ci_pct; words r.old_minor_words; words r.new_minor_words;
-          verdict_name r.verdict ^ (if r.noisy then " (noisy)" else "") ])
+          verdict_name r.verdict
+          ^ (if r.noisy then " (noisy)" else "")
+          ^ (if r.low_samples then " (low samples)" else "") ])
     t.rows;
   let summary =
     Printf.sprintf "%d compared: %d improved, %d regressed, %d missing\n"
@@ -208,4 +225,14 @@ let render t =
          rerun with more samples before trusting their verdicts\n"
         k
   in
-  T.render table ^ summary ^ warning
+  let sample_warning =
+    match low_samples_count t with
+    | 0 -> ""
+    | k ->
+      Printf.sprintf
+        "warning: %d timing row(s) have fewer than %d samples on a side — the \
+         confidence interval is unreliable at that size; prefer a full (non-quick) \
+         bench run before trusting their verdicts\n"
+        k min_samples
+  in
+  T.render table ^ summary ^ warning ^ sample_warning

@@ -42,7 +42,15 @@ type row = {
   new_minor_words : float;
   noisy : bool;        (** Timing row whose 95% CI spans zero: the verdict
                            is a non-result, warned about in {!render}. *)
+  low_samples : bool;  (** Either side of a paired timing ran fewer than
+                           {!min_samples} iterations: the interval is
+                           built on too little data.  Tagged in {!render},
+                           never gates. *)
 }
+
+val min_samples : int
+(** The per-side iteration count below which a timing row is tagged
+    [low_samples] (currently 8). *)
 
 type t = {
   rows : row list;
@@ -62,7 +70,12 @@ val gate_failed : t -> bool
 val noisy_count : t -> int
 (** Timing rows whose confidence interval spans zero. *)
 
+val low_samples_count : t -> int
+(** Timing rows with fewer than {!min_samples} iterations on a side. *)
+
 val render : t -> string
 (** Texttable: one row per compared metric (timing rows carry their
-    minor-word columns), verdict column last, followed by the summary line
-    and — when {!noisy_count} is non-zero — a CI-spans-zero warning. *)
+    minor-word columns), verdict column last — tagged ["(noisy)"] /
+    ["(low samples)"] as applicable — followed by the summary line and a
+    warning paragraph for each non-zero {!noisy_count} /
+    {!low_samples_count}. *)

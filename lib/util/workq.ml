@@ -16,6 +16,11 @@ type 'a t = {
   items : 'a Queue.t;
   capacity : int;
   mutable closed : bool;
+  (* overload accounting: every push attempt lands in exactly one of
+     these, so accepted - popped items is the current depth and the
+     rejection count is an overload signal exporters can scrape *)
+  mutable accepted : int;
+  mutable rejected : int;
 }
 
 let create ~capacity =
@@ -24,7 +29,9 @@ let create ~capacity =
     nonempty = Condition.create ();
     items = Queue.create ();
     capacity;
-    closed = false }
+    closed = false;
+    accepted = 0;
+    rejected = 0 }
 
 let capacity t = t.capacity
 
@@ -39,8 +46,10 @@ let try_push t v =
   let accepted = (not t.closed) && Queue.length t.items < t.capacity in
   if accepted then begin
     Queue.add v t.items;
+    t.accepted <- t.accepted + 1;
     Condition.signal t.nonempty
-  end;
+  end
+  else t.rejected <- t.rejected + 1;
   Mutex.unlock t.mutex;
   accepted
 
@@ -80,3 +89,15 @@ let is_closed t =
   let c = t.closed in
   Mutex.unlock t.mutex;
   c
+
+let accepted t =
+  Mutex.lock t.mutex;
+  let n = t.accepted in
+  Mutex.unlock t.mutex;
+  n
+
+let rejected t =
+  Mutex.lock t.mutex;
+  let n = t.rejected in
+  Mutex.unlock t.mutex;
+  n

@@ -6,7 +6,10 @@
     Consumers block in {!pop} until work arrives or the queue is closed
     and drained.
 
-    Safe to use from any mix of domains. *)
+    Safe to use from any mix of domains, with any number of concurrent
+    consumers: each item is delivered to exactly one popper, and
+    {!close} is end-of-stream — already-queued items are still drained
+    (once each) before every blocked consumer unblocks with [None]. *)
 
 type 'a t
 
@@ -35,3 +38,10 @@ val close : 'a t -> unit
 (** Reject all future pushes and wake every blocked consumer.  Idempotent. *)
 
 val is_closed : 'a t -> bool
+
+val accepted : 'a t -> int
+(** Total pushes that succeeded since {!create}.  Every push attempt is
+    counted in exactly one of {!accepted} and {!rejected}. *)
+
+val rejected : 'a t -> int
+(** Total pushes refused (full or closed) — the overload signal. *)

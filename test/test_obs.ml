@@ -536,6 +536,43 @@ let test_events_cap_of_env () =
   Alcotest.(check int) "garbage falls back to the default" default
     (Obs.events_cap_of_env (Some "lots"))
 
+(* ---- per-domain scope: reset_domain and scoped exports ---- *)
+
+let test_domain_scope () =
+  (* two domains record spans concurrently; each one's This_domain view
+     contains exactly its own spans while All_domains merges both, and
+     reset_domain clears only the calling domain's sink *)
+  with_recording @@ fun () ->
+  Obs.span "acceptor.local" (fun () -> ());
+  let other =
+    Domain.spawn (fun () ->
+        Obs.span "executor.remote" (fun () -> ());
+        let mine = Obs.jsonl ~scope:Obs.This_domain () in
+        let everyone = Obs.jsonl ~scope:Obs.All_domains () in
+        (mine, everyone))
+  in
+  let remote_own, remote_all = Domain.join other in
+  Alcotest.(check bool) "remote sees its own span" true
+    (contains_sub remote_own "executor.remote");
+  Alcotest.(check bool) "remote scope excludes the other domain" false
+    (contains_sub remote_own "acceptor.local");
+  Alcotest.(check bool) "all-domains merges both" true
+    (contains_sub remote_all "acceptor.local"
+    && contains_sub remote_all "executor.remote");
+  let own = Obs.jsonl ~scope:Obs.This_domain () in
+  Alcotest.(check bool) "local sees its own span" true
+    (contains_sub own "acceptor.local");
+  Alcotest.(check bool) "local scope excludes the other domain" false
+    (contains_sub own "executor.remote");
+  (* default scope stays the merged view (the PR-8 exporters) *)
+  Alcotest.(check bool) "default scope merges" true
+    (contains_sub (Obs.jsonl ()) "executor.remote");
+  Obs.reset_domain ();
+  Alcotest.(check string) "reset_domain clears this domain" ""
+    (Obs.jsonl ~scope:Obs.This_domain ());
+  Alcotest.(check bool) "other domains' spans survive" true
+    (contains_sub (Obs.jsonl ()) "executor.remote")
+
 (* ---- build info and dropped-event alias ---- *)
 
 let test_prometheus_build_info () =
@@ -583,6 +620,8 @@ let () =
         [ Alcotest.test_case "MSOC_OBS_MAX_EVENTS parsing" `Quick test_events_cap_of_env ] );
       ( "disabled",
         [ Alcotest.test_case "probes are no-ops" `Quick test_disabled_noop ] );
+      ( "scope",
+        [ Alcotest.test_case "per-domain reset and export" `Quick test_domain_scope ] );
       ( "exporters",
         [ Alcotest.test_case "chrome trace structure" `Quick test_chrome_trace_valid;
           Alcotest.test_case "jsonl structure" `Quick test_jsonl_valid;

@@ -337,6 +337,38 @@ let test_noisy_rows_warned () =
      in
      scan 0)
 
+let test_low_sample_rows_tagged () =
+  (* a timing with fewer than min_samples iterations on either side is
+     tagged "(low samples)" and warned about, but never gates *)
+  let old_report = report_of [ ("kernels", [ ("tiny", 1000.0, 1.0, 4) ]) ] in
+  let new_report = report_of [ ("kernels", [ ("tiny", 1001.0, 1.0, 100) ]) ] in
+  let d = Bench_diff.diff ~old_report ~new_report () in
+  Alcotest.(check int) "low_samples_count" 1 (Bench_diff.low_samples_count d);
+  Alcotest.(check bool) "row flagged" true
+    (find_row d "kernels" "tiny").Bench_diff.low_samples;
+  Alcotest.(check bool) "low samples do not gate" false (Bench_diff.gate_failed d);
+  let text = Bench_diff.render d in
+  let contains hay needle =
+    let nl = String.length needle and tl = String.length hay in
+    let rec scan i =
+      i + nl <= tl && (String.equal (String.sub hay i nl) needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "verdict suffixed" true (contains text "(low samples)");
+  Alcotest.(check bool) "warning names the threshold" true
+    (contains text (Printf.sprintf "fewer than %d samples" Bench_diff.min_samples));
+  (* both sides at or above the threshold: no tag *)
+  let ok =
+    Bench_diff.diff
+      ~old_report:(report_of [ ("kernels", [ ("k", 1000.0, 1.0, 8) ]) ])
+      ~new_report:(report_of [ ("kernels", [ ("k", 1001.0, 1.0, 8) ]) ])
+      ()
+  in
+  Alcotest.(check int) "threshold is strict" 0 (Bench_diff.low_samples_count ok);
+  Alcotest.(check bool) "clean render untagged" false
+    (contains (Bench_diff.render ok) "(low samples)")
+
 let scalar_report rows =
   let b = Report.create ~git_rev:"r" ~pool_size:1 ~mode:"quick" () in
   List.iter
@@ -480,6 +512,7 @@ let () =
       ( "bench-diff",
         [ Alcotest.test_case "verdicts on a fixture pair" `Quick test_verdicts;
           Alcotest.test_case "noisy rows warned" `Quick test_noisy_rows_warned;
+          Alcotest.test_case "low-sample rows tagged" `Quick test_low_sample_rows_tagged;
           Alcotest.test_case "improvement alone passes" `Quick test_improvement_only_passes;
           Alcotest.test_case "missing section gates" `Quick test_missing_section_gates;
           Alcotest.test_case "scalar bound gates" `Quick test_scalar_bound_gates;

@@ -1,9 +1,11 @@
-(* Daemon tests: the bounded work queue's semantics, the wire-protocol
-   round trip, queue-full backpressure (a structured "overloaded"
-   response, never a dropped connection), byte-identity of daemon
-   answers with the offline CLI across pool sizes, the metrics verb's
-   Prometheus families, and the per-request trace export round-tripping
-   through the offline trace analyses. *)
+(* Daemon tests: the bounded work queue's semantics (including
+   multi-consumer delivery and accept/reject accounting under
+   contention), the wire-protocol round trip, queue-full and class-cap
+   backpressure (a structured "overloaded" response, never a dropped
+   connection), byte-identity of daemon answers with the offline CLI
+   across pool and executor counts — cold, cached and coalesced — the
+   metrics verb's Prometheus families, and the per-request trace export
+   round-tripping through the offline trace analyses. *)
 
 module Workq = Msoc_util.Workq
 module Pool = Msoc_util.Pool
@@ -11,6 +13,7 @@ module Trace = Msoc_obs.Trace
 module Protocol = Msoc_serve.Protocol
 module Server = Msoc_serve.Server
 module Client = Msoc_serve.Client
+module Verbs = Msoc_serve.Verbs
 module Topology = Msoc_analog.Topology
 open Msoc_synth
 
@@ -83,6 +86,101 @@ let test_workq_cross_domain () =
   Workq.close q;
   Alcotest.(check (list int)) "all items in order" [ 1; 2; 3; 4; 5 ]
     (Domain.join consumer)
+
+(* Drain the queue from [n_consumers] domains until close; returns the
+   per-consumer item lists (each in that consumer's pop order). *)
+let drain_with q n_consumers =
+  List.init n_consumers (fun _ ->
+      Domain.spawn (fun () ->
+          let rec drain acc =
+            match Workq.pop q with Some v -> drain (v :: acc) | None -> List.rev acc
+          in
+          drain []))
+
+let push_all_with_retry q items =
+  List.iter
+    (fun v ->
+      let rec push () =
+        if not (Workq.try_push q v) then begin
+          Domain.cpu_relax ();
+          push ()
+        end
+      in
+      push ())
+    items
+
+let test_workq_multi_consumer () =
+  (* K consumers draining one producer: every item is delivered exactly
+     once regardless of K, and with K = 1 the FIFO order survives *)
+  List.iter
+    (fun n_consumers ->
+      let q = Workq.create ~capacity:4 in
+      let items = List.init 500 (fun i -> i) in
+      let consumers = drain_with q n_consumers in
+      push_all_with_retry q items;
+      Workq.close q;
+      let per_consumer = List.map Domain.join consumers in
+      let consumed = List.concat per_consumer in
+      Alcotest.(check (list int))
+        (Printf.sprintf "no item lost or duplicated at %d consumer(s)" n_consumers)
+        items
+        (List.sort compare consumed);
+      Alcotest.(check int)
+        (Printf.sprintf "accepted matches deliveries at %d consumer(s)" n_consumers)
+        (List.length items) (Workq.accepted q);
+      if n_consumers = 1 then
+        Alcotest.(check (list int)) "single consumer preserves FIFO order" items
+          consumed)
+    [ 1; 2; 4 ]
+
+let test_workq_overload_accounting () =
+  (* two producer domains hammering a capacity-2 queue with two consumers:
+     accepted + rejected equals the exact number of try_push calls, and
+     every accepted item is consumed exactly once *)
+  let q = Workq.create ~capacity:2 in
+  let per_producer = 400 in
+  let consumers = drain_with q 2 in
+  let producers =
+    List.init 2 (fun p ->
+        Domain.spawn (fun () ->
+            let attempts = ref 0 in
+            for v = 0 to per_producer - 1 do
+              let item = (p * per_producer) + v in
+              let rec push () =
+                incr attempts;
+                if not (Workq.try_push q item) then begin
+                  Domain.cpu_relax ();
+                  push ()
+                end
+              in
+              push ()
+            done;
+            !attempts))
+  in
+  let attempts = List.fold_left ( + ) 0 (List.map Domain.join producers) in
+  Workq.close q;
+  let consumed = List.concat (List.map Domain.join consumers) in
+  Alcotest.(check int) "every accepted item consumed once" (2 * per_producer)
+    (List.length (List.sort_uniq compare consumed));
+  Alcotest.(check int) "accepted counts the successes" (2 * per_producer)
+    (Workq.accepted q);
+  Alcotest.(check int) "accepted + rejected = attempts" attempts
+    (Workq.accepted q + Workq.rejected q)
+
+let prop_workq_exactly_once =
+  QCheck.Test.make ~count:25
+    ~name:"workq delivers every accepted item exactly once (any capacity/consumers)"
+    QCheck.(triple (int_range 1 8) (int_range 0 120) (int_range 1 4))
+    (fun (capacity, n_items, n_consumers) ->
+      let q = Workq.create ~capacity in
+      let items = List.init n_items (fun i -> i) in
+      let consumers = drain_with q n_consumers in
+      push_all_with_retry q items;
+      Workq.close q;
+      let consumed = List.concat (List.map Domain.join consumers) in
+      List.sort compare consumed = items
+      && Workq.accepted q = n_items
+      && Workq.pop_opt q = None)
 
 (* ---- wire protocol ---- *)
 
@@ -195,6 +293,10 @@ let expected_plan () =
   Format.asprintf "%a@." Plan.pp_summary (Plan.synthesize ~strategy:Propagate.Adaptive path)
 
 let test_plan_byte_identity () =
+  (* executors default to the pool size, so this sweep exercises 1, 2
+     and 4 concurrent executor domains; the second request is served
+     from the result cache (the default config enables it) and must
+     still be byte-identical to the offline CLI *)
   let expected = expected_plan () in
   List.iter
     (fun size ->
@@ -203,18 +305,189 @@ let test_plan_byte_identity () =
           let handle = Server.start (Server.config ~pool socket_path) in
           Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
           Client.with_connection ~socket_path (fun c ->
-              match Client.request c (Protocol.request Protocol.Plan) with
+              List.iter
+                (fun pass ->
+                  match Client.request c (Protocol.request Protocol.Plan) with
+                  | Error e -> Alcotest.failf "pool %d (%s): %s" size pass e
+                  | Ok resp ->
+                    Alcotest.(check string)
+                      (Printf.sprintf "status at pool %d (%s)" size pass)
+                      "ok"
+                      (Protocol.status_name resp.Protocol.status);
+                    Alcotest.(check string)
+                      (Printf.sprintf "plan body byte-identical at pool %d (%s)" size
+                         pass)
+                      expected resp.Protocol.body;
+                    Alcotest.(check int) "pool size reported" size
+                      resp.Protocol.pool_size)
+                [ "cold"; "cached" ])))
+    [ 1; 2; 4 ]
+
+(* ---- result cache ---- *)
+
+let test_cache_hit_counters () =
+  let socket_path = temp_socket () in
+  let handle =
+    Server.start (Server.config ~executors:1 ~cache_size:8 socket_path)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  let expected = expected_plan () in
+  Client.with_connection ~socket_path (fun c ->
+      let plan pass =
+        match Client.request c (Protocol.request Protocol.Plan) with
+        | Ok r when r.Protocol.status = Protocol.Ok_ -> r
+        | Ok r -> Alcotest.failf "%s plan rejected: %s" pass r.Protocol.body
+        | Error e -> Alcotest.failf "%s plan failed: %s" pass e
+      in
+      let cold = plan "cold" in
+      let hit = plan "hit" in
+      Alcotest.(check string) "cached body byte-identical to cold" cold.Protocol.body
+        hit.Protocol.body;
+      Alcotest.(check string) "cached body byte-identical to the CLI" expected
+        hit.Protocol.body;
+      (* the hit is served by the acceptor, without a queue pass *)
+      Alcotest.(check int) "cache hit never queued" 0 hit.Protocol.queue_ns;
+      (* a trace-carrying request bypasses the cache so its export
+         reflects a real execution *)
+      (match
+         Client.request c
+           (Protocol.request ~trace:Protocol.Trace_jsonl Protocol.Plan)
+       with
+      | Ok r ->
+        Alcotest.(check string) "traced body still byte-identical" expected
+          r.Protocol.body;
+        Alcotest.(check bool) "traced request carries an export" true
+          (r.Protocol.trace_export <> None)
+      | Error e -> Alcotest.failf "traced plan failed: %s" e);
+      match Client.request c (Protocol.request Protocol.Metrics) with
+      | Error e -> Alcotest.failf "metrics failed: %s" e
+      | Ok r ->
+        check_contains r.Protocol.body
+          [ "msoc_serve_cache_hits_total 1";
+            "msoc_serve_cache_misses_total";
+            "msoc_serve_cache_evictions_total 0";
+            "msoc_serve_executors 1" ])
+
+(* ---- request coalescing ---- *)
+
+let test_coalescing () =
+  (* cache off so the duplicate pair can only be answered by the
+     coalescing stage; the window keeps the first request joinable long
+     after both are admitted *)
+  let socket_path = temp_socket () in
+  let handle =
+    Server.start
+      (Server.config ~executors:2 ~cache_size:0 ~batch_window_ms:400 socket_path)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  let req = Protocol.request ~taps:5 ~samples:128 ~seed:11 Protocol.Faultsim in
+  let fetch () =
+    Client.with_connection ~socket_path (fun c ->
+        match Client.request c req with
+        | Ok r when r.Protocol.status = Protocol.Ok_ -> r.Protocol.body
+        | Ok r -> Alcotest.failf "faultsim rejected: %s" r.Protocol.body
+        | Error e -> Alcotest.failf "faultsim failed: %s" e)
+  in
+  let cold = fetch () in
+  let pair = List.init 2 (fun _ -> Domain.spawn fetch) in
+  let bodies = List.map Domain.join pair in
+  List.iter
+    (fun body ->
+      Alcotest.(check string) "coalesced body byte-identical to a private run" cold
+        body)
+    bodies;
+  Client.with_connection ~socket_path (fun c ->
+      match Client.request c (Protocol.request Protocol.Metrics) with
+      | Error e -> Alcotest.failf "metrics failed: %s" e
+      | Ok r ->
+        let batched =
+          String.split_on_char '\n' r.Protocol.body
+          |> List.find_map (fun line ->
+                 match String.index_opt line ' ' with
+                 | Some i when String.sub line 0 i = "msoc_serve_batched_total" ->
+                   int_of_string_opt
+                     (String.sub line (i + 1) (String.length line - i - 1))
+                 | _ -> None)
+        in
+        match batched with
+        | Some n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "concurrent duplicates were batched (batched=%d)" n)
+            true (n >= 2)
+        | None -> Alcotest.fail "msoc_serve_batched_total missing from metrics")
+
+(* ---- montecarlo: daemon == CLI ---- *)
+
+let test_montecarlo_identity () =
+  let req =
+    Protocol.request ~strategy:"nominal" ~trials:500 ~seed:0 Protocol.Montecarlo
+  in
+  let expected = Pool.with_pool ~size:1 (fun pool -> Verbs.run ~pool req) in
+  (* seed 0 resolves to the canonical study seed in the rendered header *)
+  check_contains expected
+    [ Printf.sprintf "seed %d" Verbs.montecarlo_canonical_seed; "500 trials" ];
+  List.iter
+    (fun size ->
+      Pool.with_pool ~size (fun pool ->
+          let socket_path = temp_socket () in
+          let handle = Server.start (Server.config ~pool socket_path) in
+          Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+          Client.with_connection ~socket_path (fun c ->
+              match Client.request c req with
               | Error e -> Alcotest.failf "pool %d: %s" size e
               | Ok resp ->
                 Alcotest.(check string)
-                  (Printf.sprintf "status at pool %d" size)
-                  "ok"
-                  (Protocol.status_name resp.Protocol.status);
-                Alcotest.(check string)
-                  (Printf.sprintf "plan body byte-identical at pool %d" size)
-                  expected resp.Protocol.body;
-                Alcotest.(check int) "pool size reported" size resp.Protocol.pool_size)))
-    [ 1; 2; 4 ]
+                  (Printf.sprintf "montecarlo body byte-identical at pool %d" size)
+                  expected resp.Protocol.body)))
+    [ 1; 2 ]
+
+(* ---- class-cap admission ---- *)
+
+let test_heavy_cap_admission () =
+  (* heavy cap 1 under an 8-slot queue: pipelined sleeps trip the class
+     cap while the queue itself still has room, and the rejection names
+     both limits; a cheap ping is admitted throughout *)
+  let socket_path = temp_socket () in
+  let handle =
+    Server.start
+      (Server.config ~queue_capacity:8 ~executors:1 ~heavy_cap:1 socket_path)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop handle) @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let line =
+    Protocol.request_to_json (Protocol.request ~sleep_ms:300 Protocol.Sleep) ^ "\n"
+  in
+  let payload = line ^ line ^ line in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  (* while the heavy class is saturated, a cheap probe on a second
+     connection still gets in (and eventually answered) *)
+  Client.with_connection ~socket_path (fun c ->
+      match Client.request c (Protocol.request Protocol.Ping) with
+      | Ok r ->
+        Alcotest.(check string) "ping admitted while heavy class is capped" "ok"
+          (Protocol.status_name r.Protocol.status)
+      | Error e -> Alcotest.failf "ping failed: %s" e);
+  let responses =
+    List.map
+      (fun l ->
+        match Protocol.response_of_json l with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "bad response line: %s" e)
+      (read_lines fd 3)
+  in
+  let by_status st = List.filter (fun r -> r.Protocol.status = st) responses in
+  Alcotest.(check bool) "at least one sleep executed" true
+    (List.length (by_status Protocol.Ok_) >= 1);
+  let rejected = by_status Protocol.Overloaded in
+  Alcotest.(check bool) "at least one sleep rejected" true (List.length rejected >= 1);
+  List.iter
+    (fun r ->
+      check_contains r.Protocol.body
+        [ "overloaded"; "heavy"; "class cap 1"; "queue capacity 8" ])
+    rejected
 
 (* ---- metrics verb ---- *)
 
@@ -276,16 +549,27 @@ let test_trace_roundtrip () =
           check_contains (Trace.to_folded t) [ "serve.request" ]))
 
 let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "msoc_serve"
     [ ( "workq",
         [ Alcotest.test_case "bounded fifo" `Quick test_workq_bounds;
           Alcotest.test_case "close drains then ends" `Quick test_workq_close;
-          Alcotest.test_case "cross-domain hand-off" `Quick test_workq_cross_domain ] );
+          Alcotest.test_case "cross-domain hand-off" `Quick test_workq_cross_domain;
+          Alcotest.test_case "multi-consumer exactly-once" `Quick
+            test_workq_multi_consumer;
+          Alcotest.test_case "overload accounting under contention" `Quick
+            test_workq_overload_accounting ] );
+      ("workq-properties", qcheck [ prop_workq_exactly_once ]);
       ( "protocol",
         [ Alcotest.test_case "request/response round trip" `Quick test_protocol_roundtrip ] );
       ( "daemon",
         [ Alcotest.test_case "queue-full backpressure" `Quick test_backpressure;
           Alcotest.test_case "plan byte-identity across pool sizes" `Quick
             test_plan_byte_identity;
+          Alcotest.test_case "result cache hit counters" `Quick test_cache_hit_counters;
+          Alcotest.test_case "duplicate requests coalesce" `Quick test_coalescing;
+          Alcotest.test_case "montecarlo daemon matches CLI" `Quick
+            test_montecarlo_identity;
+          Alcotest.test_case "heavy-class admission cap" `Quick test_heavy_cap_admission;
           Alcotest.test_case "metrics families" `Quick test_metrics_families;
           Alcotest.test_case "trace export round trip" `Quick test_trace_roundtrip ] ) ]

@@ -250,6 +250,65 @@ let test_texttable_cells () =
   Alcotest.(check string) "float cell" "3.14" (Texttable.cell_f ~decimals:2 3.14159);
   Alcotest.(check string) "pct cell" "12.3%" (Texttable.cell_pct 0.1234)
 
+(* ---- Lru ---- *)
+
+let test_lru_basics () =
+  (match Lru.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected");
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Lru.capacity c);
+  Alcotest.(check (option int)) "miss on empty" None (Lru.find c "a");
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check int) "length" 2 (Lru.length c);
+  Alcotest.(check (option int)) "hit a" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "hit b" (Some 2) (Lru.find c "b");
+  Alcotest.(check int) "hits" 2 (Lru.hits c);
+  Alcotest.(check int) "misses" 1 (Lru.misses c);
+  Alcotest.(check int) "no eviction yet" 0 (Lru.evictions c)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* touching "a" makes "b" the LRU entry, so adding "c" evicts "b" *)
+  ignore (Lru.find c "a");
+  Lru.add c "c" 3;
+  Alcotest.(check int) "one eviction" 1 (Lru.evictions c);
+  Alcotest.(check (option int)) "recently used survives" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "lru entry evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "new entry resident" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "bounded" 2 (Lru.length c)
+
+let test_lru_replace_not_eviction () =
+  let c = Lru.create ~capacity:2 in
+  Lru.add c "a" 1;
+  Lru.add c "a" 10;
+  Alcotest.(check (option int)) "value replaced" (Some 10) (Lru.find c "a");
+  Alcotest.(check int) "replacement is not an eviction" 0 (Lru.evictions c);
+  Alcotest.(check int) "still one entry" 1 (Lru.length c)
+
+let test_lru_cross_domain () =
+  (* concurrent find/add from several domains: no crash, counters sum to
+     the number of probes, length stays bounded *)
+  let c = Lru.create ~capacity:8 in
+  let probes_per_domain = 1000 in
+  let worker seed () =
+    let rng = Prng.create seed in
+    for _ = 1 to probes_per_domain do
+      let key = Printf.sprintf "k%d" (Prng.int rng 16) in
+      match Lru.find c key with
+      | Some _ -> ()
+      | None -> Lru.add c key 0
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "every probe counted" (4 * probes_per_domain)
+    (Lru.hits c + Lru.misses c);
+  Alcotest.(check bool) "length bounded by capacity" true (Lru.length c <= 8)
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "msoc_util"
@@ -286,4 +345,9 @@ let () =
         :: qcheck [ prop_add_contains; prop_mul_contains; prop_sub_anti; prop_hull_superset ] );
       ( "texttable",
         [ Alcotest.test_case "render" `Quick test_texttable_render;
-          Alcotest.test_case "cells" `Quick test_texttable_cells ] ) ]
+          Alcotest.test_case "cells" `Quick test_texttable_cells ] );
+      ( "lru",
+        [ Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "replace is not eviction" `Quick test_lru_replace_not_eviction;
+          Alcotest.test_case "cross-domain" `Quick test_lru_cross_domain ] ) ]
